@@ -1,0 +1,181 @@
+(* fastrule_cli — command-line front end for the FastRule reproduction.
+
+   Subcommands:
+     stats    generate a table and print its dependency-graph statistics
+     run      replay an update stream against chosen schedulers
+     hw       demonstrate the ONetSwitch-style modulo-address emulation *)
+
+open Fastrule
+open Cmdliner
+
+let kind_conv =
+  let parse s =
+    match Dataset.of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown table kind %S" s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Dataset.to_string k))
+
+let kind_arg =
+  Arg.(
+    value
+    & opt kind_conv Dataset.ACL4
+    & info [ "k"; "kind" ] ~docv:"KIND"
+        ~doc:"Table type: acl4, acl5, fw4, fw5 or route.")
+
+let n_arg =
+  Arg.(value & opt int 1_000 & info [ "n" ] ~docv:"N" ~doc:"Initial table size.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"PATH"
+        ~doc:"Operate on a saved rule table instead of generating one.")
+
+(* --- stats ----------------------------------------------------------- *)
+
+let stats_cmd =
+  let run kind n seed file =
+    let name, rules =
+      match file with
+      | Some path -> (
+          match Rules_io.load path with
+          | Ok rules -> (path, rules)
+          | Error e ->
+              Format.eprintf "cannot load %s: %s@." path e;
+              exit 1)
+      | None -> (Dataset.to_string kind, Dataset.generate kind ~seed ~n)
+    in
+    let graph = Dag_build.compile rules in
+    let s = Dag_stats.compute graph in
+    Format.printf "%s n=%d: %a@." name (Array.length rules) Fr_dag.Stats.pp s;
+    Format.printf "priority levels needed (DAG height): %d@." (Levels.height graph)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Table and dependency-graph statistics (Table II).")
+    Term.(const run $ kind_arg $ n_arg $ seed_arg $ file_arg)
+
+(* --- generate -------------------------------------------------------- *)
+
+let generate_cmd =
+  let run kind n seed out =
+    let rules = Dataset.generate kind ~seed ~n in
+    match out with
+    | Some path ->
+        Rules_io.save path rules;
+        Format.printf "wrote %d %s rules to %s@." n (Dataset.to_string kind) path
+    | None -> print_string (Rules_io.to_string rules)
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a synthetic rule table and emit it in the \
+             fastrule-table text format.")
+    Term.(const run $ kind_arg $ n_arg $ seed_arg $ out_arg)
+
+(* --- run ------------------------------------------------------------- *)
+
+let algo_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "naive" -> Ok Firmware.Naive
+    | "ruletris" -> Ok Firmware.Ruletris
+    | "fr-o" -> Ok (Firmware.FR_O Store.Bit_backend)
+    | "fr-o/array" -> Ok (Firmware.FR_O Store.Array_backend)
+    | "fr-o/od" | "fr-o/on-demand" -> Ok (Firmware.FR_O Store.On_demand)
+    | "fr-sd" -> Ok (Firmware.FR_SD Store.Bit_backend)
+    | "fr-sb" -> Ok (Firmware.FR_SB Store.Bit_backend)
+    | _ -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf k -> Format.pp_print_string ppf (Firmware.algo_kind_name k))
+
+let run_cmd =
+  let run kind n seed updates deletes algos csv =
+    let updates = Option.value updates ~default:(Experiment.updates_for n) in
+    let spec = { Experiment.kind; n; updates; with_deletes = deletes; seed } in
+    let algos =
+      if algos = [] then Firmware.standard_algos Store.Bit_backend else algos
+    in
+    let rows = Experiment.run_spec spec ~algos in
+    if csv then begin
+      print_endline Report.csv_header;
+      List.iter (fun r -> print_endline (Report.row_to_csv r)) rows
+    end
+    else Report.print_rows rows
+  in
+  let updates_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "u"; "updates" ] ~docv:"COUNT"
+          ~doc:"Stream length (default: the paper's 250/500/1000 rule).")
+  in
+  let deletes_arg =
+    Arg.(
+      value & flag
+      & info [ "d"; "deletes" ]
+          ~doc:"Alternate insertions with deletions (the paper's second \
+                stream type).")
+  in
+  let algos_arg =
+    Arg.(
+      value
+      & opt (list algo_conv) []
+      & info [ "a"; "algos" ] ~docv:"ALGOS"
+          ~doc:"Comma-separated schedulers: naive, ruletris, fr-o, \
+                fr-o/array, fr-o/od, fr-sd, fr-sb.  Default: all five \
+                paper configurations.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Replay a random update stream against chosen schedulers and \
+             report firmware / TCAM time.")
+    Term.(
+      const run $ kind_arg $ n_arg $ seed_arg $ updates_arg $ deletes_arg
+      $ algos_arg $ csv_arg)
+
+(* --- hw -------------------------------------------------------------- *)
+
+let hw_cmd =
+  let run n seed =
+    let table = Dataset.build_table Dataset.ACL4 ~seed ~n in
+    let emu = Hw_emu.create ~logical_size:(2 * n) () in
+    Array.iteri
+      (fun i id -> Hw_emu.add_entry emu ~rule_id:id ~addr:i)
+      table.Dataset.order;
+    Format.printf
+      "Loaded %d entries into a logical table of %d slots through a %d-entry \
+       hardware TCAM (modulo addressing).@."
+      n (2 * n) (Hw_emu.hw_size emu);
+    Format.printf "SDK calls: %d, modelled hardware time: %.1f ms@."
+      (Hw_emu.hw_calls emu) (Hw_emu.elapsed_ms emu);
+    match Tcam.check_dag_order (Hw_emu.logical emu) table.Dataset.graph with
+    | Ok () -> Format.printf "Shadow-table dependency order: OK@."
+    | Error e -> Format.printf "Shadow-table dependency order violated: %s@." e
+  in
+  Cmd.v
+    (Cmd.info "hw"
+       ~doc:"Demonstrate the ONetSwitch-style large-table emulation (SVI.1).")
+    Term.(const run $ n_arg $ seed_arg)
+
+let () =
+  let doc = "FastRule (ICDCS'18) reproduction toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "fastrule_cli" ~doc)
+          [ stats_cmd; generate_cmd; run_cmd; hw_cmd ]))

@@ -1,0 +1,1 @@
+examples/agent_demo.ml: Agent Array Fastrule Format Header Int64 List Rng Rule Ternary

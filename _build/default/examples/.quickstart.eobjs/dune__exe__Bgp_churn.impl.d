@@ -1,0 +1,1 @@
+examples/bgp_churn.ml: Array Dataset Experiment Fastrule Firmware Format List Measure Store Sys

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Array Dataset Fastrule Firmware Format Latency List Measure Rng Store Updates

@@ -1,0 +1,1 @@
+examples/layout_study.ml: Algo Array Dataset Experiment Fastrule Firmware Format Graph Layout List Measure Printf Rng Separated Store Tcam Updates

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algo Array Dag_build Dataset Fastrule Fmt Format Graph Greedy Header Int64 Layout List Op Rule Store Tcam Ternary

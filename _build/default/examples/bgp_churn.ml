@@ -1,0 +1,44 @@
+(* BGP churn: sustained route-update throughput of a TCAM switch.
+
+   Measurements cited by the paper ([11], Huang et al.) put a commercial
+   OpenFlow switch at ~42 rule updates per second — the control loop
+   chokes on the data plane.  This example drives a ROUTE table with
+   sustained insert+delete churn (routes being announced and withdrawn)
+   and reports the sustainable update rate per scheduler:
+
+     rate = 1000 / (mean firmware ms + mean TCAM ms per update)
+
+   Run with:  dune exec examples/bgp_churn.exe [n] *)
+
+open Fastrule
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4_000
+  in
+  let churn = Experiment.updates_for n in
+  Format.printf "=== BGP churn on a %d-prefix table, %d updates ===@.@." n churn;
+  let table = Dataset.build_table Dataset.ROUTE ~seed:11 ~n in
+  let spec =
+    { Experiment.kind = Dataset.ROUTE; n; updates = churn; with_deletes = true; seed = 11 }
+  in
+  let stream = Experiment.stream_for spec in
+  Format.printf "%-10s %12s %12s %14s %16s@." "algo" "fw(ms/upd)"
+    "tcam(ms/upd)" "total(ms/upd)" "updates/second";
+  List.iter
+    (fun kind ->
+      let cap =
+        match kind with Firmware.Naive -> Some 60 | _ -> None
+      in
+      let row = Experiment.run_one ?cap ~table ~stream kind in
+      let total = row.Experiment.fw.Measure.mean +. row.Experiment.tcam_avg_ms in
+      Format.printf "%-10s %12.4f %12.4f %14.4f %16.0f@." row.Experiment.algo
+        row.Experiment.fw.Measure.mean row.Experiment.tcam_avg_ms total
+        (1000.0 /. total))
+    (Firmware.standard_algos Store.Bit_backend);
+  Format.printf
+    "@.Reference point: the measured commercial switch sustains ~42 \
+     updates/s.  The TCAM write (0.6 ms) bounds any scheduler at ~1600/s \
+     for single-move updates; FastRule gets within a whisker of that bound \
+     because its sequences are ~c_avg writes and its firmware time is \
+     microseconds.@."

@@ -1,0 +1,1 @@
+lib/bitree/fenwick_sum.ml: Array

@@ -1,0 +1,1 @@
+lib/bitree/min_tree.ml: Array Option

@@ -1,0 +1,1 @@
+lib/bitree/segment_tree.mli:

@@ -1,0 +1,42 @@
+(* Standard Fenwick tree, 1-indexed internally.  b.(x) stores the sum of
+   cells (x - lowbit x, x]. *)
+
+type t = { n : int; b : int array }
+
+let lowbit x = x land -x
+
+let create n =
+  if n < 0 then invalid_arg "Fenwick_sum.create: negative size";
+  { n; b = Array.make (n + 1) 0 }
+
+let size t = t.n
+
+let add t i delta =
+  if i < 0 || i >= t.n then invalid_arg "Fenwick_sum.add: index out of range";
+  let j = ref (i + 1) in
+  while !j <= t.n do
+    t.b.(!j) <- t.b.(!j) + delta;
+    j := !j + lowbit !j
+  done
+
+let prefix_sum t i =
+  if i >= t.n then invalid_arg "Fenwick_sum.prefix_sum: index out of range";
+  let acc = ref 0 in
+  let j = ref (i + 1) in
+  while !j > 0 do
+    acc := !acc + t.b.(!j);
+    j := !j - lowbit !j
+  done;
+  !acc
+
+let range_sum t lo hi =
+  if lo > hi then 0
+  else
+    let high = prefix_sum t hi in
+    if lo = 0 then high else high - prefix_sum t (lo - 1)
+
+let get t i = range_sum t i i
+
+let set t i v = add t i (v - get t i)
+
+let total t = if t.n = 0 then 0 else prefix_sum t (t.n - 1)

@@ -1,0 +1,32 @@
+(** The original Binary Indexed Tree (Fenwick tree) over integer sums —
+    §IV.E.1 of the paper.
+
+    Maintains an array [R] of [n] integers supporting point increment and
+    prefix/range sums in O(log n).  The modified range-minimum variant used
+    by FastRule lives in {!Min_tree}; this module exists because the paper
+    derives the modified structure from it, and the test suite checks both
+    against naive references.  Indices are 0-based externally. *)
+
+type t
+
+val create : int -> t
+(** [create n] — n zero cells.  [n >= 0]. *)
+
+val size : t -> int
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adds [delta] to cell [i].  O(log n). *)
+
+val set : t -> int -> int -> unit
+(** [set t i v] point assignment (reads the current value first). *)
+
+val get : t -> int -> int
+(** Current value of cell [i]. *)
+
+val prefix_sum : t -> int -> int
+(** [prefix_sum t i] = sum of cells [0..i] inclusive; 0 when [i < 0]. *)
+
+val range_sum : t -> int -> int -> int
+(** [range_sum t lo hi] = sum of cells [lo..hi] inclusive (0 if empty). *)
+
+val total : t -> int

@@ -1,0 +1,90 @@
+(* 1-indexed internally: cell i lives at a.(i); block x = (x - lowbit x, x]
+   with minimum bmin.(x) achieved at index barg.(x).
+
+   Block recomputation uses the identity
+     B[x] = min(a[x], B[x-1], B[x-2], ..., B[x - 2^k])   for 2^k < lowbit x
+   (the child blocks tile (x - lowbit x, x - 1]).
+
+   Everything uses strict [<] when replacing the incumbent; combined with
+   visiting higher indices first, this makes the highest index win ties —
+   the same policy as Algorithm 1's ascending scan with [<=]. *)
+
+type t = { n : int; a : int array; bmin : int array; barg : int array }
+
+let lowbit x = x land -x
+
+let recompute t x =
+  let best_v = ref t.a.(x) and best_i = ref x in
+  let k = ref 1 in
+  while !k < lowbit x do
+    let c = x - !k in
+    if t.bmin.(c) < !best_v then begin
+      best_v := t.bmin.(c);
+      best_i := t.barg.(c)
+    end;
+    k := !k * 2
+  done;
+  t.bmin.(x) <- !best_v;
+  t.barg.(x) <- !best_i
+
+let create n ~init =
+  if n < 0 then invalid_arg "Min_tree.create: negative size";
+  let t =
+    {
+      n;
+      a = Array.make (n + 1) init;
+      bmin = Array.make (n + 1) init;
+      barg = Array.make (n + 1) 0;
+    }
+  in
+  for x = 1 to n do
+    recompute t x
+  done;
+  t
+
+let size t = t.n
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Min_tree.get: index out of range";
+  t.a.(i + 1)
+
+let set t i v =
+  if i < 0 || i >= t.n then invalid_arg "Min_tree.set: index out of range";
+  let i = i + 1 in
+  t.a.(i) <- v;
+  let j = ref i in
+  while !j <= t.n do
+    recompute t !j;
+    j := !j + lowbit !j
+  done
+
+let min_in t ~lo ~hi =
+  let l = max 1 (lo + 1) and h = min t.n (hi + 1) in
+  if l > h then None
+  else begin
+    let best_v = ref max_int and best_i = ref (-1) in
+    let j = ref h in
+    while !j >= l do
+      if !j - lowbit !j + 1 >= l then begin
+        (* [best_i = -1] guard: even an all-max_int range must report an
+           index, and strict [<] alone would never install one. *)
+        if t.bmin.(!j) < !best_v || !best_i = -1 then begin
+          best_v := t.bmin.(!j);
+          best_i := t.barg.(!j)
+        end;
+        j := !j - lowbit !j
+      end
+      else begin
+        if t.a.(!j) < !best_v || !best_i = -1 then begin
+          best_v := t.a.(!j);
+          best_i := !j
+        end;
+        decr j
+      end
+    done;
+    Some (!best_i - 1, !best_v)
+  end
+
+let min_value_in t ~lo ~hi = Option.map snd (min_in t ~lo ~hi)
+
+let to_array t = Array.sub t.a 1 t.n

@@ -1,0 +1,42 @@
+(** The modified Binary Indexed Tree of §IV.E.2–3: range-minimum queries
+    with argmin, under point {e assignment} (values may go up or down).
+
+    Block [B(x)] stores the minimum of cells [(x - lowbit x, x]] together
+    with the index achieving it.  A query over an arbitrary range walks from
+    the high end, consuming whole blocks when they fit and single cells
+    otherwise — O(log n) block steps, O((log n)^2) worst case.  A point
+    assignment recomputes every enclosing block from its child blocks plus
+    its own cell, O((log n)^2), exactly the costs the paper states.
+
+    Tie-breaking matters to FastRule: Algorithm 1 scans candidate addresses
+    in ascending order and replaces the incumbent on [M(k) <= h], so the
+    {e highest} index among equal minima wins.  This structure implements
+    the same policy, which keeps the BIT back-end's decisions bit-identical
+    to the on-demand and array back-ends.
+
+    Indices are 0-based externally. *)
+
+type t
+
+val create : int -> init:int -> t
+(** [create n ~init] — [n] cells all holding [init].  [n >= 0]. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+(** O(1). *)
+
+val set : t -> int -> int -> unit
+(** Point assignment, O((log n)^2). *)
+
+val min_in : t -> lo:int -> hi:int -> (int * int) option
+(** [min_in t ~lo ~hi] is [Some (index, value)] minimising the value over
+    the inclusive range, the highest index winning ties; [None] when the
+    range is empty ([lo > hi]).  Out-of-bounds endpoints are clamped.
+    O((log n)^2). *)
+
+val min_value_in : t -> lo:int -> hi:int -> int option
+(** Value-only variant of {!min_in}. *)
+
+val to_array : t -> int array
+(** Snapshot of the cell values (for tests and debugging). *)

@@ -1,0 +1,91 @@
+(* Iterative bottom-up segment tree.  Leaves live at [cap, cap + n) where
+   cap is the least power of two >= n; node k covers nodes 2k and 2k+1.
+   Queries decompose the range into canonical segments, all of which lie
+   fully inside [lo, hi], so the max_int padding leaves never surface. *)
+
+type t = {
+  n : int;
+  cap : int;
+  minv : int array;  (* length 2*cap *)
+  arg : int array;  (* index (0-based cell) achieving minv *)
+}
+
+let rec pow2_at_least k x = if x >= k then x else pow2_at_least k (2 * x)
+
+let merge_up t k =
+  let l = 2 * k and r = (2 * k) + 1 in
+  (* Right covers higher indices: on ties it wins, matching Min_tree. *)
+  if t.minv.(r) <= t.minv.(l) then begin
+    t.minv.(k) <- t.minv.(r);
+    t.arg.(k) <- t.arg.(r)
+  end
+  else begin
+    t.minv.(k) <- t.minv.(l);
+    t.arg.(k) <- t.arg.(l)
+  end
+
+let create n ~init =
+  if n < 0 then invalid_arg "Segment_tree.create: negative size";
+  let cap = if n = 0 then 1 else pow2_at_least n 1 in
+  let minv = Array.make (2 * cap) max_int in
+  let arg = Array.make (2 * cap) (-1) in
+  for i = 0 to n - 1 do
+    minv.(cap + i) <- init;
+    arg.(cap + i) <- i
+  done;
+  for i = n to cap - 1 do
+    arg.(cap + i) <- i
+  done;
+  let t = { n; cap; minv; arg } in
+  for k = cap - 1 downto 1 do
+    merge_up t k
+  done;
+  t
+
+let size t = t.n
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Segment_tree.get: index out of range";
+  t.minv.(t.cap + i)
+
+let set t i v =
+  if i < 0 || i >= t.n then invalid_arg "Segment_tree.set: index out of range";
+  let k = ref (t.cap + i) in
+  t.minv.(!k) <- v;
+  k := !k / 2;
+  while !k >= 1 do
+    merge_up t !k;
+    k := !k / 2
+  done
+
+let min_in t ~lo ~hi =
+  let lo = max 0 lo and hi = min (t.n - 1) hi in
+  if lo > hi then None
+  else begin
+    let best_v = ref max_int and best_i = ref (-1) in
+    let consider k =
+      let v = t.minv.(k) and i = t.arg.(k) in
+      if v < !best_v || (v = !best_v && i > !best_i) then begin
+        best_v := v;
+        best_i := i
+      end
+    in
+    let l = ref (t.cap + lo) and r = ref (t.cap + hi + 1) in
+    while !l < !r do
+      if !l land 1 = 1 then begin
+        consider !l;
+        incr l
+      end;
+      if !r land 1 = 1 then begin
+        decr r;
+        consider !r
+      end;
+      l := !l / 2;
+      r := !r / 2
+    done;
+    Some (!best_i, !best_v)
+  end
+
+let min_value_in t ~lo ~hi = Option.map snd (min_in t ~lo ~hi)
+
+let to_array t = Array.init t.n (fun i -> t.minv.(t.cap + i))

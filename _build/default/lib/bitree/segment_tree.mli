@@ -1,0 +1,35 @@
+(** Array-backed segment tree over integers with range-minimum + argmin.
+
+    An alternative to the paper's modified BIT ({!Min_tree}): both answer
+    range-minimum queries over a mutable array, but the segment tree's
+    point assignment is O(log n) where the BIT pays O((log n)^2)
+    (re-deriving each enclosing block from its children), at the price of
+    2x the memory and slightly slower queries in practice.  The repository
+    ships both so the trade-off can be measured (DESIGN.md §7, ablation
+    bench) — FastRule's complexity would be O(c_avg log n) on this
+    structure.
+
+    Tie-breaking matches {!Min_tree}: the {e highest} index among equal
+    minima wins.  Indices are 0-based. *)
+
+type t
+
+val create : int -> init:int -> t
+(** [create n ~init] — [n] cells all holding [init].  [n >= 0]. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+(** O(1). *)
+
+val set : t -> int -> int -> unit
+(** Point assignment, O(log n). *)
+
+val min_in : t -> lo:int -> hi:int -> (int * int) option
+(** [(index, value)] minimising over the inclusive range, highest index on
+    ties; [None] when empty.  Out-of-range endpoints are clamped.
+    O(log n). *)
+
+val min_value_in : t -> lo:int -> hi:int -> int option
+
+val to_array : t -> int array

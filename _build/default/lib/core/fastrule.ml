@@ -1,0 +1,88 @@
+(** FastRule — efficient and scalable flow-entry updates for TCAM-based
+    OpenFlow switches (Qiu et al., ICDCS 2018).
+
+    This module is the library's front door: it re-exports every component
+    under one namespace, grouped the way the paper presents the system.
+    See DESIGN.md for the architecture and EXPERIMENTS.md for the
+    reproduction results.
+
+    {1 Quick tour}
+
+    {[
+      let table = Fastrule.Dataset.build_table Fastrule.Dataset.ACL4 ~seed:1 ~n:1000 in
+      let tcam  = Fastrule.Layout.(place Original) ~tcam_size:2048 ~order:table.order in
+      let graph = Fastrule.Graph.copy table.graph in
+      let fr    = Fastrule.Greedy.create ~graph ~tcam () in
+      (* schedule an insertion between two existing entries ... *)
+    ]}
+
+    or drive a whole update stream through {!Firmware}. *)
+
+(** {1 Infrastructure} *)
+
+module Rng = Fr_prng.Rng
+
+(** {1 Match fields and rules} *)
+
+module Ternary = Fr_tern.Ternary
+module Header = Fr_tern.Header
+module Rule = Fr_tern.Rule
+module Range = Fr_tern.Range
+
+(** {1 The dependency graph (policy compiler)} *)
+
+module Graph = Fr_dag.Graph
+module Topo = Fr_dag.Topo
+module Dag_build = Fr_dag.Build
+module Dag_stats = Fr_dag.Stats
+module Overlap_index = Fr_dag.Overlap_index
+module Levels = Fr_dag.Levels
+
+(** {1 Data structures (§IV.E)} *)
+
+module Fenwick_sum = Fr_bitree.Fenwick_sum
+module Min_tree = Fr_bitree.Min_tree
+module Segment_tree = Fr_bitree.Segment_tree
+
+(** {1 The TCAM} *)
+
+module Op = Fr_tcam.Op
+module Tcam = Fr_tcam.Tcam
+module Layout = Fr_tcam.Layout
+module Latency = Fr_tcam.Latency
+module Hw_emu = Fr_tcam.Hw_emu
+module Defrag = Fr_tcam.Defrag
+
+(** {1 Schedulers (§III–§V)} *)
+
+module Algo = Fr_sched.Algo
+module Dir = Fr_sched.Dir
+module Metric = Fr_sched.Metric
+module Store = Fr_sched.Store
+module Naive = Fr_sched.Naive
+module Ruletris = Fr_sched.Ruletris
+
+module Greedy = Fr_sched.Fastrule
+(** The FastRule greedy itself (named [Greedy] here to avoid shadowing this
+    facade). *)
+
+module Separated = Fr_sched.Separated
+module Check = Fr_sched.Check
+
+(** {1 Workloads (§VI.2)} *)
+
+module Profile = Fr_workload.Profile
+module Classbench = Fr_workload.Classbench
+module Route_gen = Fr_workload.Route_gen
+module Dataset = Fr_workload.Dataset
+module Updates = Fr_workload.Updates
+module Rules_io = Fr_workload.Rules_io
+
+(** {1 Switch firmware and experiments (§VI)} *)
+
+module Measure = Fr_switch.Measure
+module Firmware = Fr_switch.Firmware
+module Agent = Fr_switch.Agent
+module Queue_sim = Fr_switch.Queue_sim
+module Experiment = Fr_switch.Experiment
+module Report = Fr_switch.Report

@@ -1,0 +1,1 @@
+lib/dag/build.ml: Array Fr_tern Graph Int64 List Overlap_index Stack Topo

@@ -1,0 +1,1 @@
+lib/dag/build.mli: Fr_tern Graph

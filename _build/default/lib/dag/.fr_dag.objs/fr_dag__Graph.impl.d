@@ -1,0 +1,1 @@
+lib/dag/graph.ml: Format Fr_tern Hashtbl Int List

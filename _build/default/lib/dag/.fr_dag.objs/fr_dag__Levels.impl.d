@@ -1,0 +1,1 @@
+lib/dag/levels.ml: Graph Hashtbl List Topo

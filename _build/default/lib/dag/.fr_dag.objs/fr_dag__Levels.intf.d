@@ -1,0 +1,1 @@
+lib/dag/levels.mli: Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/dag/overlap_index.ml: Fr_tern Hashtbl

@@ -1,0 +1,1 @@
+lib/dag/overlap_index.mli: Fr_tern

@@ -1,0 +1,1 @@
+lib/dag/stats.ml: Format Graph Hashtbl List Option Topo

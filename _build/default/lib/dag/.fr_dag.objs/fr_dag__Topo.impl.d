@@ -1,0 +1,1 @@
+lib/dag/topo.ml: Fr_tern Graph Hashtbl List Option Queue Stack

@@ -1,0 +1,1 @@
+lib/dag/topo.mli: Fr_tern Graph

@@ -1,0 +1,105 @@
+module Id_set = Fr_tern.Rule.Id_set
+
+type node = { mutable deps : Id_set.t; mutable rdeps : Id_set.t }
+
+type t = { tbl : (int, node) Hashtbl.t; mutable edges : int }
+
+let create ?(initial_capacity = 64) () =
+  { tbl = Hashtbl.create initial_capacity; edges = 0 }
+
+let mem_node g u = Hashtbl.mem g.tbl u
+
+let add_node g u =
+  if not (mem_node g u) then
+    Hashtbl.replace g.tbl u { deps = Id_set.empty; rdeps = Id_set.empty }
+
+let find g u = Hashtbl.find_opt g.tbl u
+
+let mem_edge g u v =
+  match find g u with None -> false | Some n -> Id_set.mem v n.deps
+
+let add_edge g u v =
+  if u = v then invalid_arg "Graph.add_edge: self-edge";
+  add_node g u;
+  add_node g v;
+  let nu = Hashtbl.find g.tbl u and nv = Hashtbl.find g.tbl v in
+  if not (Id_set.mem v nu.deps) then begin
+    nu.deps <- Id_set.add v nu.deps;
+    nv.rdeps <- Id_set.add u nv.rdeps;
+    g.edges <- g.edges + 1
+  end
+
+let remove_edge g u v =
+  match (find g u, find g v) with
+  | Some nu, Some nv when Id_set.mem v nu.deps ->
+      nu.deps <- Id_set.remove v nu.deps;
+      nv.rdeps <- Id_set.remove u nv.rdeps;
+      g.edges <- g.edges - 1
+  | _ -> ()
+
+let remove_node ?(contract = false) g u =
+  match find g u with
+  | None -> ()
+  | Some n ->
+      if contract then
+        Id_set.iter
+          (fun x -> Id_set.iter (fun y -> if x <> y then add_edge g x y) n.deps)
+          n.rdeps;
+      (* Re-fetch: contraction may have added edges touching u's neighbours
+         but never u itself, so u's own sets are still n's. *)
+      Id_set.iter
+        (fun v ->
+          let nv = Hashtbl.find g.tbl v in
+          nv.rdeps <- Id_set.remove u nv.rdeps;
+          g.edges <- g.edges - 1)
+        n.deps;
+      Id_set.iter
+        (fun x ->
+          let nx = Hashtbl.find g.tbl x in
+          nx.deps <- Id_set.remove u nx.deps;
+          g.edges <- g.edges - 1)
+        n.rdeps;
+      Hashtbl.remove g.tbl u
+
+let deps g u = match find g u with None -> [] | Some n -> Id_set.elements n.deps
+
+let dependents g v =
+  match find g v with None -> [] | Some n -> Id_set.elements n.rdeps
+
+let iter_deps g u f =
+  match find g u with None -> () | Some n -> Id_set.iter f n.deps
+
+let iter_dependents g v f =
+  match find g v with None -> () | Some n -> Id_set.iter f n.rdeps
+
+let fold_deps g u ~init ~f =
+  match find g u with
+  | None -> init
+  | Some n -> Id_set.fold (fun v acc -> f acc v) n.deps init
+
+let out_degree g u = match find g u with None -> 0 | Some n -> Id_set.cardinal n.deps
+let in_degree g v = match find g v with None -> 0 | Some n -> Id_set.cardinal n.rdeps
+
+let n_nodes g = Hashtbl.length g.tbl
+let n_edges g = g.edges
+
+let nodes g = Hashtbl.fold (fun u _ acc -> u :: acc) g.tbl []
+let iter_nodes g f = Hashtbl.iter (fun u _ -> f u) g.tbl
+
+let copy g =
+  let tbl = Hashtbl.create (max 64 (Hashtbl.length g.tbl)) in
+  Hashtbl.iter
+    (fun u n -> Hashtbl.replace tbl u { deps = n.deps; rdeps = n.rdeps })
+    g.tbl;
+  { tbl; edges = g.edges }
+
+let pp ppf g =
+  let ns = List.sort Int.compare (nodes g) in
+  List.iter
+    (fun u ->
+      Format.fprintf ppf "%d -> {%a}@." u
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        (deps g u))
+    ns

@@ -1,0 +1,64 @@
+(** The (minimum) flow dependency graph — a dynamic DAG over rule ids.
+
+    Following DESIGN.md §2, a directed edge [u -> v] ("[u] depends on [v]")
+    states that [v] must be matched first, i.e. the TCAM must keep
+    [phyaddr u < phyaddr v].  Nodes are rule ids (ints); the graph does not
+    own rule payloads.
+
+    The structure is mutable: the switch firmware adds a node per inserted
+    flow entry and removes a node per deletion.  Acyclicity is the caller's
+    obligation (the builders in {!Build} and the update generators maintain
+    it); {!Topo.is_acyclic} and {!Topo.would_close_cycle} are provided for
+    checking. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add_node : t -> int -> unit
+(** Idempotent. *)
+
+val mem_node : t -> int -> bool
+
+val remove_node : ?contract:bool -> t -> int -> unit
+(** Removes the node and all incident edges.  With [~contract:true], adds an
+    edge [x -> y] for every dependent [x] and dependency [y] of the removed
+    node, preserving the transitive ordering that flowed through it.  The
+    paper's evaluation deletes without contraction; the option exists for
+    semantics-preserving table maintenance.  No-op if absent. *)
+
+val add_edge : t -> int -> int -> unit
+(** [add_edge g u v] records [u -> v] ([u] depends on [v]).  Idempotent;
+    creates missing endpoints.  Self-edges are rejected.
+    @raise Invalid_argument on [u = v]. *)
+
+val remove_edge : t -> int -> int -> unit
+(** No-op if absent. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val deps : t -> int -> int list
+(** [deps g u] — the nodes [u] depends on (out-neighbours).  Empty for
+    unknown nodes. *)
+
+val dependents : t -> int -> int list
+(** [dependents g v] — the nodes depending on [v] (in-neighbours). *)
+
+val iter_deps : t -> int -> (int -> unit) -> unit
+val iter_dependents : t -> int -> (int -> unit) -> unit
+val fold_deps : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val nodes : t -> int list
+val iter_nodes : t -> (int -> unit) -> unit
+
+val copy : t -> t
+(** Deep copy — mutations of the copy do not affect the original. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug dump: one [u -> {deps}] line per node. *)

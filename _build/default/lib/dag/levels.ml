@@ -1,0 +1,25 @@
+let assign g =
+  match Topo.toposort g with
+  | None -> invalid_arg "Levels.assign: graph has a cycle"
+  | Some order ->
+      let depth = Hashtbl.create (max 16 (Graph.n_nodes g)) in
+      (* The toposort lists dependents before their dependencies, so a
+         forward scan sees every node after all nodes that depend on it. *)
+      List.iter
+        (fun u ->
+          let d =
+            List.fold_left
+              (fun acc x -> max acc (Hashtbl.find depth x))
+              0 (Graph.dependents g u)
+          in
+          Hashtbl.replace depth u (d + 1))
+        order;
+      depth
+
+let height g = Topo.longest_path_nodes g
+
+let is_valid g prio =
+  let ok = ref true in
+  Graph.iter_nodes g (fun u ->
+      Graph.iter_deps g u (fun v -> if prio u >= prio v then ok := false));
+  !ok

@@ -1,0 +1,22 @@
+(** Priority assignment from a dependency graph.
+
+    Commodity OpenFlow switches take an integer priority per entry (§II.B);
+    a controller that reasons in dependency graphs must eventually
+    linearise them.  [assign] gives each node its {e depth}: 1 plus the
+    longest chain of dependents below it, so that every edge [u -> v]
+    satisfies [priority u < priority v] with the smallest possible number
+    of distinct priority values (the DAG's height).  Fewer distinct values
+    means fewer forced orderings in the TCAM and fewer movements for the
+    priority-based firmware — the quantity CacheFlow-style systems
+    minimise. *)
+
+val assign : Graph.t -> (int, int) Hashtbl.t
+(** Depth of every node, in [1 .. height].
+    @raise Invalid_argument on a cyclic graph. *)
+
+val height : Graph.t -> int
+(** The number of distinct priorities needed = longest path in nodes. *)
+
+val is_valid : Graph.t -> (int -> int) -> bool
+(** [is_valid g prio] — does [prio] respect every edge ([u -> v] implies
+    [prio u < prio v])?  Test oracle. *)

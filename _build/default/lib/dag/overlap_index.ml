@@ -1,0 +1,83 @@
+module Rule = Fr_tern.Rule
+module Ternary = Fr_tern.Ternary
+
+(* The destination field of the packed 5-tuple occupies bit positions
+   40..71 (see Fr_tern.Header); its top [bits] positions are 71 downto
+   72 - bits.  Rules that are not 104-bit 5-tuples, or whose destination
+   is coarser than [bits], fall into the coarse class. *)
+let dst_msb = 71
+
+type t = {
+  bits : int;
+  buckets : (int, (int, Rule.t) Hashtbl.t) Hashtbl.t;
+  coarse : (int, Rule.t) Hashtbl.t;
+  all : (int, Rule.t) Hashtbl.t;
+}
+
+let create ?(bits = 20) () =
+  if bits < 1 || bits > 24 then invalid_arg "Overlap_index.create: bits out of [1,24]";
+  {
+    bits;
+    buckets = Hashtbl.create 256;
+    coarse = Hashtbl.create 64;
+    all = Hashtbl.create 256;
+  }
+
+let key_of t (r : Rule.t) =
+  if Ternary.width r.Rule.field <> Fr_tern.Header.total_width then None
+  else begin
+    let rec go i acc =
+      if i <= dst_msb - t.bits then Some acc
+      else
+        match Ternary.get r.Rule.field i with
+        | Ternary.Any -> None
+        | Ternary.Zero -> go (i - 1) (2 * acc)
+        | Ternary.One -> go (i - 1) ((2 * acc) + 1)
+    in
+    go dst_msb 0
+  end
+
+let bucket_for t k =
+  match Hashtbl.find_opt t.buckets k with
+  | Some b -> b
+  | None ->
+      let b = Hashtbl.create 8 in
+      Hashtbl.replace t.buckets k b;
+      b
+
+let add t r =
+  Hashtbl.replace t.all r.Rule.id r;
+  match key_of t r with
+  | Some k -> Hashtbl.replace (bucket_for t k) r.Rule.id r
+  | None -> Hashtbl.replace t.coarse r.Rule.id r
+
+let remove t r =
+  Hashtbl.remove t.all r.Rule.id;
+  (match key_of t r with
+  | Some k -> (
+      match Hashtbl.find_opt t.buckets k with
+      | Some b -> Hashtbl.remove b r.Rule.id
+      | None -> ())
+  | None -> Hashtbl.remove t.coarse r.Rule.id)
+
+let length t = Hashtbl.length t.all
+
+let iter_candidates t q f =
+  match key_of t q with
+  | Some k ->
+      (match Hashtbl.find_opt t.buckets k with
+      | Some b -> Hashtbl.iter (fun _ r -> f r) b
+      | None -> ());
+      Hashtbl.iter (fun _ r -> f r) t.coarse
+  | None -> Hashtbl.iter (fun _ r -> f r) t.all
+
+let overlapping t q =
+  let acc = ref [] in
+  iter_candidates t q (fun r ->
+      if r.Rule.id <> q.Rule.id && Rule.overlaps q r then acc := r :: !acc);
+  !acc
+
+let candidate_count t q =
+  let n = ref 0 in
+  iter_candidates t q (fun _ -> incr n);
+  !n

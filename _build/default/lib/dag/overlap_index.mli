@@ -1,0 +1,42 @@
+(** Candidate index for match-field overlap queries.
+
+    The policy compiler's cost is dominated by pairwise overlap tests
+    (O(n) per inserted rule, O(n^2) for a bulk compile).  Real rule sets
+    are strongly clustered by destination prefix, so bucketing rules by
+    their destination /20 block (configurable) cuts the candidate set by
+    orders of magnitude: two rules can only overlap if their destination
+    fields are compatible, and two fields that both care about the top
+    [bits] destination bits are compatible there only when the bits
+    agree.
+
+    The index returns a {e superset} of the overlapping rules (bucket
+    peers plus everything with a coarser destination); callers filter
+    with {!Fr_tern.Rule.overlaps}.  Rules whose destination cares about
+    fewer than [bits] bits land in the coarse class and are candidates
+    for every query; a query whose own destination is coarse scans
+    everything (no better than the naive loop, but such rules are rare
+    in ACL/FW/routing tables). *)
+
+type t
+
+val create : ?bits:int -> unit -> t
+(** [bits] (default 20, max 24) — destination prefix bits to bucket on. *)
+
+val add : t -> Fr_tern.Rule.t -> unit
+(** Idempotent per rule id. *)
+
+val remove : t -> Fr_tern.Rule.t -> unit
+(** No-op if absent. *)
+
+val length : t -> int
+
+val iter_candidates : t -> Fr_tern.Rule.t -> (Fr_tern.Rule.t -> unit) -> unit
+(** Every indexed rule that {e might} overlap the query (including the
+    query's own id if indexed — callers filter). *)
+
+val overlapping : t -> Fr_tern.Rule.t -> Fr_tern.Rule.t list
+(** Exact: candidates filtered by {!Fr_tern.Rule.overlaps}, excluding the
+    query's own id. *)
+
+val candidate_count : t -> Fr_tern.Rule.t -> int
+(** Size of the candidate superset (instrumentation). *)

@@ -1,0 +1,80 @@
+module Id_set = Fr_tern.Rule.Id_set
+
+let toposort g =
+  let indeg = Hashtbl.create (max 16 (Graph.n_nodes g)) in
+  Graph.iter_nodes g (fun u -> Hashtbl.replace indeg u (Graph.in_degree g u));
+  let queue = Queue.create () in
+  Graph.iter_nodes g (fun u -> if Graph.in_degree g u = 0 then Queue.add u queue);
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr seen;
+    order := u :: !order;
+    Graph.iter_deps g u (fun v ->
+        let d = Hashtbl.find indeg v - 1 in
+        Hashtbl.replace indeg v d;
+        if d = 0 then Queue.add v queue)
+  done;
+  if !seen = Graph.n_nodes g then Some (List.rev !order) else None
+
+let is_acyclic g = Option.is_some (toposort g)
+
+let reachable g u v =
+  if u = v then true
+  else begin
+    let visited = Hashtbl.create 16 in
+    let stack = Stack.create () in
+    Stack.push u stack;
+    Hashtbl.replace visited u ();
+    let found = ref false in
+    while (not !found) && not (Stack.is_empty stack) do
+      let x = Stack.pop stack in
+      Graph.iter_deps g x (fun y ->
+          if y = v then found := true
+          else if not (Hashtbl.mem visited y) then begin
+            Hashtbl.replace visited y ();
+            Stack.push y stack
+          end)
+    done;
+    !found
+  end
+
+let would_close_cycle g u v = u = v || reachable g v u
+
+let traverse step g u =
+  let visited = ref Id_set.empty in
+  let stack = Stack.create () in
+  Stack.push u stack;
+  while not (Stack.is_empty stack) do
+    let x = Stack.pop stack in
+    step g x (fun y ->
+        if not (Id_set.mem y !visited) && y <> u then begin
+          visited := Id_set.add y !visited;
+          Stack.push y stack
+        end)
+  done;
+  !visited
+
+let descendants g u = traverse Graph.iter_deps g u
+let ancestors g u = traverse Graph.iter_dependents g u
+
+let longest_path_nodes g =
+  match toposort g with
+  | None -> invalid_arg "Topo.longest_path_nodes: graph has a cycle"
+  | Some order ->
+      (* Nodes appear before their dependencies, so scanning the order in
+         REVERSE sees each node after everything it depends on. *)
+      let best = Hashtbl.create (max 16 (Graph.n_nodes g)) in
+      let overall = ref 0 in
+      List.iter
+        (fun u ->
+          let d =
+            Graph.fold_deps g u ~init:0 ~f:(fun acc v ->
+                max acc (Hashtbl.find best v))
+          in
+          let d = d + 1 in
+          Hashtbl.replace best u d;
+          if d > !overall then overall := d)
+        (List.rev order);
+      !overall

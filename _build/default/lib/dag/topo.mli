@@ -1,0 +1,34 @@
+(** Topological utilities over the dependency graph.
+
+    Used by the builders (acyclicity assertions), the update generators
+    (picking constraint pairs that cannot close a cycle) and the test suite
+    (validating that every generated graph really is a DAG). *)
+
+val toposort : Graph.t -> int list option
+(** Kahn's algorithm.  [Some order] lists nodes such that every node appears
+    before all nodes it depends on (i.e. dependencies come later — the
+    "must sit at a higher TCAM address" side appears later in the list);
+    [None] if the graph has a cycle. *)
+
+val is_acyclic : Graph.t -> bool
+
+val reachable : Graph.t -> int -> int -> bool
+(** [reachable g u v] — is there a directed path [u ->* v] (following
+    dependency edges)?  [reachable g u u] is [true]. *)
+
+val would_close_cycle : Graph.t -> int -> int -> bool
+(** [would_close_cycle g u v] — would adding [u -> v] create a cycle?
+    Equivalent to [reachable g v u] for distinct nodes. *)
+
+val descendants : Graph.t -> int -> Fr_tern.Rule.Id_set.t
+(** All nodes reachable from [u] via dependency edges, excluding [u]. *)
+
+val ancestors : Graph.t -> int -> Fr_tern.Rule.Id_set.t
+(** All nodes that (transitively) depend on [u], excluding [u]. *)
+
+val longest_path_nodes : Graph.t -> int
+(** Number of nodes on the longest directed path in the whole graph (>= 1
+    when the graph is non-empty, 0 when empty).  This is the paper's
+    "diameter" measured in nodes, the quantity bounding update-sequence
+    length.
+    @raise Invalid_argument if the graph has a cycle. *)

@@ -1,0 +1,1 @@
+lib/sched/algo.ml: Fr_tcam Printf

@@ -1,0 +1,1 @@
+lib/sched/algo.mli: Fr_tcam

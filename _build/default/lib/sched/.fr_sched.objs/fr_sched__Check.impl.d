@@ -1,0 +1,1 @@
+lib/sched/check.ml: Format Fr_tcam Printf

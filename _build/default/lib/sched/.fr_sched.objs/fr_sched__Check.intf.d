@@ -1,0 +1,1 @@
+lib/sched/check.mli: Fr_dag Fr_tcam

@@ -1,0 +1,1 @@
+lib/sched/dir.ml: Fr_dag Fr_tcam

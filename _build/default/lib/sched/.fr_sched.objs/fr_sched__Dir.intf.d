@@ -1,0 +1,1 @@
+lib/sched/dir.mli: Fr_dag Fr_tcam

@@ -1,0 +1,1 @@
+lib/sched/fastrule.ml: Algo Dir Fr_dag Fr_tcam List Printf Store

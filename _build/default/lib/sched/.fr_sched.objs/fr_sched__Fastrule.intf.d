@@ -1,0 +1,1 @@
+lib/sched/fastrule.mli: Algo Dir Fr_dag Fr_tcam Store

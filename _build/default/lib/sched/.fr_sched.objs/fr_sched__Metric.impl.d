@@ -1,0 +1,1 @@
+lib/sched/metric.ml: Dir Fr_tcam List

@@ -1,0 +1,1 @@
+lib/sched/metric.mli: Dir Fr_dag Fr_tcam

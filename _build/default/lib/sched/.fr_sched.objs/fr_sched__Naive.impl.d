@@ -1,0 +1,1 @@
+lib/sched/naive.ml: Algo Fr_tcam Hashtbl List Printf

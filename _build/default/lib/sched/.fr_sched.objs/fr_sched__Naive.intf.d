@@ -1,0 +1,1 @@
+lib/sched/naive.mli: Algo Fr_tcam

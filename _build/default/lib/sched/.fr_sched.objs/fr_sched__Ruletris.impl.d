@@ -1,0 +1,1 @@
+lib/sched/ruletris.ml: Algo Array Dir Fr_tcam Printf

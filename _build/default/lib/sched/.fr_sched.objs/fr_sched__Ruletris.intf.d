@@ -1,0 +1,1 @@
+lib/sched/ruletris.mli: Algo Fr_dag Fr_tcam

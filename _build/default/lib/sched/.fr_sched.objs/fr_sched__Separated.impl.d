@@ -1,0 +1,1 @@
+lib/sched/separated.ml: Algo Dir Fr_dag Fr_tcam List Printf Store

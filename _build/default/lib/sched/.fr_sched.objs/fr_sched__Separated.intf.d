@@ -1,0 +1,1 @@
+lib/sched/separated.mli: Algo Fr_dag Fr_tcam Store

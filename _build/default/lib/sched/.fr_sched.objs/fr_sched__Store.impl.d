@@ -1,0 +1,1 @@
+lib/sched/store.ml: Array Dir Fr_bitree Fr_dag Fr_tcam Hashtbl Int List Metric Queue

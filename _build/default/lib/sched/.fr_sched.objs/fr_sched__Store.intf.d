@@ -1,0 +1,1 @@
+lib/sched/store.mli: Dir Fr_dag Fr_tcam

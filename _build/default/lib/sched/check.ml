@@ -1,0 +1,44 @@
+module Tcam = Fr_tcam.Tcam
+module Op = Fr_tcam.Op
+
+let sequence graph tcam ops =
+  let sim = Tcam.copy tcam in
+  let rec go i = function
+    | [] -> Ok ()
+    | op :: rest -> (
+        let describe () = Format.asprintf "%a" Op.pp op in
+        match op with
+        | Op.Insert { rule_id; addr } -> (
+            (match Tcam.read sim addr with
+            | Tcam.Used id when id <> rule_id ->
+                Error
+                  (Printf.sprintf "op %d %s overwrites live entry %d" i
+                     (describe ()) id)
+            | Tcam.Used _ | Tcam.Free -> Ok ())
+            |> function
+            | Error _ as e -> e
+            | Ok () -> (
+                Tcam.write sim ~rule_id ~addr;
+                match Tcam.check_dag_order sim graph with
+                | Ok () -> go (i + 1) rest
+                | Error msg ->
+                    Error
+                      (Printf.sprintf "op %d %s breaks dependency order: %s" i
+                         (describe ()) msg)))
+        | Op.Delete { addr } -> (
+            Tcam.erase sim ~addr;
+            match Tcam.check_dag_order sim graph with
+            | Ok () -> go (i + 1) rest
+            | Error msg ->
+                Error
+                  (Printf.sprintf "op %d %s breaks dependency order: %s" i
+                     (describe ()) msg)))
+  in
+  go 0 ops
+
+let apply_verified graph tcam ops =
+  match sequence graph tcam ops with
+  | Ok () ->
+      Tcam.apply_sequence tcam ops;
+      Ok ()
+  | Error _ as e -> e

@@ -1,0 +1,18 @@
+(** Update-sequence verification — the safety net the paper's host-side
+    shadow table provides (§VI.1: the Linux server "is only used to ensure
+    the correctness of our algorithm").
+
+    A verified sequence guarantees that applying it to the given TCAM
+    (left to right) never overwrites a live entry with a different one,
+    and that the dependency-order invariant holds {e after every single
+    op} — i.e. lookups stay correct mid-update, which is the property that
+    lets firmware apply sequences without locking the data path. *)
+
+val sequence :
+  Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> Fr_tcam.Op.t list -> (unit, string) result
+(** [sequence graph tcam ops] simulates on copies; neither argument is
+    modified.  [Error] pinpoints the first offending op. *)
+
+val apply_verified :
+  Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> Fr_tcam.Op.t list -> (unit, string) result
+(** Verify, then apply to the real TCAM only on success. *)

@@ -1,0 +1,42 @@
+module Graph = Fr_dag.Graph
+module Tcam = Fr_tcam.Tcam
+
+type t = Up | Down
+
+let to_string = function Up -> "up" | Down -> "down"
+
+let min_dep_addr g tcam id =
+  Graph.fold_deps g id ~init:None ~f:(fun acc v ->
+      match Tcam.addr_of tcam v with
+      | None -> acc
+      | Some a -> (
+          match acc with Some b when b <= a -> acc | Some _ | None -> Some a))
+
+let max_dependent_addr g tcam id =
+  let best = ref None in
+  Graph.iter_dependents g id (fun x ->
+      match Tcam.addr_of tcam x with
+      | None -> ()
+      | Some a -> (
+          match !best with
+          | Some b when b >= a -> ()
+          | Some _ | None -> best := Some a));
+  !best
+
+let next_hop dir g tcam id =
+  match dir with
+  | Up -> min_dep_addr g tcam id
+  | Down -> max_dependent_addr g tcam id
+
+let bound dir g tcam id =
+  match dir with
+  | Up -> (
+      match min_dep_addr g tcam id with
+      | Some a -> a
+      | None -> Tcam.size tcam - 1)
+  | Down -> ( match max_dependent_addr g tcam id with Some a -> a | None -> 0)
+
+let propagation_targets dir g id f =
+  match dir with
+  | Up -> Graph.iter_dependents g id f
+  | Down -> Graph.iter_deps g id f

@@ -1,0 +1,36 @@
+(** Displacement direction.
+
+    The original layout keeps its free space on top, so displacement chains
+    cascade {e upward} and an entry's movement is bounded by the nearest
+    entry it {e depends on}.  The separated layout's top region pools its
+    free space {e below}, so its chains cascade downward, bounded by the
+    nearest {e dependent}.  Every direction-sensitive computation in the
+    schedulers (movement bounds, chain metrics, tie-breaking) goes through
+    this module so the two cases stay exact mirrors. *)
+
+type t =
+  | Up  (** free space above; constraint = nearest dependency *)
+  | Down  (** free space below; constraint = nearest dependent *)
+
+val to_string : t -> string
+
+val bound : t -> Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> int -> int
+(** [bound dir g tcam id] — the farthest address entry [id] may move to in
+    direction [dir] while respecting its edges; the bound is the nearest
+    constraining entry's {e own} address, because the scheduler may move
+    [id] onto it by displacing that entry one step further:
+    - [Up]: the minimum address among [id]'s dependencies present in the
+      TCAM, or [size - 1] if it depends on nothing — the displacement
+      window is [(current, bound\]];
+    - [Down]: the maximum address among [id]'s present dependents, or [0]
+      when nobody depends on it — the window is [\[bound, current)]. *)
+
+val next_hop : t -> Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> int -> int option
+(** [next_hop dir g tcam id] — the address of the {e nearest constraining
+    entry} in direction [dir] ([Up]: nearest dependency above, [Down]:
+    nearest dependent below), or [None] if unconstrained.  This is the step
+    function of the chain metric (Definition 1). *)
+
+val propagation_targets : t -> Fr_dag.Graph.t -> int -> (int -> unit) -> unit
+(** Iterate the nodes whose chain metric reads this node's metric: the
+    dependents for [Up], the dependencies for [Down]. *)

@@ -1,0 +1,29 @@
+module Tcam = Fr_tcam.Tcam
+
+let path dir g tcam ~addr =
+  match Tcam.read tcam addr with
+  | Tcam.Free -> []
+  | Tcam.Used id ->
+      let rec go id a acc =
+        match Dir.next_hop dir g tcam id with
+        | None -> List.rev (a :: acc)
+        | Some a' -> (
+            match Tcam.read tcam a' with
+            | Tcam.Free -> List.rev (a :: acc)
+            | Tcam.Used id' -> go id' a' (a :: acc))
+      in
+      go id addr []
+
+let compute dir g tcam ~addr =
+  match Tcam.read tcam addr with
+  | Tcam.Free -> 0
+  | Tcam.Used id ->
+      let rec go id m =
+        match Dir.next_hop dir g tcam id with
+        | None -> m
+        | Some a' -> (
+            match Tcam.read tcam a' with
+            | Tcam.Free -> m
+            | Tcam.Used id' -> go id' (m + 1))
+      in
+      go id 1

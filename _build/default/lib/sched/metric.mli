@@ -1,0 +1,22 @@
+(** The address metric [M(A)] (Definition 1).
+
+    [M(A)] is the number of nodes on the chain that starts at the entry
+    occupying [A] and repeatedly hops to the {e nearest constraining
+    entry} in the displacement direction (the nearest dependency when
+    chains cascade upward), ending at an unconstrained entry.  Free
+    addresses have metric 0, occupied ones at least 1 — which is why the
+    greedy, always picking the minimum, runs straight into free space
+    whenever the candidate window contains one (Propositions 1–2).
+
+    [M(A)] upper-bounds the number of movements the greedy will still need
+    after placing an entry at [A]; picking the minimum is the paper's
+    locally-optimal choice. *)
+
+val compute : Dir.t -> Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> addr:int -> int
+(** Walk the chain by DFS from the occupant of [addr]; O(chain length x
+    out-degree).  0 for a free address. *)
+
+val path : Dir.t -> Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> addr:int -> int list
+(** The chain's address list [P(A)] itself (empty for a free address);
+    [compute] equals its length.  Used by tests and the worked-example
+    replays. *)

@@ -1,0 +1,182 @@
+module Tcam = Fr_tcam.Tcam
+module Op = Fr_tcam.Op
+
+type pending = Commit of { id : int; p : int } | Remove of int | Nothing
+
+type state = {
+  tcam : Tcam.t;
+  prio : (int, int) Hashtbl.t;  (* dense ranks: 1 = bottom *)
+  mutable pending : pending;
+  mutable renumbers : int;
+}
+
+let create ~tcam =
+  let st = { tcam; prio = Hashtbl.create 64; pending = Nothing; renumbers = 0 } in
+  let i = ref 0 in
+  Tcam.iter_used tcam (fun ~addr:_ ~rule_id ->
+      incr i;
+      Hashtbl.replace st.prio rule_id !i);
+  st
+
+let priority_of st id = Hashtbl.find_opt st.prio id
+let renumber_count st = st.renumbers
+
+let prio_exn st id =
+  match Hashtbl.find_opt st.prio id with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Naive: entry %d has no priority" id)
+
+let max_priority st = Hashtbl.fold (fun _ p acc -> max p acc) st.prio 0
+
+(* The address of the lowest-addressed entry whose priority is at least
+   [p] (the table is priority-sorted, so everything above it also is). *)
+let first_at_or_above st p =
+  let n = Tcam.size st.tcam in
+  let rec go a =
+    if a >= n then None
+    else
+      match Tcam.read st.tcam a with
+      | Tcam.Used id when prio_exn st id >= p -> Some a
+      | Tcam.Used _ | Tcam.Free -> go (a + 1)
+  in
+  go 0
+
+let nearest_free_at_or_above st a0 =
+  let n = Tcam.size st.tcam in
+  let rec go a =
+    if a >= n then None else if Tcam.is_free st.tcam a then Some a else go (a + 1)
+  in
+  go a0
+
+let nearest_free_below st a0 =
+  let rec go a =
+    if a < 0 then None else if Tcam.is_free st.tcam a then Some a else go (a - 1)
+  in
+  go a0
+
+(* The firmware's per-movement work: re-locate the displaced entry by a
+   fresh table scan (§VI.A: "it needs to locate the suitable place in
+   every update, and assign a new priority for all entries that need to be
+   moved").  The scan result is the entry's own slot — the point is its
+   cost, which is what the paper's measurements show. *)
+let relocate_entry st id =
+  ignore (first_at_or_above st (prio_exn st id))
+
+(* Shift every (used) slot of [pos, u) one step up into the free slot [u],
+   vacating [pos] for the new entry.  Application order: topmost first. *)
+let shift_up_ops st ~pos ~u ~rule_id =
+  let rec build a acc =
+    if a < pos then acc
+    else
+      match Tcam.read st.tcam a with
+      | Tcam.Used id ->
+          relocate_entry st id;
+          build (a - 1) (Op.insert ~rule_id:id ~addr:(a + 1) :: acc)
+      | Tcam.Free -> assert false
+  in
+  let moves = List.rev (build (u - 1) []) in
+  moves @ [ Op.insert ~rule_id ~addr:pos ]
+
+(* Mirror: shift (d, pos) one step down into free slot [d], vacating
+   [pos - 1]. *)
+let shift_down_ops st ~pos ~d ~rule_id =
+  let rec build a acc =
+    if a >= pos then acc
+    else
+      match Tcam.read st.tcam a with
+      | Tcam.Used id ->
+          relocate_entry st id;
+          build (a + 1) (Op.insert ~rule_id:id ~addr:(a - 1) :: acc)
+      | Tcam.Free -> assert false
+  in
+  let moves = List.rev (build (d + 1) []) in
+  moves @ [ Op.insert ~rule_id ~addr:(pos - 1) ]
+
+(* Make room in the rank space: every entry with rank >= p moves up one. *)
+let bump_ranks st p =
+  let bumped = ref false in
+  Hashtbl.iter
+    (fun id q ->
+      if q >= p then begin
+        Hashtbl.replace st.prio id (q + 1);
+        bumped := true
+      end)
+    (Hashtbl.copy st.prio);
+  if !bumped then st.renumbers <- st.renumbers + 1
+
+let schedule_insert st ~rule_id ~deps ~dependents =
+  match Algo.fresh_request_check st.tcam ~rule_id with
+  | Error _ as e -> e
+  | Ok () -> (
+      let missing =
+        List.find_opt (fun id -> not (Tcam.mem st.tcam id)) (deps @ dependents)
+      in
+      match missing with
+      | Some id -> Error (Printf.sprintf "constraint entry %d is not in the TCAM" id)
+      | None ->
+          let lo_p =
+            List.fold_left (fun acc id -> max acc (prio_exn st id)) 0 dependents
+          in
+          let hi_p =
+            List.fold_left
+              (fun acc id -> min acc (prio_exn st id))
+              (max_priority st + 1)
+              deps
+          in
+          if hi_p <= lo_p then Error "contradictory priority constraints"
+          else begin
+            (* The new entry takes rank [hi_p]; everything at or above
+               shifts one rank up. *)
+            let pos =
+              match first_at_or_above st hi_p with
+              | Some a -> a
+              | None -> (
+                  match Tcam.highest_used st.tcam with
+                  | Some top -> top + 1
+                  | None -> 0)
+            in
+            let ops =
+              if pos < Tcam.size st.tcam && Tcam.is_free st.tcam pos then
+                Some [ Op.insert ~rule_id ~addr:pos ]
+              else
+                let up = nearest_free_at_or_above st pos in
+                let down = if pos = 0 then None else nearest_free_below st (pos - 1) in
+                match (up, down) with
+                | None, None -> None
+                | Some u, None -> Some (shift_up_ops st ~pos ~u ~rule_id)
+                | None, Some d -> Some (shift_down_ops st ~pos ~d ~rule_id)
+                | Some u, Some d ->
+                    if u - pos <= pos - 1 - d then
+                      Some (shift_up_ops st ~pos ~u ~rule_id)
+                    else Some (shift_down_ops st ~pos ~d ~rule_id)
+            in
+            match ops with
+            | None -> Error "TCAM is full"
+            | Some ops ->
+                bump_ranks st hi_p;
+                st.pending <- Commit { id = rule_id; p = hi_p };
+                Ok ops
+          end)
+
+let schedule_delete st ~rule_id =
+  match Tcam.addr_of st.tcam rule_id with
+  | None -> Error (Printf.sprintf "entry %d is not in the TCAM" rule_id)
+  | Some addr ->
+      st.pending <- Remove rule_id;
+      Ok [ Op.delete ~addr ]
+
+let after_apply st (_ : Op.t list) =
+  (match st.pending with
+  | Commit { id; p } -> Hashtbl.replace st.prio id p
+  | Remove id -> Hashtbl.remove st.prio id
+  | Nothing -> ());
+  st.pending <- Nothing
+
+let algo st =
+  {
+    Algo.name = "naive";
+    schedule_insert =
+      (fun ~rule_id ~deps ~dependents -> schedule_insert st ~rule_id ~deps ~dependents);
+    schedule_delete = (fun ~rule_id -> schedule_delete st ~rule_id);
+    after_apply = (fun ops -> after_apply st ops);
+  }

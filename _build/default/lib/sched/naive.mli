@@ -1,0 +1,41 @@
+(** The naive priority-based scheduler (the paper's "Naïve" baseline).
+
+    This reconstructs what commodity OpenFlow firmware does (§II.B, §VI.A):
+    entries carry {e dense} integer priorities (their rank), the TCAM
+    stores entries sorted by priority, and inserting means
+
+    + an O(n) scan to locate the position implied by the new entry's
+      priority,
+    + shifting every entry between that position and the nearest free slot
+      by one — like a step of insertion sort, n/2 movements on average
+      when the free space pools at one end — where the firmware
+      {e re-locates and re-prioritises each moved entry individually}
+      (another O(n) scan per movement: the paper's "assign a new priority
+      for all entries that need to be moved"),
+    + bumping the rank of everything above the insertion point.
+
+    Per-update cost is therefore O(n^2) — which is what makes the paper's
+    naive baseline "unable to finish within half an hour" on 20k/40k
+    tables, a growth curve this reconstruction reproduces.  Deletion
+    erases in place (one op), leaving a hole that later insertions shift
+    toward.
+
+    Correctness note: priorities are a linearisation of the dependency
+    order (the new entry's rank is picked strictly between its dependents'
+    maximum and its dependencies' minimum), so the dependency invariant
+    holds by construction. *)
+
+type state
+
+val create : tcam:Fr_tcam.Tcam.t -> state
+(** The TCAM's current contents are adopted as the initial table; their
+    address order defines the initial ranks. *)
+
+val algo : state -> Algo.t
+
+val priority_of : state -> int -> int option
+(** Exposed for tests: the rank currently assigned to an entry. *)
+
+val renumber_count : state -> int
+(** How many bulk re-prioritisation passes (insertions that bumped at
+    least one existing entry's rank) have happened. *)

@@ -1,0 +1,27 @@
+(** The RuleTris TCAM update scheduler (Wen et al., ICDCS 2016) —
+    reconstructed as FastRule's state-of-the-art baseline.
+
+    RuleTris computes a {e movement-minimal} update sequence by dynamic
+    programming: [cost A] is the cheapest number of writes that frees
+    address [A] (0 when already free; otherwise one plus the cheapest cost
+    over the occupant's legal displacement window), and the insertion picks
+    the cheapest address in the candidate window.  Because every entry's
+    displacement window can span up to the whole table, the DP is O(n^2)
+    worst case, and — the trait FastRule's §VI.D criticises — every update
+    pays a full-table initialisation pass (rebuilding the displacement
+    windows, O(n + m)) before any DP work starts.
+
+    Our reconstruction keeps both traits (per-update O(n) initialisation,
+    window-scan DP) while memoising sub-problems, and returns genuinely
+    optimal sequences — which doubles as an optimality yardstick for the
+    greedy in the test suite. *)
+
+val make : graph:Fr_dag.Graph.t -> tcam:Fr_tcam.Tcam.t -> Algo.t
+(** Deletion erases in place (one op), as in the original layout. *)
+
+val min_cost_in_window :
+  graph:Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> lo:int -> hi:int -> int option
+(** Test hook: the optimal number of writes needed to insert an
+    (unconstrained-above) entry whose candidate window is [\[lo, hi\]];
+    [None] if impossible (no reachable free slot).  The cost includes the
+    write of the new entry itself. *)

@@ -1,0 +1,1 @@
+lib/switch/agent.ml: Array Firmware Format Fr_dag Fr_sched Fr_tcam Fr_tern Fr_workload Hashtbl Int List Measure Option Printf Sys

@@ -1,0 +1,1 @@
+lib/switch/agent.mli: Firmware Format Fr_dag Fr_tcam Fr_tern

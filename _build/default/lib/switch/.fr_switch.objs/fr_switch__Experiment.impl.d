@@ -1,0 +1,1 @@
+lib/switch/experiment.ml: Array Firmware Fr_prng Fr_tcam Fr_workload Hashtbl List Measure Option

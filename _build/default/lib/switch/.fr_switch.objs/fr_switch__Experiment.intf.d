@@ -1,0 +1,1 @@
+lib/switch/experiment.mli: Firmware Fr_tcam Fr_workload Measure

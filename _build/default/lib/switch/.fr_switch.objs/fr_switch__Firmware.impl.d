@@ -1,0 +1,1 @@
+lib/switch/firmware.ml: Fr_dag Fr_sched Fr_tcam Fr_workload List Measure Option

@@ -1,0 +1,1 @@
+lib/switch/firmware.mli: Fr_dag Fr_sched Fr_tcam Fr_workload Measure

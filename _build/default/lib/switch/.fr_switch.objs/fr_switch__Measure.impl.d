@@ -1,0 +1,1 @@
+lib/switch/measure.ml: Array Float Format Unix

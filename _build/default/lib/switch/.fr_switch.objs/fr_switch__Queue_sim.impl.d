@@ -1,0 +1,1 @@
+lib/switch/queue_sim.ml: Array Firmware Float Format Fr_prng Fr_tcam Measure Queue

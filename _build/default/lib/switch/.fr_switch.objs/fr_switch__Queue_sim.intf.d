@@ -1,0 +1,1 @@
+lib/switch/queue_sim.mli: Firmware Format Fr_prng Fr_tcam

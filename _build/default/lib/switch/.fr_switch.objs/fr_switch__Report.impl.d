@@ -1,0 +1,1 @@
+lib/switch/report.ml: Experiment Format Fr_dag Fr_workload Int List Measure Printf String

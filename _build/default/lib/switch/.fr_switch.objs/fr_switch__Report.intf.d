@@ -1,0 +1,1 @@
+lib/switch/report.mli: Experiment Format Fr_dag Fr_workload

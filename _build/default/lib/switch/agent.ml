@@ -1,0 +1,253 @@
+module Rule = Fr_tern.Rule
+module Tcam = Fr_tcam.Tcam
+module Op = Fr_tcam.Op
+module Layout = Fr_tcam.Layout
+module Latency = Fr_tcam.Latency
+module Graph = Fr_dag.Graph
+module Build = Fr_dag.Build
+module Overlap_index = Fr_dag.Overlap_index
+module Algo = Fr_sched.Algo
+module Check = Fr_sched.Check
+
+type flow_mod =
+  | Add of Rule.t
+  | Set_action of { id : int; action : Rule.action }
+  | Remove of { id : int }
+
+let pp_flow_mod ppf = function
+  | Add r -> Format.fprintf ppf "add %a" Rule.pp r
+  | Set_action { id; action } ->
+      Format.fprintf ppf "set-action %d -> %a" id Rule.pp_action action
+  | Remove { id } -> Format.fprintf ppf "remove %d" id
+
+type t = {
+  store : (int, Rule.t) Hashtbl.t;
+  index : Overlap_index.t;  (* narrows the per-Add overlap scan *)
+  graph : Graph.t;
+  tcam : Tcam.t;
+  algo : Algo.t;
+  latency : Latency.t;
+  verify : bool;
+  mutable fw_ms : float;
+  mutable tcam_ms : float;
+  mutable mods : int;
+  counters : (int, int) Hashtbl.t;  (* rule id -> packets matched *)
+  mutable packets : int;
+  mutable misses : int;
+}
+
+let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
+
+let create ?(kind = default_kind) ?(latency = Latency.default) ?(verify = false)
+    ~capacity () =
+  let tcam = Tcam.create ~size:capacity in
+  let graph = Graph.create () in
+  {
+    store = Hashtbl.create 64;
+    index = Overlap_index.create ();
+    graph;
+    tcam;
+    algo = Firmware.make_scheduler kind ~graph ~tcam;
+    latency;
+    verify;
+    fw_ms = 0.0;
+    tcam_ms = 0.0;
+    mods = 0;
+    counters = Hashtbl.create 64;
+    packets = 0;
+    misses = 0;
+  }
+
+let of_rules ?(kind = default_kind) ?(latency = Latency.default)
+    ?(verify = false) ~capacity rules =
+  let seen = Hashtbl.create (Array.length rules) in
+  Array.iter
+    (fun (r : Rule.t) ->
+      if Hashtbl.mem seen r.Rule.id then
+        invalid_arg (Printf.sprintf "Agent.of_rules: duplicate id %d" r.Rule.id);
+      Hashtbl.replace seen r.Rule.id ())
+    rules;
+  let graph = Build.compile_fast rules in
+  let order = Fr_workload.Dataset.precedence_order rules in
+  let layout = Firmware.layout_of kind in
+  let tcam = Layout.place layout ~tcam_size:capacity ~order in
+  let t =
+    {
+      store = Hashtbl.create (2 * Array.length rules);
+      index = Overlap_index.create ();
+      graph;
+      tcam;
+      algo = Firmware.make_scheduler kind ~graph ~tcam;
+      latency;
+      verify;
+      fw_ms = 0.0;
+      tcam_ms = 0.0;
+      mods = 0;
+      counters = Hashtbl.create 64;
+      packets = 0;
+      misses = 0;
+    }
+  in
+  Array.iter
+    (fun (r : Rule.t) ->
+      Hashtbl.replace t.store r.Rule.id r;
+      Overlap_index.add t.index r)
+    rules;
+  t
+
+let existing t = Hashtbl.fold (fun _ r acc -> r :: acc) t.store []
+
+let commit t ops =
+  (if t.verify then Check.sequence t.graph t.tcam ops else Ok ())
+  |> function
+  | Error _ as e -> e
+  | Ok () ->
+      Tcam.apply_sequence t.tcam ops;
+      t.tcam_ms <- t.tcam_ms +. Latency.sequence_ms t.latency ops;
+      let (), dt = Measure.time_ms (fun () -> t.algo.Algo.after_apply ops) in
+      t.fw_ms <- t.fw_ms +. dt;
+      t.mods <- t.mods + 1;
+      Ok ()
+
+let apply t fm =
+  match fm with
+  | Add rule ->
+      if Hashtbl.mem t.store rule.Rule.id then
+        Error (Printf.sprintf "rule %d already installed" rule.Rule.id)
+      else begin
+        let (deps, dependents), dt_compile =
+          Measure.time_ms (fun () ->
+              (* Only overlapping rules can contribute constraints, so the
+                 index-narrowed set is equivalent to the full table. *)
+              Build.dependencies_of t.graph
+                ~existing:(Overlap_index.overlapping t.index rule)
+                rule)
+        in
+        Graph.add_node t.graph rule.Rule.id;
+        List.iter (fun v -> Graph.add_edge t.graph rule.Rule.id v) deps;
+        List.iter (fun u -> Graph.add_edge t.graph u rule.Rule.id) dependents;
+        let result, dt_sched =
+          Measure.time_ms (fun () ->
+              t.algo.Algo.schedule_insert ~rule_id:rule.Rule.id ~deps ~dependents)
+        in
+        t.fw_ms <- t.fw_ms +. dt_compile +. dt_sched;
+        match result with
+        | Error _ as e ->
+            Graph.remove_node t.graph rule.Rule.id;
+            e
+        | Ok ops -> (
+            match commit t ops with
+            | Error _ as e ->
+                Graph.remove_node t.graph rule.Rule.id;
+                e
+            | Ok () ->
+                Hashtbl.replace t.store rule.Rule.id rule;
+                Overlap_index.add t.index rule;
+                Ok ())
+      end
+  | Set_action { id; action } -> (
+      match (Hashtbl.find_opt t.store id, Tcam.addr_of t.tcam id) with
+      | Some rule, Some addr -> (
+          (* One in-place hardware write; the dependency graph is
+             action-agnostic so no reordering can be needed. *)
+          let ops = [ Op.insert ~rule_id:id ~addr ] in
+          match commit t ops with
+          | Error _ as e -> e
+          | Ok () ->
+              let updated = { rule with Rule.action } in
+              Hashtbl.replace t.store id updated;
+              Overlap_index.add t.index updated;
+              Ok ())
+      | _ -> Error (Printf.sprintf "rule %d is not installed" id))
+  | Remove { id } -> (
+      if not (Hashtbl.mem t.store id) then
+        Error (Printf.sprintf "rule %d is not installed" id)
+      else
+        let result, dt =
+          Measure.time_ms (fun () -> t.algo.Algo.schedule_delete ~rule_id:id)
+        in
+        t.fw_ms <- t.fw_ms +. dt;
+        match result with
+        | Error _ as e -> e
+        | Ok ops -> (
+            match commit t ops with
+            | Error _ as e -> e
+            | Ok () ->
+                (* Contraction keeps transitive shadowing order alive. *)
+                Graph.remove_node ~contract:true t.graph id;
+                (match Hashtbl.find_opt t.store id with
+                | Some r -> Overlap_index.remove t.index r
+                | None -> ());
+                Hashtbl.remove t.store id;
+                Hashtbl.remove t.counters id;
+                Ok ()))
+
+let lookup t packet =
+  t.packets <- t.packets + 1;
+  match Tcam.lookup t.tcam ~rules:(Hashtbl.find t.store) packet with
+  | Some id ->
+      Hashtbl.replace t.counters id
+        (1 + Option.value (Hashtbl.find_opt t.counters id) ~default:0);
+      Hashtbl.find_opt t.store id
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let packet_count t id = Option.value (Hashtbl.find_opt t.counters id) ~default:0
+let total_packets t = t.packets
+let miss_count t = t.misses
+
+(* Highest priority wins; equal priorities resolve to the smaller id — the
+   same total order the compiler's "beats" uses. *)
+let semantic_lookup t packet =
+  Hashtbl.fold
+    (fun _ (r : Rule.t) best ->
+      if not (Rule.matches_packet r packet) then best
+      else
+        match best with
+        | None -> Some r
+        | Some (b : Rule.t) ->
+            if
+              r.Rule.priority > b.Rule.priority
+              || (r.Rule.priority = b.Rule.priority && r.Rule.id < b.Rule.id)
+            then Some r
+            else best)
+    t.store None
+
+(* Priority order (precedence) makes the snapshot canonical. *)
+let snapshot t =
+  let rules = Array.of_list (existing t) in
+  Array.sort
+    (fun (a : Rule.t) (b : Rule.t) ->
+      let c = Int.compare b.Rule.priority a.Rule.priority in
+      if c <> 0 then c else Int.compare a.Rule.id b.Rule.id)
+    rules;
+  Fr_workload.Rules_io.to_string rules
+
+let save t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (snapshot t)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let rule t id = Hashtbl.find_opt t.store id
+let rule_count t = Hashtbl.length t.store
+let capacity t = Tcam.size t.tcam
+let rules t = existing t
+let graph t = t.graph
+let tcam t = t.tcam
+let firmware_ms_total t = t.fw_ms
+let tcam_ms_total t = t.tcam_ms
+let mods_applied t = t.mods
+
+let restore ?kind ?latency ?verify ~capacity path =
+  match Fr_workload.Rules_io.load path with
+  | Error _ as e -> e
+  | Ok rules -> (
+      match of_rules ?kind ?latency ?verify ~capacity rules with
+      | t -> Ok t
+      | exception Invalid_argument msg -> Error msg)

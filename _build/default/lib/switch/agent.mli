@@ -1,0 +1,105 @@
+(** The switch agent: a self-contained flow-table manager.
+
+    This is the API a downstream user actually programs against — the
+    OpenFlow-facing layer the paper's firmware sits beneath.  It owns the
+    rule store, the dependency graph, the TCAM and a scheduler, and turns
+    flow-mod messages into hardware update sequences:
+
+    - [Add rule]: compile the rule's minimal dependencies against the live
+      table (the policy-compiler stage), then schedule and apply the
+      insertion;
+    - [Set_action]: rewrite the entry in place — one hardware write, zero
+      movements.  This is sound because the dependency graph orders
+      {e every} overlapping pair regardless of actions, so an action
+      change can never require reordering;
+    - [Remove id]: schedule the deletion and remove the node {e with
+      contraction}, preserving the transitive shadowing order that flowed
+      through the removed rule (two rules that both overlapped it may
+      overlap each other; the reduced graph may have relied on the removed
+      node to order them).
+
+    The agent optionally verifies every sequence against the shadow table
+    ({!Fr_sched.Check}) before touching the TCAM, and meters the paper's
+    two clocks. *)
+
+type flow_mod =
+  | Add of Fr_tern.Rule.t
+  | Set_action of { id : int; action : Fr_tern.Rule.action }
+  | Remove of { id : int }
+
+val pp_flow_mod : Format.formatter -> flow_mod -> unit
+
+type t
+
+val create :
+  ?kind:Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  capacity:int ->
+  unit ->
+  t
+(** An empty table.  Defaults: FastRule on the original layout with the
+    BIT back-end, 0.6 ms/op latency model, [verify = false]. *)
+
+val of_rules :
+  ?kind:Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  capacity:int ->
+  Fr_tern.Rule.t array ->
+  t
+(** Bulk-load an initial policy (compiled in one pass, placed according to
+    the scheduler's layout).
+    @raise Invalid_argument if the rules do not fit or ids collide. *)
+
+val apply : t -> flow_mod -> (unit, string) result
+(** Process one flow-mod end to end.  On [Error] the table is unchanged. *)
+
+val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** What the hardware answers: highest-address match.  Increments the
+    matched rule's packet counter (OpenFlow flow stats). *)
+
+val packet_count : t -> int -> int
+(** Packets accounted to a rule by {!lookup} since installation (0 for
+    unknown rules; counters vanish with the rule on [Remove] and survive
+    [Set_action]). *)
+
+val total_packets : t -> int
+(** All packets looked up, including misses. *)
+
+val miss_count : t -> int
+(** Lookups that matched nothing (would punt to the controller). *)
+
+val semantic_lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** The specification: highest-priority match over the rule store (ties to
+    the lower id), evaluated linearly.  {!lookup} must always agree — the
+    test suite drives random packets through both. *)
+
+val rule : t -> int -> Fr_tern.Rule.t option
+val rule_count : t -> int
+val capacity : t -> int
+val rules : t -> Fr_tern.Rule.t list
+
+val graph : t -> Fr_dag.Graph.t
+val tcam : t -> Fr_tcam.Tcam.t
+
+val firmware_ms_total : t -> float
+val tcam_ms_total : t -> float
+val mods_applied : t -> int
+
+val snapshot : t -> string
+(** The installed policy in the {!Fr_workload.Rules_io} text format
+    (priority order is part of each rule; the TCAM image itself is
+    re-derivable). *)
+
+val save : t -> string -> unit
+(** [save t path] — {!snapshot} to a file. *)
+
+val restore :
+  ?kind:Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  capacity:int ->
+  string ->
+  (t, string) result
+(** Load a table saved by {!save} into a fresh agent. *)

@@ -1,0 +1,71 @@
+(** Experiment driver: build a table, generate one update stream, replay it
+    against each algorithm, and collect the paper's two metrics.
+
+    This is the engine behind every figure reproduction in [bench/main.exe]
+    (see DESIGN.md §5).  Tables are memoised per (kind, n, seed) because
+    compilation of the 40k tables is the expensive part of a sweep. *)
+
+type spec = {
+  kind : Fr_workload.Dataset.kind;
+  n : int;  (** initial table size *)
+  updates : int;  (** stream length *)
+  with_deletes : bool;  (** alternating insert/delete stream *)
+  seed : int;
+}
+
+val updates_for : int -> int
+(** The paper's stream lengths: 250 updates for a 250-entry table, 500 for
+    500, 1000 for everything larger. *)
+
+type row = {
+  algo : string;
+  kind : string;
+  n : int;
+  updates_run : int;
+  failed : int;
+  fw : Measure.summary;  (** per-update firmware time, ms *)
+  tcam_total_ms : float;  (** modelled hardware time for the whole stream *)
+  tcam_avg_ms : float;  (** per executed update *)
+  writes : int;
+  erases : int;
+  moves : int;
+  seq_len_mean : float;
+}
+
+val table_cached :
+  Fr_workload.Dataset.kind -> seed:int -> n:int -> Fr_workload.Dataset.table
+(** Memoised {!Fr_workload.Dataset.build_table}. *)
+
+val stream_for : spec -> Fr_workload.Updates.t list
+(** The deterministic update stream of a spec (depends only on the spec). *)
+
+type participation = All | Cap of int | Skip
+(** How much of the stream an algorithm runs: everything, only the first
+    [k] updates (documented cap for asymptotically slow baselines at large
+    [n]), or not at all (the paper drops Naive at 20k/40k). *)
+
+val run_one :
+  ?latency:Fr_tcam.Latency.t ->
+  ?layout_override:Fr_tcam.Layout.t ->
+  ?cap:int ->
+  table:Fr_workload.Dataset.table ->
+  stream:Fr_workload.Updates.t list ->
+  Firmware.algo_kind ->
+  row
+(** [layout_override] places the table under a different layout than the
+    algorithm's default — used by the interleaved-K ablation. *)
+
+val run_spec :
+  ?participation:(Firmware.algo_kind -> int -> participation) ->
+  spec ->
+  algos:Firmware.algo_kind list ->
+  row list
+(** Replays the spec's stream against each algorithm (fresh table image
+    each).  [participation kind n] defaults to {!default_participation}. *)
+
+val default_participation : Firmware.algo_kind -> int -> participation
+(** Paper-faithful: Naive skipped at n >= 20k and capped at mid sizes
+    (O(n^2)/update); RuleTris capped at n >= 10k.  The caps only bound
+    wall-clock — the figures plot per-update cost, which does not depend
+    on how many updates were sampled.  FastRule variants always run in
+    full. *)

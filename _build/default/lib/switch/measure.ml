@@ -1,0 +1,65 @@
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let time_ms f =
+  let t0 = now_ms () in
+  let x = f () in
+  (x, now_ms () -. t0)
+
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then
+    { count = 0; total = 0.; mean = 0.; min = 0.; max = 0.; p50 = 0.; p95 = 0.; p99 = 0. }
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort Float.compare sorted;
+    let total = Array.fold_left ( +. ) 0.0 sorted in
+    let pct p =
+      let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+    in
+    {
+      count = n;
+      total;
+      mean = total /. float_of_int n;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = pct 0.50;
+      p95 = pct 0.95;
+      p99 = pct 0.99;
+    }
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4fms max=%.4fms p50=%.4fms p95=%.4fms p99=%.4fms" s.count
+    s.mean s.max s.p50 s.p95 s.p99
+
+module Series = struct
+  type t = { mutable data : float array; mutable len : int }
+
+  let create () = { data = Array.make 256 0.0; len = 0 }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let count t = t.len
+  let to_array t = Array.sub t.data 0 t.len
+  let summary t = summarize (to_array t)
+end

@@ -1,0 +1,1 @@
+lib/tcam/defrag.ml: Layout List Op Tcam

@@ -1,0 +1,1 @@
+lib/tcam/defrag.mli: Layout Op Tcam

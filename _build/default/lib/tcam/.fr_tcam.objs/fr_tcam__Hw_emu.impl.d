@@ -1,0 +1,1 @@
+lib/tcam/hw_emu.ml: Array Latency List Op Tcam

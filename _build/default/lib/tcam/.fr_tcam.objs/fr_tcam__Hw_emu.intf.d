@@ -1,0 +1,1 @@
+lib/tcam/hw_emu.mli: Latency Op Tcam

@@ -1,0 +1,1 @@
+lib/tcam/latency.ml: List Op

@@ -1,0 +1,1 @@
+lib/tcam/latency.mli: Op

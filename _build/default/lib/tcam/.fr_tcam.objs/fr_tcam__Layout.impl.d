@@ -1,0 +1,1 @@
+lib/tcam/layout.ml: Array Format Printf Tcam

@@ -1,0 +1,1 @@
+lib/tcam/layout.mli: Format Tcam

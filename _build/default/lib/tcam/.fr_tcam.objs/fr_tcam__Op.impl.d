@@ -1,0 +1,1 @@
+lib/tcam/op.ml: Format List

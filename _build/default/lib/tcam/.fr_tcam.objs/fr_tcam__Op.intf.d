@@ -1,0 +1,1 @@
+lib/tcam/op.mli: Format

@@ -1,0 +1,1 @@
+lib/tcam/tcam.ml: Array Format Fr_dag Fr_tern Hashtbl List Op Printf

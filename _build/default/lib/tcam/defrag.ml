@@ -1,0 +1,41 @@
+(* Canonical position of the i-th entry (by current address order) out of
+   [n] under each layout — the same placement rule as Layout.place. *)
+let target_position layout ~tcam_size ~n i =
+  match layout with
+  | Layout.Original -> i
+  | Layout.Interleaved k ->
+      if k < 1 then invalid_arg "Defrag: K must be >= 1" else i + (i / k)
+  | Layout.Separated ->
+      let bottom = n / 2 in
+      if i < bottom then i else tcam_size - (n - i)
+
+let placements tcam layout =
+  let n = Tcam.used_count tcam in
+  let tcam_size = Tcam.size tcam in
+  if Layout.capacity_needed layout ~n > tcam_size then
+    invalid_arg "Defrag: entries do not fit under the target layout";
+  let out = ref [] in
+  let i = ref 0 in
+  Tcam.iter_used tcam (fun ~addr ~rule_id ->
+      let target = target_position layout ~tcam_size ~n !i in
+      incr i;
+      if target <> addr then out := (rule_id, addr, target) :: !out);
+  List.rev !out
+
+(* Up-moves top-down, then down-moves bottom-up: with monotone targets this
+   never collides and never lets one entry pass another (see .mli). *)
+let plan tcam ~layout =
+  let moving = placements tcam layout in
+  let ups = List.filter (fun (_, cur, tgt) -> tgt > cur) moving in
+  let downs = List.filter (fun (_, cur, tgt) -> tgt < cur) moving in
+  let up_ops =
+    List.rev_map (fun (id, _, tgt) -> Op.insert ~rule_id:id ~addr:tgt) ups
+  in
+  let down_ops =
+    List.map (fun (id, _, tgt) -> Op.insert ~rule_id:id ~addr:tgt) downs
+  in
+  up_ops @ down_ops
+
+let moves_needed tcam ~layout = List.length (placements tcam layout)
+
+let is_canonical tcam ~layout = moves_needed tcam ~layout = 0

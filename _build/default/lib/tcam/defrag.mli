@@ -1,0 +1,27 @@
+(** Defragmentation: restore a layout's canonical free-space structure.
+
+    Churn degrades every layout — dirty deletes riddle the packed region
+    with holes, the interleaved layout's gaps fill up (§V: "it can
+    decrease to c_max if all intermediate spaces are filled"), the
+    separated layout's middle pool drifts.  A switch can repair this
+    during idle periods by {e defragmenting}: moving entries back to the
+    layout's canonical positions.
+
+    [plan] emits a movement sequence that realises the canonical
+    placement while {e preserving the entries' relative address order} —
+    therefore preserving any dependency order without consulting the
+    graph — and that is safe to apply left to right: up-moves are emitted
+    top-down first, then down-moves bottom-up, so no op ever lands on an
+    occupied slot and no entry ever passes another.  Cost: at most one
+    write per out-of-place entry. *)
+
+val plan : Tcam.t -> layout:Layout.t -> Op.t list
+(** The (application-order) sequence repacking the TCAM's current entries
+    into [layout]'s canonical positions for their count.
+    @raise Invalid_argument if the entries do not fit under [layout]. *)
+
+val moves_needed : Tcam.t -> layout:Layout.t -> int
+(** [List.length (plan ...)] without building the list: the number of
+    out-of-place entries. *)
+
+val is_canonical : Tcam.t -> layout:Layout.t -> bool

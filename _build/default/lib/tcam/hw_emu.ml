@@ -1,0 +1,54 @@
+type t = {
+  logical : Tcam.t;
+  hw_table_size : int;
+  latency : Latency.t;
+  (* The physical TCAM image under modulo addressing.  Distinct logical
+     entries can collide on a hardware slot; the emulation (like the
+     paper's) only cares that a write of the right size happened. *)
+  hw_slots : int option array;
+  mutable calls : int;
+  mutable clock_ms : float;
+}
+
+let default_hw_table_size = 256
+
+let create ?(hw_table_size = default_hw_table_size) ?(latency = Latency.default)
+    ~logical_size () =
+  if hw_table_size <= 0 then invalid_arg "Hw_emu.create: hw_table_size must be positive";
+  {
+    logical = Tcam.create ~size:logical_size;
+    hw_table_size;
+    latency;
+    hw_slots = Array.make hw_table_size None;
+    calls = 0;
+    clock_ms = 0.0;
+  }
+
+let logical t = t.logical
+let hw_size t = t.hw_table_size
+
+let add_entry t ~rule_id ~addr =
+  Tcam.write t.logical ~rule_id ~addr;
+  t.hw_slots.(addr mod t.hw_table_size) <- Some rule_id;
+  t.calls <- t.calls + 1;
+  t.clock_ms <- t.clock_ms +. t.latency.Latency.write_ms
+
+let delete_entry t ~addr =
+  Tcam.erase t.logical ~addr;
+  t.hw_slots.(addr mod t.hw_table_size) <- None;
+  t.calls <- t.calls + 1;
+  t.clock_ms <- t.clock_ms +. t.latency.Latency.erase_ms
+
+let apply_sequence t ops =
+  List.iter
+    (function
+      | Op.Insert { rule_id; addr } -> add_entry t ~rule_id ~addr
+      | Op.Delete { addr } -> delete_entry t ~addr)
+    ops
+
+let hw_calls t = t.calls
+let elapsed_ms t = t.clock_ms
+
+let reset_meters t =
+  t.calls <- 0;
+  t.clock_ms <- 0.0

@@ -1,0 +1,44 @@
+(** ONetSwitch-style hardware emulation (§VI.1).
+
+    The physical TCAM on ONetSwitch45 holds only [ONS_HW_TABLE_SIZE = 256]
+    entries, so the paper emulates large tables by applying each scheduled
+    operation at [address mod ONS_HW_TABLE_SIZE] on the real hardware —
+    preserving the number and latency of hardware writes while a host-side
+    shadow table (our {!Tcam.t}) tracks logical correctness.
+
+    This module reproduces that rig in software: a logical TCAM carries the
+    real state, a small "hardware" TCAM receives the modulo-addressed
+    writes through [add_entry]/[delete_entry] (the ONetSwitch SDK entry
+    points), and the modelled hardware clock advances per call. *)
+
+type t
+
+val default_hw_table_size : int
+(** 256, ONetSwitch45's [ONS_HW_TABLE_SIZE]. *)
+
+val create : ?hw_table_size:int -> ?latency:Latency.t -> logical_size:int -> unit -> t
+
+val logical : t -> Tcam.t
+(** The shadow table holding ground truth. *)
+
+val hw_size : t -> int
+
+val add_entry : t -> rule_id:int -> addr:int -> unit
+(** SDK [ADDENTRY]: logical write at [addr], hardware write at
+    [addr mod hw_table_size] (hardware slot contents are overwritten
+    blindly, as real modulo emulation does). *)
+
+val delete_entry : t -> addr:int -> unit
+(** SDK [DELETEENTRY]. *)
+
+val apply_sequence : t -> Op.t list -> unit
+(** Apply a scheduler sequence (already in application order) through the
+    SDK calls, like {!Tcam.apply_sequence}. *)
+
+val hw_calls : t -> int
+(** Number of SDK calls issued so far. *)
+
+val elapsed_ms : t -> float
+(** Modelled hardware time consumed so far. *)
+
+val reset_meters : t -> unit

@@ -1,0 +1,19 @@
+type t = { write_ms : float; erase_ms : float }
+
+let default = { write_ms = 0.6; erase_ms = 0.6 }
+
+let make ?(write_ms = default.write_ms) ?(erase_ms = default.erase_ms) () =
+  if write_ms < 0.0 || erase_ms < 0.0 then
+    invalid_arg "Latency.make: costs must be non-negative";
+  { write_ms; erase_ms }
+
+let sequence_ms t ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Op.Insert _ -> acc +. t.write_ms
+      | Op.Delete _ -> acc +. t.erase_ms)
+    0.0 ops
+
+let ops_ms t ~writes ~erases =
+  (float_of_int writes *. t.write_ms) +. (float_of_int erases *. t.erase_ms)

@@ -1,0 +1,23 @@
+(** TCAM timing model.
+
+    Hardware TCAM writes are slow and — crucially for the paper's
+    methodology — take an (approximately) constant time each, so the "TCAM
+    update time" of a sequence is [#ops x per-op latency].  RuleTris and
+    FastRule both use 0.6 ms per movement for the large-table emulation;
+    that is this model's default.  ONetSwitch's SDK distinguishes
+    [ADDENTRY] and [DELETEENTRY], so the model keeps separate write/erase
+    costs (equal by default). *)
+
+type t = { write_ms : float; erase_ms : float }
+
+val default : t
+(** 0.6 ms per write and per erase. *)
+
+val make : ?write_ms:float -> ?erase_ms:float -> unit -> t
+(** Costs must be non-negative.  Defaults to {!default}'s values. *)
+
+val sequence_ms : t -> Op.t list -> float
+(** Modelled time to apply the sequence. *)
+
+val ops_ms : t -> writes:int -> erases:int -> float
+(** Modelled time for aggregate counts. *)

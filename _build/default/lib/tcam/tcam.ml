@@ -1,0 +1,136 @@
+type slot = Free | Used of int
+
+type t = {
+  slots : slot array;
+  index : (int, int) Hashtbl.t;  (* rule id -> address *)
+  mutable used : int;
+  mutable ops : int;
+  mutable moves : int;
+}
+
+let create ~size =
+  if size <= 0 then invalid_arg "Tcam.create: size must be positive";
+  { slots = Array.make size Free; index = Hashtbl.create size; used = 0; ops = 0; moves = 0 }
+
+let size t = Array.length t.slots
+let used_count t = t.used
+let free_count t = size t - t.used
+
+let check_addr t addr =
+  if addr < 0 || addr >= size t then invalid_arg "Tcam: address out of range"
+
+let read t addr =
+  check_addr t addr;
+  t.slots.(addr)
+
+let is_free t addr = match read t addr with Free -> true | Used _ -> false
+
+let addr_of t id = Hashtbl.find_opt t.index id
+let mem t id = Hashtbl.mem t.index id
+
+let write t ~rule_id ~addr =
+  check_addr t addr;
+  (match t.slots.(addr) with
+  | Used id when id <> rule_id ->
+      invalid_arg
+        (Printf.sprintf "Tcam.write: address 0x%x already holds entry %d" addr id)
+  | Free | Used _ -> ());
+  (match Hashtbl.find_opt t.index rule_id with
+  | Some old when old <> addr ->
+      t.slots.(old) <- Free;
+      t.moves <- t.moves + 1;
+      t.used <- t.used - 1
+  | Some _ | None -> ());
+  if t.slots.(addr) = Free then t.used <- t.used + 1;
+  t.slots.(addr) <- Used rule_id;
+  Hashtbl.replace t.index rule_id addr;
+  t.ops <- t.ops + 1
+
+let erase t ~addr =
+  check_addr t addr;
+  (match t.slots.(addr) with
+  | Used id ->
+      Hashtbl.remove t.index id;
+      t.used <- t.used - 1
+  | Free -> ());
+  t.slots.(addr) <- Free;
+  t.ops <- t.ops + 1
+
+let apply_sequence t ops =
+  List.iter
+    (function
+      | Op.Insert { rule_id; addr } -> write t ~rule_id ~addr
+      | Op.Delete { addr } -> erase t ~addr)
+    ops
+
+let ops_issued t = t.ops
+let moves_issued t = t.moves
+
+let reset_counters t =
+  t.ops <- 0;
+  t.moves <- 0
+
+let iter_used t f =
+  Array.iteri
+    (fun addr slot -> match slot with Used id -> f ~addr ~rule_id:id | Free -> ())
+    t.slots
+
+let used_ids t =
+  let acc = ref [] in
+  iter_used t (fun ~addr:_ ~rule_id -> acc := rule_id :: !acc);
+  List.rev !acc
+
+let highest_used t =
+  let rec go a = if a < 0 then None else match t.slots.(a) with Used _ -> Some a | Free -> go (a - 1) in
+  go (size t - 1)
+
+let lowest_free t =
+  let n = size t in
+  let rec go a = if a >= n then None else match t.slots.(a) with Free -> Some a | Used _ -> go (a + 1) in
+  go 0
+
+let lookup t ~rules packet =
+  let bits = Fr_tern.Header.packet_bits packet in
+  let rec go a =
+    if a < 0 then None
+    else
+      match t.slots.(a) with
+      | Used id when Fr_tern.Ternary.matches_value (rules id).Fr_tern.Rule.field bits ->
+          Some id
+      | Used _ | Free -> go (a - 1)
+  in
+  go (size t - 1)
+
+let check_dag_order t g =
+  let bad = ref None in
+  Fr_dag.Graph.iter_nodes g (fun u ->
+      match addr_of t u with
+      | None -> ()
+      | Some au ->
+          Fr_dag.Graph.iter_deps g u (fun v ->
+              match addr_of t v with
+              | None -> ()
+              | Some av ->
+                  if au >= av && !bad = None then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "entry %d at 0x%x must sit below entry %d at 0x%x" u au
+                           v av)));
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let copy t =
+  {
+    slots = Array.copy t.slots;
+    index = Hashtbl.copy t.index;
+    used = t.used;
+    ops = t.ops;
+    moves = t.moves;
+  }
+
+let pp ppf t =
+  for a = size t - 1 downto 0 do
+    match t.slots.(a) with
+    | Used id -> Format.fprintf ppf "0x%x: %d@." a id
+    | Free -> Format.fprintf ppf "0x%x: -@." a
+  done

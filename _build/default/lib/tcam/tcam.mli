@@ -1,0 +1,75 @@
+(** The TCAM model: an addressed array of flow-entry slots where lookups
+    return the matching entry with the {e highest} physical address (§II).
+
+    The model stores rule ids, not rule payloads; pair it with a rule store
+    for semantic lookups.  It keeps an id->address index, counts every
+    hardware write (the quantity that, times the per-write latency, gives
+    the paper's "TCAM update time"), and can check the dependency-order
+    invariant against a DAG. *)
+
+type slot = Free | Used of int  (** rule id *)
+
+type t
+
+val create : size:int -> t
+(** All slots free. *)
+
+val size : t -> int
+val used_count : t -> int
+val free_count : t -> int
+
+val read : t -> int -> slot
+(** @raise Invalid_argument if the address is out of range. *)
+
+val is_free : t -> int -> bool
+
+val addr_of : t -> int -> int option
+(** Current address of a rule id, if present. *)
+
+val mem : t -> int -> bool
+
+val write : t -> rule_id:int -> addr:int -> unit
+(** Raw hardware write of an entry at an address.  If the id already lives
+    at another address, that slot is freed (a movement).  Overwriting a slot
+    occupied by a {e different} id is refused — schedulers must order their
+    sequences so this never happens (see {!apply_sequence}).
+    @raise Invalid_argument on clobbering or out-of-range address. *)
+
+val erase : t -> addr:int -> unit
+(** Raw hardware erase.  Freeing a free slot is allowed (counts as an op —
+    the firmware did issue it). *)
+
+val apply_sequence : t -> Op.t list -> unit
+(** Apply an update sequence left to right.  Schedulers return sequences in
+    {e application order} (see {!Fr_sched.Algo} once linked): for an insert
+    chain the op landing in free space comes first, so each write happens
+    before its source slot is reused and every intermediate hardware state
+    is lookup-safe. *)
+
+val ops_issued : t -> int
+(** Lifetime count of hardware writes + erases. *)
+
+val moves_issued : t -> int
+(** Lifetime count of writes that re-positioned an existing entry. *)
+
+val reset_counters : t -> unit
+
+val iter_used : t -> (addr:int -> rule_id:int -> unit) -> unit
+(** Ascending address order. *)
+
+val used_ids : t -> int list
+
+val highest_used : t -> int option
+val lowest_free : t -> int option
+(** Linear scans; convenience for tests and layout setup. *)
+
+val lookup : t -> rules:(int -> Fr_tern.Rule.t) -> Fr_tern.Header.packet -> int option
+(** Highest-address matching entry, as the hardware would answer.  [rules]
+    maps a stored id to its payload. *)
+
+val check_dag_order : t -> Fr_dag.Graph.t -> (unit, string) result
+(** For every edge [u -> v] with both entries present: [addr u < addr v].
+    The central correctness invariant (DESIGN.md §6.1). *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

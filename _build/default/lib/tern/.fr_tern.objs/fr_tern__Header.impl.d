@@ -1,0 +1,1 @@
+lib/tern/header.ml: Array Format Fr_prng Int64 Printf Ternary

@@ -1,0 +1,1 @@
+lib/tern/header.mli: Format Fr_prng Ternary

@@ -1,0 +1,1 @@
+lib/tern/range.ml: Header Int64 List Ternary

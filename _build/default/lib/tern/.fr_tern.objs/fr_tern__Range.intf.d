@@ -1,0 +1,1 @@
+lib/tern/range.mli: Header Ternary

@@ -1,0 +1,1 @@
+lib/tern/rule.ml: Format Header Int Map Set Ternary

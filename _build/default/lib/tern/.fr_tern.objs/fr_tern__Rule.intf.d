@@ -1,0 +1,1 @@
+lib/tern/rule.mli: Format Header Map Set Ternary

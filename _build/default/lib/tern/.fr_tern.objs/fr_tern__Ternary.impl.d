@@ -1,0 +1,1 @@
+lib/tern/ternary.ml: Array Format Fr_prng Hashtbl Int Int64 String

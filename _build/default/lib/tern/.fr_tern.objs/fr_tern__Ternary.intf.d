@@ -1,0 +1,1 @@
+lib/tern/ternary.mli: Format Fr_prng

@@ -1,0 +1,120 @@
+(* Field packing layout (bit 0 = least significant position of the 104-bit
+   match field):
+
+     proto     bits   0 ..   7
+     dst_port  bits   8 ..  23
+     src_port  bits  24 ..  39
+     dst_ip    bits  40 ..  71
+     src_ip    bits  72 .. 103 *)
+
+let total_width = 104
+
+type field_spec = {
+  src_ip : Ternary.t;
+  dst_ip : Ternary.t;
+  src_port : Ternary.t;
+  dst_port : Ternary.t;
+  proto : Ternary.t;
+}
+
+let check_width name w t =
+  if Ternary.width t <> w then
+    invalid_arg (Printf.sprintf "Header: field %s must be %d bits wide" name w)
+
+let pack f =
+  check_width "src_ip" 32 f.src_ip;
+  check_width "dst_ip" 32 f.dst_ip;
+  check_width "src_port" 16 f.src_port;
+  check_width "dst_port" 16 f.dst_port;
+  check_width "proto" 8 f.proto;
+  Ternary.concat f.src_ip
+    (Ternary.concat f.dst_ip
+       (Ternary.concat f.src_port (Ternary.concat f.dst_port f.proto)))
+
+let unpack t =
+  if Ternary.width t <> total_width then
+    invalid_arg "Header.unpack: expected a 104-bit match field";
+  {
+    proto = Ternary.slice t ~lo:0 ~len:8;
+    dst_port = Ternary.slice t ~lo:8 ~len:16;
+    src_port = Ternary.slice t ~lo:24 ~len:16;
+    dst_ip = Ternary.slice t ~lo:40 ~len:32;
+    src_ip = Ternary.slice t ~lo:72 ~len:32;
+  }
+
+let wildcard =
+  {
+    src_ip = Ternary.any 32;
+    dst_ip = Ternary.any 32;
+    src_port = Ternary.any 16;
+    dst_port = Ternary.any 16;
+    proto = Ternary.any 8;
+  }
+
+type packet = {
+  p_src_ip : int64;
+  p_dst_ip : int64;
+  p_src_port : int;
+  p_dst_port : int;
+  p_proto : int;
+}
+
+let set_bits chunks ~lo ~len v =
+  for i = 0 to len - 1 do
+    if Int64.logand (Int64.shift_right_logical v i) 1L = 1L then begin
+      let pos = lo + i in
+      let c = pos / 64 and b = pos land 63 in
+      chunks.(c) <- Int64.logor chunks.(c) (Int64.shift_left 1L b)
+    end
+  done
+
+let packet_bits p =
+  let chunks = Array.make 2 0L in
+  set_bits chunks ~lo:0 ~len:8 (Int64.of_int p.p_proto);
+  set_bits chunks ~lo:8 ~len:16 (Int64.of_int p.p_dst_port);
+  set_bits chunks ~lo:24 ~len:16 (Int64.of_int p.p_src_port);
+  set_bits chunks ~lo:40 ~len:32 p.p_dst_ip;
+  set_bits chunks ~lo:72 ~len:32 p.p_src_ip;
+  chunks
+
+let mask32 = 0xFFFFFFFFL
+
+let random_packet rng =
+  {
+    p_src_ip = Int64.logand (Fr_prng.Rng.bits64 rng) mask32;
+    p_dst_ip = Int64.logand (Fr_prng.Rng.bits64 rng) mask32;
+    p_src_port = Fr_prng.Rng.int rng 65536;
+    p_dst_port = Fr_prng.Rng.int rng 65536;
+    p_proto = Fr_prng.Rng.int rng 256;
+  }
+
+let bits_in chunks ~lo ~len =
+  let v = ref 0L in
+  for i = len - 1 downto 0 do
+    let pos = lo + i in
+    let c = pos / 64 and b = pos land 63 in
+    let bit = Int64.logand (Int64.shift_right_logical chunks.(c) b) 1L in
+    v := Int64.logor (Int64.shift_left !v 1) bit
+  done;
+  !v
+
+let packet_in rng field =
+  if Ternary.width field <> total_width then
+    invalid_arg "Header.packet_in: expected a 104-bit match field";
+  let chunks = Ternary.random_exact_in rng field in
+  {
+    p_proto = Int64.to_int (bits_in chunks ~lo:0 ~len:8);
+    p_dst_port = Int64.to_int (bits_in chunks ~lo:8 ~len:16);
+    p_src_port = Int64.to_int (bits_in chunks ~lo:24 ~len:16);
+    p_dst_ip = bits_in chunks ~lo:40 ~len:32;
+    p_src_ip = bits_in chunks ~lo:72 ~len:32;
+  }
+
+let pp_field ppf f =
+  Format.fprintf ppf "src=%a dst=%a sport=%a dport=%a proto=%a" Ternary.pp
+    f.src_ip Ternary.pp f.dst_ip Ternary.pp f.src_port Ternary.pp f.dst_port
+    Ternary.pp f.proto
+
+let pp_packet ppf p =
+  Format.fprintf ppf "src=%Lx dst=%Lx sport=%d dport=%d proto=%d" p.p_src_ip
+    p.p_dst_ip p.p_src_port p.p_dst_port p.p_proto

@@ -1,0 +1,53 @@
+(* Greedy minimal prefix cover: repeatedly take the largest aligned block
+   starting at [lo] that does not overshoot [hi].  Standard result: this is
+   minimal and produces at most 2w - 2 prefixes. *)
+
+let check ~width ~lo ~hi =
+  if width <= 0 || width > 62 then invalid_arg "Range: width out of (0,62]";
+  if lo < 0 || lo > hi || hi >= 1 lsl width then
+    invalid_arg "Range: interval out of bounds"
+
+let blocks ~width ~lo ~hi f =
+  check ~width ~lo ~hi;
+  let lo = ref lo in
+  while !lo <= hi do
+    (* Largest 2^k block aligned at lo and fitting in [lo, hi]. *)
+    let k = ref 0 in
+    let fits k = !lo land ((1 lsl k) - 1) = 0 && !lo + (1 lsl k) - 1 <= hi in
+    while !k < width && fits (!k + 1) do
+      incr k
+    done;
+    f ~base:!lo ~bits:!k;
+    lo := !lo + (1 lsl !k)
+  done
+
+let expand ~width ~lo ~hi =
+  let acc = ref [] in
+  blocks ~width ~lo ~hi (fun ~base ~bits ->
+      acc :=
+        Ternary.prefix_of_int64 ~width ~plen:(width - bits) (Int64.of_int base)
+        :: !acc);
+  List.rev !acc
+
+let cover_size ~width ~lo ~hi =
+  let n = ref 0 in
+  blocks ~width ~lo ~hi (fun ~base:_ ~bits:_ -> incr n);
+  !n
+
+let max_cover_size ~width =
+  if width <= 0 then invalid_arg "Range: width out of (0,62]"
+  else if width = 1 then 1
+  else (2 * width) - 2
+
+let expand_five_tuple ?src_range ?dst_range (spec : Header.field_spec) =
+  let cover range current =
+    match range with
+    | None -> [ current ]
+    | Some (lo, hi) -> expand ~width:16 ~lo ~hi
+  in
+  let srcs = cover src_range spec.Header.src_port in
+  let dsts = cover dst_range spec.Header.dst_port in
+  List.concat_map
+    (fun s ->
+      List.map (fun d -> { spec with Header.src_port = s; dst_port = d }) dsts)
+    srcs

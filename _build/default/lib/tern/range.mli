@@ -1,0 +1,34 @@
+(** Range-to-prefix expansion — how TCAMs cope with range matches.
+
+    A TCAM cell matches a ternary pattern, not an interval, so a rule with
+    a port range (say [1024-65535]) must be {e expanded} into several
+    prefix patterns whose union is exactly the interval.  The classic
+    algorithm yields at most [2w - 2] prefixes for a [w]-bit field, and
+    real ACL rule sets routinely multiply several-fold under expansion —
+    one more reason TCAM capacity and update cost matter.
+
+    This module implements minimal prefix covers for integer intervals and
+    five-tuple expansion over port ranges (the expanded siblings are
+    pairwise disjoint, so they can share the original rule's priority). *)
+
+val expand : width:int -> lo:int -> hi:int -> Ternary.t list
+(** Minimal prefix cover of the inclusive interval [\[lo, hi\]] over
+    [width]-bit values, in ascending order of their low ends.
+    @raise Invalid_argument unless
+      [0 <= lo <= hi < 2^width] and [0 < width <= 62]. *)
+
+val cover_size : width:int -> lo:int -> hi:int -> int
+(** [List.length (expand ...)] without building the list. *)
+
+val max_cover_size : width:int -> int
+(** The worst case: [2 * width - 2] for [width >= 2], 1 for width 1. *)
+
+val expand_five_tuple :
+  ?src_range:int * int ->
+  ?dst_range:int * int ->
+  Header.field_spec ->
+  Header.field_spec list
+(** Substitute every combination of the two port ranges' covers into the
+    spec (whose own port fields are ignored where a range is given).  The
+    result has [cover(src) x cover(dst)] specs with pairwise-disjoint
+    match sets covering exactly the ranged rule. *)

@@ -1,0 +1,31 @@
+type action = Forward of int | Drop | Controller
+
+type t = { id : int; field : Ternary.t; action : action; priority : int }
+
+let make ~id ~field ~action ~priority = { id; field; action; priority }
+
+let overlaps a b = Ternary.overlaps a.field b.field
+let subsumes a b = Ternary.subsumes a.field b.field
+
+let matches_packet r p = Ternary.matches_value r.field (Header.packet_bits p)
+
+let equal_action a b =
+  match (a, b) with
+  | Forward p, Forward q -> p = q
+  | Drop, Drop -> true
+  | Controller, Controller -> true
+  | (Forward _ | Drop | Controller), _ -> false
+
+let conflicts a b = overlaps a b && not (equal_action a.action b.action)
+
+let pp_action ppf = function
+  | Forward p -> Format.fprintf ppf "fwd(%d)" p
+  | Drop -> Format.pp_print_string ppf "drop"
+  | Controller -> Format.pp_print_string ppf "ctrl"
+
+let pp ppf r =
+  Format.fprintf ppf "#%d[prio=%d %a -> %a]" r.id r.priority Ternary.pp r.field
+    pp_action r.action
+
+module Id_set = Set.Make (Int)
+module Id_map = Map.Make (Int)

@@ -1,0 +1,42 @@
+(** Flow entries (rules): a match field plus an action.
+
+    Rules are the unit stored in the TCAM and the nodes of the dependency
+    graph.  Each rule carries a stable integer id assigned at creation; ids
+    are how the DAG, the TCAM model and the schedulers refer to entries
+    without sharing mutable rule state. *)
+
+type action =
+  | Forward of int  (** output port *)
+  | Drop
+  | Controller  (** punt to the SDN controller *)
+
+type t = {
+  id : int;  (** unique, stable identity *)
+  field : Ternary.t;  (** the (packed) match field *)
+  action : action;
+  priority : int;  (** policy priority: larger = matched first *)
+}
+
+val make : id:int -> field:Ternary.t -> action:action -> priority:int -> t
+
+val overlaps : t -> t -> bool
+(** Match-field overlap (see {!Ternary.overlaps}). *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b]: [a]'s field generalises [b]'s. *)
+
+val matches_packet : t -> Header.packet -> bool
+(** Only meaningful for 104-bit (5-tuple) rules. *)
+
+val conflicts : t -> t -> bool
+(** [conflicts a b]: the fields overlap and the actions differ — the cases
+    where relative TCAM order is semantically observable.  The dependency
+    graph may conservatively also order non-conflicting overlaps; this
+    predicate is used by the lookup-equivalence tests. *)
+
+val equal_action : action -> action -> bool
+val pp_action : Format.formatter -> action -> unit
+val pp : Format.formatter -> t -> unit
+
+module Id_set : Set.S with type elt = int
+module Id_map : Map.S with type key = int

@@ -1,0 +1,1 @@
+lib/workload/classbench.ml: Array Fr_prng Fr_tern Int64 List Profile

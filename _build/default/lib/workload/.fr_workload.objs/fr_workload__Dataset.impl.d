@@ -1,0 +1,1 @@
+lib/workload/dataset.ml: Array Classbench Fr_dag Fr_prng Fr_tern Int Profile Route_gen String

@@ -1,0 +1,1 @@
+lib/workload/dataset.mli: Fr_dag Fr_tern

@@ -1,0 +1,1 @@
+lib/workload/route_gen.ml: Array Fr_prng Fr_tern Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/workload/route_gen.mli: Fr_prng Fr_tern

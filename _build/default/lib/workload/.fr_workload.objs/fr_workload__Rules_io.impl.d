@@ -1,0 +1,1 @@
+lib/workload/rules_io.ml: Array Buffer Fr_tern List Printf String Sys

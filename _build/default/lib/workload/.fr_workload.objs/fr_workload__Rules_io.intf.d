@@ -1,0 +1,1 @@
+lib/workload/rules_io.mli: Fr_tern

@@ -1,0 +1,1 @@
+lib/workload/updates.ml: Array Format Fr_dag Fr_prng Fr_tcam Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workload/updates.mli: Format Fr_dag Fr_prng Fr_tcam

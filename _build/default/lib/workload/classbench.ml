@@ -1,0 +1,153 @@
+module Rng = Fr_prng.Rng
+module Ternary = Fr_tern.Ternary
+module Header = Fr_tern.Header
+module Rule = Fr_tern.Rule
+
+let priority_of_field field = Ternary.width field - Ternary.num_wildcards field
+
+let mask32 = 0xFFFFFFFFL
+
+(* A 32-bit prefix as a ternary string. *)
+let prefix32 ~plen v = Ternary.prefix_of_int64 ~width:32 ~plen (Int64.logand v mask32)
+
+let random_port rng = Ternary.exact_of_int64 ~width:16 (Int64.of_int (Rng.int rng 65536))
+
+let protos = [| 6; 17; 1 |]
+
+(* The per-family fields that every member shares; refinements only narrow
+   the destination prefix, so family members nest by construction. *)
+type family_base = {
+  src : Ternary.t;
+  sport : Ternary.t;
+  dport : Ternary.t;
+  proto : Ternary.t;
+}
+
+let family_base profile rng =
+  let wild_ports = Rng.chance rng profile.Profile.port_wildcard_prob in
+  {
+    src = Ternary.exact_of_int64 ~width:32 (Int64.logand (Rng.bits64 rng) mask32);
+    sport = (if wild_ports then Ternary.any 16 else random_port rng);
+    dport = (if wild_ports then Ternary.any 16 else random_port rng);
+    proto =
+      (if Rng.chance rng profile.Profile.proto_wildcard_prob then Ternary.any 8
+       else Ternary.exact_of_int64 ~width:8 (Int64.of_int (Rng.pick rng protos)));
+  }
+
+let pack_with base dst =
+  Header.pack
+    {
+      Header.src_ip = base.src;
+      dst_ip = dst;
+      src_port = base.sport;
+      dst_port = base.dport;
+      proto = base.proto;
+    }
+
+let make_rule rng ~id field =
+  Rule.make ~id ~field
+    ~action:(Rule.Forward (Rng.int rng 16))
+    ~priority:(priority_of_field field)
+
+(* log2 of a power of two (broad_span), defensive floor otherwise. *)
+let log2_floor x =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
+let generate profile rng ~n ~id_base =
+  let rules = ref [] in
+  let count = ref 0 in
+  let next_id () =
+    let id = id_base + !count in
+    incr count;
+    id
+  in
+  let emit field = rules := make_rule rng ~id:(next_id ()) field :: !rules in
+  let fc = ref 0 in
+  (* Each family owns the destination /20 block whose top 20 bits equal its
+     index, so distinct families can never overlap. *)
+  let block_value f = Int64.shift_left (Int64.of_int f) 12 in
+  let since_broad = ref 0 in
+  let emit_broad () =
+    (* A low-priority rule spanning [broad_span] consecutive family blocks
+       that already exist. *)
+    let span = max 1 profile.Profile.broad_span in
+    let plen = 20 - log2_floor span in
+    let groups = max 1 (!fc / span) in
+    let g = Rng.int rng groups in
+    let dst =
+      prefix32 ~plen (Int64.shift_left (Int64.of_int (g * span)) 12)
+    in
+    let field =
+      Header.pack
+        {
+          Header.src_ip = Ternary.any 32;
+          dst_ip = dst;
+          src_port = Ternary.any 16;
+          dst_port = Ternary.any 16;
+          proto = Ternary.exact_of_int64 ~width:8 (Int64.of_int (Rng.pick rng protos));
+        }
+    in
+    emit field
+  in
+  let emit_chain base depth =
+    (* Prefix-length step sized so even deep chains fit in the 12 spare
+       destination bits without producing duplicate members. *)
+    let step = max 1 (min 3 (12 / max 1 (depth - 1))) in
+    let rec go i ~plen ~value =
+      if i < depth && !count < n then begin
+        emit (pack_with base (prefix32 ~plen value));
+        if i + 1 < depth then begin
+          let plen' = min 32 (plen + step) in
+          (* Extend the prefix with random bits in the newly cared
+             positions, keeping the parent's bits intact so the refinement
+             nests. *)
+          let fresh = Int64.logand (Rng.bits64 rng) mask32 in
+          let keep_mask = Int64.shift_left (-1L) (32 - plen) in
+          let new_mask =
+            Int64.logand (Int64.shift_left (-1L) (32 - plen'))
+              (Int64.lognot keep_mask)
+          in
+          let value' = Int64.logor value (Int64.logand fresh new_mask) in
+          go (i + 1) ~plen:plen' ~value:value'
+        end
+      end
+    in
+    go 0 ~plen:20 ~value:(block_value !fc);
+    incr fc
+  in
+  let emit_star base children =
+    emit (pack_with base (prefix32 ~plen:20 (block_value !fc)));
+    for j = 0 to children - 1 do
+      if !count < n then
+        let v = Int64.logor (block_value !fc) (Int64.shift_left (Int64.of_int j) 8) in
+        emit (pack_with base (prefix32 ~plen:24 v))
+    done;
+    incr fc
+  in
+  while !count < n do
+    let broad_due =
+      match profile.Profile.broad_every with
+      | Some k -> !since_broad >= k && !fc > 0
+      | None -> false
+    in
+    if broad_due then begin
+      since_broad := 0;
+      emit_broad ()
+    end
+    else begin
+      let depth =
+        Rng.weighted rng
+          (Array.map (fun (p, d) -> (p, d)) profile.Profile.chain_depth_dist)
+      in
+      let base = family_base profile rng in
+      let before = !count in
+      if depth = 2 && Rng.chance rng profile.Profile.star_prob then
+        emit_star base (1 + Rng.int rng profile.Profile.star_max_children)
+      else emit_chain base depth;
+      since_broad := !since_broad + (!count - before)
+    end
+  done;
+  let arr = Array.of_list (List.rev !rules) in
+  assert (Array.length arr = n);
+  arr

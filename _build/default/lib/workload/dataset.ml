@@ -1,0 +1,59 @@
+module Rule = Fr_tern.Rule
+
+type kind = ACL4 | ACL5 | FW4 | FW5 | ROUTE | IPC1
+
+let all = [ ACL4; ACL5; FW4; FW5; ROUTE ]
+let extended = all @ [ IPC1 ]
+
+let to_string = function
+  | ACL4 -> "acl4"
+  | ACL5 -> "acl5"
+  | FW4 -> "fw4"
+  | FW5 -> "fw5"
+  | ROUTE -> "route"
+  | IPC1 -> "ipc1"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "acl4" -> Some ACL4
+  | "acl5" -> Some ACL5
+  | "fw4" -> Some FW4
+  | "fw5" -> Some FW5
+  | "route" -> Some ROUTE
+  | "ipc1" -> Some IPC1
+  | _ -> None
+
+let generate kind ~seed ~n =
+  let rng = Fr_prng.Rng.create ~seed in
+  match kind with
+  | ACL4 -> Classbench.generate Profile.acl4 rng ~n ~id_base:0
+  | ACL5 -> Classbench.generate Profile.acl5 rng ~n ~id_base:0
+  | FW4 -> Classbench.generate Profile.fw4 rng ~n ~id_base:0
+  | FW5 -> Classbench.generate Profile.fw5 rng ~n ~id_base:0
+  | ROUTE -> Route_gen.generate rng ~n ~id_base:0
+  | IPC1 -> Classbench.generate Profile.ipc1 rng ~n ~id_base:0
+
+let precedence_order rules =
+  let idx = Array.init (Array.length rules) (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let a = rules.(i) and b = rules.(j) in
+      let c = Int.compare a.Rule.priority b.Rule.priority in
+      if c <> 0 then c else Int.compare b.Rule.id a.Rule.id)
+    idx;
+  Array.map (fun i -> rules.(i).Rule.id) idx
+
+type table = {
+  kind : kind;
+  rules : Rule.t array;
+  graph : Fr_dag.Graph.t;
+  order : int array;
+}
+
+let build_table kind ~seed ~n =
+  let rules = generate kind ~seed ~n in
+  let graph = Fr_dag.Build.compile_fast rules in
+  let order = precedence_order rules in
+  { kind; rules; graph; order }
+
+let stats t = Fr_dag.Stats.compute t.graph

@@ -1,0 +1,45 @@
+(** Named data sets — the five flow-table types of Table II.
+
+    A {!table} bundles everything an experiment run needs: the rules, the
+    compiled minimum dependency graph, and the bottom-to-top placement
+    order (ascending precedence, so every entry sits below everything it
+    depends on no matter the layout). *)
+
+type kind =
+  | ACL4
+  | ACL5
+  | FW4
+  | FW5
+  | ROUTE
+  | IPC1  (** extended: ClassBench's third family, not in the paper *)
+
+val all : kind list
+(** The paper's five types (IPC1 excluded). *)
+
+val extended : kind list
+(** [all] plus the extended workloads. *)
+
+val to_string : kind -> string
+val of_string : string -> kind option
+
+val generate : kind -> seed:int -> n:int -> Fr_tern.Rule.t array
+(** Rule ids are [0 .. n-1]. *)
+
+type table = {
+  kind : kind;
+  rules : Fr_tern.Rule.t array;
+  graph : Fr_dag.Graph.t;  (** compiled minimum dependency graph *)
+  order : int array;  (** rule ids in ascending precedence (bottom first) *)
+}
+
+val build_table : kind -> seed:int -> n:int -> table
+(** Generate + compile ({!Fr_dag.Build.compile_fast}) + order.  Building
+    the 40k tables takes a few seconds; experiment drivers additionally
+    cache the result per (kind, n, seed). *)
+
+val precedence_order : Fr_tern.Rule.t array -> int array
+(** Ids sorted by ascending precedence: priority ascending, ties by id
+    descending (the mirror of the compiler's "beats" order). *)
+
+val stats : table -> Fr_dag.Stats.t
+(** Table II row for this table. *)

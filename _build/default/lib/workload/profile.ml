@@ -1,0 +1,95 @@
+type t = {
+  name : string;
+  chain_depth_dist : (float * int) array;
+  star_prob : float;
+  star_max_children : int;
+  broad_every : int option;
+  broad_span : int;
+  port_wildcard_prob : float;
+  proto_wildcard_prob : float;
+}
+
+(* Depth distributions are tuned so the generated tables land in the
+   Table II bands: ACL c_avg ~1.0-1.1 with c_max 2-6, FW c_avg ~1.1-1.6
+   with c_max up to ~15 (broad rules add one more hop on top of the
+   deepest chain). *)
+
+let acl4 =
+  {
+    name = "acl4";
+    chain_depth_dist =
+      [| (0.88, 1); (0.095, 2); (0.02, 3); (0.004, 4); (0.001, 5) |];
+    star_prob = 0.3;
+    star_max_children = 4;
+    broad_every = Some 256;
+    broad_span = 256;
+    port_wildcard_prob = 0.3;
+    proto_wildcard_prob = 0.1;
+  }
+
+let acl5 =
+  {
+    name = "acl5";
+    chain_depth_dist = [| (0.91, 1); (0.08, 2); (0.009, 3); (0.001, 4) |];
+    star_prob = 0.3;
+    star_max_children = 3;
+    broad_every = None;
+    broad_span = 0;
+    port_wildcard_prob = 0.2;
+    proto_wildcard_prob = 0.05;
+  }
+
+let fw4 =
+  {
+    name = "fw4";
+    chain_depth_dist =
+      [| (0.72, 1); (0.19, 2); (0.06, 3); (0.02, 4); (0.007, 5); (0.003, 7) |];
+    star_prob = 0.4;
+    star_max_children = 6;
+    broad_every = Some 420;
+    broad_span = 256;
+    port_wildcard_prob = 0.5;
+    proto_wildcard_prob = 0.2;
+  }
+
+let fw5 =
+  {
+    name = "fw5";
+    chain_depth_dist =
+      [|
+        (0.70, 1); (0.20, 2); (0.06, 3); (0.025, 4); (0.01, 5); (0.004, 6); (0.001, 8);
+      |];
+    star_prob = 0.35;
+    star_max_children = 5;
+    broad_every = Some 256;
+    broad_span = 256;
+    port_wildcard_prob = 0.55;
+    proto_wildcard_prob = 0.25;
+  }
+
+(* IPC (inter-process/chain) profiles are the third ClassBench family; the
+   paper's evaluation does not use them, but the generator supports them as
+   an extended workload (Dataset.IPC1). *)
+let ipc1 =
+  {
+    name = "ipc1";
+    chain_depth_dist =
+      [| (0.80, 1); (0.14, 2); (0.04, 3); (0.015, 4); (0.005, 6) |];
+    star_prob = 0.25;
+    star_max_children = 5;
+    broad_every = Some 512;
+    broad_span = 128;
+    port_wildcard_prob = 0.4;
+    proto_wildcard_prob = 0.15;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: depths=[%a] broads=%s"
+    t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (p, d) -> Format.fprintf ppf "%d:%.3f" d p))
+    (Array.to_list t.chain_depth_dist)
+    (match t.broad_every with
+    | None -> "none"
+    | Some k -> Printf.sprintf "1/%d covering %d blocks" k t.broad_span)

@@ -1,0 +1,44 @@
+(** Structural parameters of the synthetic ClassBench-style generators.
+
+    The paper's data sets (Table II) are characterised by how often rules
+    nest (dependency chains), how deep the nesting goes, and how many
+    broad low-priority rules overlap large swaths of the table.  A profile
+    captures those knobs; {!Classbench.generate} turns a profile into a
+    rule table whose dependency-graph statistics land in the Table II
+    bands.
+
+    The generator organises rules into disjoint {e families} (each family
+    owns a /20 destination block, so families never overlap each other):
+
+    - a {e chain} family of depth [d] is a root plus [d - 1] successive
+      refinements — a dependency chain of diameter [d];
+    - a {e star} family is a root plus [k] pairwise-disjoint refinements —
+      diameter 2, fan-out [k];
+    - {e broad} rules (destination /12, lowest priority) overlap up to 256
+      consecutive family blocks, supplying the bulk of the edge count [m]
+      in the ACL4/FW-style tables. *)
+
+type t = {
+  name : string;
+  chain_depth_dist : (float * int) array;
+      (** family diameter distribution (depth 1 = independent rule) *)
+  star_prob : float;
+      (** probability that a depth-2 family is a star rather than a chain *)
+  star_max_children : int;
+  broad_every : int option;
+      (** one broad rule per this many ordinary rules; [None] = no broads *)
+  broad_span : int;  (** how many family blocks a broad rule covers (<= 256) *)
+  port_wildcard_prob : float;  (** per rule, both ports wildcarded *)
+  proto_wildcard_prob : float;
+}
+
+val acl4 : t
+val acl5 : t
+val fw4 : t
+val fw5 : t
+
+val ipc1 : t
+(** The third ClassBench family (not part of the paper's evaluation);
+    used by the extended {!Dataset.IPC1} workload. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+module Rng = Fr_prng.Rng
+module Ternary = Fr_tern.Ternary
+module Header = Fr_tern.Header
+module Rule = Fr_tern.Rule
+
+let plen_distribution =
+  [|
+    (0.005, 8);
+    (0.02, 12);
+    (0.10, 16);
+    (0.16, 20);
+    (0.13, 22);
+    (0.48, 24);
+    (0.06, 28);
+    (0.045, 32);
+  |]
+
+let mask32 = 0xFFFFFFFFL
+
+let canonical ~plen v =
+  if plen = 0 then 0L
+  else Int64.logand v (Int64.logand (Int64.shift_left (-1L) (32 - plen)) mask32)
+
+let field_of_prefix ~plen v =
+  Header.pack
+    {
+      Header.src_ip = Ternary.any 32;
+      dst_ip = Ternary.prefix_of_int64 ~width:32 ~plen v;
+      src_port = Ternary.any 16;
+      dst_port = Ternary.any 16;
+      proto = Ternary.any 8;
+    }
+
+let generate ?(refine_prob = 0.33) rng ~n ~id_base =
+  (* The /16 cluster pool scales with n so prefix density — and therefore
+     the nesting rate that drives c_avg — stays roughly constant from 250
+     to 40k entries. *)
+  let pool16 =
+    Array.init (max 64 (n / 6)) (fun _ ->
+        (Rng.int rng 224 lsl 8) lor Rng.int rng 256)
+  in
+  let seen = Hashtbl.create (2 * n) in
+  (* Accepted prefixes, in acceptance order. *)
+  let plens = Array.make n 0 and values = Array.make n 0L in
+  let count = ref 0 in
+  (* Prefixes short enough to refine, as an index into the above. *)
+  let refinable = Array.make n 0 in
+  let n_refinable = ref 0 in
+  let add ~plen v =
+    let v = canonical ~plen v in
+    if !count >= n || Hashtbl.mem seen (plen, v) then false
+    else begin
+      Hashtbl.replace seen (plen, v) ();
+      plens.(!count) <- plen;
+      values.(!count) <- v;
+      (* Only moderately specific prefixes may be refined further —
+         unbounded re-refinement compounds chain depth as n grows. *)
+      if plen >= 16 && plen <= 22 then begin
+        refinable.(!n_refinable) <- !count;
+        incr n_refinable
+      end;
+      incr count;
+      true
+    end
+  in
+  let fresh () =
+    let c16 = pool16.(Rng.int rng (Array.length pool16)) in
+    let plen = Rng.weighted rng plen_distribution in
+    let v =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int c16) 16)
+        (Int64.logand (Rng.bits64 rng) 0xFFFFL)
+    in
+    add ~plen v
+  in
+  let refine () =
+    if !n_refinable = 0 then fresh ()
+    else begin
+      let i = refinable.(Rng.int rng !n_refinable) in
+      let plen = plens.(i) and v = values.(i) in
+      let plen' = min 32 (plen + 1 + Rng.int rng 8) in
+      let low_mask =
+        Int64.logand mask32 (Int64.lognot (Int64.shift_left (-1L) (32 - plen)))
+      in
+      add ~plen:plen' (Int64.logor v (Int64.logand (Rng.bits64 rng) low_mask))
+    end
+  in
+  let attempts = ref 0 in
+  while !count < n && !attempts < 100 * n do
+    incr attempts;
+    ignore (if Rng.chance rng refine_prob then refine () else fresh ())
+  done;
+  (* Top up deterministically if random draws kept colliding. *)
+  let filler = ref 0 in
+  while !count < n do
+    incr filler;
+    ignore (add ~plen:32 (Int64.shift_left (Int64.of_int !filler) 2))
+  done;
+  Array.init n (fun i ->
+      Rule.make ~id:(id_base + i)
+        ~field:(field_of_prefix ~plen:plens.(i) values.(i))
+        ~action:(Rule.Forward (Rng.int rng 64))
+        ~priority:plens.(i))

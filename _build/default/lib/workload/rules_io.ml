@@ -1,0 +1,82 @@
+module Rule = Fr_tern.Rule
+module Ternary = Fr_tern.Ternary
+
+let action_to_string = function
+  | Rule.Forward p -> Printf.sprintf "fwd:%d" p
+  | Rule.Drop -> "drop"
+  | Rule.Controller -> "ctrl"
+
+let action_of_string s =
+  match String.lowercase_ascii s with
+  | "drop" -> Some Rule.Drop
+  | "ctrl" -> Some Rule.Controller
+  | s when String.length s > 4 && String.sub s 0 4 = "fwd:" -> (
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some p when p >= 0 -> Some (Rule.Forward p)
+      | Some _ | None -> None)
+  | _ -> None
+
+let header = "# fastrule-table v1"
+
+let to_string rules =
+  let buf = Buffer.create (64 * Array.length rules) in
+  Buffer.add_string buf header;
+  Buffer.add_string buf "\n# id priority action field(msb..lsb)\n";
+  Array.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %s %s\n" r.Rule.id r.Rule.priority
+           (action_to_string r.Rule.action)
+           (Ternary.to_string r.Rule.field)))
+    rules;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || (String.length line > 0 && line.[0] = '#') then
+          go (lineno + 1) acc rest
+        else
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ id; prio; action; field ] -> (
+              match
+                ( int_of_string_opt id,
+                  int_of_string_opt prio,
+                  action_of_string action )
+              with
+              | Some id, Some priority, Some action -> (
+                  match Ternary.of_string field with
+                  | field ->
+                      go (lineno + 1)
+                        (Rule.make ~id ~field ~action ~priority :: acc)
+                        rest
+                  | exception Invalid_argument _ ->
+                      Error (Printf.sprintf "line %d: malformed field" lineno))
+              | _ ->
+                  Error
+                    (Printf.sprintf "line %d: malformed id/priority/action" lineno))
+          | _ -> Error (Printf.sprintf "line %d: expected 4 columns" lineno))
+  in
+  go 1 [] lines
+
+let save path rules =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (to_string rules)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      of_string text

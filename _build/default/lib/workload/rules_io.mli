@@ -1,0 +1,28 @@
+(** Plain-text serialisation of rule tables.
+
+    A portable, diff-friendly format in the spirit of ClassBench rule
+    files, so generated tables can be saved, shared and reloaded (and so
+    experiments can run against a pinned table rather than a seed):
+
+    {v
+    # fastrule-table v1
+    # id priority action field(msb..lsb)
+    0 92 fwd:3 10100101...****
+    1 15 drop  ****...
+    v}
+
+    Fields are the packed ternary strings ({!Fr_tern.Ternary.to_string});
+    actions are [fwd:<port>], [drop] or [ctrl].  Blank lines and [#]
+    comments are ignored on input. *)
+
+val to_string : Fr_tern.Rule.t array -> string
+val of_string : string -> (Fr_tern.Rule.t array, string) result
+(** [Error] pinpoints the first malformed line (1-based). *)
+
+val save : string -> Fr_tern.Rule.t array -> unit
+(** [save path rules] — writes atomically-ish (temp file + rename). *)
+
+val load : string -> (Fr_tern.Rule.t array, string) result
+
+val action_to_string : Fr_tern.Rule.action -> string
+val action_of_string : string -> Fr_tern.Rule.action option

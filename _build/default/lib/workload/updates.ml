@@ -1,0 +1,96 @@
+module Graph = Fr_dag.Graph
+module Topo = Fr_dag.Topo
+module Tcam = Fr_tcam.Tcam
+module Rng = Fr_prng.Rng
+
+type t = Insert of { id : int; anchor : (int * int) option } | Delete of { id : int }
+
+let pp ppf = function
+  | Insert { id; anchor = Some (x, y) } ->
+      Format.fprintf ppf "insert %d between {%d,%d}" id x y
+  | Insert { id; anchor = None } -> Format.fprintf ppf "insert %d (unconstrained)" id
+  | Delete { id } -> Format.fprintf ppf "delete %d" id
+
+let generate rng ~live ~count ~with_deletes ~id_base =
+  (* Live entries with O(1) random pick and swap-removal. *)
+  let cap = List.length live + count + 1 in
+  let pool = Array.make cap 0 in
+  let pos = Hashtbl.create cap in
+  let n_live = ref 0 in
+  let add_live id =
+    pool.(!n_live) <- id;
+    Hashtbl.replace pos id !n_live;
+    incr n_live
+  in
+  let remove_live id =
+    match Hashtbl.find_opt pos id with
+    | None -> ()
+    | Some i ->
+        let last = pool.(!n_live - 1) in
+        pool.(i) <- last;
+        Hashtbl.replace pos last i;
+        Hashtbl.remove pos id;
+        decr n_live
+  in
+  List.iter add_live live;
+  let next_id = ref id_base in
+  let make_insert () =
+    let id = !next_id in
+    incr next_id;
+    let anchor =
+      if !n_live < 2 then None
+      else begin
+        let x = pool.(Rng.int rng !n_live) in
+        let rec draw () =
+          let y = pool.(Rng.int rng !n_live) in
+          if y = x then draw () else y
+        in
+        Some (x, draw ())
+      end
+    in
+    add_live id;
+    Insert { id; anchor }
+  in
+  let make_delete () =
+    let id = pool.(Rng.int rng !n_live) in
+    remove_live id;
+    Delete { id }
+  in
+  let updates = ref [] in
+  for k = 1 to count do
+    let u =
+      if with_deletes && k mod 2 = 0 && !n_live > 0 then make_delete ()
+      else make_insert ()
+    in
+    updates := u :: !updates
+  done;
+  List.rev !updates
+
+type resolved =
+  | R_insert of { id : int; deps : int list; dependents : int list }
+  | R_delete of { id : int }
+
+let resolve graph tcam = function
+  | Delete { id } -> R_delete { id }
+  | Insert { id; anchor = None } -> R_insert { id; deps = []; dependents = [] }
+  | Insert { id; anchor = Some (x, y) } ->
+      let addr_exn who =
+        match Tcam.addr_of tcam who with
+        | Some a -> a
+        | None ->
+            invalid_arg (Printf.sprintf "Updates.resolve: anchor %d is not live" who)
+      in
+      let f_a, f_b =
+        if Topo.reachable graph x y then (x, y)
+        else if Topo.reachable graph y x then (y, x)
+        else if addr_exn x < addr_exn y then (x, y)
+        else (y, x)
+      in
+      R_insert { id; deps = [ f_b ]; dependents = [ f_a ] }
+
+let apply_graph ?(contract = false) g = function
+  | R_insert { id; deps; dependents } ->
+      Graph.add_node g id;
+      List.iter (fun v -> Graph.add_edge g id v) deps;
+      List.iter (fun u -> Graph.add_edge g u id) dependents
+  | R_delete { id } -> Graph.remove_node ~contract g id

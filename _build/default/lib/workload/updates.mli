@@ -1,0 +1,48 @@
+(** Update-stream generation (§VI.2).
+
+    The paper feeds each table a stream of random updates: an insertion
+    creates a new entry [f] with synthetic dependency requirements
+    [f_a -> f -> f_b] where [f_a], [f_b] are random existing entries; a
+    deletion removes a random live entry.  Streams come in two flavours:
+    insert-only, and alternating insert/delete ("every two updates
+    sequentially contain one insert and one delete").
+
+    A stream is generated {e once} and replayed against every algorithm
+    under test.  It stores each insertion's {e anchor pair} un-oriented;
+    {!resolve} orients it at replay time — by dependency-graph
+    reachability when the anchors are already ordered, otherwise by the
+    replaying table's current address order — so the request is always
+    satisfiable regardless of layout, while the stream (ids, anchors,
+    deletions) is identical across runs. *)
+
+type t =
+  | Insert of { id : int; anchor : (int * int) option }
+      (** [anchor = Some (x, y)]: the new entry must land strictly between
+          entries [x] and [y] (orientation decided at replay). *)
+  | Delete of { id : int }
+
+val pp : Format.formatter -> t -> unit
+
+val generate :
+  Fr_prng.Rng.t -> live:int list -> count:int -> with_deletes:bool -> id_base:int -> t list
+(** [count] updates against a table currently holding [live] entries.  New
+    entries get ids [id_base, id_base + 1, ...].  With [with_deletes],
+    even-indexed updates (2nd, 4th, ...) delete a random live entry. *)
+
+type resolved =
+  | R_insert of { id : int; deps : int list; dependents : int list }
+      (** [deps] must end up above the new entry, [dependents] below. *)
+  | R_delete of { id : int }
+
+val resolve : Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> t -> resolved
+(** Orient an update against the current run state.  For an anchor pair
+    [(x, y)]: if one already (transitively) depends on the other, that
+    order is forced; otherwise the entry currently at the lower address
+    becomes the dependent.  Both anchors must be live. *)
+
+val apply_graph : ?contract:bool -> Fr_dag.Graph.t -> resolved -> unit
+(** The compiler-stage graph effect: add the node and its edges, or remove
+    the node.  Call {e before} scheduling an insert and {e after} applying
+    a delete.  [~contract:true] preserves the transitive ordering that
+    flowed through a deleted node (see {!Fr_dag.Graph.remove_node}); the
+    paper's evaluation deletes plainly, which is the default. *)

@@ -1,0 +1,1 @@
+test/test_agent.ml: Agent Alcotest Array Dataset Fastrule Filename Firmware Fun Header List Option Result Rng Rule Store Sys Tcam Ternary

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Algo Fastrule List Result Tcam

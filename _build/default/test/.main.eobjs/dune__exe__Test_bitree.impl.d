@@ -1,0 +1,1 @@
+test/test_bitree.ml: Alcotest Array Fastrule Fenwick_sum List Min_tree Option Rng Segment_tree

@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Array Dag_build Fastrule Graph List Rng Rule Ternary Topo

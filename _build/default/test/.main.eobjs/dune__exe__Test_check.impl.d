@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Algo Check Fastrule Fixtures Greedy Op Result Tcam

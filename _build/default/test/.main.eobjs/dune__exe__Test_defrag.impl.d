@@ -1,0 +1,1 @@
+test/test_defrag.ml: Alcotest Array Check Dataset Defrag Fastrule Firmware Fun Graph Int Layout List Rng Store Tcam Updates

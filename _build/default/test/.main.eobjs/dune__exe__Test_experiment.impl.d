@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Dataset Experiment Fastrule Firmware List Measure Report Store String

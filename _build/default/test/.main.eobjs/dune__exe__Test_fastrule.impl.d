@@ -1,0 +1,1 @@
+test/test_fastrule.ml: Alcotest Algo Array Dir Fastrule Fixtures Graph Greedy List Metric Op Option Printf Result Rng Store Tcam

@@ -1,0 +1,1 @@
+test/test_firmware.ml: Alcotest Array Dataset Fastrule Firmware Graph Int Layout Lazy List Measure Rng Store Tcam Topo Updates

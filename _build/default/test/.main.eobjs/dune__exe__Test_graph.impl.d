@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fastrule Graph Int List

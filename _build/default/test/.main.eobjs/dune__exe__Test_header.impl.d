@@ -1,0 +1,1 @@
+test/test_header.ml: Alcotest Fastrule Header Rng Ternary

@@ -1,0 +1,1 @@
+test/test_hw_emu.ml: Alcotest Algo Array Dataset Fastrule Graph Greedy Hw_emu Latency Layout List Op Rng Tcam Updates

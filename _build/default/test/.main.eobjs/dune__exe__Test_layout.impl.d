@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Fastrule Layout Tcam

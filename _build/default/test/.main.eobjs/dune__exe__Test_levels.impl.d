@@ -1,0 +1,1 @@
+test/test_levels.ml: Alcotest Dag_stats Dataset Fastrule Graph Hashtbl Levels List

@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Dir Fastrule Fixtures Graph Metric Option Tcam

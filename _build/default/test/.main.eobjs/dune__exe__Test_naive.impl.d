@@ -1,0 +1,1 @@
+test/test_naive.ml: Alcotest Algo Fastrule List Naive Option Result Tcam

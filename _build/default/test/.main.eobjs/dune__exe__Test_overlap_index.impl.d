@@ -1,0 +1,1 @@
+test/test_overlap_index.ml: Alcotest Array Dag_build Dataset Fastrule Graph Header Int List Overlap_index Printf Rule Ternary

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Algo Array Dag_build Dataset Dir Fastrule Fixtures Graph Greedy Layout List Min_tree Naive Op Option Printf Rule Separated Store Tcam Ternary

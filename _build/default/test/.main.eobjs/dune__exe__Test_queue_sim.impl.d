@@ -1,0 +1,1 @@
+test/test_queue_sim.ml: Alcotest Array Dataset Fastrule Firmware Queue_sim Rng Store Updates

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Fastrule Header Int64 List Range Rng Ternary

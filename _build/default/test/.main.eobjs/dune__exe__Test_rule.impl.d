@@ -1,0 +1,1 @@
+test/test_rule.ml: Alcotest Fastrule Header Rule Ternary

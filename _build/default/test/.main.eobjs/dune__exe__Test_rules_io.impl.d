@@ -1,0 +1,1 @@
+test/test_rules_io.ml: Alcotest Array Dataset Fastrule Filename Fun List Result Rule Rules_io String Sys Ternary

@@ -1,0 +1,1 @@
+test/test_ruletris.ml: Alcotest Algo Fastrule Fixtures Graph Greedy List Result Rng Ruletris Store Tcam

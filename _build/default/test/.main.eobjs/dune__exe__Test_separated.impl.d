@@ -1,0 +1,1 @@
+test/test_separated.ml: Alcotest Algo Array Dir Fastrule Graph Layout List Metric Option Rng Separated Store Tcam Topo

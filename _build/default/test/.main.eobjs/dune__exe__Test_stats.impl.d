@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Dag_stats Fastrule Graph Int List

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Dir Fastrule Fixtures Graph List Metric Printf Rng Store Tcam

@@ -1,0 +1,1 @@
+test/test_tcam.ml: Alcotest Fastrule Graph Header Op Result Rule String Tcam Ternary

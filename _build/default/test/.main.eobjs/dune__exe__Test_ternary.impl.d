@@ -1,0 +1,1 @@
+test/test_ternary.ml: Alcotest Fastrule List Rng String Ternary

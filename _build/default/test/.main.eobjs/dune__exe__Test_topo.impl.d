@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Fastrule Graph Hashtbl Int List Rule Topo

@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest Array Dataset Fastrule Firmware Graph Hashtbl List Rng Store Tcam Updates

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Dag_build Dag_stats Dataset Fastrule Graph Hashtbl Header List Printf Rule Ternary Topo

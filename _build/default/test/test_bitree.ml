@@ -1,0 +1,219 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Fenwick_sum ------------------------------------------------------ *)
+
+let test_sum_basic () =
+  let t = Fenwick_sum.create 10 in
+  Fenwick_sum.add t 3 5;
+  Fenwick_sum.add t 7 2;
+  check_int "prefix 2" 0 (Fenwick_sum.prefix_sum t 2);
+  check_int "prefix 3" 5 (Fenwick_sum.prefix_sum t 3);
+  check_int "prefix 9" 7 (Fenwick_sum.prefix_sum t 9);
+  check_int "range 4..7" 2 (Fenwick_sum.range_sum t 4 7);
+  check_int "total" 7 (Fenwick_sum.total t)
+
+let test_sum_set_get () =
+  let t = Fenwick_sum.create 5 in
+  Fenwick_sum.set t 2 10;
+  check_int "get" 10 (Fenwick_sum.get t 2);
+  Fenwick_sum.set t 2 3;
+  check_int "re-set" 3 (Fenwick_sum.get t 2);
+  check_int "total" 3 (Fenwick_sum.total t)
+
+let test_sum_vs_naive () =
+  let rng = Rng.create ~seed:42 in
+  let n = 64 in
+  let t = Fenwick_sum.create n in
+  let reference = Array.make n 0 in
+  for _ = 1 to 500 do
+    let i = Rng.int rng n in
+    let d = Rng.int_in rng (-10) 10 in
+    Fenwick_sum.add t i d;
+    reference.(i) <- reference.(i) + d;
+    let lo = Rng.int rng n in
+    let hi = Rng.int_in rng lo (n - 1) in
+    let expect = ref 0 in
+    for k = lo to hi do
+      expect := !expect + reference.(k)
+    done;
+    check_int "range matches naive" !expect (Fenwick_sum.range_sum t lo hi)
+  done
+
+let test_sum_empty_and_bounds () =
+  let t = Fenwick_sum.create 0 in
+  check_int "empty total" 0 (Fenwick_sum.total t);
+  let t = Fenwick_sum.create 4 in
+  check_int "inverted range" 0 (Fenwick_sum.range_sum t 3 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Fenwick_sum.add: index out of range")
+    (fun () -> Fenwick_sum.add t 4 1)
+
+(* --- Min_tree --------------------------------------------------------- *)
+
+let test_min_basic () =
+  let t = Min_tree.create 8 ~init:5 in
+  Min_tree.set t 3 1;
+  Min_tree.set t 6 0;
+  (match Min_tree.min_in t ~lo:0 ~hi:7 with
+  | Some (i, v) ->
+      check_int "argmin" 6 i;
+      check_int "min" 0 v
+  | None -> Alcotest.fail "range non-empty");
+  (match Min_tree.min_in t ~lo:0 ~hi:5 with
+  | Some (i, v) ->
+      check_int "argmin left" 3 i;
+      check_int "min left" 1 v
+  | None -> Alcotest.fail "range non-empty");
+  check "empty range" true (Min_tree.min_in t ~lo:5 ~hi:4 = None)
+
+let test_min_tie_prefers_high () =
+  let t = Min_tree.create 16 ~init:7 in
+  Min_tree.set t 2 3;
+  Min_tree.set t 9 3;
+  Min_tree.set t 12 3;
+  (match Min_tree.min_in t ~lo:0 ~hi:15 with
+  | Some (i, _) -> check_int "highest tie wins" 12 i
+  | None -> Alcotest.fail "non-empty");
+  match Min_tree.min_in t ~lo:0 ~hi:10 with
+  | Some (i, _) -> check_int "highest tie in subrange" 9 i
+  | None -> Alcotest.fail "non-empty"
+
+let test_min_all_equal () =
+  let t = Min_tree.create 8 ~init:max_int in
+  match Min_tree.min_in t ~lo:2 ~hi:6 with
+  | Some (i, v) ->
+      check_int "max_int value" max_int v;
+      check_int "highest index" 6 i
+  | None -> Alcotest.fail "non-empty"
+
+let test_min_updates_both_directions () =
+  let t = Min_tree.create 8 ~init:4 in
+  Min_tree.set t 5 1;
+  check_int "decreased" 1 (Option.get (Min_tree.min_value_in t ~lo:0 ~hi:7));
+  Min_tree.set t 5 9;
+  (* The old minimum must not linger after the value went back up. *)
+  check_int "increased back" 4 (Option.get (Min_tree.min_value_in t ~lo:0 ~hi:7));
+  check_int "get" 9 (Min_tree.get t 5)
+
+let test_min_vs_naive () =
+  let rng = Rng.create ~seed:4242 in
+  let n = 100 in
+  let t = Min_tree.create n ~init:50 in
+  let reference = Array.make n 50 in
+  for _ = 1 to 1000 do
+    let i = Rng.int rng n in
+    let v = Rng.int rng 100 in
+    Min_tree.set t i v;
+    reference.(i) <- v;
+    let lo = Rng.int rng n in
+    let hi = Rng.int_in rng lo (n - 1) in
+    let best_v = ref max_int and best_i = ref (-1) in
+    for k = lo to hi do
+      if reference.(k) <= !best_v then begin
+        best_v := reference.(k);
+        best_i := k
+      end
+    done;
+    match Min_tree.min_in t ~lo ~hi with
+    | None -> Alcotest.fail "non-empty range"
+    | Some (i, v) ->
+        check_int "value matches naive" !best_v v;
+        check_int "argmin matches naive (high ties)" !best_i i
+  done
+
+let test_min_clamping () =
+  let t = Min_tree.create 4 ~init:2 in
+  Min_tree.set t 0 1;
+  match Min_tree.min_in t ~lo:(-5) ~hi:99 with
+  | Some (i, v) ->
+      check_int "clamped argmin" 0 i;
+      check_int "clamped min" 1 v
+  | None -> Alcotest.fail "non-empty"
+
+let test_min_snapshot () =
+  let t = Min_tree.create 4 ~init:0 in
+  Min_tree.set t 1 7;
+  Alcotest.(check (array int)) "to_array" [| 0; 7; 0; 0 |] (Min_tree.to_array t)
+
+(* --- Segment_tree ------------------------------------------------------ *)
+
+let test_seg_basic () =
+  let t = Segment_tree.create 8 ~init:5 in
+  Segment_tree.set t 3 1;
+  Segment_tree.set t 6 0;
+  (match Segment_tree.min_in t ~lo:0 ~hi:7 with
+  | Some (i, v) ->
+      check_int "argmin" 6 i;
+      check_int "min" 0 v
+  | None -> Alcotest.fail "non-empty");
+  check "empty range" true (Segment_tree.min_in t ~lo:5 ~hi:4 = None);
+  check_int "get" 1 (Segment_tree.get t 3)
+
+let test_seg_matches_min_tree () =
+  (* The two structures implement the same abstract interface, including
+     the highest-index tie-break: drive them in lockstep. *)
+  let rng = Rng.create ~seed:9191 in
+  List.iter
+    (fun n ->
+      let st = Segment_tree.create n ~init:13 in
+      let mt = Min_tree.create n ~init:13 in
+      for _ = 1 to 400 do
+        let i = Rng.int rng n and v = Rng.int rng 40 in
+        Segment_tree.set st i v;
+        Min_tree.set mt i v;
+        let lo = Rng.int rng n in
+        let hi = Rng.int_in rng lo (n - 1) in
+        check "same answer" true
+          (Segment_tree.min_in st ~lo ~hi = Min_tree.min_in mt ~lo ~hi)
+      done;
+      Alcotest.(check (array int))
+        "same contents" (Min_tree.to_array mt) (Segment_tree.to_array st))
+    [ 1; 7; 8; 33; 100 ]
+
+let test_seg_non_pow2 () =
+  (* Sizes straddling the power-of-two padding must never leak padding
+     cells into answers. *)
+  let t = Segment_tree.create 5 ~init:max_int in
+  match Segment_tree.min_in t ~lo:0 ~hi:4 with
+  | Some (i, v) ->
+      check_int "real cell" 4 i;
+      check_int "max_int ok" max_int v;
+      check "in range" true (i >= 0 && i < 5)
+  | None -> Alcotest.fail "non-empty"
+
+let test_seg_bounds () =
+  let t = Segment_tree.create 4 ~init:0 in
+  Alcotest.check_raises "oob set"
+    (Invalid_argument "Segment_tree.set: index out of range") (fun () ->
+      Segment_tree.set t 4 1);
+  check "clamped query" true (Segment_tree.min_in t ~lo:(-3) ~hi:99 <> None)
+
+let suite =
+  [
+    ( "fenwick-sum",
+      [
+        Alcotest.test_case "basic sums" `Quick test_sum_basic;
+        Alcotest.test_case "set/get" `Quick test_sum_set_get;
+        Alcotest.test_case "random vs naive" `Quick test_sum_vs_naive;
+        Alcotest.test_case "empty & bounds" `Quick test_sum_empty_and_bounds;
+      ] );
+    ( "min-tree",
+      [
+        Alcotest.test_case "basic min/argmin" `Quick test_min_basic;
+        Alcotest.test_case "ties prefer high index" `Quick test_min_tie_prefers_high;
+        Alcotest.test_case "all-max_int range" `Quick test_min_all_equal;
+        Alcotest.test_case "update up and down" `Quick test_min_updates_both_directions;
+        Alcotest.test_case "random vs naive" `Quick test_min_vs_naive;
+        Alcotest.test_case "range clamping" `Quick test_min_clamping;
+        Alcotest.test_case "snapshot" `Quick test_min_snapshot;
+      ] );
+    ( "segment-tree",
+      [
+        Alcotest.test_case "basic" `Quick test_seg_basic;
+        Alcotest.test_case "lockstep with min-tree" `Quick test_seg_matches_min_tree;
+        Alcotest.test_case "non-power-of-two sizes" `Quick test_seg_non_pow2;
+        Alcotest.test_case "bounds" `Quick test_seg_bounds;
+      ] );
+  ]

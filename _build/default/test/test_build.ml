@@ -1,0 +1,153 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* 8-bit toy rules: priority = cared bits unless overridden. *)
+let rule ~id ?prio s =
+  let field = Ternary.of_string s in
+  let priority =
+    match prio with
+    | Some p -> p
+    | None -> Ternary.width field - Ternary.num_wildcards field
+  in
+  Rule.make ~id ~field ~action:(Rule.Forward id) ~priority
+
+let test_chain_reduction () =
+  (* Nested prefixes: the minimum graph must be the chain, not the full
+     triangle. *)
+  let rules =
+    [| rule ~id:0 "1*******"; rule ~id:1 "10******"; rule ~id:2 "101*****" |]
+  in
+  let g = Dag_build.compile rules in
+  check_int "edges" 2 (Graph.n_edges g);
+  check "0->1" true (Graph.mem_edge g 0 1);
+  check "1->2" true (Graph.mem_edge g 1 2);
+  check "no shortcut 0->2" false (Graph.mem_edge g 0 2);
+  check "closure covers" true (Dag_build.closure_covers_overlaps g rules)
+
+let test_disjoint_no_edges () =
+  let rules = [| rule ~id:0 "00******"; rule ~id:1 "01******"; rule ~id:2 "10******" |] in
+  let g = Dag_build.compile rules in
+  check_int "no edges" 0 (Graph.n_edges g);
+  check_int "all nodes present" 3 (Graph.n_nodes g)
+
+let test_star () =
+  (* One broad rule under several disjoint specifics: star with root at the
+     broad rule. *)
+  let rules =
+    [|
+      rule ~id:0 "1*******";
+      rule ~id:1 "100*****";
+      rule ~id:2 "101*****";
+      rule ~id:3 "110*****";
+    |]
+  in
+  let g = Dag_build.compile rules in
+  check_int "edges" 3 (Graph.n_edges g);
+  List.iter (fun v -> check "root depends on specific" true (Graph.mem_edge g 0 v)) [ 1; 2; 3 ]
+
+let test_equal_priority_tiebreak () =
+  (* Overlapping equal-priority rules get a deterministic id-based order:
+     the smaller id wins (is depended upon). *)
+  let rules = [| rule ~id:0 ~prio:5 "1*0*****"; rule ~id:1 ~prio:5 "10******" |] in
+  let g = Dag_build.compile rules in
+  check "larger id depends on smaller" true (Graph.mem_edge g 1 0);
+  check "not reverse" false (Graph.mem_edge g 0 1)
+
+let test_priority_beats_specificity () =
+  (* An explicitly prioritised broad rule sits above a specific one. *)
+  let rules = [| rule ~id:0 ~prio:100 "1*******"; rule ~id:1 ~prio:1 "11******" |] in
+  let g = Dag_build.compile rules in
+  check "low prio depends on high" true (Graph.mem_edge g 1 0)
+
+let test_dependencies_of_incremental () =
+  let existing =
+    [| rule ~id:0 "1*******"; rule ~id:1 "10******"; rule ~id:2 "01******" |]
+  in
+  let g = Dag_build.compile existing in
+  (* A new rule between the chain's two members. *)
+  let fresh = rule ~id:9 "101*****" in
+  let deps, dependents =
+    Dag_build.dependencies_of g ~existing:(Array.to_list existing) fresh
+  in
+  (* fresh is more specific than both 0 and 1; minimal dep is 1 only. *)
+  Alcotest.(check (list int)) "deps minimal" [] deps;
+  Alcotest.(check (list int)) "dependents maximal" [ 1 ] dependents;
+  Dag_build.insert g ~existing:(Array.to_list existing) fresh;
+  check "edge added" true (Graph.mem_edge g 1 9);
+  check "no redundant edge from 0" false (Graph.mem_edge g 0 9)
+
+let test_compile_acyclic_and_covering () =
+  (* A mixed random-ish table stays acyclic and closure-covering. *)
+  let rules =
+    [|
+      rule ~id:0 "********";
+      rule ~id:1 "1*******";
+      rule ~id:2 "10******";
+      rule ~id:3 "10*1****";
+      rule ~id:4 "0*******";
+      rule ~id:5 "01*0****";
+      rule ~id:6 "11******";
+      rule ~id:7 "111*****";
+    |]
+  in
+  let g = Dag_build.compile rules in
+  check "acyclic" true (Topo.is_acyclic g);
+  check "covers" true (Dag_build.closure_covers_overlaps g rules)
+
+let test_incremental_matches_full_closure () =
+  (* Building a table by incremental insertion may keep edges a full
+     compile would have reduced away, but the transitive closures — the
+     orderings actually enforced — must coincide. *)
+  let rng = Rng.create ~seed:99 in
+  for _ = 1 to 10 do
+    let n = 12 + Rng.int rng 12 in
+    let rules =
+      Array.init n (fun i ->
+          let field = Ternary.random rng ~width:10 ~wildcard_prob:0.35 in
+          Rule.make ~id:i ~field ~action:(Rule.Forward i)
+            ~priority:(10 - Ternary.num_wildcards field))
+    in
+    let full = Dag_build.compile rules in
+    let inc = Graph.create () in
+    let existing = ref [] in
+    Array.iter
+      (fun r ->
+        Dag_build.insert inc ~existing:!existing r;
+        existing := r :: !existing)
+      rules;
+    check "incremental acyclic" true (Topo.is_acyclic inc);
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          check "same closure" true
+            (Topo.reachable full i j = Topo.reachable inc i j)
+      done
+    done
+  done
+
+let test_remove_contract () =
+  let rules =
+    [| rule ~id:0 "1*******"; rule ~id:1 "10******"; rule ~id:2 "100*****" |]
+  in
+  let g = Dag_build.compile rules in
+  Dag_build.remove ~contract:true g 1;
+  check "contracted edge" true (Graph.mem_edge g 0 2)
+
+let suite =
+  [
+    ( "build",
+      [
+        Alcotest.test_case "chain transitive reduction" `Quick test_chain_reduction;
+        Alcotest.test_case "disjoint rules" `Quick test_disjoint_no_edges;
+        Alcotest.test_case "star families" `Quick test_star;
+        Alcotest.test_case "equal-priority tiebreak" `Quick test_equal_priority_tiebreak;
+        Alcotest.test_case "priority beats specificity" `Quick test_priority_beats_specificity;
+        Alcotest.test_case "incremental dependencies_of" `Quick test_dependencies_of_incremental;
+        Alcotest.test_case "incremental = full (closure)" `Quick
+          test_incremental_matches_full_closure;
+        Alcotest.test_case "compile acyclic & covering" `Quick test_compile_acyclic_and_covering;
+        Alcotest.test_case "remove with contraction" `Quick test_remove_contract;
+      ] );
+  ]

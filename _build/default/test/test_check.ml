@@ -1,0 +1,80 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+
+let setup () =
+  let graph, tcam = Fixtures.fig3_with_request () in
+  (graph, tcam)
+
+let test_valid_sequence_accepted () =
+  let graph, tcam = setup () in
+  let fr = Greedy.create ~graph ~tcam () in
+  let algo = Greedy.algo fr in
+  match algo.Algo.schedule_insert ~rule_id:9 ~deps:[ 5 ] ~dependents:[ 6 ] with
+  | Error e -> Alcotest.failf "schedule: %s" e
+  | Ok ops ->
+      check "verifies" true (Check.sequence graph tcam ops = Ok ());
+      check "apply_verified" true (Check.apply_verified graph tcam ops = Ok ());
+      check "applied" true (Tcam.read tcam 0x3 = Tcam.Used 9)
+
+let test_clobber_rejected () =
+  let graph, tcam = setup () in
+  (* Writing 9 over entry 5 without moving 5 first. *)
+  let bad = [ Op.insert ~rule_id:9 ~addr:0x3 ] in
+  check "clobber detected" true (Result.is_error (Check.sequence graph tcam bad));
+  (* The TCAM is untouched by a failed verification. *)
+  check "tcam untouched" true (Tcam.read tcam 0x3 = Tcam.Used 5)
+
+let test_order_violation_rejected () =
+  let graph, tcam = setup () in
+  (* Moving entry 5 above its dependency at 0x5 is fine; moving its
+     dependency 7 below 5 is not. *)
+  let bad = [ Op.insert ~rule_id:7 ~addr:0x0 ] in
+  check "order violation detected" true
+    (Result.is_error (Check.sequence graph tcam bad))
+
+let test_intermediate_states_checked () =
+  let graph, tcam = setup () in
+  (* Valid final state but an op order that clobbers on the way: the
+     paper-order chain (new entry first) must be rejected because it
+     overwrites live entries. *)
+  let paper_order =
+    [
+      Op.insert ~rule_id:9 ~addr:0x3;
+      Op.insert ~rule_id:5 ~addr:0x4;
+      Op.insert ~rule_id:4 ~addr:0x6;
+      Op.insert ~rule_id:2 ~addr:0x9;
+    ]
+  in
+  check "discovery order clobbers" true
+    (Result.is_error (Check.sequence graph tcam paper_order))
+
+let test_delete_checked () =
+  let graph, tcam = setup () in
+  check "delete fine" true
+    (Check.sequence graph tcam [ Op.delete ~addr:0x1 ] = Ok ())
+
+let test_apply_verified_rolls_nothing () =
+  let graph, tcam = setup () in
+  let before = Tcam.copy tcam in
+  let bad = [ Op.insert ~rule_id:9 ~addr:0x3 ] in
+  (match Check.apply_verified graph tcam bad with
+  | Ok () -> Alcotest.fail "expected rejection"
+  | Error _ -> ());
+  for a = 0 to Tcam.size tcam - 1 do
+    check "slot unchanged" true (Tcam.read tcam a = Tcam.read before a)
+  done
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "valid sequence accepted" `Quick test_valid_sequence_accepted;
+        Alcotest.test_case "clobber rejected" `Quick test_clobber_rejected;
+        Alcotest.test_case "order violation rejected" `Quick test_order_violation_rejected;
+        Alcotest.test_case "intermediate states" `Quick test_intermediate_states_checked;
+        Alcotest.test_case "delete" `Quick test_delete_checked;
+        Alcotest.test_case "failed verify leaves tcam intact" `Quick
+          test_apply_verified_rolls_nothing;
+      ] );
+  ]

@@ -1,0 +1,122 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let layouts = [ Layout.Original; Layout.Interleaved 4; Layout.Interleaved 1; Layout.Separated ]
+
+let scattered_tcam rng ~size ~k =
+  let tcam = Tcam.create ~size in
+  let addrs = Array.init size Fun.id in
+  Rng.shuffle rng addrs;
+  let placed = Array.sub addrs 0 k in
+  Array.sort Int.compare placed;
+  Array.iteri (fun i a -> Tcam.write tcam ~rule_id:(100 + i) ~addr:a) placed;
+  Tcam.reset_counters tcam;
+  tcam
+
+let order_of tcam =
+  let acc = ref [] in
+  Tcam.iter_used tcam (fun ~addr:_ ~rule_id -> acc := rule_id :: !acc);
+  List.rev !acc
+
+let test_already_canonical () =
+  let order = Array.init 6 (fun i -> i) in
+  List.iter
+    (fun layout ->
+      let tcam = Layout.place layout ~tcam_size:16 ~order in
+      check "canonical" true (Defrag.is_canonical tcam ~layout);
+      check_int "no moves" 0 (Defrag.moves_needed tcam ~layout);
+      check "empty plan" true (Defrag.plan tcam ~layout = []))
+    layouts
+
+let test_restores_each_layout () =
+  let rng = Rng.create ~seed:41 in
+  List.iter
+    (fun layout ->
+      for _ = 1 to 10 do
+        let tcam = scattered_tcam rng ~size:40 ~k:15 in
+        let before = order_of tcam in
+        let ops = Defrag.plan tcam ~layout in
+        Tcam.apply_sequence tcam ops;
+        check "canonical after" true (Defrag.is_canonical tcam ~layout);
+        Alcotest.(check (list int)) "relative order preserved" before (order_of tcam);
+        check_int "count unchanged" 15 (Tcam.used_count tcam)
+      done)
+    layouts
+
+let test_intermediate_safety () =
+  (* Every plan must pass the shadow-table verifier against a dependency
+     graph that totally orders the entries (the strictest client). *)
+  let rng = Rng.create ~seed:42 in
+  List.iter
+    (fun layout ->
+      for _ = 1 to 10 do
+        let tcam = scattered_tcam rng ~size:40 ~k:12 in
+        let graph = Graph.create () in
+        let ids = order_of tcam in
+        List.iteri
+          (fun i id ->
+            Graph.add_node graph id;
+            if i > 0 then Graph.add_edge graph (List.nth ids (i - 1)) id)
+          ids;
+        let ops = Defrag.plan tcam ~layout in
+        check "verified" true (Check.sequence graph tcam ops = Ok ())
+      done)
+    layouts
+
+let test_moves_bounded () =
+  let rng = Rng.create ~seed:43 in
+  let tcam = scattered_tcam rng ~size:60 ~k:20 in
+  List.iter
+    (fun layout ->
+      let ops = Defrag.plan tcam ~layout in
+      check "one write per out-of-place entry" true (List.length ops <= 20))
+    layouts
+
+let test_does_not_fit () =
+  let tcam = Tcam.create ~size:8 in
+  for a = 0 to 5 do
+    Tcam.write tcam ~rule_id:a ~addr:a
+  done;
+  Alcotest.check_raises "interleaved-1 needs 12 slots"
+    (Invalid_argument "Defrag: entries do not fit under the target layout")
+    (fun () -> ignore (Defrag.plan tcam ~layout:(Layout.Interleaved 1)))
+
+let test_after_churn_gaps_reopen () =
+  (* Drive an interleaved run until its gaps fill, defragment, and check
+     the gaps are back. *)
+  let table = Dataset.build_table Dataset.ACL5 ~seed:44 ~n:100 in
+  let layout = Layout.Interleaved 2 in
+  let run =
+    Firmware.create ~layout_override:layout (Firmware.FR_O Store.Bit_backend)
+      ~table ~tcam_size:400 ()
+  in
+  let rng = Rng.create ~seed:45 in
+  let stream =
+    Updates.generate rng ~live:(Array.to_list table.Dataset.order) ~count:100
+      ~with_deletes:false ~id_base:1_000
+  in
+  ignore (Firmware.exec_all run stream);
+  let tcam = Firmware.tcam run in
+  check "degraded" false (Defrag.is_canonical tcam ~layout);
+  let ops = Defrag.plan tcam ~layout in
+  check "verified against live graph" true
+    (Check.sequence (Firmware.graph run) tcam ops = Ok ());
+  Tcam.apply_sequence tcam ops;
+  check "canonical again" true (Defrag.is_canonical tcam ~layout);
+  check "dag order still holds" true
+    (Tcam.check_dag_order tcam (Firmware.graph run) = Ok ())
+
+let suite =
+  [
+    ( "defrag",
+      [
+        Alcotest.test_case "already canonical" `Quick test_already_canonical;
+        Alcotest.test_case "restores each layout" `Quick test_restores_each_layout;
+        Alcotest.test_case "intermediate safety" `Quick test_intermediate_safety;
+        Alcotest.test_case "moves bounded" `Quick test_moves_bounded;
+        Alcotest.test_case "does not fit" `Quick test_does_not_fit;
+        Alcotest.test_case "reopens gaps after churn" `Quick test_after_churn_gaps_reopen;
+      ] );
+  ]

@@ -1,0 +1,100 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sorted = List.sort Int.compare
+
+let test_add_remove_nodes () =
+  let g = Graph.create () in
+  check_int "empty" 0 (Graph.n_nodes g);
+  Graph.add_node g 1;
+  Graph.add_node g 1;
+  check_int "idempotent add" 1 (Graph.n_nodes g);
+  Graph.remove_node g 1;
+  check_int "removed" 0 (Graph.n_nodes g);
+  Graph.remove_node g 42 (* no-op *)
+
+let test_edges () =
+  let g = Graph.create () in
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 1 3;
+  Graph.add_edge g 2 3;
+  Graph.add_edge g 1 2;
+  check_int "edges" 3 (Graph.n_edges g);
+  check_int "nodes implied" 3 (Graph.n_nodes g);
+  check "mem" true (Graph.mem_edge g 1 2);
+  check "directed" false (Graph.mem_edge g 2 1);
+  Alcotest.(check (list int)) "deps of 1" [ 2; 3 ] (sorted (Graph.deps g 1));
+  Alcotest.(check (list int)) "dependents of 3" [ 1; 2 ] (sorted (Graph.dependents g 3));
+  check_int "out_degree" 2 (Graph.out_degree g 1);
+  check_int "in_degree" 2 (Graph.in_degree g 3)
+
+let test_self_edge_rejected () =
+  let g = Graph.create () in
+  Alcotest.check_raises "self" (Invalid_argument "Graph.add_edge: self-edge")
+    (fun () -> Graph.add_edge g 5 5)
+
+let test_remove_edge () =
+  let g = Graph.create () in
+  Graph.add_edge g 1 2;
+  Graph.remove_edge g 1 2;
+  check_int "edge gone" 0 (Graph.n_edges g);
+  check "deps empty" true (Graph.deps g 1 = []);
+  Graph.remove_edge g 1 2 (* no-op *)
+
+let test_remove_node_cleans_edges () =
+  let g = Graph.create () in
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 2 3;
+  Graph.add_edge g 0 2;
+  Graph.remove_node g 2;
+  check_int "edges cleaned" 0 (Graph.n_edges g);
+  check "no dangling dep" true (Graph.deps g 1 = []);
+  check "no dangling dependent" true (Graph.dependents g 3 = [])
+
+let test_remove_node_contract () =
+  (* 1 -> 2 -> 3 plus 0 -> 2: contracting 2 must leave 1 -> 3 and 0 -> 3. *)
+  let g = Graph.create () in
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 0 2;
+  Graph.add_edge g 2 3;
+  Graph.remove_node ~contract:true g 2;
+  check "1->3" true (Graph.mem_edge g 1 3);
+  check "0->3" true (Graph.mem_edge g 0 3);
+  check_int "edge count" 2 (Graph.n_edges g)
+
+let test_copy_isolated () =
+  let g = Graph.create () in
+  Graph.add_edge g 1 2;
+  let g' = Graph.copy g in
+  Graph.add_edge g' 2 3;
+  Graph.remove_node g' 1;
+  check_int "original nodes" 2 (Graph.n_nodes g);
+  check_int "original edges" 1 (Graph.n_edges g);
+  check "copy has new edge" true (Graph.mem_edge g' 2 3)
+
+let test_fold_iter () =
+  let g = Graph.create () in
+  Graph.add_edge g 1 10;
+  Graph.add_edge g 1 20;
+  let sum = Graph.fold_deps g 1 ~init:0 ~f:( + ) in
+  check_int "fold" 30 sum;
+  let seen = ref [] in
+  Graph.iter_dependents g 10 (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "iter deps" [ 1 ] !seen
+
+let suite =
+  [
+    ( "graph",
+      [
+        Alcotest.test_case "add/remove nodes" `Quick test_add_remove_nodes;
+        Alcotest.test_case "edges" `Quick test_edges;
+        Alcotest.test_case "self-edge rejected" `Quick test_self_edge_rejected;
+        Alcotest.test_case "remove edge" `Quick test_remove_edge;
+        Alcotest.test_case "remove node cleans edges" `Quick test_remove_node_cleans_edges;
+        Alcotest.test_case "contraction preserves order" `Quick test_remove_node_contract;
+        Alcotest.test_case "copy is isolated" `Quick test_copy_isolated;
+        Alcotest.test_case "fold/iter" `Quick test_fold_iter;
+      ] );
+  ]

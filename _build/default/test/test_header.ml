@@ -1,0 +1,80 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sample_spec =
+  {
+    Header.src_ip = Ternary.prefix_of_int64 ~width:32 ~plen:16 0x0A0B0000L;
+    dst_ip = Ternary.exact_of_int64 ~width:32 0xC0A80101L;
+    src_port = Ternary.any 16;
+    dst_port = Ternary.exact_of_int64 ~width:16 443L;
+    proto = Ternary.exact_of_int64 ~width:8 6L;
+  }
+
+let test_pack_unpack () =
+  let packed = Header.pack sample_spec in
+  check_int "total width" Header.total_width (Ternary.width packed);
+  let u = Header.unpack packed in
+  check "src roundtrip" true (Ternary.equal u.Header.src_ip sample_spec.Header.src_ip);
+  check "dst roundtrip" true (Ternary.equal u.Header.dst_ip sample_spec.Header.dst_ip);
+  check "sport roundtrip" true (Ternary.equal u.Header.src_port sample_spec.Header.src_port);
+  check "dport roundtrip" true (Ternary.equal u.Header.dst_port sample_spec.Header.dst_port);
+  check "proto roundtrip" true (Ternary.equal u.Header.proto sample_spec.Header.proto)
+
+let test_pack_rejects_bad_width () =
+  Alcotest.check_raises "bad proto width"
+    (Invalid_argument "Header: field proto must be 8 bits wide") (fun () ->
+      ignore (Header.pack { sample_spec with Header.proto = Ternary.any 16 }))
+
+let test_wildcard_matches_all () =
+  let field = Header.pack Header.wildcard in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 50 do
+    let p = Header.random_packet rng in
+    check "wildcard matches" true (Ternary.matches_value field (Header.packet_bits p))
+  done
+
+let test_packet_matching () =
+  let field = Header.pack sample_spec in
+  let hit =
+    {
+      Header.p_src_ip = 0x0A0B1234L;
+      p_dst_ip = 0xC0A80101L;
+      p_src_port = 9999;
+      p_dst_port = 443;
+      p_proto = 6;
+    }
+  in
+  check "hit" true (Ternary.matches_value field (Header.packet_bits hit));
+  check "wrong dst" false
+    (Ternary.matches_value field
+       (Header.packet_bits { hit with Header.p_dst_ip = 0xC0A80102L }));
+  check "wrong proto" false
+    (Ternary.matches_value field (Header.packet_bits { hit with Header.p_proto = 17 }));
+  check "src outside prefix" false
+    (Ternary.matches_value field
+       (Header.packet_bits { hit with Header.p_src_ip = 0x0B0B1234L }))
+
+let test_packet_in () =
+  let field = Header.pack sample_spec in
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 100 do
+    let p = Header.packet_in rng field in
+    check "sampled packet matches" true
+      (Ternary.matches_value field (Header.packet_bits p));
+    check_int "proto pinned" 6 p.Header.p_proto;
+    check_int "dport pinned" 443 p.Header.p_dst_port
+  done
+
+let suite =
+  [
+    ( "header",
+      [
+        Alcotest.test_case "pack/unpack roundtrip" `Quick test_pack_unpack;
+        Alcotest.test_case "pack rejects bad widths" `Quick test_pack_rejects_bad_width;
+        Alcotest.test_case "wildcard matches all packets" `Quick test_wildcard_matches_all;
+        Alcotest.test_case "field/packet matching" `Quick test_packet_matching;
+        Alcotest.test_case "packet_in sampling" `Quick test_packet_in;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_modulo_addressing () =
+  (* A logical table far larger than the "hardware": writes land at
+     addr mod hw_size, like the paper's ONetSwitch emulation. *)
+  let e = Hw_emu.create ~hw_table_size:16 ~logical_size:1024 () in
+  Hw_emu.add_entry e ~rule_id:1 ~addr:500;
+  check "logical placed" true (Tcam.read (Hw_emu.logical e) 500 = Tcam.Used 1);
+  check_int "hw calls" 1 (Hw_emu.hw_calls e);
+  Hw_emu.delete_entry e ~addr:500;
+  check "logical erased" true (Tcam.read (Hw_emu.logical e) 500 = Tcam.Free);
+  check_int "hw calls 2" 2 (Hw_emu.hw_calls e)
+
+let test_clock () =
+  let latency = Latency.make ~write_ms:0.6 ~erase_ms:0.4 () in
+  let e = Hw_emu.create ~latency ~logical_size:64 () in
+  Hw_emu.add_entry e ~rule_id:1 ~addr:0;
+  Hw_emu.add_entry e ~rule_id:2 ~addr:1;
+  Hw_emu.delete_entry e ~addr:0;
+  check_float "elapsed" 1.6 (Hw_emu.elapsed_ms e);
+  Hw_emu.reset_meters e;
+  check_float "reset" 0.0 (Hw_emu.elapsed_ms e);
+  check_int "reset calls" 0 (Hw_emu.hw_calls e)
+
+let test_apply_sequence () =
+  let e = Hw_emu.create ~logical_size:32 () in
+  Hw_emu.add_entry e ~rule_id:10 ~addr:0;
+  Hw_emu.apply_sequence e
+    [ Op.insert ~rule_id:10 ~addr:1; Op.insert ~rule_id:99 ~addr:0 ];
+  check "moved" true (Tcam.read (Hw_emu.logical e) 1 = Tcam.Used 10);
+  check "inserted" true (Tcam.read (Hw_emu.logical e) 0 = Tcam.Used 99);
+  check_int "three SDK calls" 3 (Hw_emu.hw_calls e)
+
+let test_mirrors_firmware_pipeline () =
+  (* Drive a real FastRule run and mirror every sequence through the
+     emulation; the shadow (logical) table must track the firmware's TCAM
+     exactly, like the paper's rig. *)
+  let table = Dataset.build_table Dataset.ACL5 ~seed:51 ~n:120 in
+  let rng = Rng.create ~seed:52 in
+  let stream =
+    Updates.generate rng
+      ~live:(Array.to_list table.Dataset.order)
+      ~count:80 ~with_deletes:true ~id_base:1_000
+  in
+  let tcam_size = 300 in
+  let tcam = Layout.place Layout.Original ~tcam_size ~order:table.Dataset.order in
+  let graph = Graph.copy table.Dataset.graph in
+  let fr = Greedy.create ~graph ~tcam () in
+  let algo = Greedy.algo fr in
+  let emu = Hw_emu.create ~hw_table_size:16 ~logical_size:tcam_size () in
+  Tcam.iter_used tcam (fun ~addr ~rule_id ->
+      Hw_emu.add_entry emu ~rule_id ~addr);
+  Hw_emu.reset_meters emu;
+  let hw_ops = ref 0 in
+  List.iter
+    (fun u ->
+      match Updates.resolve graph tcam u with
+      | Updates.R_insert { id; deps; dependents } as r -> (
+          Updates.apply_graph graph r;
+          match algo.Algo.schedule_insert ~rule_id:id ~deps ~dependents with
+          | Ok ops ->
+              Tcam.apply_sequence tcam ops;
+              Hw_emu.apply_sequence emu ops;
+              hw_ops := !hw_ops + List.length ops;
+              algo.Algo.after_apply ops
+          | Error _ -> Graph.remove_node graph id)
+      | Updates.R_delete { id } as r -> (
+          match algo.Algo.schedule_delete ~rule_id:id with
+          | Ok ops ->
+              Tcam.apply_sequence tcam ops;
+              Hw_emu.apply_sequence emu ops;
+              hw_ops := !hw_ops + List.length ops;
+              Updates.apply_graph graph r;
+              algo.Algo.after_apply ops
+          | Error _ -> ()))
+    stream;
+  for a = 0 to tcam_size - 1 do
+    check "shadow tracks firmware tcam" true
+      (Tcam.read tcam a = Tcam.read (Hw_emu.logical emu) a)
+  done;
+  check_int "every op became one SDK call" !hw_ops (Hw_emu.hw_calls emu);
+  check "shadow invariant" true
+    (Tcam.check_dag_order (Hw_emu.logical emu) graph = Ok ())
+
+let test_default_size () =
+  check_int "ONS_HW_TABLE_SIZE" 256 Hw_emu.default_hw_table_size;
+  let e = Hw_emu.create ~logical_size:10 () in
+  check_int "hw size default" 256 (Hw_emu.hw_size e)
+
+let suite =
+  [
+    ( "hw-emu",
+      [
+        Alcotest.test_case "modulo addressing" `Quick test_modulo_addressing;
+        Alcotest.test_case "latency clock" `Quick test_clock;
+        Alcotest.test_case "apply sequence" `Quick test_apply_sequence;
+        Alcotest.test_case "mirrors firmware pipeline" `Quick test_mirrors_firmware_pipeline;
+        Alcotest.test_case "defaults" `Quick test_default_size;
+      ] );
+  ]

@@ -1,0 +1,35 @@
+open Fastrule
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_default () =
+  check_float "write" 0.6 Latency.default.Latency.write_ms;
+  check_float "erase" 0.6 Latency.default.Latency.erase_ms
+
+let test_sequence_cost () =
+  let l = Latency.make ~write_ms:0.5 ~erase_ms:0.25 () in
+  let ops =
+    [ Op.insert ~rule_id:1 ~addr:0; Op.insert ~rule_id:2 ~addr:1; Op.delete ~addr:3 ]
+  in
+  check_float "mixed sequence" 1.25 (Latency.sequence_ms l ops);
+  check_float "empty" 0.0 (Latency.sequence_ms l [])
+
+let test_ops_cost () =
+  let l = Latency.make ~write_ms:1.0 ~erase_ms:2.0 () in
+  check_float "aggregate" 7.0 (Latency.ops_ms l ~writes:3 ~erases:2)
+
+let test_negative_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Latency.make: costs must be non-negative") (fun () ->
+      ignore (Latency.make ~write_ms:(-1.0) ()))
+
+let suite =
+  [
+    ( "latency",
+      [
+        Alcotest.test_case "default 0.6ms" `Quick test_default;
+        Alcotest.test_case "sequence cost" `Quick test_sequence_cost;
+        Alcotest.test_case "aggregate cost" `Quick test_ops_cost;
+        Alcotest.test_case "negative rejected" `Quick test_negative_rejected;
+      ] );
+  ]

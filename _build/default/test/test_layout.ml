@@ -1,0 +1,71 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let order = [| 10; 11; 12; 13; 14; 15 |]
+
+let test_capacity () =
+  check_int "original" 6 (Layout.capacity_needed Layout.Original ~n:6);
+  check_int "separated" 6 (Layout.capacity_needed Layout.Separated ~n:6);
+  check_int "interleaved-2" 9 (Layout.capacity_needed (Layout.Interleaved 2) ~n:6);
+  check_int "interleaved-1" 12 (Layout.capacity_needed (Layout.Interleaved 1) ~n:6)
+
+let test_place_original () =
+  let t = Layout.place Layout.Original ~tcam_size:10 ~order in
+  Array.iteri (fun i id -> check "packed" true (Tcam.read t i = Tcam.Used id)) order;
+  check "free above" true (Tcam.read t 6 = Tcam.Free);
+  check_int "no ops counted" 0 (Tcam.ops_issued t)
+
+let test_place_interleaved () =
+  let t = Layout.place (Layout.Interleaved 2) ~tcam_size:12 ~order in
+  (* entries at i + i/2: 0,1,3,4,6,7; gaps at 2,5,8. *)
+  check "e0" true (Tcam.read t 0 = Tcam.Used 10);
+  check "e1" true (Tcam.read t 1 = Tcam.Used 11);
+  check "gap" true (Tcam.read t 2 = Tcam.Free);
+  check "e2" true (Tcam.read t 3 = Tcam.Used 12);
+  check "gap2" true (Tcam.read t 5 = Tcam.Free)
+
+let test_place_separated () =
+  let t = Layout.place Layout.Separated ~tcam_size:10 ~order in
+  (* bottom half (3) at 0..2, top half (3) at 7..9, middle free. *)
+  check "b0" true (Tcam.read t 0 = Tcam.Used 10);
+  check "b2" true (Tcam.read t 2 = Tcam.Used 12);
+  check "middle free" true (Tcam.read t 4 = Tcam.Free);
+  check "t0" true (Tcam.read t 7 = Tcam.Used 13);
+  check "t2" true (Tcam.read t 9 = Tcam.Used 15)
+
+let test_separated_regions_of () =
+  let t = Layout.place Layout.Separated ~tcam_size:10 ~order in
+  let r = Layout.separated_regions_of t in
+  check_int "bottom_next" 3 r.Layout.bottom_next;
+  check_int "top_next" 6 r.Layout.top_next;
+  check_int "bottom_count" 3 r.Layout.bottom_count;
+  check_int "top_count" 3 r.Layout.top_count;
+  check_int "middle" 4 (Layout.middle_free r)
+
+let test_no_fit () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Layout.place: entries do not fit in the TCAM") (fun () ->
+      ignore (Layout.place Layout.Original ~tcam_size:5 ~order))
+
+let test_empty_separated () =
+  let t = Layout.place Layout.Separated ~tcam_size:8 ~order:[||] in
+  let r = Layout.separated_regions_of t in
+  check_int "bottom empty" 0 r.Layout.bottom_next;
+  check_int "top empty" 7 r.Layout.top_next;
+  check_int "middle all" 8 (Layout.middle_free r)
+
+let suite =
+  [
+    ( "layout",
+      [
+        Alcotest.test_case "capacity_needed" `Quick test_capacity;
+        Alcotest.test_case "place original" `Quick test_place_original;
+        Alcotest.test_case "place interleaved" `Quick test_place_interleaved;
+        Alcotest.test_case "place separated" `Quick test_place_separated;
+        Alcotest.test_case "regions inference" `Quick test_separated_regions_of;
+        Alcotest.test_case "does not fit" `Quick test_no_fit;
+        Alcotest.test_case "empty separated table" `Quick test_empty_separated;
+      ] );
+  ]

@@ -1,0 +1,72 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let graph_of edges nodes =
+  let g = Graph.create () in
+  List.iter (Graph.add_node g) nodes;
+  List.iter (fun (u, v) -> Graph.add_edge g u v) edges;
+  g
+
+let test_chain_levels () =
+  let g = graph_of [ (1, 2); (2, 3) ] [] in
+  let d = Levels.assign g in
+  check_int "1" 1 (Hashtbl.find d 1);
+  check_int "2" 2 (Hashtbl.find d 2);
+  check_int "3" 3 (Hashtbl.find d 3);
+  check_int "height" 3 (Levels.height g)
+
+let test_star_levels () =
+  (* A star uses only two levels whatever the fan-out. *)
+  let g = graph_of [ (0, 1); (0, 2); (0, 3); (0, 4) ] [] in
+  let d = Levels.assign g in
+  check_int "root level" 1 (Hashtbl.find d 0);
+  List.iter (fun v -> check_int "leaf level" 2 (Hashtbl.find d v)) [ 1; 2; 3; 4 ];
+  check_int "height" 2 (Levels.height g)
+
+let test_isolated () =
+  let g = graph_of [] [ 7; 8 ] in
+  let d = Levels.assign g in
+  check_int "iso 7" 1 (Hashtbl.find d 7);
+  check_int "iso 8" 1 (Hashtbl.find d 8)
+
+let test_validity_on_generated_tables () =
+  List.iter
+    (fun kind ->
+      let table = Dataset.build_table kind ~seed:17 ~n:300 in
+      let d = Levels.assign table.Dataset.graph in
+      check
+        (Dataset.to_string kind ^ " valid priorities")
+        true
+        (Levels.is_valid table.Dataset.graph (Hashtbl.find d));
+      (* Height is exactly the number of distinct levels in a connected
+         sense: it never exceeds c_max. *)
+      let stats = Dataset.stats table in
+      check "height = c_max" true (Levels.height table.Dataset.graph = stats.Dag_stats.c_max))
+    Dataset.all
+
+let test_is_valid_detects_violation () =
+  let g = graph_of [ (1, 2) ] [] in
+  check "constant prios invalid" false (Levels.is_valid g (fun _ -> 5));
+  check "reversed invalid" false (Levels.is_valid g (fun x -> -x));
+  check "identity valid" true (Levels.is_valid g (fun x -> x))
+
+let test_diamond () =
+  let g = graph_of [ (1, 2); (1, 3); (2, 4); (3, 4) ] [] in
+  let d = Levels.assign g in
+  check_int "top of diamond" 3 (Hashtbl.find d 4);
+  check "valid" true (Levels.is_valid g (Hashtbl.find d))
+
+let suite =
+  [
+    ( "levels",
+      [
+        Alcotest.test_case "chain" `Quick test_chain_levels;
+        Alcotest.test_case "star" `Quick test_star_levels;
+        Alcotest.test_case "isolated" `Quick test_isolated;
+        Alcotest.test_case "generated tables" `Quick test_validity_on_generated_tables;
+        Alcotest.test_case "violations detected" `Quick test_is_valid_detects_violation;
+        Alcotest.test_case "diamond" `Quick test_diamond;
+      ] );
+  ]

@@ -1,0 +1,67 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_empty_summary () =
+  let s = Measure.summarize [||] in
+  check_int "count" 0 s.Measure.count;
+  check_float "mean" 0.0 s.Measure.mean
+
+let test_basic_summary () =
+  let s = Measure.summarize [| 3.0; 1.0; 2.0 |] in
+  check_int "count" 3 s.Measure.count;
+  check_float "total" 6.0 s.Measure.total;
+  check_float "mean" 2.0 s.Measure.mean;
+  check_float "min" 1.0 s.Measure.min;
+  check_float "max" 3.0 s.Measure.max;
+  check_float "p50" 2.0 s.Measure.p50
+
+let test_percentiles () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let s = Measure.summarize samples in
+  check_float "p50" 50.0 s.Measure.p50;
+  check_float "p95" 95.0 s.Measure.p95;
+  check_float "p99" 99.0 s.Measure.p99;
+  check_float "max" 100.0 s.Measure.max
+
+let test_singleton () =
+  let s = Measure.summarize [| 7.5 |] in
+  check_float "all equal" 7.5 s.Measure.p99;
+  check_float "mean" 7.5 s.Measure.mean
+
+let test_series_growth () =
+  let sr = Measure.Series.create () in
+  for i = 1 to 1000 do
+    Measure.Series.add sr (float_of_int i)
+  done;
+  check_int "count" 1000 (Measure.Series.count sr);
+  let s = Measure.Series.summary sr in
+  check_float "max" 1000.0 s.Measure.max;
+  check_float "mean" 500.5 s.Measure.mean;
+  check_int "snapshot length" 1000 (Array.length (Measure.Series.to_array sr))
+
+let test_time_ms () =
+  let x, dt = Measure.time_ms (fun () -> 42) in
+  check_int "result" 42 x;
+  check "non-negative" true (dt >= 0.0)
+
+let test_summarize_does_not_mutate () =
+  let samples = [| 3.0; 1.0; 2.0 |] in
+  ignore (Measure.summarize samples);
+  Alcotest.(check (array (float 0.0))) "input untouched" [| 3.0; 1.0; 2.0 |] samples
+
+let suite =
+  [
+    ( "measure",
+      [
+        Alcotest.test_case "empty" `Quick test_empty_summary;
+        Alcotest.test_case "basic" `Quick test_basic_summary;
+        Alcotest.test_case "percentiles" `Quick test_percentiles;
+        Alcotest.test_case "singleton" `Quick test_singleton;
+        Alcotest.test_case "series growth" `Quick test_series_growth;
+        Alcotest.test_case "time_ms" `Quick test_time_ms;
+        Alcotest.test_case "no mutation" `Quick test_summarize_does_not_mutate;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sorted_ids rules = List.sort Int.compare (List.map (fun (r : Rule.t) -> r.Rule.id) rules)
+
+let brute_force rules (q : Rule.t) =
+  Array.to_list rules
+  |> List.filter (fun (r : Rule.t) -> r.Rule.id <> q.Rule.id && Rule.overlaps q r)
+  |> sorted_ids
+
+let test_matches_brute_force () =
+  List.iter
+    (fun kind ->
+      let rules = Dataset.generate kind ~seed:13 ~n:250 in
+      let idx = Overlap_index.create () in
+      Array.iter (Overlap_index.add idx) rules;
+      check_int "length" 250 (Overlap_index.length idx);
+      Array.iter
+        (fun q ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s overlap set of %d" (Dataset.to_string kind) q.Rule.id)
+            (brute_force rules q)
+            (sorted_ids (Overlap_index.overlapping idx q)))
+        rules)
+    Dataset.extended
+
+let test_add_remove () =
+  let rules = Dataset.generate Dataset.FW4 ~seed:14 ~n:50 in
+  let idx = Overlap_index.create () in
+  Array.iter (Overlap_index.add idx) rules;
+  Overlap_index.remove idx rules.(7);
+  check_int "removed" 49 (Overlap_index.length idx);
+  Array.iter
+    (fun q ->
+      if q.Rule.id <> 7 then
+        check "7 never reported" false
+          (List.exists (fun (r : Rule.t) -> r.Rule.id = 7)
+             (Overlap_index.overlapping idx q)))
+    rules;
+  Overlap_index.add idx rules.(7);
+  Overlap_index.add idx rules.(7);
+  check_int "idempotent re-add" 50 (Overlap_index.length idx)
+
+let test_candidates_narrow () =
+  (* On a destination-clustered table the candidate superset must be far
+     smaller than the table. *)
+  let n = 2_000 in
+  let rules = Dataset.generate Dataset.ACL5 ~seed:15 ~n in
+  let idx = Overlap_index.create () in
+  Array.iter (Overlap_index.add idx) rules;
+  let total = ref 0 in
+  Array.iter (fun q -> total := !total + Overlap_index.candidate_count idx q) rules;
+  let avg = float_of_int !total /. float_of_int n in
+  check "avg candidates << n" true (avg < float_of_int n /. 10.0)
+
+let test_coarse_rules_always_candidates () =
+  (* A wildcard-destination rule must appear in every query's candidates. *)
+  let coarse =
+    Rule.make ~id:900
+      ~field:(Header.pack Header.wildcard)
+      ~action:Rule.Drop ~priority:0
+  in
+  let rules = Dataset.generate Dataset.ACL4 ~seed:16 ~n:100 in
+  let idx = Overlap_index.create () in
+  Array.iter (Overlap_index.add idx) rules;
+  Overlap_index.add idx coarse;
+  Array.iter
+    (fun q ->
+      check "coarse reported" true
+        (List.exists (fun (r : Rule.t) -> r.Rule.id = 900)
+           (Overlap_index.overlapping idx q)))
+    rules
+
+let test_non_5tuple_rules_supported () =
+  (* Toy-width rules fall into the coarse class but stay correct. *)
+  let mk id s = Rule.make ~id ~field:(Ternary.of_string s) ~action:Rule.Drop ~priority:1 in
+  let idx = Overlap_index.create () in
+  List.iter (Overlap_index.add idx) [ mk 0 "1***"; mk 1 "10**"; mk 2 "0***" ];
+  Alcotest.(check (list int)) "overlaps of 0" [ 1 ] (sorted_ids (Overlap_index.overlapping idx (mk 0 "1***")));
+  Alcotest.(check (list int)) "overlaps of 2" [] (sorted_ids (Overlap_index.overlapping idx (mk 2 "0***")))
+
+let test_compile_fast_equals_compile () =
+  List.iter
+    (fun kind ->
+      let rules = Dataset.generate kind ~seed:17 ~n:400 in
+      let a = Dag_build.compile rules in
+      let b = Dag_build.compile_fast rules in
+      check_int "edge count" (Graph.n_edges a) (Graph.n_edges b);
+      Graph.iter_nodes a (fun u ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s deps of %d" (Dataset.to_string kind) u)
+            (List.sort Int.compare (Graph.deps a u))
+            (List.sort Int.compare (Graph.deps b u))))
+    Dataset.extended
+
+let suite =
+  [
+    ( "overlap-index",
+      [
+        Alcotest.test_case "matches brute force" `Quick test_matches_brute_force;
+        Alcotest.test_case "add/remove" `Quick test_add_remove;
+        Alcotest.test_case "candidates narrow" `Quick test_candidates_narrow;
+        Alcotest.test_case "coarse rules always reported" `Quick
+          test_coarse_rules_always_candidates;
+        Alcotest.test_case "non-5-tuple rules" `Quick test_non_5tuple_rules_supported;
+        Alcotest.test_case "compile_fast = compile" `Quick test_compile_fast_equals_compile;
+      ] );
+  ]

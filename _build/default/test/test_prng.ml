@@ -1,0 +1,123 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done;
+  let c = Rng.create ~seed:124 in
+  check "different seed diverges" false
+    (List.init 10 (fun _ -> Rng.bits64 a) = List.init 10 (fun _ -> Rng.bits64 c))
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let bound = 1 + Rng.int rng 100 in
+    let x = Rng.int rng bound in
+    check "in range" true (x >= 0 && x < bound)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 500 do
+    let x = Rng.int_in rng (-5) 5 in
+    check "inclusive range" true (x >= -5 && x <= 5)
+  done;
+  check_int "degenerate" 7 (Rng.int_in rng 7 7)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    check "unit interval" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_int_uniformish () =
+  let rng = Rng.create ~seed:4 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c -> check (Printf.sprintf "bucket %d near 1000" i) true (c > 800 && c < 1200))
+    counts
+
+let test_split_independence () =
+  let a = Rng.create ~seed:9 in
+  let b = Rng.split a in
+  check "split streams differ" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy () =
+  let a = Rng.create ~seed:10 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check "copy replays" true (Rng.bits64 a = Rng.bits64 b)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted;
+  check "actually shuffled" false (a = Array.init 50 Fun.id)
+
+let test_weighted () =
+  let rng = Rng.create ~seed:12 in
+  let hits = ref 0 in
+  for _ = 1 to 5000 do
+    if Rng.weighted rng [| (0.9, `A); (0.1, `B) |] = `A then incr hits
+  done;
+  check "weighting respected" true (!hits > 4200 && !hits < 4800);
+  Alcotest.check_raises "all-zero" (Invalid_argument "Rng.weighted: weights sum to zero")
+    (fun () -> ignore (Rng.weighted rng [| (0.0, `A) |]))
+
+let test_chance_extremes () =
+  let rng = Rng.create ~seed:13 in
+  check "p=1" true (Rng.chance rng 1.0);
+  check "p=0" false (Rng.chance rng 0.0)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:14 in
+  check_int "p=1 is 0" 0 (Rng.geometric rng ~p:1.0);
+  let total = ref 0 in
+  for _ = 1 to 2000 do
+    let g = Rng.geometric rng ~p:0.5 in
+    check "non-negative" true (g >= 0);
+    total := !total + g
+  done;
+  (* mean of Geom(0.5) failures = 1 *)
+  let mean = float_of_int !total /. 2000.0 in
+  check "mean near 1" true (mean > 0.8 && mean < 1.2)
+
+let test_pick () =
+  let rng = Rng.create ~seed:15 in
+  check_int "singleton array" 5 (Rng.pick rng [| 5 |]);
+  check_int "singleton list" 6 (Rng.pick_list rng [ 6 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let suite =
+  [
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int_in" `Quick test_int_in;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "uniformity" `Quick test_int_uniformish;
+        Alcotest.test_case "split" `Quick test_split_independence;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+        Alcotest.test_case "weighted" `Quick test_weighted;
+        Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+        Alcotest.test_case "geometric" `Quick test_geometric;
+        Alcotest.test_case "pick" `Quick test_pick;
+      ] );
+  ]

@@ -1,0 +1,332 @@
+(* Property-based tests (qcheck) for the core invariants of DESIGN.md §6. *)
+
+open Fastrule
+
+(* --- generators -------------------------------------------------------- *)
+
+let ternary_gen width =
+  QCheck.Gen.(
+    array_repeat width (frequencyl [ (2, '0'); (2, '1'); (3, '*') ])
+    >|= fun chars -> Ternary.of_string (String.init width (Array.get chars)))
+
+let arb_ternary width =
+  QCheck.make ~print:Ternary.to_string (ternary_gen width)
+
+let arb_ternary_pair width =
+  QCheck.make
+    ~print:(fun (a, b) -> Ternary.to_string a ^ " / " ^ Ternary.to_string b)
+    QCheck.Gen.(pair (ternary_gen width) (ternary_gen width))
+
+(* A random rule table over a narrow 10-bit header so overlaps are common. *)
+let rules_gen =
+  QCheck.Gen.(
+    let rule_gen i =
+      ternary_gen 10 >|= fun field ->
+      Rule.make ~id:i ~field ~action:(Rule.Forward i)
+        ~priority:(10 - Ternary.num_wildcards field)
+    in
+    int_range 2 25 >>= fun n ->
+    let rec build i acc =
+      if i = n then return (Array.of_list (List.rev acc))
+      else rule_gen i >>= fun r -> build (i + 1) (r :: acc)
+    in
+    build 0 [])
+
+let arb_rules =
+  QCheck.make
+    ~print:(fun rules ->
+      String.concat ";"
+        (Array.to_list
+           (Array.map (fun (r : Rule.t) -> Ternary.to_string r.Rule.field) rules)))
+    rules_gen
+
+(* --- ternary algebra --------------------------------------------------- *)
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:500 (arb_ternary_pair 12)
+    (fun (a, b) -> Ternary.overlaps a b = Ternary.overlaps b a)
+
+let prop_subsumes_implies_overlap =
+  QCheck.Test.make ~name:"subsumption implies overlap" ~count:500
+    (arb_ternary_pair 12) (fun (a, b) ->
+      QCheck.assume (Ternary.subsumes a b);
+      Ternary.overlaps a b)
+
+let prop_intersect_members =
+  QCheck.Test.make ~name:"intersection members match both" ~count:300
+    (arb_ternary_pair 10) (fun (a, b) ->
+      match Ternary.intersect a b with
+      | None -> true
+      | Some i ->
+          let rng = Rng.create ~seed:(Ternary.hash i) in
+          let ok = ref true in
+          for _ = 1 to 20 do
+            let v = Ternary.random_exact_in rng i in
+            if not (Ternary.matches_value a v && Ternary.matches_value b v) then
+              ok := false
+          done;
+          !ok)
+
+let prop_sampled_member_matches =
+  QCheck.Test.make ~name:"random_exact_in lands inside" ~count:300 (arb_ternary 16)
+    (fun t ->
+      let rng = Rng.create ~seed:(Ternary.hash t) in
+      Ternary.matches_value t (Ternary.random_exact_in rng t))
+
+let prop_overlap_iff_shared_member =
+  (* For narrow widths, exhaustively check overlap = exists shared member. *)
+  QCheck.Test.make ~name:"overlap iff shared member (width 6)" ~count:300
+    (arb_ternary_pair 6) (fun (a, b) ->
+      let shared = ref false in
+      for v = 0 to 63 do
+        let bits = [| Int64.of_int v |] in
+        if Ternary.matches_value a bits && Ternary.matches_value b bits then
+          shared := true
+      done;
+      Ternary.overlaps a b = !shared)
+
+(* --- compiler ----------------------------------------------------------- *)
+
+let prop_compile_acyclic_and_covering =
+  QCheck.Test.make ~name:"compile: acyclic + closure covers overlaps" ~count:60
+    arb_rules (fun rules ->
+      let g = Dag_build.compile rules in
+      Topo.is_acyclic g && Dag_build.closure_covers_overlaps g rules)
+
+(* --- fenwick min-tree --------------------------------------------------- *)
+
+let prop_min_tree_vs_naive =
+  QCheck.Test.make ~name:"min-tree equals naive scan" ~count:200
+    QCheck.(
+      make
+        Gen.(
+          int_range 1 60 >>= fun n ->
+          list_size (int_range 1 80) (pair (int_range 0 (n - 1)) (int_range 0 50))
+          >|= fun ops -> (n, ops)))
+    (fun (n, ops) ->
+      let t = Min_tree.create n ~init:25 in
+      let reference = Array.make n 25 in
+      List.for_all
+        (fun (i, v) ->
+          Min_tree.set t i v;
+          reference.(i) <- v;
+          (* check a handful of ranges *)
+          List.for_all
+            (fun (lo, hi) ->
+              let lo = min lo hi and hi = max lo hi in
+              let best_v = ref max_int and best_i = ref (-1) in
+              for k = lo to min hi (n - 1) do
+                if reference.(k) <= !best_v then begin
+                  best_v := reference.(k);
+                  best_i := k
+                end
+              done;
+              Min_tree.min_in t ~lo ~hi:(min hi (n - 1)) = Some (!best_i, !best_v))
+            [ (0, n - 1); (i, n - 1); (0, i); (i / 2, i) ])
+        ops)
+
+(* --- end-to-end scheduler invariants ------------------------------------ *)
+
+let algo_choices =
+  [
+    ("naive", Firmware.Naive);
+    ("ruletris", Firmware.Ruletris);
+    ("fr-o/bit", Firmware.FR_O Store.Bit_backend);
+    ("fr-o/array", Firmware.FR_O Store.Array_backend);
+    ("fr-o/od", Firmware.FR_O Store.On_demand);
+    ("fr-sd", Firmware.FR_SD Store.Bit_backend);
+    ("fr-sb", Firmware.FR_SB Store.Bit_backend);
+  ]
+
+(* One random end-to-end scenario: a compiled table + a random update
+   stream, replayed with invariant checking on. *)
+let scenario_gen =
+  QCheck.Gen.(
+    pair (int_range 0 10_000) (pair (int_range 10 60) bool) >|= fun (seed, (n, deletes)) ->
+    (seed, n, deletes))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (seed, n, deletes) -> Printf.sprintf "seed=%d n=%d deletes=%b" seed n deletes)
+    scenario_gen
+
+let run_scenario (seed, n, deletes) kind =
+  let kinds = [| Dataset.ACL4; Dataset.ACL5; Dataset.FW4; Dataset.FW5; Dataset.ROUTE |] in
+  let table = Dataset.build_table kinds.(seed mod 5) ~seed ~n in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let stream =
+    Updates.generate rng ~live:(Array.to_list table.Dataset.order) ~count:(2 * n)
+      ~with_deletes:deletes ~id_base:(n + 1)
+  in
+  let run = Firmware.create ~check_invariant:true kind ~table ~tcam_size:(4 * n) () in
+  let failed = Firmware.exec_all run stream in
+  (run, failed)
+
+let prop_invariant_all_algos =
+  List.map
+    (fun (name, kind) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "dependency invariant: %s" name)
+        ~count:30 arb_scenario
+        (fun sc ->
+          let run, failed = run_scenario sc kind in
+          failed = 0
+          && Tcam.check_dag_order (Firmware.tcam run) (Firmware.graph run) = Ok ()))
+    algo_choices
+
+let prop_membership_agreement =
+  QCheck.Test.make ~name:"final membership agrees across algorithms" ~count:15
+    arb_scenario (fun sc ->
+      let members kind =
+        let run, failed = run_scenario sc kind in
+        QCheck.assume (failed = 0);
+        List.sort Int.compare (Tcam.used_ids (Firmware.tcam run))
+      in
+      let reference = members Firmware.Naive in
+      List.for_all
+        (fun (_, kind) -> members kind = reference)
+        [ ("rt", Firmware.Ruletris); ("fr", Firmware.FR_O Store.Bit_backend);
+          ("sb", Firmware.FR_SB Store.Bit_backend) ])
+
+let prop_metric_stores_truthful =
+  QCheck.Test.make ~name:"metric stores truthful after streams" ~count:25
+    arb_scenario (fun sc ->
+      let seed, n, _ = sc in
+      let table = Dataset.build_table Dataset.FW5 ~seed ~n in
+      let rng = Rng.create ~seed:(seed + 2) in
+      let stream =
+        Updates.generate rng ~live:(Array.to_list table.Dataset.order) ~count:n
+          ~with_deletes:true ~id_base:(n + 1)
+      in
+      let tcam =
+        Layout.place Layout.Original ~tcam_size:(3 * n) ~order:table.Dataset.order
+      in
+      let graph = Graph.copy table.Dataset.graph in
+      let st = Greedy.create ~backend:Store.Bit_backend ~graph ~tcam () in
+      let algo = Greedy.algo st in
+      List.iter
+        (fun u ->
+          match Updates.resolve graph tcam u with
+          | Updates.R_insert { id; deps; dependents } as r ->
+              Updates.apply_graph graph r;
+              (match algo.Algo.schedule_insert ~rule_id:id ~deps ~dependents with
+              | Ok ops ->
+                  Tcam.apply_sequence tcam ops;
+                  algo.Algo.after_apply ops
+              | Error _ -> Graph.remove_node graph id)
+          | Updates.R_delete { id } as r -> (
+              match algo.Algo.schedule_delete ~rule_id:id with
+              | Ok ops ->
+                  Tcam.apply_sequence tcam ops;
+                  Updates.apply_graph graph r;
+                  algo.Algo.after_apply ops
+              | Error _ -> ()))
+        stream;
+      let snap = Store.snapshot (Greedy.store st) in
+      Array.for_all
+        (fun a -> snap.(a) = Metric.compute Dir.Up graph tcam ~addr:a)
+        (Array.init (Tcam.size tcam) Fun.id))
+
+(* Every sequence any scheduler emits must be intermediate-state safe: no
+   live-entry clobbering, dependency order intact after every single op
+   (Check simulates op by op). *)
+let prop_sequences_intermediate_safe =
+  QCheck.Test.make ~name:"sequences are intermediate-state safe" ~count:20
+    arb_scenario (fun (seed, n, _) ->
+      let table = Dataset.build_table Dataset.FW4 ~seed ~n in
+      let rng = Rng.create ~seed:(seed + 3) in
+      let stream =
+        Updates.generate rng ~live:(Array.to_list table.Dataset.order) ~count:n
+          ~with_deletes:true ~id_base:(10 * n)
+      in
+      List.for_all
+        (fun kind ->
+          let run =
+            Firmware.create ~check_invariant:false kind ~table ~tcam_size:(4 * n) ()
+          in
+          let graph = Firmware.graph run and tcam = Firmware.tcam run in
+          let algo = Firmware.scheduler run in
+          (* Re-drive the stream by hand so we can interpose Check. *)
+          let ok = ref true in
+          List.iter
+            (fun u ->
+              match Updates.resolve graph tcam u with
+              | Updates.R_insert { id; deps; dependents } as r -> (
+                  Updates.apply_graph graph r;
+                  match algo.Algo.schedule_insert ~rule_id:id ~deps ~dependents with
+                  | Ok ops ->
+                      if Check.sequence graph tcam ops <> Ok () then ok := false;
+                      Tcam.apply_sequence tcam ops;
+                      algo.Algo.after_apply ops
+                  | Error _ -> Graph.remove_node graph id)
+              | Updates.R_delete { id } as r -> (
+                  match algo.Algo.schedule_delete ~rule_id:id with
+                  | Ok ops ->
+                      if Check.sequence graph tcam ops <> Ok () then ok := false;
+                      Tcam.apply_sequence tcam ops;
+                      Updates.apply_graph graph r;
+                      algo.Algo.after_apply ops
+                  | Error _ -> ()))
+            stream;
+          !ok)
+        [
+          Firmware.Naive;
+          Firmware.FR_O Store.Bit_backend;
+          Firmware.FR_SB Store.Bit_backend;
+        ])
+
+let prop_ruletris_never_longer =
+  QCheck.Test.make ~name:"ruletris <= greedy sequence length" ~count:40
+    arb_scenario (fun (seed, n, _) ->
+      let table = Dataset.build_table Dataset.ACL4 ~seed ~n in
+      let tcam =
+        Layout.place Layout.Original ~tcam_size:(n + 8) ~order:table.Dataset.order
+      in
+      let graph = Graph.copy table.Dataset.graph in
+      let rng = Rng.create ~seed in
+      let ids = Array.of_list (Tcam.used_ids tcam) in
+      let x = Rng.pick rng ids and y = Rng.pick rng ids in
+      QCheck.assume (x <> y);
+      let f_a, f_b =
+        if Topo.reachable graph x y then (x, y)
+        else if Topo.reachable graph y x then (y, x)
+        else if Tcam.addr_of tcam x < Tcam.addr_of tcam y then (x, y)
+        else (y, x)
+      in
+      Graph.add_node graph 424242;
+      Graph.add_edge graph 424242 f_b;
+      Graph.add_edge graph f_a 424242;
+      let greedy = Greedy.algo (Greedy.create ~graph ~tcam ()) in
+      let rt = Ruletris.make ~graph ~tcam in
+      match
+        ( greedy.Algo.schedule_insert ~rule_id:424242 ~deps:[ f_b ] ~dependents:[ f_a ],
+          rt.Algo.schedule_insert ~rule_id:424242 ~deps:[ f_b ] ~dependents:[ f_a ] )
+      with
+      | Ok g, Ok r -> List.length r <= List.length g
+      | _ -> false)
+
+let to_alcotest tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "props-ternary",
+      to_alcotest
+        [
+          prop_overlap_symmetric;
+          prop_subsumes_implies_overlap;
+          prop_intersect_members;
+          prop_sampled_member_matches;
+          prop_overlap_iff_shared_member;
+        ] );
+    ("props-compiler", to_alcotest [ prop_compile_acyclic_and_covering ]);
+    ("props-bitree", to_alcotest [ prop_min_tree_vs_naive ]);
+    ( "props-schedulers",
+      to_alcotest
+        (prop_invariant_all_algos
+        @ [
+            prop_membership_agreement;
+            prop_metric_stores_truthful;
+            prop_sequences_intermediate_safe;
+            prop_ruletris_never_longer;
+          ]) );
+  ]

@@ -1,0 +1,90 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-6))
+
+let rng () = Rng.create ~seed:99
+
+let test_underload_periodic () =
+  (* Service 1 ms, arrivals every 10 ms: no queueing, sojourn = service. *)
+  let r =
+    Queue_sim.simulate (rng ()) ~service_ms:[| 1.0 |]
+      ~arrival:(Queue_sim.Periodic 100.0) ~count:200 ()
+  in
+  check_int "all served" 200 r.Queue_sim.served;
+  check_int "none dropped" 0 r.Queue_sim.dropped;
+  check_float "sojourn = service" 1.0 r.Queue_sim.mean_sojourn_ms;
+  check_int "no backlog" 1 r.Queue_sim.max_queue_depth;
+  check "low utilisation" true (r.Queue_sim.utilisation < 0.2)
+
+let test_overload_queues_grow () =
+  (* Service 10 ms, arrivals every 1 ms: the k-th arrival waits ~9k ms. *)
+  let r =
+    Queue_sim.simulate (rng ()) ~service_ms:[| 10.0 |]
+      ~arrival:(Queue_sim.Periodic 1000.0) ~count:100 ()
+  in
+  check "sojourns explode" true (r.Queue_sim.max_sojourn_ms > 800.0);
+  check "high utilisation" true (r.Queue_sim.utilisation > 0.95);
+  check "deep queue" true (r.Queue_sim.max_queue_depth > 50)
+
+let test_queue_capacity_drops () =
+  let r =
+    Queue_sim.simulate (rng ()) ~service_ms:[| 10.0 |]
+      ~arrival:(Queue_sim.Periodic 1000.0) ~queue_capacity:5 ~count:100 ()
+  in
+  check "drops happened" true (r.Queue_sim.dropped > 50);
+  check_int "offered" 100 r.Queue_sim.offered;
+  check "bounded depth" true (r.Queue_sim.max_queue_depth <= 6);
+  check "bounded sojourn" true (r.Queue_sim.max_sojourn_ms < 100.0)
+
+let test_poisson_mean_load () =
+  (* rho = 0.5: utilisation should be near 0.5, sojourn finite. *)
+  let r =
+    Queue_sim.simulate (rng ()) ~service_ms:[| 1.0 |]
+      ~arrival:(Queue_sim.Poisson 500.0) ~count:5_000 ()
+  in
+  check "util near 0.5" true
+    (r.Queue_sim.utilisation > 0.4 && r.Queue_sim.utilisation < 0.6);
+  (* M/D/1 at rho=0.5: mean wait = rho*S/(2(1-rho)) = 0.5 ms -> sojourn 1.5. *)
+  check "sojourn near M/D/1" true
+    (r.Queue_sim.mean_sojourn_ms > 1.2 && r.Queue_sim.mean_sojourn_ms < 1.9)
+
+let test_saturation_rate () =
+  check_float "1ms -> 1000/s" 1000.0 (Queue_sim.saturation_rate ~service_ms:[| 1.0 |]);
+  check_float "mixed" 500.0 (Queue_sim.saturation_rate ~service_ms:[| 1.0; 3.0 |])
+
+let test_service_times_of_run () =
+  let table = Dataset.build_table Dataset.ACL5 ~seed:71 ~n:100 in
+  let rng = Rng.create ~seed:72 in
+  let stream =
+    Updates.generate rng ~live:(Array.to_list table.Dataset.order) ~count:50
+      ~with_deletes:false ~id_base:1000
+  in
+  let run = Firmware.create (Firmware.FR_O Store.Bit_backend) ~table ~tcam_size:200 () in
+  ignore (Firmware.exec_all run stream);
+  let svc = Queue_sim.service_times_of_run run in
+  check_int "one service time per update" 50 (Array.length svc);
+  (* Every update wrote at least the new entry: >= 0.6 ms. *)
+  Array.iter (fun s -> check ">= one write" true (s >= 0.6)) svc
+
+let test_invalid_args () =
+  Alcotest.check_raises "empty services"
+    (Invalid_argument "Queue_sim.simulate: no service times") (fun () ->
+      ignore
+        (Queue_sim.simulate (rng ()) ~service_ms:[||]
+           ~arrival:(Queue_sim.Periodic 1.0) ~count:5 ()))
+
+let suite =
+  [
+    ( "queue-sim",
+      [
+        Alcotest.test_case "underload periodic" `Quick test_underload_periodic;
+        Alcotest.test_case "overload grows" `Quick test_overload_queues_grow;
+        Alcotest.test_case "capacity drops" `Quick test_queue_capacity_drops;
+        Alcotest.test_case "poisson M/D/1 sanity" `Quick test_poisson_mean_load;
+        Alcotest.test_case "saturation rate" `Quick test_saturation_rate;
+        Alcotest.test_case "service times of run" `Quick test_service_times_of_run;
+        Alcotest.test_case "invalid args" `Quick test_invalid_args;
+      ] );
+  ]

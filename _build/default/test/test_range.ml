@@ -1,0 +1,109 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let members_of_cover cover ~width =
+  (* Exhaustive membership over small widths. *)
+  List.init (1 lsl width) (fun v ->
+      List.exists (fun t -> Ternary.matches_value t [| Int64.of_int v |]) cover)
+
+let test_exact_cover_small_widths () =
+  (* Every interval over 1..8-bit fields is covered exactly. *)
+  for width = 1 to 8 do
+    let top = (1 lsl width) - 1 in
+    for lo = 0 to top do
+      for hi = lo to top do
+        let cover = Range.expand ~width ~lo ~hi in
+        let mem = members_of_cover cover ~width in
+        List.iteri
+          (fun v inside ->
+            if inside <> (v >= lo && v <= hi) then
+              Alcotest.failf "w=%d [%d,%d]: value %d wrong" width lo hi v)
+          mem
+      done
+    done
+  done;
+  check "exhaustive cover" true true
+
+let test_cover_disjoint () =
+  (* The blocks are pairwise disjoint. *)
+  let cover = Range.expand ~width:8 ~lo:3 ~hi:200 in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b -> if i < j then check "disjoint" false (Ternary.overlaps a b))
+        cover)
+    cover
+
+let test_minimality_spots () =
+  (* Known covers. *)
+  check_int "full range is one prefix" 1 (Range.cover_size ~width:16 ~lo:0 ~hi:65535);
+  check_int "single value" 1 (Range.cover_size ~width:16 ~lo:42 ~hi:42);
+  check_int "aligned block" 1 (Range.cover_size ~width:16 ~lo:1024 ~hi:2047);
+  (* The classic worst case [1, 2^w - 2]. *)
+  check_int "worst case w=8" (Range.max_cover_size ~width:8)
+    (Range.cover_size ~width:8 ~lo:1 ~hi:254);
+  check_int "worst case w=16" (Range.max_cover_size ~width:16)
+    (Range.cover_size ~width:16 ~lo:1 ~hi:65534);
+  (* >=1024 (ephemeral ports) is cheap. *)
+  check_int "1024-65535" 6 (Range.cover_size ~width:16 ~lo:1024 ~hi:65535)
+
+let test_worst_case_bound_random () =
+  let rng = Rng.create ~seed:31 in
+  for _ = 1 to 500 do
+    let lo = Rng.int rng 65536 in
+    let hi = Rng.int_in rng lo 65535 in
+    let c = Range.cover_size ~width:16 ~lo ~hi in
+    check "within bound" true (c >= 1 && c <= Range.max_cover_size ~width:16)
+  done
+
+let test_bad_args () =
+  Alcotest.check_raises "inverted" (Invalid_argument "Range: interval out of bounds")
+    (fun () -> ignore (Range.expand ~width:8 ~lo:5 ~hi:4));
+  Alcotest.check_raises "too wide" (Invalid_argument "Range: width out of (0,62]")
+    (fun () -> ignore (Range.expand ~width:63 ~lo:0 ~hi:1));
+  Alcotest.check_raises "overflow" (Invalid_argument "Range: interval out of bounds")
+    (fun () -> ignore (Range.expand ~width:4 ~lo:0 ~hi:16))
+
+let test_expand_five_tuple () =
+  let spec =
+    { Header.wildcard with Header.proto = Ternary.exact_of_int64 ~width:8 6L }
+  in
+  let expanded = Range.expand_five_tuple ~dst_range:(1024, 65535) spec in
+  check_int "six siblings" 6 (List.length expanded);
+  (* Disjoint and same proto. *)
+  let packed = List.map Header.pack expanded in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b -> if i < j then check "siblings disjoint" false (Ternary.overlaps a b))
+        packed)
+    packed;
+  (* A packet in the range matches exactly one sibling; below the range, none. *)
+  let pkt port =
+    { Header.p_src_ip = 1L; p_dst_ip = 2L; p_src_port = 7; p_dst_port = port; p_proto = 6 }
+  in
+  let hits port =
+    List.length
+      (List.filter (fun f -> Ternary.matches_value f (Header.packet_bits (pkt port))) packed)
+  in
+  check_int "in range" 1 (hits 8080);
+  check_int "boundary lo" 1 (hits 1024);
+  check_int "below" 0 (hits 1023);
+  (* Both ranges at once multiply. *)
+  let both = Range.expand_five_tuple ~src_range:(0, 1023) ~dst_range:(1024, 65535) spec in
+  check_int "product" 6 (List.length both)
+
+let suite =
+  [
+    ( "range",
+      [
+        Alcotest.test_case "exact cover (exhaustive small)" `Quick test_exact_cover_small_widths;
+        Alcotest.test_case "blocks disjoint" `Quick test_cover_disjoint;
+        Alcotest.test_case "known covers & worst case" `Quick test_minimality_spots;
+        Alcotest.test_case "random within bound" `Quick test_worst_case_bound_random;
+        Alcotest.test_case "bad arguments" `Quick test_bad_args;
+        Alcotest.test_case "five-tuple expansion" `Quick test_expand_five_tuple;
+      ] );
+  ]

@@ -1,0 +1,63 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+
+let rule ~id ?(prio = 10) ?(action = Rule.Drop) s =
+  (* Small synthetic rules over an 8-bit header for readability. *)
+  Rule.make ~id ~field:(Ternary.of_string s) ~action ~priority:prio
+
+let test_overlaps_subsumes () =
+  let broad = rule ~id:0 "1*******" and narrow = rule ~id:1 "10101010" in
+  check "overlap" true (Rule.overlaps broad narrow);
+  check "subsumes" true (Rule.subsumes broad narrow);
+  check "not reverse" false (Rule.subsumes narrow broad);
+  let other = rule ~id:2 "0*******" in
+  check "disjoint" false (Rule.overlaps broad other)
+
+let test_conflicts () =
+  let a = rule ~id:0 ~action:Rule.Drop "1*******" in
+  let b = rule ~id:1 ~action:(Rule.Forward 2) "10******" in
+  let c = rule ~id:2 ~action:Rule.Drop "11******" in
+  check "different action conflicts" true (Rule.conflicts a b);
+  check "same action no conflict" false (Rule.conflicts a c);
+  check "disjoint no conflict" false
+    (Rule.conflicts b (rule ~id:3 ~action:Rule.Drop "0*******"))
+
+let test_equal_action () =
+  check "fwd eq" true (Rule.equal_action (Rule.Forward 3) (Rule.Forward 3));
+  check "fwd neq" false (Rule.equal_action (Rule.Forward 3) (Rule.Forward 4));
+  check "drop/ctrl" false (Rule.equal_action Rule.Drop Rule.Controller);
+  check "ctrl eq" true (Rule.equal_action Rule.Controller Rule.Controller)
+
+let test_matches_packet () =
+  let spec =
+    {
+      Header.wildcard with
+      Header.proto = Ternary.exact_of_int64 ~width:8 17L;
+    }
+  in
+  let r =
+    Rule.make ~id:9 ~field:(Header.pack spec) ~action:Rule.Drop ~priority:1
+  in
+  let p =
+    {
+      Header.p_src_ip = 1L;
+      p_dst_ip = 2L;
+      p_src_port = 3;
+      p_dst_port = 4;
+      p_proto = 17;
+    }
+  in
+  check "udp matches" true (Rule.matches_packet r p);
+  check "tcp does not" false (Rule.matches_packet r { p with Header.p_proto = 6 })
+
+let suite =
+  [
+    ( "rule",
+      [
+        Alcotest.test_case "overlaps/subsumes" `Quick test_overlaps_subsumes;
+        Alcotest.test_case "conflicts" `Quick test_conflicts;
+        Alcotest.test_case "equal_action" `Quick test_equal_action;
+        Alcotest.test_case "matches_packet" `Quick test_matches_packet;
+      ] );
+  ]

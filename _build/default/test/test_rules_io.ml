@@ -1,0 +1,81 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let rules_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (r : Rule.t) (s : Rule.t) ->
+         r.Rule.id = s.Rule.id
+         && r.Rule.priority = s.Rule.priority
+         && Rule.equal_action r.Rule.action s.Rule.action
+         && Ternary.equal r.Rule.field s.Rule.field)
+       a b
+
+let test_action_strings () =
+  check_str "fwd" "fwd:7" (Rules_io.action_to_string (Rule.Forward 7));
+  check_str "drop" "drop" (Rules_io.action_to_string Rule.Drop);
+  check "fwd parse" true (Rules_io.action_of_string "fwd:7" = Some (Rule.Forward 7));
+  check "ctrl parse" true (Rules_io.action_of_string "ctrl" = Some Rule.Controller);
+  check "garbage" true (Rules_io.action_of_string "fwd:x" = None);
+  check "negative port" true (Rules_io.action_of_string "fwd:-1" = None)
+
+let test_roundtrip_generated () =
+  List.iter
+    (fun kind ->
+      let rules = Dataset.generate kind ~seed:8 ~n:120 in
+      match Rules_io.of_string (Rules_io.to_string rules) with
+      | Ok back ->
+          check (Dataset.to_string kind ^ " roundtrip") true (rules_equal rules back)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    Dataset.all
+
+let test_file_roundtrip () =
+  let rules = Dataset.generate Dataset.FW4 ~seed:9 ~n:50 in
+  let path = Filename.temp_file "fastrule" ".rules" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rules_io.save path rules;
+      match Rules_io.load path with
+      | Ok back -> check "file roundtrip" true (rules_equal rules back)
+      | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_comments_and_blanks () =
+  let text = "# hello\n\n  \n0 5 drop 1*0\n# trailing comment\n" in
+  match Rules_io.of_string text with
+  | Ok rules ->
+      check_int "one rule" 1 (Array.length rules);
+      check_str "field" "1*0" (Ternary.to_string rules.(0).Rule.field)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_malformed_reports_line () =
+  (match Rules_io.of_string "0 5 drop 1*0\nbogus line here\n" with
+  | Error e -> check "line number" true (contains_sub e "line 2")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Rules_io.of_string "0 5 drop 1x0\n" with
+  | Error e -> check "bad field" true (contains_sub e "line 1")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_missing_file () =
+  check "missing file" true (Result.is_error (Rules_io.load "/nonexistent/x.rules"))
+
+let suite =
+  [
+    ( "rules-io",
+      [
+        Alcotest.test_case "action strings" `Quick test_action_strings;
+        Alcotest.test_case "roundtrip all kinds" `Quick test_roundtrip_generated;
+        Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+        Alcotest.test_case "comments & blanks" `Quick test_comments_and_blanks;
+        Alcotest.test_case "malformed line reported" `Quick test_malformed_reports_line;
+        Alcotest.test_case "missing file" `Quick test_missing_file;
+      ] );
+  ]

@@ -1,0 +1,143 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let t = Ternary.of_string
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> check_str s s (Ternary.to_string (t s)))
+    [ "0"; "1"; "*"; "10*1"; "****"; "0101"; "1*0*1*0*"; String.make 100 '*' ]
+
+let test_of_string_rejects () =
+  Alcotest.check_raises "bad char" (Invalid_argument "Ternary.of_string: expected '0', '1' or '*'")
+    (fun () -> ignore (t "10x"));
+  Alcotest.check_raises "empty" (Invalid_argument "Ternary.of_string: empty string")
+    (fun () -> ignore (t ""))
+
+let test_get_set () =
+  let x = t "10*" in
+  check "bit2 one" true (Ternary.get x 2 = Ternary.One);
+  check "bit1 zero" true (Ternary.get x 1 = Ternary.Zero);
+  check "bit0 any" true (Ternary.get x 0 = Ternary.Any);
+  let y = Ternary.set x 0 Ternary.One in
+  check_str "set" "101" (Ternary.to_string y);
+  check_str "orig unchanged" "10*" (Ternary.to_string x)
+
+let test_exact_prefix () =
+  let e = Ternary.exact_of_int64 ~width:8 0xA5L in
+  check_str "exact" "10100101" (Ternary.to_string e);
+  check "is_exact" true (Ternary.is_exact e);
+  let p = Ternary.prefix_of_int64 ~width:8 ~plen:4 0xA5L in
+  check_str "prefix" "1010****" (Ternary.to_string p);
+  check_int "wildcards" 4 (Ternary.num_wildcards p);
+  let z = Ternary.prefix_of_int64 ~width:8 ~plen:0 0xFFL in
+  check_str "plen0" "********" (Ternary.to_string z)
+
+let test_overlap_basic () =
+  (* The Fig. 1 example alphabet: three match items; we encode each item
+     with 2 bits (A=00, B=01, C=10) so "C*A" etc. become 6-bit strings. *)
+  let caa = t "100000" and c_a = t "10**00" and any_a = t "****00" in
+  let a_b = t "00**01" and any_b = t "****01" and all = t "******" in
+  check "CAA in C*A" true (Ternary.subsumes c_a caa);
+  check "C*A in **A" true (Ternary.subsumes any_a c_a);
+  check "A*B in **B" true (Ternary.subsumes any_b a_b);
+  check "C*A !in **B" false (Ternary.overlaps c_a any_b);
+  check "all overlaps everything" true (Ternary.overlaps all caa);
+  check "**A and **B disjoint" false (Ternary.overlaps any_a any_b)
+
+let test_overlap_symmetry () =
+  let a = t "1*0*" and b = t "*10*" and c = t "0***" in
+  check "a~b" true (Ternary.overlaps a b && Ternary.overlaps b a);
+  check "a!~c" false (Ternary.overlaps a c || Ternary.overlaps c a)
+
+let test_subsumes_strictness () =
+  let broad = t "1***" and narrow = t "10*1" in
+  check "broad covers narrow" true (Ternary.subsumes broad narrow);
+  check "narrow not covers broad" false (Ternary.subsumes narrow broad);
+  check "self" true (Ternary.subsumes broad broad)
+
+let test_intersect () =
+  let a = t "1**0" and b = t "*01*" in
+  (match Ternary.intersect a b with
+  | Some i -> check_str "intersection" "1010" (Ternary.to_string i)
+  | None -> Alcotest.fail "expected overlap");
+  check "disjoint" true (Ternary.intersect (t "11") (t "00") = None)
+
+let test_width_mismatch () =
+  Alcotest.check_raises "overlaps width"
+    (Invalid_argument "Ternary.overlaps: width mismatch") (fun () ->
+      ignore (Ternary.overlaps (t "1") (t "11")))
+
+let test_matches_value () =
+  let x = t "1*0" in
+  check "101 no" false (Ternary.matches_value x [| 0b101L |]);
+  check "100 yes" true (Ternary.matches_value x [| 0b100L |]);
+  check "110 yes" true (Ternary.matches_value x [| 0b110L |]);
+  check "010 no" false (Ternary.matches_value x [| 0b010L |])
+
+let test_concat_slice () =
+  let hi = t "10" and lo = t "0*1" in
+  let c = Ternary.concat hi lo in
+  check_str "concat" "100*1" (Ternary.to_string c);
+  check_str "slice hi" "10" (Ternary.to_string (Ternary.slice c ~lo:3 ~len:2));
+  check_str "slice lo" "0*1" (Ternary.to_string (Ternary.slice c ~lo:0 ~len:3))
+
+let test_wide_strings () =
+  (* Cross the 64-bit chunk boundary. *)
+  let s = String.concat "" [ String.make 60 '1'; "0*01"; String.make 40 '*' ] in
+  let x = t s in
+  check_int "width" 104 (Ternary.width x);
+  check_str "roundtrip" s (Ternary.to_string x);
+  check_int "wildcards" 41 (Ternary.num_wildcards x);
+  let y = Ternary.set x 103 Ternary.Zero in
+  check "msb changed" true (Ternary.get y 103 = Ternary.Zero);
+  check "no longer overlaps" false (Ternary.overlaps x y)
+
+let test_compare_equal_hash () =
+  let a = t "10*" and b = t "10*" and c = t "1*0" in
+  check "equal" true (Ternary.equal a b);
+  check_int "compare eq" 0 (Ternary.compare a b);
+  check "hash eq" true (Ternary.hash a = Ternary.hash b);
+  check "neq" false (Ternary.equal a c);
+  check "compare antisym" true
+    (Ternary.compare a c = -Ternary.compare c a)
+
+let test_random_exact_in () =
+  let rng = Rng.create ~seed:7 in
+  let x = t "1*0*1***" in
+  for _ = 1 to 100 do
+    let v = Ternary.random_exact_in rng x in
+    check "member" true (Ternary.matches_value x v)
+  done
+
+let test_random_respects_width () =
+  let rng = Rng.create ~seed:9 in
+  for w = 1 to 70 do
+    let x = Ternary.random rng ~width:w ~wildcard_prob:0.5 in
+    check_int "width" w (Ternary.width x)
+  done
+
+let suite =
+  [
+    ( "ternary",
+      [
+        Alcotest.test_case "string roundtrip" `Quick test_roundtrip;
+        Alcotest.test_case "of_string rejects garbage" `Quick test_of_string_rejects;
+        Alcotest.test_case "get/set" `Quick test_get_set;
+        Alcotest.test_case "exact & prefix constructors" `Quick test_exact_prefix;
+        Alcotest.test_case "fig1-style overlap" `Quick test_overlap_basic;
+        Alcotest.test_case "overlap symmetry" `Quick test_overlap_symmetry;
+        Alcotest.test_case "subsumption strictness" `Quick test_subsumes_strictness;
+        Alcotest.test_case "intersection" `Quick test_intersect;
+        Alcotest.test_case "width mismatch rejected" `Quick test_width_mismatch;
+        Alcotest.test_case "matches_value" `Quick test_matches_value;
+        Alcotest.test_case "concat/slice" `Quick test_concat_slice;
+        Alcotest.test_case "multi-chunk widths" `Quick test_wide_strings;
+        Alcotest.test_case "equal/compare/hash" `Quick test_compare_equal_hash;
+        Alcotest.test_case "random member sampling" `Quick test_random_exact_in;
+        Alcotest.test_case "random widths" `Quick test_random_respects_width;
+      ] );
+  ]

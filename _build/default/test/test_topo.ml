@@ -1,0 +1,80 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let chain edges =
+  let g = Graph.create () in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) edges;
+  g
+
+let test_toposort_order () =
+  let g = chain [ (1, 2); (2, 3); (1, 4) ] in
+  match Topo.toposort g with
+  | None -> Alcotest.fail "expected acyclic"
+  | Some order ->
+      let pos = Hashtbl.create 8 in
+      List.iteri (fun i u -> Hashtbl.replace pos u i) order;
+      let p x = Hashtbl.find pos x in
+      check "1 before 2" true (p 1 < p 2);
+      check "2 before 3" true (p 2 < p 3);
+      check "1 before 4" true (p 1 < p 4)
+
+let test_cycle_detected () =
+  let g = chain [ (1, 2); (2, 3); (3, 1) ] in
+  check "cyclic" false (Topo.is_acyclic g);
+  check "toposort none" true (Topo.toposort g = None)
+
+let test_empty_and_singleton () =
+  let g = Graph.create () in
+  check "empty acyclic" true (Topo.is_acyclic g);
+  check_int "empty longest path" 0 (Topo.longest_path_nodes g);
+  Graph.add_node g 7;
+  check_int "singleton longest path" 1 (Topo.longest_path_nodes g)
+
+let test_reachable () =
+  let g = chain [ (1, 2); (2, 3); (4, 3) ] in
+  check "direct" true (Topo.reachable g 1 2);
+  check "transitive" true (Topo.reachable g 1 3);
+  check "self" true (Topo.reachable g 2 2);
+  check "reverse" false (Topo.reachable g 3 1);
+  check "cross" false (Topo.reachable g 1 4)
+
+let test_would_close_cycle () =
+  let g = chain [ (1, 2); (2, 3) ] in
+  check "back edge closes" true (Topo.would_close_cycle g 3 1);
+  check "forward edge fine" false (Topo.would_close_cycle g 1 3);
+  check "self closes" true (Topo.would_close_cycle g 2 2)
+
+let test_descendants_ancestors () =
+  let g = chain [ (1, 2); (2, 3); (1, 4) ] in
+  let to_list s = List.sort Int.compare (Rule.Id_set.elements s) in
+  Alcotest.(check (list int)) "descendants" [ 2; 3; 4 ] (to_list (Topo.descendants g 1));
+  Alcotest.(check (list int)) "ancestors" [ 1; 2 ] (to_list (Topo.ancestors g 3));
+  Alcotest.(check (list int)) "leaf descendants" [] (to_list (Topo.descendants g 3))
+
+let test_longest_path () =
+  let g = chain [ (1, 2); (2, 3); (3, 4); (10, 11) ] in
+  check_int "longest" 4 (Topo.longest_path_nodes g);
+  Graph.add_edge g 0 1;
+  check_int "longer" 5 (Topo.longest_path_nodes g)
+
+let test_longest_path_dag_diamond () =
+  (* Diamond: 1 -> {2,3} -> 4 gives a 3-node longest chain, not 4. *)
+  let g = chain [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  check_int "diamond" 3 (Topo.longest_path_nodes g)
+
+let suite =
+  [
+    ( "topo",
+      [
+        Alcotest.test_case "toposort respects edges" `Quick test_toposort_order;
+        Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+        Alcotest.test_case "empty/singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "reachable" `Quick test_reachable;
+        Alcotest.test_case "would_close_cycle" `Quick test_would_close_cycle;
+        Alcotest.test_case "descendants/ancestors" `Quick test_descendants_ancestors;
+        Alcotest.test_case "longest path" `Quick test_longest_path;
+        Alcotest.test_case "diamond longest path" `Quick test_longest_path_dag_diamond;
+      ] );
+  ]

@@ -1,0 +1,141 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_generate_count_and_ids () =
+  List.iter
+    (fun kind ->
+      let rules = Dataset.generate kind ~seed:5 ~n:300 in
+      check_int (Dataset.to_string kind ^ " count") 300 (Array.length rules);
+      Array.iteri
+        (fun i r -> check_int "id" i r.Rule.id)
+        rules)
+    Dataset.extended
+
+let test_kind_string_roundtrip () =
+  List.iter
+    (fun kind ->
+      check "roundtrip" true (Dataset.of_string (Dataset.to_string kind) = Some kind))
+    Dataset.extended;
+  check "unknown" true (Dataset.of_string "nope" = None);
+  check "extended superset" true
+    (List.for_all (fun k -> List.mem k Dataset.extended) Dataset.all)
+
+let test_determinism () =
+  let a = Dataset.generate Dataset.FW4 ~seed:9 ~n:200 in
+  let b = Dataset.generate Dataset.FW4 ~seed:9 ~n:200 in
+  Array.iteri
+    (fun i r -> check "same field" true (Ternary.equal r.Rule.field b.(i).Rule.field))
+    a;
+  let c = Dataset.generate Dataset.FW4 ~seed:10 ~n:200 in
+  let all_same =
+    Array.for_all2 (fun (r : Rule.t) (s : Rule.t) -> Ternary.equal r.Rule.field s.Rule.field) a c
+  in
+  check "different seed differs" false all_same
+
+let test_fields_are_5tuple () =
+  let rules = Dataset.generate Dataset.ACL4 ~seed:1 ~n:100 in
+  Array.iter
+    (fun r -> check_int "width" Header.total_width (Ternary.width r.Rule.field))
+    rules
+
+let test_priority_consistent_with_subsumption () =
+  (* Whenever one generated rule strictly subsumes another, the narrower
+     one must carry a strictly higher priority (it must win). *)
+  List.iter
+    (fun kind ->
+      let rules = Dataset.generate kind ~seed:3 ~n:200 in
+      Array.iter
+        (fun (a : Rule.t) ->
+          Array.iter
+            (fun (b : Rule.t) ->
+              if a.Rule.id <> b.Rule.id && Rule.subsumes a b && not (Rule.subsumes b a)
+              then
+                check
+                  (Printf.sprintf "%s: %d wins inside %d" (Dataset.to_string kind)
+                     b.Rule.id a.Rule.id)
+                  true
+                  (b.Rule.priority > a.Rule.priority))
+            rules)
+        rules)
+    Dataset.all
+
+let test_stats_in_table2_bands () =
+  (* The generators must land in the Table II neighbourhood: small c_avg,
+     single-digit-ish c_max, d_in below ~1.2. *)
+  List.iter
+    (fun kind ->
+      let table = Dataset.build_table kind ~seed:7 ~n:1000 in
+      let s = Dataset.stats table in
+      let name = Dataset.to_string kind in
+      check_int (name ^ " n") 1000 s.Dag_stats.n;
+      check (name ^ " c_avg in band") true
+        (s.Dag_stats.c_avg >= 1.0 && s.Dag_stats.c_avg <= 2.0);
+      check (name ^ " c_max in band") true
+        (s.Dag_stats.c_max >= 2 && s.Dag_stats.c_max <= 20);
+      check (name ^ " d_in < 1.5") true (s.Dag_stats.d_in < 1.5);
+      check (name ^ " acyclic") true (Topo.is_acyclic table.Dataset.graph))
+    Dataset.all
+
+let test_route_prefix_only () =
+  let rules = Dataset.generate Dataset.ROUTE ~seed:2 ~n:150 in
+  Array.iter
+    (fun (r : Rule.t) ->
+      let f = Header.unpack r.Rule.field in
+      check "src wild" true (Ternary.equal f.Header.src_ip (Ternary.any 32));
+      check "ports wild" true
+        (Ternary.equal f.Header.src_port (Ternary.any 16)
+        && Ternary.equal f.Header.dst_port (Ternary.any 16));
+      (* dst is a prefix: wildcards only below the cared bits. *)
+      let plen = 32 - Ternary.num_wildcards f.Header.dst_ip in
+      check_int "priority = plen" plen r.Rule.priority)
+    rules
+
+let test_route_distinct () =
+  let rules = Dataset.generate Dataset.ROUTE ~seed:2 ~n:400 in
+  let seen = Hashtbl.create 500 in
+  Array.iter
+    (fun (r : Rule.t) ->
+      let key = Ternary.to_string r.Rule.field in
+      check "distinct prefixes" false (Hashtbl.mem seen key);
+      Hashtbl.replace seen key ())
+    rules
+
+let test_precedence_order_respects_graph () =
+  let table = Dataset.build_table Dataset.ACL4 ~seed:4 ~n:300 in
+  let pos = Hashtbl.create 300 in
+  Array.iteri (fun i id -> Hashtbl.replace pos id i) table.Dataset.order;
+  Graph.iter_nodes table.Dataset.graph (fun u ->
+      Graph.iter_deps table.Dataset.graph u (fun v ->
+          check "dependency placed above" true
+            (Hashtbl.find pos u < Hashtbl.find pos v)))
+
+let test_compile_closure_small () =
+  List.iter
+    (fun kind ->
+      let table = Dataset.build_table kind ~seed:11 ~n:120 in
+      check
+        (Dataset.to_string kind ^ " closure covers overlaps")
+        true
+        (Dag_build.closure_covers_overlaps table.Dataset.graph table.Dataset.rules))
+    Dataset.all
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "count & ids" `Quick test_generate_count_and_ids;
+        Alcotest.test_case "kind string roundtrip" `Quick test_kind_string_roundtrip;
+        Alcotest.test_case "deterministic in seed" `Quick test_determinism;
+        Alcotest.test_case "fields are 5-tuples" `Quick test_fields_are_5tuple;
+        Alcotest.test_case "priority vs subsumption" `Quick
+          test_priority_consistent_with_subsumption;
+        Alcotest.test_case "Table II bands" `Quick test_stats_in_table2_bands;
+        Alcotest.test_case "route prefix-only" `Quick test_route_prefix_only;
+        Alcotest.test_case "route distinct" `Quick test_route_distinct;
+        Alcotest.test_case "precedence order vs graph" `Quick
+          test_precedence_order_respects_graph;
+        Alcotest.test_case "compile closure (all kinds)" `Quick test_compile_closure_small;
+      ] );
+  ]
