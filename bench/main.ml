@@ -3,7 +3,8 @@
    ablations DESIGN.md §7 calls out and Bechamel micro-benchmarks of the
    core data-structure operations.
 
-   Usage:  main.exe [--quick] [table2] [fig7] [fig8] [fig9] [ablation] [micro]
+   Usage:  main.exe [--quick] [table2] [fig7] [fig8] [fig9] [ablation]
+           [micro] [ctrl]
 
    With no section argument every section runs.  --quick restricts the
    sweeps to sizes <= 4000 (a couple of minutes); the full run covers the
@@ -388,6 +389,117 @@ let micro () =
     (List.sort compare entries)
 
 (* ------------------------------------------------------------------ *)
+(* Control plane: multi-shard churn through Fr_ctrl *)
+
+let ctrl () =
+  Report.print_header
+    "Control plane: 4-shard churn through Fr_ctrl (coalescing queues + \
+     batched drains), FW5";
+  let ops = 10_000 in
+  let spec =
+    {
+      Churn.kind = Dataset.FW5;
+      initial = 4_000;
+      ops;
+      shards = 4;
+      (* Must hold a whole preload even under a maximally skewed routing
+         policy (prefix locality does skew FW5); overflow then surfaces
+         as per-shard failures instead of a preload abort. *)
+      capacity = 6_000;
+      batch = 64;
+      seed;
+    }
+  in
+  let sum svc f =
+    let acc = ref 0 in
+    for s = 0 to Ctrl.shards svc - 1 do
+      acc := !acc + f (Shard.telemetry (Ctrl.shard svc s))
+    done;
+    !acc
+  in
+  let sumf svc f =
+    let acc = ref 0.0 in
+    for s = 0 to Ctrl.shards svc - 1 do
+      acc := !acc +. f (Shard.telemetry (Ctrl.shard svc s))
+    done;
+    !acc
+  in
+  (* Rows: the two routing policies, then the metric-refresh cadence sweep
+     (r=K refreshes the stale metrics every K batched inserts; r=1 keeps
+     per-op movement quality, deferring trades extra TCAM ops for less
+     firmware bookkeeping). *)
+  let scenarios =
+    [
+      ("hash/r1", Partition.Hash_id, 1);
+      ("prefix8/r1", Partition.Dst_prefix 8, 1);
+      ("hash/r4", Partition.Hash_id, 4);
+      ("hash/r16", Partition.Hash_id, 16);
+      ("hash/r-inf", Partition.Hash_id, max_int);
+    ]
+  in
+  Format.printf "%-12s %8s %8s %8s %7s %9s %8s %9s %9s %9s@." "scenario"
+    "submit" "coalesce" "applied" "failed" "tcam-ops" "fw(ms)" "hw(ms)"
+    "p50(ms)" "p99(ms)";
+  let results =
+    List.map
+      (fun (name, policy, refresh) ->
+        let r = Churn.run ~policy ~refresh_every:refresh spec in
+        let svc = r.Churn.service in
+        let w = r.Churn.flush_wall_ms in
+        Format.printf "%-12s %8d %8d %8d %7d %9d %8.2f %9.1f %9.3f %9.3f@."
+          name r.Churn.submitted r.Churn.coalesced r.Churn.applied
+          r.Churn.failed
+          (sum svc Telemetry.tcam_ops)
+          (sumf svc Telemetry.firmware_ms_total)
+          (sumf svc Telemetry.hardware_ms_total)
+          w.Measure.p50 w.Measure.p99;
+        (name, r))
+      scenarios
+  in
+  (* Machine-readable dump: headline figures per scenario plus the full
+     per-shard telemetry (schema in doc/CTRL.md). *)
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("bench", Str "ctrl");
+        ("algo", Str "fr-o");
+        ("kind", Str (Dataset.to_string spec.Churn.kind));
+        ("shards", Int spec.Churn.shards);
+        ("ops", Int ops);
+        ( "scenarios",
+          List
+            (List.map
+               (fun (name, (r : Churn.result)) ->
+                 let svc = r.Churn.service in
+                 Obj
+                   [
+                     ("scenario", Str name);
+                     ("algo", Str "fr-o");
+                     ("ops", Int ops);
+                     ("submitted", Int r.Churn.submitted);
+                     ("applied", Int r.Churn.applied);
+                     ("failed", Int r.Churn.failed);
+                     ("coalesced", Int r.Churn.coalesced);
+                     ("flushes", Int r.Churn.flushes);
+                     ("flush_wall_p50_ms", Float r.Churn.flush_wall_ms.Measure.p50);
+                     ("flush_wall_p99_ms", Float r.Churn.flush_wall_ms.Measure.p99);
+                     ("tcam_ops", Int (sum svc Telemetry.tcam_ops));
+                     ("firmware_ms", Float (sumf svc Telemetry.firmware_ms_total));
+                     ("hardware_ms", Float (sumf svc Telemetry.hardware_ms_total));
+                     ("service", Ctrl.to_json ~scenario:name svc);
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_ctrl.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_ctrl.json (%d scenarios)@."
+    (List.length results)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -399,6 +511,7 @@ let sections =
     ("fig8", fig8);
     ("fig9", fig9);
     ("ablation", ablation);
+    ("ctrl", ctrl);
   ]
 
 let () =

@@ -172,10 +172,113 @@ let hw_cmd =
        ~doc:"Demonstrate the ONetSwitch-style large-table emulation (SVI.1).")
     Term.(const run $ n_arg $ seed_arg)
 
+(* --- ctrl ------------------------------------------------------------ *)
+
+let policy_conv =
+  let parse s =
+    match Partition.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown policy %S (hash or prefix:<k>)" s))
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Partition.policy_to_string p))
+
+let ctrl_cmd =
+  let run kind n seed shards capacity ops batch policy refresh_every json =
+    let bad fmt = Format.kasprintf (fun m -> Format.eprintf "fastrule_cli: %s@." m; exit 1) fmt in
+    if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
+    if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
+    if batch < 1 then bad "--batch must be >= 1 (got %d)" batch;
+    if refresh_every < 1 then bad "--refresh-every must be >= 1 (got %d)" refresh_every;
+    let spec =
+      { Churn.kind; initial = n; ops; shards; capacity; batch; seed }
+    in
+    let r = Churn.run ~policy ~refresh_every spec in
+    Format.printf
+      "churn %s: %d shards x %d slots, %d preloaded, %d ops in windows of %d@."
+      (Dataset.to_string kind) shards capacity n ops batch;
+    Format.printf "submitted %d  coalesced %d  applied %d  failed %d  \
+                   flushes %d@."
+      r.Churn.submitted r.Churn.coalesced r.Churn.applied r.Churn.failed
+      r.Churn.flushes;
+    Format.printf "flush wall (ms): %a@.@." Measure.pp_summary
+      r.Churn.flush_wall_ms;
+    Ctrl.pp_stats Format.std_formatter r.Churn.service;
+    match json with
+    | None -> ()
+    | Some path ->
+        let scenario =
+          Printf.sprintf "ctrl-%s-%dx%d" (Dataset.to_string kind) shards
+            capacity
+        in
+        let oc = open_out path in
+        output_string oc
+          (Telemetry.Json.to_string
+             (Ctrl.to_json ~scenario r.Churn.service));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "@.wrote per-shard telemetry to %s@." path
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "s"; "shards" ] ~docv:"N" ~doc:"Number of switch shards.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "c"; "capacity" ] ~docv:"SLOTS"
+          ~doc:"TCAM slots per shard.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "u"; "updates" ] ~docv:"COUNT"
+          ~doc:"Flow-mods in the churn stream.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "b"; "batch" ] ~docv:"OPS"
+          ~doc:"Ops per flush window (queues drain every BATCH ops).")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt policy_conv Partition.Hash_id
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Routing policy: $(b,hash) or $(b,prefix:<k>) (top k \
+                destination-IP bits).")
+  in
+  let refresh_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "refresh-every" ] ~docv:"K"
+          ~doc:"Metric refresh cadence inside a drained batch; 1 keeps \
+                per-op movement quality, larger trades extra TCAM moves \
+                for less firmware bookkeeping.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also dump per-shard telemetry as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "ctrl"
+       ~doc:"Drive the sharded control-plane service with a seeded churn \
+             stream and report per-shard telemetry.")
+    Term.(
+      const run $ kind_arg $ n_arg $ seed_arg $ shards_arg $ capacity_arg
+      $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg)
+
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "fastrule_cli" ~doc)
-          [ stats_cmd; generate_cmd; run_cmd; hw_cmd ]))
+          [ stats_cmd; generate_cmd; run_cmd; hw_cmd; ctrl_cmd ]))

@@ -86,3 +86,12 @@ module Agent = Fr_switch.Agent
 module Queue_sim = Fr_switch.Queue_sim
 module Experiment = Fr_switch.Experiment
 module Report = Fr_switch.Report
+
+(** {1 The control plane (sharded multi-agent service)} *)
+
+module Partition = Fr_ctrl.Partition
+module Coalesce = Fr_ctrl.Coalesce
+module Telemetry = Fr_ctrl.Telemetry
+module Shard = Fr_ctrl.Shard
+module Ctrl = Fr_ctrl.Service
+module Churn = Fr_ctrl.Churn

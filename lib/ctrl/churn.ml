@@ -1,0 +1,95 @@
+module Rng = Fr_prng.Rng
+module Rule = Fr_tern.Rule
+module Dataset = Fr_workload.Dataset
+module Agent = Fr_switch.Agent
+module Measure = Fr_switch.Measure
+
+type spec = {
+  kind : Dataset.kind;
+  initial : int;
+  ops : int;
+  shards : int;
+  capacity : int;
+  batch : int;
+  seed : int;
+}
+
+type result = {
+  service : Service.t;
+  submitted : int;
+  applied : int;
+  failed : int;
+  coalesced : int;
+  flushes : int;
+  flush_wall_ms : Measure.summary;
+}
+
+let run ?policy ?algo ?verify ?refresh_every spec =
+  (* One pool covers the preload and every insertion the mix can draw. *)
+  let pool = Dataset.generate spec.kind ~seed:spec.seed ~n:(spec.initial + spec.ops) in
+  let service =
+    Service.of_rules ?kind:algo ?verify ?refresh_every ?policy
+      ~shards:spec.shards ~capacity:spec.capacity
+      (Array.sub pool 0 spec.initial)
+  in
+  let rng = Rng.create ~seed:(spec.seed + 1) in
+  (* The generator's view of which ids are alive: optimistic (a rejected
+     op leaves it slightly stale), like a controller racing its own
+     in-flight updates.  The coalescing layer is exactly what absorbs the
+     resulting redundancy. *)
+  let live = ref (Array.to_list (Array.map (fun (r : Rule.t) -> r.Rule.id)
+                                   (Array.sub pool 0 spec.initial)))
+  in
+  let n_live = ref spec.initial in
+  let next = ref spec.initial in
+  let pick_live () =
+    let i = Rng.int rng !n_live in
+    List.nth !live i
+  in
+  let drop_live id =
+    live := List.filter (fun x -> x <> id) !live;
+    decr n_live
+  in
+  let wall = Measure.Series.create () in
+  let flushes = ref 0 in
+  let flush () =
+    let report = Service.flush service in
+    Measure.Series.add wall report.Service.wall_ms;
+    incr flushes
+  in
+  for op = 1 to spec.ops do
+    let roll = Rng.int rng 100 in
+    (if (roll < 55 || !n_live = 0) && !next < Array.length pool then begin
+       let r = pool.(!next) in
+       incr next;
+       Service.submit service (Agent.Add r);
+       live := r.Rule.id :: !live;
+       incr n_live
+     end
+     else if roll < 80 && !n_live > 0 then begin
+       let id = pick_live () in
+       Service.submit service (Agent.Remove { id });
+       drop_live id
+     end
+     else if !n_live > 0 then
+       Service.submit service
+         (Agent.Set_action { id = pick_live (); action = Rule.Forward (Rng.int rng 16) }));
+    if op mod spec.batch = 0 then flush ()
+  done;
+  if Service.pending service > 0 then flush ();
+  let sum f =
+    let acc = ref 0 in
+    for i = 0 to spec.shards - 1 do
+      acc := !acc + f (Shard.telemetry (Service.shard service i))
+    done;
+    !acc
+  in
+  {
+    service;
+    submitted = sum Telemetry.submitted;
+    applied = sum Telemetry.applied;
+    failed = sum Telemetry.failed;
+    coalesced = sum Telemetry.coalesced;
+    flushes = !flushes;
+    flush_wall_ms = Measure.Series.summary wall;
+  }

@@ -1,0 +1,41 @@
+(** A reusable multi-shard churn scenario — the control-plane workload the
+    bench harness and the CLI both drive.
+
+    The stream models BGP-style update churn against a warm table: a
+    synthetic policy ({!Fr_workload.Dataset}) is partitioned across the
+    shards, then [ops] flow-mods — a weighted mix of insertions of fresh
+    rules, removals of live ones and in-place action rewrites — are
+    submitted and flushed every [batch] ops, so the coalescing queues and
+    the batched-insert path actually get bursts to chew on.  Everything is
+    seeded and deterministic. *)
+
+type spec = {
+  kind : Fr_workload.Dataset.kind;
+  initial : int;  (** rules preloaded before the stream starts *)
+  ops : int;  (** flow-mods submitted *)
+  shards : int;
+  capacity : int;  (** TCAM slots per shard *)
+  batch : int;  (** ops per flush window *)
+  seed : int;
+}
+
+type result = {
+  service : Service.t;  (** final state, telemetry included *)
+  submitted : int;
+  applied : int;
+  failed : int;  (** drain failures, push-time rejections included *)
+  coalesced : int;
+  flushes : int;
+  flush_wall_ms : Fr_switch.Measure.summary;
+      (** wall-clock per {!Service.flush} call *)
+}
+
+val run :
+  ?policy:Partition.policy ->
+  ?algo:Fr_switch.Firmware.algo_kind ->
+  ?verify:bool ->
+  ?refresh_every:int ->
+  spec ->
+  result
+(** @raise Invalid_argument if the initial policy does not fit its
+    shards. *)

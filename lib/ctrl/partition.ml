@@ -1,0 +1,67 @@
+module Rule = Fr_tern.Rule
+module Ternary = Fr_tern.Ternary
+module Header = Fr_tern.Header
+
+type policy = Hash_id | Dst_prefix of int
+
+let policy_to_string = function
+  | Hash_id -> "hash"
+  | Dst_prefix k -> Printf.sprintf "prefix:%d" k
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "hash" -> Some Hash_id
+  | s when String.length s > 7 && String.sub s 0 7 = "prefix:" -> (
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some k when k >= 1 && k <= 32 -> Some (Dst_prefix k)
+      | _ -> None)
+  | _ -> None
+
+type t = { shards : int; policy : policy }
+
+let create ~shards policy =
+  if shards < 1 then invalid_arg "Partition.create: shards < 1";
+  (match policy with
+  | Dst_prefix k when k < 1 || k > 32 ->
+      invalid_arg "Partition.create: prefix length must be in 1..32"
+  | _ -> ());
+  { shards; policy }
+
+let shards t = t.shards
+let policy t = t.policy
+
+(* splitmix64's finaliser: a full-avalanche mix so that dense sequential
+   rule ids still spread uniformly over a handful of shards. *)
+let mix id =
+  let open Int64 in
+  let z = of_int id in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  to_int (logand (logxor z (shift_right_logical z 31)) 0x3fffffffffffffffL)
+
+let route_id t id = mix id mod t.shards
+
+(* The top [k] bits of the 32-bit dst_ip field, if all of them are
+   specified.  Bit 0 of a ternary string is the LSB, so "top k" means
+   positions 31 .. 32-k. *)
+let dst_prefix_value (rule : Rule.t) ~k =
+  if Ternary.width rule.Rule.field <> Header.total_width then None
+  else
+  let dst = (Header.unpack rule.Rule.field).Header.dst_ip in
+  let rec go i acc =
+    if i < 32 - k then Some acc
+    else
+      match Ternary.get dst i with
+      | Ternary.Zero -> go (i - 1) (acc * 2)
+      | Ternary.One -> go (i - 1) ((acc * 2) + 1)
+      | Ternary.Any -> None
+  in
+  go 31 0
+
+let route_rule t (rule : Rule.t) =
+  match t.policy with
+  | Hash_id -> route_id t rule.Rule.id
+  | Dst_prefix k -> (
+      match dst_prefix_value rule ~k with
+      | Some v -> v mod t.shards
+      | None -> route_id t rule.Rule.id)

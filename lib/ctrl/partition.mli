@@ -1,0 +1,52 @@
+(** Deterministic rule-to-shard partitioning.
+
+    The control plane owns several switch agents (shards) and must route
+    every flow-mod to exactly one of them.  Routing has to be {e
+    deterministic} — the same rule must land on the same shard in every
+    run and across controller restarts, or a re-submitted policy would
+    scatter — and cheap, because it sits on the submit path of every op.
+
+    Two policies:
+
+    - {!Hash_id}: a splitmix-style integer hash of the rule id, spread
+      uniformly over the shards.  No locality, perfect balance; the
+      default.
+    - {!Dst_prefix}: route by the top [bits] of the destination-IP match
+      field, so rules covering the same destination block colocate — the
+      arrangement a rule-caching or consistent-update controller wants,
+      because overlapping rules then share a shard and keep their
+      dependency chains (and hence TCAM movement costs) local.  Rules
+      whose destination bits are not fully specified in that window, rules
+      that are not 104-bit 5-tuples, and id-only ops fall back to the id
+      hash.
+
+    A partitioner is a pure value: {!route_rule} and {!route_id} never
+    mutate, so concurrent shards can share one. *)
+
+type policy =
+  | Hash_id  (** uniform id hash (default) *)
+  | Dst_prefix of int
+      (** colocate by the top [k] destination-IP bits, [0 < k <= 32] *)
+
+val policy_to_string : policy -> string
+(** ["hash"] or ["prefix:<k>"]. *)
+
+val policy_of_string : string -> policy option
+(** Inverse of {!policy_to_string}. *)
+
+type t
+
+val create : shards:int -> policy -> t
+(** @raise Invalid_argument if [shards < 1] or a prefix length is out of
+    [1..32]. *)
+
+val shards : t -> int
+val policy : t -> policy
+
+val route_id : t -> int -> int
+(** The id-hash route — the only information available for [Set_action]
+    and [Remove] ops of rules the service has not seen installed. *)
+
+val route_rule : t -> Fr_tern.Rule.t -> int
+(** Route an [Add] by the configured policy.  Always in
+    [0 .. shards - 1]. *)

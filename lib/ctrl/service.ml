@@ -1,0 +1,154 @@
+module Rule = Fr_tern.Rule
+module Agent = Fr_switch.Agent
+module Measure = Fr_switch.Measure
+
+type t = {
+  partition : Partition.t;
+  shards : Shard.t array;
+  routes : (int, int) Hashtbl.t;
+      (* rule id -> shard, for every id pending or installed.  Rebuilt
+         from the agents after each flush (queues are empty then), so a
+         failed Add never leaves a stale route behind. *)
+}
+
+let create ?kind ?latency ?verify ?refresh_every
+    ?(policy = Partition.Hash_id) ~shards ~capacity () =
+  {
+    partition = Partition.create ~shards policy;
+    shards =
+      Array.init shards (fun id ->
+          Shard.create ?kind ?latency ?verify ?refresh_every ~capacity ~id ());
+    routes = Hashtbl.create 1024;
+  }
+
+let of_rules ?kind ?latency ?verify ?refresh_every
+    ?(policy = Partition.Hash_id) ~shards ~capacity rules =
+  let partition = Partition.create ~shards policy in
+  let slices = Array.make shards [] in
+  Array.iter
+    (fun (r : Rule.t) ->
+      let s = Partition.route_rule partition r in
+      slices.(s) <- r :: slices.(s))
+    rules;
+  let t =
+    {
+      partition;
+      shards =
+        Array.init shards (fun id ->
+            Shard.of_rules ?kind ?latency ?verify ?refresh_every ~capacity ~id
+              (Array.of_list (List.rev slices.(id))));
+      routes = Hashtbl.create (2 * Array.length rules);
+    }
+  in
+  Array.iter
+    (fun (r : Rule.t) ->
+      Hashtbl.replace t.routes r.Rule.id (Partition.route_rule partition r))
+    rules;
+  t
+
+let shards t = Array.length t.shards
+
+let shard t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg (Printf.sprintf "Service.shard: no shard %d" i);
+  t.shards.(i)
+
+let partition t = t.partition
+let shard_of_rule t id = Hashtbl.find_opt t.routes id
+
+let rule_count t =
+  Array.fold_left (fun acc s -> acc + Agent.rule_count (Shard.agent s)) 0 t.shards
+
+let find_rule t id =
+  match Hashtbl.find_opt t.routes id with
+  | Some s -> Agent.rule (Shard.agent t.shards.(s)) id
+  | None -> None
+
+let route t fm =
+  match fm with
+  | Agent.Add r -> (
+      let id = r.Rule.id in
+      match Hashtbl.find_opt t.routes id with
+      | Some s -> s (* duplicate: let the owning shard reject it *)
+      | None ->
+          let s = Partition.route_rule t.partition r in
+          Hashtbl.replace t.routes id s;
+          s)
+  | Agent.Set_action { id; _ } | Agent.Remove { id } -> (
+      match Hashtbl.find_opt t.routes id with
+      | Some s -> s
+      | None -> Partition.route_id t.partition id)
+
+let submit t fm = ignore (Shard.submit t.shards.(route t fm) fm)
+let submit_all t mods = List.iter (submit t) mods
+
+let pending t =
+  Array.fold_left (fun acc s -> acc + Shard.queue_depth s) 0 t.shards
+
+type flush_report = {
+  results : Shard.drain_result array;
+  wall_ms : float;
+}
+
+let applied r =
+  Array.fold_left (fun acc (d : Shard.drain_result) -> acc + d.Shard.applied) 0
+    r.results
+
+let failures r =
+  Array.fold_left
+    (fun acc (d : Shard.drain_result) -> acc @ d.Shard.failed)
+    [] r.results
+
+let rebuild_routes t =
+  Hashtbl.reset t.routes;
+  Array.iteri
+    (fun s shard ->
+      List.iter
+        (fun (r : Rule.t) -> Hashtbl.replace t.routes r.Rule.id s)
+        (Agent.rules (Shard.agent shard)))
+    t.shards
+
+let flush t =
+  let results, wall_ms =
+    Measure.time_ms (fun () -> Array.map Shard.drain t.shards)
+  in
+  rebuild_routes t;
+  { results; wall_ms }
+
+let pp_stats ppf t =
+  Array.iter
+    (fun s ->
+      Format.fprintf ppf "-- shard %d (%d rules, %d/%d slots) --@.%a"
+        (Shard.id s)
+        (Agent.rule_count (Shard.agent s))
+        (Fr_tcam.Tcam.used_count (Agent.tcam (Shard.agent s)))
+        (Agent.capacity (Shard.agent s))
+        Telemetry.pp (Shard.telemetry s))
+    t.shards
+
+let to_json ?scenario t =
+  let open Telemetry.Json in
+  let per_shard =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           match Telemetry.to_json (Shard.telemetry s) with
+           | Obj fields ->
+               Obj
+                 (("shard", Int (Shard.id s))
+                 :: ("rules", Int (Agent.rule_count (Shard.agent s)))
+                 :: fields)
+           | v -> v)
+         t.shards)
+  in
+  let header =
+    match scenario with Some s -> [ ("scenario", Str s) ] | None -> []
+  in
+  Obj
+    (header
+    @ [
+        ("shards", Int (Array.length t.shards));
+        ("policy", Str (Partition.policy_to_string (Partition.policy t.partition)));
+        ("rules", Int (rule_count t));
+        ("per_shard", List per_shard);
+      ])

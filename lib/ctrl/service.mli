@@ -1,0 +1,97 @@
+(** [Fr_ctrl]'s front door: a sharded, batched control-plane service.
+
+    The service is what a controller application programs against when
+    one switch agent is not enough: it owns [N] {!Shard}s (each a full
+    {!Fr_switch.Agent} with its own TCAM, dependency graph and
+    scheduler), routes every flow-mod to its shard through a
+    deterministic {!Partition}, folds redundant ops in per-shard
+    {!Coalesce} queues, and applies everything pending in one {!flush} —
+    per shard, one amortised batch through the firmware's batched-insert
+    path.
+
+    Routing is sticky: an [Add] is placed by the partitioner and the
+    service remembers the rule's shard (pending or installed), so
+    [Set_action] and [Remove] follow their rule even under the
+    prefix-locality policy, where the id alone does not determine the
+    shard.  Ids the service has never routed fall back to the id hash —
+    the shard then rejects the op exactly like a single agent would.
+
+    Failure isolation is structural: shards share nothing, a flush drains
+    every shard regardless of its siblings' failures, and each shard's
+    casualties are reported in its own {!Shard.drain_result}.  Telemetry
+    aggregates per shard ({!Telemetry}); {!pp_stats} and {!to_json} dump
+    the whole service. *)
+
+type t
+
+val create :
+  ?kind:Fr_switch.Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  ?refresh_every:int ->
+  ?policy:Partition.policy ->
+  shards:int ->
+  capacity:int ->
+  unit ->
+  t
+(** [shards] empty agents of [capacity] TCAM slots each.  Defaults:
+    FastRule on the original layout, 0.6 ms/op, no shadow-table verify,
+    per-insert metric maintenance ([refresh_every = 1], see
+    {!Fr_switch.Agent.apply_batch}), {!Partition.Hash_id} routing. *)
+
+val of_rules :
+  ?kind:Fr_switch.Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  ?refresh_every:int ->
+  ?policy:Partition.policy ->
+  shards:int ->
+  capacity:int ->
+  Fr_tern.Rule.t array ->
+  t
+(** Partition an initial policy and bulk-load each shard's slice.
+    @raise Invalid_argument if ids collide or a slice does not fit. *)
+
+val shards : t -> int
+val shard : t -> int -> Shard.t
+(** @raise Invalid_argument if the index is out of range. *)
+
+val partition : t -> Partition.t
+
+val shard_of_rule : t -> int -> int option
+(** Where a rule id lives (installed) or will live (pending add); [None]
+    for ids the service is not tracking. *)
+
+val rule_count : t -> int
+(** Installed rules, summed over shards. *)
+
+val find_rule : t -> int -> Fr_tern.Rule.t option
+
+val submit : t -> Fr_switch.Agent.flow_mod -> unit
+(** Route and enqueue one flow-mod.  No hardware contact until
+    {!flush}. *)
+
+val submit_all : t -> Fr_switch.Agent.flow_mod list -> unit
+
+val pending : t -> int
+(** Queued entries over all shards. *)
+
+type flush_report = {
+  results : Shard.drain_result array;  (** indexed by shard *)
+  wall_ms : float;
+}
+
+val applied : flush_report -> int
+val failures : flush_report -> (Fr_switch.Agent.flow_mod * string) list
+(** All shards' casualties, shard order. *)
+
+val flush : t -> flush_report
+(** Drain every shard (all of them, even when some report failures) and
+    reconcile the routing table against the installed state. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** Per-shard plain-text telemetry dump. *)
+
+val to_json : ?scenario:string -> t -> Telemetry.Json.v
+(** [{scenario?, shards, policy, rules, per_shard: [...]}] — each shard
+    contributes {!Telemetry.to_json} plus its rule count. *)

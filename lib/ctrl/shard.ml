@@ -1,0 +1,101 @@
+module Agent = Fr_switch.Agent
+module Measure = Fr_switch.Measure
+module Tcam = Fr_tcam.Tcam
+
+type t = {
+  id : int;
+  agent : Agent.t;
+  queue : Coalesce.t;
+  telemetry : Telemetry.t;
+  refresh_every : int;
+}
+
+let create ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id () =
+  {
+    id;
+    agent = Agent.create ?kind ?latency ?verify ~capacity ();
+    queue = Coalesce.create ();
+    telemetry = Telemetry.create ();
+    refresh_every;
+  }
+
+let of_rules ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id rules =
+  {
+    id;
+    agent = Agent.of_rules ?kind ?latency ?verify ~capacity rules;
+    queue = Coalesce.create ();
+    telemetry = Telemetry.create ();
+    refresh_every;
+  }
+
+let id t = t.id
+let agent t = t.agent
+let telemetry t = t.telemetry
+let queue_depth t = Coalesce.depth t.queue
+
+let installed t fm =
+  let rule_id =
+    match fm with
+    | Agent.Add r -> r.Fr_tern.Rule.id
+    | Agent.Set_action { id; _ } -> id
+    | Agent.Remove { id } -> id
+  in
+  Agent.rule t.agent rule_id <> None
+
+let submit t fm =
+  Telemetry.record_submitted t.telemetry;
+  Coalesce.push t.queue ~installed:(installed t fm) fm
+
+type drain_result = {
+  shard : int;
+  applied : int;
+  failed : (Agent.flow_mod * string) list;
+  coalesced : int;
+  firmware_ms : float;
+  hardware_ms : float;
+  tcam_ops : int;
+  wall_ms : float;
+}
+
+let drain t =
+  let plan = Coalesce.pending_ops t.queue in
+  let rejections = Coalesce.rejected t.queue in
+  let coalesced = Coalesce.coalesced t.queue in
+  let depth = Coalesce.depth t.queue in
+  Coalesce.clear t.queue;
+  let fw0 = Agent.firmware_ms_total t.agent in
+  let hw0 = Agent.tcam_ms_total t.agent in
+  let ops0 = Tcam.ops_issued (Agent.tcam t.agent) in
+  let moves0 = Tcam.moves_issued (Agent.tcam t.agent) in
+  let results, wall_ms =
+    Measure.time_ms (fun () ->
+        Agent.apply_batch ~refresh_every:t.refresh_every t.agent plan)
+  in
+  let applied = ref 0 and failed = ref (List.rev rejections) in
+  List.iter2
+    (fun fm result ->
+      match result with
+      | Ok () -> incr applied
+      | Error e -> failed := (fm, e) :: !failed)
+    plan results;
+  let result =
+    {
+      shard = t.id;
+      applied = !applied;
+      failed = List.rev !failed;
+      coalesced;
+      firmware_ms = Agent.firmware_ms_total t.agent -. fw0;
+      hardware_ms = Agent.tcam_ms_total t.agent -. hw0;
+      tcam_ops = Tcam.ops_issued (Agent.tcam t.agent) - ops0;
+      wall_ms;
+    }
+  in
+  Telemetry.record_coalesced t.telemetry coalesced;
+  Telemetry.record_rejected t.telemetry (List.length rejections);
+  Telemetry.record_drain t.telemetry ~queue_depth:depth ~applied:!applied
+    ~failed:(List.length result.failed)
+    ~firmware_ms:result.firmware_ms ~hardware_ms:result.hardware_ms
+    ~tcam_ops:result.tcam_ops
+    ~moves:(Tcam.moves_issued (Agent.tcam t.agent) - moves0)
+    ~wall_ms;
+  result

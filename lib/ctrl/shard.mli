@@ -1,0 +1,68 @@
+(** One control-plane shard: a switch agent behind a coalescing queue.
+
+    A shard is the unit of failure isolation in {!Service}: it owns one
+    {!Fr_switch.Agent.t} (its slice of the rule space), buffers submitted
+    flow-mods in a {!Coalesce} queue, and applies them in bulk on
+    {!drain}.  A drain runs erases first, then in-place rewrites, then
+    the surviving insertions through {!Fr_switch.Agent.apply_batch} — so
+    a burst of churn costs one metric refresh, not one per op.
+
+    Failures stay local twice over: a failed op leaves the agent's table
+    unchanged (the agent's own guarantee) and the drain carries on with
+    the remaining ops, reporting every casualty in {!drain_result}[.failed]
+    — and nothing a shard does can disturb a sibling shard, because
+    shards share no state at all. *)
+
+type t
+
+val create :
+  ?kind:Fr_switch.Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  ?refresh_every:int ->
+  capacity:int ->
+  id:int ->
+  unit ->
+  t
+(** An empty shard.  [verify] turns on the agent's shadow-table check
+    ({!Fr_sched.Check}) for every drained sequence — drains then take the
+    per-op path, trading the amortised refresh for the safety net.
+    [refresh_every] (default 1) is the drain's metric-maintenance cadence
+    — see {!Fr_switch.Agent.apply_batch}. *)
+
+val of_rules :
+  ?kind:Fr_switch.Firmware.algo_kind ->
+  ?latency:Fr_tcam.Latency.t ->
+  ?verify:bool ->
+  ?refresh_every:int ->
+  capacity:int ->
+  id:int ->
+  Fr_tern.Rule.t array ->
+  t
+(** Bulk-load this shard's slice of an initial policy.
+    @raise Invalid_argument like {!Fr_switch.Agent.of_rules}. *)
+
+val id : t -> int
+val agent : t -> Fr_switch.Agent.t
+val telemetry : t -> Telemetry.t
+val queue_depth : t -> int
+
+val submit : t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
+(** Fold one flow-mod into the queue (no hardware contact). *)
+
+type drain_result = {
+  shard : int;
+  applied : int;  (** ops the agent accepted *)
+  failed : (Fr_switch.Agent.flow_mod * string) list;
+      (** agent rejections plus push-time coalesce rejections, with the
+          agent's (or queue's) reason *)
+  coalesced : int;  (** ops folded away before the drain *)
+  firmware_ms : float;  (** scheduling + bookkeeping, this drain *)
+  hardware_ms : float;  (** modelled TCAM time, this drain *)
+  tcam_ops : int;
+  wall_ms : float;
+}
+
+val drain : t -> drain_result
+(** Apply everything pending and clear the queue.  Never raises on op
+    failure; all accounting lands in the shard's {!Telemetry}. *)

@@ -1,0 +1,236 @@
+module Measure = Fr_switch.Measure
+
+module Json = struct
+  type v =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of v list
+    | Obj of (string * v) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%g" f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List vs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf v)
+          vs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    write buf v;
+    Buffer.contents buf
+
+  let of_summary (s : Measure.summary) =
+    Obj
+      [
+        ("count", Int s.Measure.count);
+        ("mean", Float s.Measure.mean);
+        ("min", Float s.Measure.min);
+        ("max", Float s.Measure.max);
+        ("p50", Float s.Measure.p50);
+        ("p95", Float s.Measure.p95);
+        ("p99", Float s.Measure.p99);
+      ]
+end
+
+type t = {
+  mutable submitted : int;
+  mutable coalesced : int;
+  mutable rejected : int;
+  mutable applied : int;
+  mutable failed : int;
+  mutable drains : int;
+  mutable tcam_ops : int;
+  mutable moves : int;
+  mutable fw_ms : float;
+  mutable hw_ms : float;
+  mutable depth_max : int;
+  fw_series : Measure.Series.t;  (* per drain *)
+  hw_series : Measure.Series.t;
+  wall_series : Measure.Series.t;
+  ops_series : Measure.Series.t;
+}
+
+let create () =
+  {
+    submitted = 0;
+    coalesced = 0;
+    rejected = 0;
+    applied = 0;
+    failed = 0;
+    drains = 0;
+    tcam_ops = 0;
+    moves = 0;
+    fw_ms = 0.0;
+    hw_ms = 0.0;
+    depth_max = 0;
+    fw_series = Measure.Series.create ();
+    hw_series = Measure.Series.create ();
+    wall_series = Measure.Series.create ();
+    ops_series = Measure.Series.create ();
+  }
+
+let record_submitted t = t.submitted <- t.submitted + 1
+let record_coalesced t n = t.coalesced <- t.coalesced + n
+let record_rejected t n = t.rejected <- t.rejected + n
+
+let record_drain t ~queue_depth ~applied ~failed ~firmware_ms ~hardware_ms
+    ~tcam_ops ~moves ~wall_ms =
+  t.drains <- t.drains + 1;
+  t.applied <- t.applied + applied;
+  t.failed <- t.failed + failed;
+  t.tcam_ops <- t.tcam_ops + tcam_ops;
+  t.moves <- t.moves + moves;
+  t.fw_ms <- t.fw_ms +. firmware_ms;
+  t.hw_ms <- t.hw_ms +. hardware_ms;
+  if queue_depth > t.depth_max then t.depth_max <- queue_depth;
+  Measure.Series.add t.fw_series firmware_ms;
+  Measure.Series.add t.hw_series hardware_ms;
+  Measure.Series.add t.wall_series wall_ms;
+  Measure.Series.add t.ops_series (float_of_int tcam_ops)
+
+let submitted t = t.submitted
+let coalesced t = t.coalesced
+let rejected t = t.rejected
+let applied t = t.applied
+let failed t = t.failed
+let drains t = t.drains
+let tcam_ops t = t.tcam_ops
+let moves t = t.moves
+let firmware_ms_total t = t.fw_ms
+let hardware_ms_total t = t.hw_ms
+let queue_depth_max t = t.depth_max
+let firmware_ms t = Measure.Series.summary t.fw_series
+let hardware_ms t = Measure.Series.summary t.hw_series
+let wall_ms t = Measure.Series.summary t.wall_series
+let drain_ops t = Measure.Series.summary t.ops_series
+
+type histogram = { bounds : float array; counts : int array }
+
+(* Log2-spaced bucket bounds from just under the smallest positive sample
+   up to the largest; every sample <= bounds.(i) for some i except the
+   overflow bucket. *)
+let histogram ?(buckets = 12) samples =
+  let positive = Array.of_list (List.filter (fun x -> x > 0.0) (Array.to_list samples)) in
+  if Array.length positive = 0 then
+    { bounds = [| 1.0 |]; counts = [| Array.length samples; 0 |] }
+  else begin
+    let lo = Array.fold_left min positive.(0) positive in
+    let hi = Array.fold_left max positive.(0) positive in
+    let lo_exp = int_of_float (Float.floor (Float.log2 lo)) in
+    let hi_exp = int_of_float (Float.ceil (Float.log2 hi)) in
+    let n = min buckets (max 1 (hi_exp - lo_exp + 1)) in
+    (* When the range exceeds the bucket budget, widen the step so the
+       top bound still covers [hi]. *)
+    let step =
+      float_of_int (max 1 ((hi_exp - lo_exp + n) / n))
+    in
+    let bounds =
+      Array.init n (fun i ->
+          Float.pow 2.0 (float_of_int lo_exp +. (step *. float_of_int (i + 1))))
+    in
+    let counts = Array.make (n + 1) 0 in
+    Array.iter
+      (fun x ->
+        let rec place i =
+          if i >= n then counts.(n) <- counts.(n) + 1
+          else if x <= bounds.(i) then counts.(i) <- counts.(i) + 1
+          else place (i + 1)
+        in
+        place 0)
+      samples;
+    { bounds; counts }
+  end
+
+let latency_histogram t = histogram (Measure.Series.to_array t.wall_series)
+let moves_histogram t = histogram (Measure.Series.to_array t.ops_series)
+
+let pp_histogram ppf { bounds; counts } =
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        if i < Array.length bounds then
+          Format.fprintf ppf "    <= %8.3f  %d@." bounds.(i) c
+        else Format.fprintf ppf "     > %8.3f  %d@." bounds.(Array.length bounds - 1) c)
+    counts
+
+let pp ppf t =
+  Format.fprintf ppf
+    "submitted %d  coalesced %d  rejected %d  applied %d  failed %d@."
+    t.submitted t.coalesced t.rejected t.applied t.failed;
+  Format.fprintf ppf
+    "drains %d  tcam-ops %d  moves %d  queue-depth-max %d@."
+    t.drains t.tcam_ops t.moves t.depth_max;
+  Format.fprintf ppf "firmware/drain (ms): %a@." Measure.pp_summary
+    (firmware_ms t);
+  Format.fprintf ppf "hardware/drain (ms): %a@." Measure.pp_summary
+    (hardware_ms t);
+  Format.fprintf ppf "drain latency histogram (wall ms):@.%a" pp_histogram
+    (latency_histogram t)
+
+let histogram_json { bounds; counts } =
+  Json.Obj
+    [
+      ("bounds", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) bounds)));
+      ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) counts)));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("submitted", Json.Int t.submitted);
+      ("coalesced", Json.Int t.coalesced);
+      ("rejected", Json.Int t.rejected);
+      ("applied", Json.Int t.applied);
+      ("failed", Json.Int t.failed);
+      ("drains", Json.Int t.drains);
+      ("tcam_ops", Json.Int t.tcam_ops);
+      ("moves", Json.Int t.moves);
+      ("queue_depth_max", Json.Int t.depth_max);
+      ("firmware_ms_total", Json.Float t.fw_ms);
+      ("hardware_ms_total", Json.Float t.hw_ms);
+      ("firmware_ms", Json.of_summary (firmware_ms t));
+      ("hardware_ms", Json.of_summary (hardware_ms t));
+      ("wall_ms", Json.of_summary (wall_ms t));
+      ("drain_ops", Json.of_summary (drain_ops t));
+      ("latency_histogram", histogram_json (latency_histogram t));
+      ("moves_histogram", histogram_json (moves_histogram t));
+    ]

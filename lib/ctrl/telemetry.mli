@@ -1,0 +1,100 @@
+(** Per-shard control-plane telemetry.
+
+    Every shard meters the quantities an operator (or a later
+    load-balancing layer) needs to see where the firmware bottleneck
+    lives: how much submitted work was folded away before it reached the
+    scheduler, how long each drain spent in the two clocks the paper
+    separates (firmware computation vs modelled TCAM write time), how
+    many hardware ops and movements each drain cost, and how deep the
+    queue ran.  Counters are plain monotonic ints; per-drain samples are
+    kept whole ({!Fr_switch.Measure.Series}) so percentiles are exact,
+    with log-bucketed histograms derived on demand for the dumps. *)
+
+(** A minimal JSON value — enough for machine-readable dumps without an
+    external dependency.  Serialisation is deterministic (fields print in
+    construction order). *)
+module Json : sig
+  type v =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of v list
+    | Obj of (string * v) list
+
+  val to_string : v -> string
+  (** Compact, valid JSON ([Float nan/inf] print as [null]). *)
+
+  val of_summary : Fr_switch.Measure.summary -> v
+  (** [{count, mean, min, max, p50, p95, p99}]. *)
+end
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording (called by the shard)} *)
+
+val record_submitted : t -> unit
+val record_coalesced : t -> int -> unit
+val record_rejected : t -> int -> unit
+
+val record_drain :
+  t ->
+  queue_depth:int ->
+  applied:int ->
+  failed:int ->
+  firmware_ms:float ->
+  hardware_ms:float ->
+  tcam_ops:int ->
+  moves:int ->
+  wall_ms:float ->
+  unit
+(** One drain's worth of accounting; the [*_ms] / op figures feed the
+    per-drain series, the rest the counters. *)
+
+(** {1 Reading} *)
+
+val submitted : t -> int
+val coalesced : t -> int
+val rejected : t -> int
+val applied : t -> int
+val failed : t -> int
+val drains : t -> int
+val tcam_ops : t -> int
+val moves : t -> int
+val firmware_ms_total : t -> float
+val hardware_ms_total : t -> float
+val queue_depth_max : t -> int
+
+val firmware_ms : t -> Fr_switch.Measure.summary
+(** Per-drain firmware milliseconds. *)
+
+val hardware_ms : t -> Fr_switch.Measure.summary
+(** Per-drain modelled TCAM milliseconds. *)
+
+val wall_ms : t -> Fr_switch.Measure.summary
+(** Per-drain wall-clock milliseconds (firmware + simulator overhead). *)
+
+val drain_ops : t -> Fr_switch.Measure.summary
+(** Per-drain TCAM op counts (the paper's movement metric, per drain). *)
+
+type histogram = { bounds : float array; counts : int array }
+(** [counts.(i)] samples fall in [(bounds.(i-1), bounds.(i)]] (the first
+    bucket is [<= bounds.(0)], the last unbounded above). *)
+
+val histogram : ?buckets:int -> float array -> histogram
+(** Log2-spaced buckets spanning the samples' range. *)
+
+val latency_histogram : t -> histogram
+(** Histogram of per-drain wall milliseconds. *)
+
+val moves_histogram : t -> histogram
+(** Histogram of per-drain TCAM op counts. *)
+
+val pp : Format.formatter -> t -> unit
+(** The plain-text dump: counters one per line, then the two-clock
+    summaries and the latency histogram. *)
+
+val to_json : t -> Json.v
+(** Everything above as one object (see doc/CTRL.md for the schema). *)

@@ -77,12 +77,15 @@ let after_apply st ops =
   st.pending_ids <- [];
   Store.refresh st.store ~addrs ~ids
 
-let insert_batch st requests =
+let insert_batch ?(refresh_every = max_int) st requests =
+  if refresh_every < 1 then invalid_arg "insert_batch: refresh_every < 1";
   let all_ops = ref [] in
   let dirty = ref [] in
+  let since_flush = ref 0 in
   let flush () =
     Store.refresh st.store ~addrs:!dirty ~ids:[];
-    dirty := []
+    dirty := [];
+    since_flush := 0
   in
   let rec run = function
     | [] ->
@@ -107,6 +110,8 @@ let insert_batch st requests =
             Tcam.apply_sequence st.tcam ops;
             dirty := List.rev_append (List.map Op.addr ops) !dirty;
             all_ops := ops :: !all_ops;
+            incr since_flush;
+            if !since_flush >= refresh_every then flush ();
             run rest)
   in
   run requests
@@ -118,4 +123,6 @@ let algo st =
       (fun ~rule_id ~deps ~dependents -> schedule_insert st ~rule_id ~deps ~dependents);
     schedule_delete = (fun ~rule_id -> schedule_delete st ~rule_id);
     after_apply = (fun ops -> after_apply st ops);
+    insert_batch =
+      Some (fun ~refresh_every requests -> insert_batch ~refresh_every st requests);
   }

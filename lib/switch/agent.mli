@@ -55,6 +55,24 @@ val of_rules :
 val apply : t -> flow_mod -> (unit, string) result
 (** Process one flow-mod end to end.  On [Error] the table is unchanged. *)
 
+val apply_batch :
+  ?refresh_every:int -> t -> flow_mod list -> (unit, string) result list
+(** Process a list of flow-mods in order, returning one result per mod
+    (same positions).  Maximal runs of consecutive [Add]s are driven
+    through the scheduler's batched-insert path when it offers one
+    ({!Fr_sched.Algo.t}[.insert_batch]): dependencies are compiled
+    sequentially so batch members order against each other, and metric
+    maintenance is flushed every [refresh_every] insertions (default [1]
+    — every slot the batch consumes is accounted before the next member
+    schedules, preserving per-op sequence quality; raise it to trade
+    movements for less maintenance, see {!Fr_sched.Fastrule.insert_batch}).
+    A failed mod never disturbs its batch mates — earlier requests stay
+    applied, later ones are re-scheduled without the failed rule — so each
+    result is exactly what the sequential [apply] stream would have
+    produced.  Agents created with [verify = true] (and schedulers without
+    a batch path) fall back to per-mod {!apply}, so the shadow-table check
+    still guards every sequence. *)
+
 val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
 (** What the hardware answers: highest-address match.  Increments the
     matched rule's packet counter (OpenFlow flow stats). *)

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Pre-commit gate: build everything, run the full test suite, and check
+# formatting when ocamlformat is available (the reference container does
+# not ship it, so the fmt step degrades to a notice rather than a
+# failure).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== fmt skipped (ocamlformat not installed) =="
+fi
+
+echo "dev-check: OK"

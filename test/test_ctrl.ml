@@ -1,0 +1,286 @@
+(* Tests for the Fr_ctrl control plane: partitioner determinism, the
+   coalescing state machine, batched apply, shard failure isolation, and
+   the queue's guiding invariant (drain == raw replay, failures ignored)
+   as qcheck properties. *)
+
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- partitioner ------------------------------------------------------- *)
+
+let test_partition_determinism () =
+  let p = Partition.create ~shards:4 Partition.Hash_id in
+  let q = Partition.create ~shards:4 Partition.Hash_id in
+  let counts = Array.make 4 0 in
+  for id = 0 to 1_999 do
+    let s = Partition.route_id p id in
+    check "in range" true (s >= 0 && s < 4);
+    check_int "deterministic" s (Partition.route_id q id);
+    counts.(s) <- counts.(s) + 1
+  done;
+  (* splitmix spread: no shard starves (exact counts are seed-free facts
+     of the hash, so a loose band is enough). *)
+  Array.iter (fun c -> check "balanced" true (c > 300 && c < 700)) counts;
+  check "policy round-trips" true
+    (Partition.policy_of_string "prefix:8" = Some (Partition.Dst_prefix 8)
+    && Partition.policy_of_string "hash" = Some Partition.Hash_id
+    && Partition.policy_of_string "prefix:0" = None);
+  check "bad shard count" true
+    (try
+       ignore (Partition.create ~shards:0 Partition.Hash_id);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prefix_colocation () =
+  let p = Partition.create ~shards:4 (Partition.Dst_prefix 8) in
+  let rule_with_dst id plen v =
+    Rule.make ~id
+      ~field:
+        (Header.pack
+           {
+             Header.wildcard with
+             Header.dst_ip = Ternary.prefix_of_int64 ~width:32 ~plen v;
+           })
+      ~action:(Rule.Forward id) ~priority:plen
+  in
+  (* Same /8 destination block -> same shard, whatever the id. *)
+  let a = rule_with_dst 1 16 0x0A010000L in
+  let b = rule_with_dst 999 24 0x0A0B0C00L in
+  check_int "same /8 colocates" (Partition.route_rule p a)
+    (Partition.route_rule p b);
+  (* Destination bits wildcarded inside the window -> id-hash fallback. *)
+  let wild = rule_with_dst 7 4 0x30000000L in
+  check_int "short prefix falls back" (Partition.route_id p 7)
+    (Partition.route_rule p wild);
+  (* Non-5-tuple rules (narrow test headers) also fall back. *)
+  let narrow =
+    Rule.make ~id:11 ~field:(Ternary.of_string "10****1010")
+      ~action:(Rule.Forward 11) ~priority:3
+  in
+  check_int "narrow header falls back" (Partition.route_id p 11)
+    (Partition.route_rule p narrow)
+
+(* --- coalescing queue -------------------------------------------------- *)
+
+let mk_rule id =
+  Rule.make ~id
+    ~field:
+      (Header.pack
+         {
+           Header.wildcard with
+           Header.dst_ip =
+             Ternary.prefix_of_int64 ~width:32 ~plen:24
+               (Int64.of_int (0x0A000000 + (id * 256)));
+         })
+    ~action:(Rule.Forward id) ~priority:24
+
+let test_coalesce_folds () =
+  let q = Coalesce.create () in
+  let r = mk_rule 1 in
+  (* Add then Remove of a pending rule annihilates. *)
+  check "add queued" true (Coalesce.push q ~installed:false (Agent.Add r) = Coalesce.Queued);
+  check "remove annihilates" true
+    (Coalesce.push q ~installed:false (Agent.Remove { id = 1 }) = Coalesce.Annihilated);
+  check_int "nothing pending" 0 (List.length (Coalesce.pending_ops q));
+  check_int "two ops saved" 2 (Coalesce.coalesced q);
+  (* Repeated Set_action keeps only the last. *)
+  let push_set id act installed =
+    Coalesce.push q ~installed (Agent.Set_action { id; action = Rule.Forward act })
+  in
+  check "first set queued" true (push_set 2 1 true = Coalesce.Queued);
+  check "second set folds" true (push_set 2 5 true = Coalesce.Folded);
+  (match Coalesce.pending_ops q with
+  | [ Agent.Set_action { id = 2; action } ] ->
+      check "last action wins" true (Rule.equal_action action (Rule.Forward 5))
+  | ops -> Alcotest.failf "unexpected plan (%d ops)" (List.length ops));
+  (* Set then Remove of an installed rule: the rewrite is moot. *)
+  check "remove folds set away" true
+    (Coalesce.push q ~installed:true (Agent.Remove { id = 2 }) <> Coalesce.Queued);
+  (match Coalesce.pending_ops q with
+  | [ Agent.Remove { id = 2 } ] -> ()
+  | ops -> Alcotest.failf "expected lone remove (%d ops)" (List.length ops));
+  Coalesce.clear q;
+  (* Remove of an installed rule then Add of the same id: a replace —
+     the erase comes out before the insertion. *)
+  check "remove queued" true
+    (Coalesce.push q ~installed:true (Agent.Remove { id = 1 }) = Coalesce.Queued);
+  check "re-add folds" true
+    (Coalesce.push q ~installed:true (Agent.Add r) <> Coalesce.Rejected "");
+  (match Coalesce.pending_ops q with
+  | [ Agent.Remove { id = 1 }; Agent.Add r' ] ->
+      check "replace re-adds the rule" true (r'.Rule.id = 1)
+  | ops -> Alcotest.failf "expected remove;add (%d ops)" (List.length ops));
+  Coalesce.clear q;
+  (* Ops that can never succeed are rejected at push time. *)
+  (match Coalesce.push q ~installed:true (Agent.Add r) with
+  | Coalesce.Rejected _ -> ()
+  | _ -> Alcotest.fail "duplicate add must be rejected");
+  (match Coalesce.push q ~installed:false (Agent.Remove { id = 99 }) with
+  | Coalesce.Rejected _ -> ()
+  | _ -> Alcotest.fail "remove of absent must be rejected");
+  check_int "rejections reported" 2 (List.length (Coalesce.rejected q));
+  check_int "rejections are not pending" 0 (List.length (Coalesce.pending_ops q))
+
+(* --- batched apply ----------------------------------------------------- *)
+
+let table_of agent =
+  List.sort compare
+    (List.map
+       (fun (r : Rule.t) -> (r.Rule.id, r.Rule.action))
+       (Agent.rules agent))
+
+let test_apply_batch_equivalence () =
+  let pool = Dataset.generate Dataset.FW5 ~seed:71 ~n:300 in
+  let initial = Array.sub pool 0 150 in
+  let mods =
+    List.concat
+      [
+        Array.to_list (Array.map (fun r -> Agent.Add r) (Array.sub pool 150 100));
+        [ Agent.Remove { id = (pool.(3)).Rule.id };
+          Agent.Set_action { id = (pool.(7)).Rule.id; action = Rule.Drop } ];
+        Array.to_list (Array.map (fun r -> Agent.Add r) (Array.sub pool 250 50));
+      ]
+  in
+  let seq = Agent.of_rules ~capacity:900 initial in
+  List.iter (fun m -> ignore (Agent.apply seq m)) mods;
+  List.iter
+    (fun refresh_every ->
+      let batched = Agent.of_rules ~capacity:900 initial in
+      let results = Agent.apply_batch ~refresh_every batched mods in
+      check_int "one result per mod" (List.length mods) (List.length results);
+      List.iter (fun r -> check "all applied" true (r = Ok ())) results;
+      check "same table as sequential" true (table_of seq = table_of batched);
+      check "dependency order intact" true
+        (Tcam.check_dag_order (Agent.tcam batched) (Agent.graph batched) = Ok ()))
+    [ 1; 4; max_int ];
+  (* Per-insert refresh must match the per-op path's movement count too —
+     that is the whole point of the default. *)
+  let batched = Agent.of_rules ~capacity:900 initial in
+  ignore (Agent.apply_batch ~refresh_every:1 batched mods);
+  check_int "same hardware ops as per-op"
+    (Tcam.ops_issued (Agent.tcam seq))
+    (Tcam.ops_issued (Agent.tcam batched));
+  check "refresh_every must be positive" true
+    (try
+       ignore (Agent.apply_batch ~refresh_every:0 batched
+                 [ Agent.Add pool.(0); Agent.Add pool.(1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- shard failure isolation ------------------------------------------ *)
+
+let test_shard_failure_isolation () =
+  (* Tiny shards, and a burst aimed (by id filtering) at shard 0 only:
+     the overfull shard fails mid-batch, the sibling's batch is whole. *)
+  let svc = Ctrl.create ~shards:2 ~capacity:8 () in
+  let part = Ctrl.partition svc in
+  let to_shard s n =
+    let picked = ref [] and id = ref 0 in
+    while List.length !picked < n do
+      if Partition.route_id part !id = s then picked := !id :: !picked;
+      incr id
+    done;
+    List.rev !picked
+  in
+  List.iter (fun id -> Ctrl.submit svc (Agent.Add (mk_rule id))) (to_shard 0 12);
+  List.iter (fun id -> Ctrl.submit svc (Agent.Add (mk_rule id))) (to_shard 1 3);
+  let report = Ctrl.flush svc in
+  let d0 = report.Ctrl.results.(0) and d1 = report.Ctrl.results.(1) in
+  check_int "shard 0 filled to capacity" 8 d0.Shard.applied;
+  check_int "shard 0 overflow reported" 4 (List.length d0.Shard.failed);
+  check_int "sibling applied everything" 3 d1.Shard.applied;
+  check_int "sibling untouched by failure" 0 (List.length d1.Shard.failed);
+  check_int "route table matches agents" 11 (Ctrl.rule_count svc);
+  List.iter
+    (fun (fm, _) ->
+      match fm with
+      | Agent.Add r ->
+          check "failed rules not installed" true (Ctrl.find_rule svc r.Rule.id = None)
+      | _ -> Alcotest.fail "only adds were submitted")
+    (Ctrl.failures report);
+  (* The failed shard stays usable: freeing a slot lets the next add in. *)
+  Ctrl.submit svc (Agent.Remove { id = List.hd (to_shard 0 1) });
+  Ctrl.submit svc (Agent.Add (mk_rule (List.nth (to_shard 0 13) 12)));
+  let report = Ctrl.flush svc in
+  check_int "recovers after a remove" 0 (List.length (Ctrl.failures report));
+  check_int "still at capacity" 8 d0.Shard.applied
+
+(* --- the guiding invariant, property-tested ---------------------------- *)
+
+(* A stream step: (kind roll, pool index, action), with kind 9 = flush. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 10 120)
+      (triple (int_bound 9) (int_bound 59) (int_bound 7)))
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (fun (k, i, a) -> Printf.sprintf "%d/%d/%d" k i a) ops))
+    ops_gen
+
+(* Replay the same raw stream (failures ignored) through a sharded
+   service and through one plain agent; the tables must agree. *)
+let service_matches_reference ~shards ~policy ops =
+  let pool = Dataset.generate Dataset.ACL4 ~seed:73 ~n:60 in
+  let initial = Array.sub pool 0 30 in
+  let svc = Ctrl.of_rules ~policy ~shards ~capacity:200 initial in
+  let ref_agent = Agent.of_rules ~capacity:200 initial in
+  List.iter
+    (fun (kind, idx, act) ->
+      if kind = 9 then ignore (Ctrl.flush svc)
+      else begin
+        let id = (pool.(idx)).Rule.id in
+        let fm =
+          if kind < 5 then Agent.Add pool.(idx)
+          else if kind < 8 then Agent.Remove { id }
+          else Agent.Set_action { id; action = Rule.Forward act }
+        in
+        Ctrl.submit svc fm;
+        ignore (Agent.apply ref_agent fm)
+      end)
+    ops;
+  ignore (Ctrl.flush svc);
+  let merged = ref [] in
+  for s = 0 to Ctrl.shards svc - 1 do
+    merged := table_of (Shard.agent (Ctrl.shard svc s)) @ !merged
+  done;
+  List.sort compare !merged = table_of ref_agent
+
+let prop_drain_equals_raw_replay =
+  QCheck.Test.make ~name:"single shard: drain == raw replay" ~count:150 arb_ops
+    (service_matches_reference ~shards:1 ~policy:Partition.Hash_id)
+
+let prop_sharded_union_equals_raw_replay =
+  QCheck.Test.make ~name:"3 shards: union == raw replay" ~count:150 arb_ops
+    (service_matches_reference ~shards:3 ~policy:Partition.Hash_id)
+
+let prop_prefix_policy_union_equals_raw_replay =
+  QCheck.Test.make ~name:"prefix policy: union == raw replay" ~count:100
+    arb_ops
+    (service_matches_reference ~shards:3 ~policy:(Partition.Dst_prefix 8))
+
+let suite =
+  [
+    ( "ctrl",
+      [
+        Alcotest.test_case "partition determinism" `Quick
+          test_partition_determinism;
+        Alcotest.test_case "prefix colocation" `Quick test_prefix_colocation;
+        Alcotest.test_case "coalesce folds" `Quick test_coalesce_folds;
+        Alcotest.test_case "apply_batch = sequential" `Quick
+          test_apply_batch_equivalence;
+        Alcotest.test_case "shard failure isolation" `Quick
+          test_shard_failure_isolation;
+      ] );
+    ( "ctrl-props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_drain_equals_raw_replay;
+          prop_sharded_union_equals_raw_replay;
+          prop_prefix_policy_union_equals_raw_replay;
+        ] );
+  ]
