@@ -4,7 +4,7 @@
    core data-structure operations.
 
    Usage:  main.exe [--quick] [table2] [fig7] [fig8] [fig9] [ablation]
-           [micro] [ctrl]
+           [micro] [ctrl] [conform]
 
    With no section argument every section runs.  --quick restricts the
    sweeps to sizes <= 4000 (a couple of minutes); the full run covers the
@@ -500,6 +500,90 @@ let ctrl () =
     (List.length results)
 
 (* ------------------------------------------------------------------ *)
+(* conform: throughput of the differential oracle — how many scheduler-
+   emitted ops the shadow-table check validates per second, and what the
+   whole five-way cross-examination costs over a checked run. *)
+
+let conform () =
+  let events = if !quick then 150 else 400 in
+  let initial = if !quick then 300 else 500 in
+  let specs = [ Dataset.ACL4; Dataset.FW5; Dataset.ROUTE ] in
+  Format.printf "%-7s %7s %7s %10s %10s %12s %9s %8s@." "kind" "events"
+    "checked" "verify-ms" "wall-ms" "checked/s" "overhead" "diverge";
+  let results =
+    List.map
+      (fun kind ->
+        let trace =
+          Trace.generate ~kind ~seed ~initial ~pool:(2 * initial)
+            ~capacity:(4 * initial) ~events ()
+        in
+        let checked = Oracle.run trace in
+        let unchecked =
+          Oracle.run
+            ~config:{ Oracle.default_config with Oracle.verify = false }
+            trace
+        in
+        let rate =
+          if checked.Oracle.verify_ms > 0. then
+            float_of_int checked.Oracle.checked_ops
+            /. (checked.Oracle.verify_ms /. 1000.)
+          else 0.
+        in
+        let overhead =
+          if unchecked.Oracle.wall_ms > 0. then
+            100.
+            *. (checked.Oracle.wall_ms -. unchecked.Oracle.wall_ms)
+            /. unchecked.Oracle.wall_ms
+          else 0.
+        in
+        let diverg = List.length checked.Oracle.divergences in
+        Format.printf "%-7s %7d %7d %10.2f %10.1f %12.0f %8.1f%% %8d@."
+          (Dataset.to_string kind) events checked.Oracle.checked_ops
+          checked.Oracle.verify_ms checked.Oracle.wall_ms rate overhead diverg;
+        if diverg > 0 then
+          Format.printf "!! conformance divergence on a clean run — %a@."
+            Oracle.pp_report checked;
+        (kind, checked, unchecked, rate, overhead))
+      specs
+  in
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("bench", Str "conform");
+        ("seed", Int seed);
+        ("events", Int events);
+        ("initial", Int initial);
+        ( "runs",
+          List
+            (List.map
+               (fun (kind, checked, unchecked, rate, overhead) ->
+                 Obj
+                   [
+                     ("kind", Str (Dataset.to_string kind));
+                     ("schedulers", Int (List.length checked.Oracle.columns));
+                     ("events", Int checked.Oracle.events_run);
+                     ("probes", Int checked.Oracle.probes_run);
+                     ("checked_ops", Int checked.Oracle.checked_ops);
+                     ("verify_ms", Float checked.Oracle.verify_ms);
+                     ("checked_ops_per_s", Float rate);
+                     ("wall_ms_checked", Float checked.Oracle.wall_ms);
+                     ("wall_ms_unchecked", Float unchecked.Oracle.wall_ms);
+                     ("verify_overhead_pct", Float overhead);
+                     ( "divergences",
+                       Int (List.length checked.Oracle.divergences) );
+                   ])
+               results) );
+      ]
+  in
+  let oc = open_out "BENCH_conform.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_conform.json (%d workloads)@."
+    (List.length results)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -512,6 +596,7 @@ let sections =
     ("fig9", fig9);
     ("ablation", ablation);
     ("ctrl", ctrl);
+    ("conform", conform);
   ]
 
 let () =

@@ -275,10 +275,193 @@ let ctrl_cmd =
       const run $ kind_arg $ n_arg $ seed_arg $ shards_arg $ capacity_arg
       $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg)
 
+(* --- conform --------------------------------------------------------- *)
+
+let break_conv =
+  let scheds = [ "naive"; "ruletris"; "fr-o"; "fr-sd"; "fr-sb" ] in
+  let parse s =
+    let split =
+      match String.index_opt s ':' with
+      | None -> Ok (s, Sabotage.Reverse)
+      | Some i -> (
+          let m = String.sub s (i + 1) (String.length s - i - 1) in
+          match Sabotage.mode_of_string m with
+          | Some mode -> Ok (String.sub s 0 i, mode)
+          | None ->
+              Error (`Msg (Printf.sprintf "unknown sabotage mode %S" m)))
+    in
+    match split with
+    | Error _ as e -> e
+    | Ok (sched, mode) ->
+        let sched = String.lowercase_ascii sched in
+        if List.mem sched scheds then Ok (sched, mode)
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "unknown scheduler %S (want one of %s)" sched
+                  (String.concat ", " scheds)))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf (s, m) ->
+        Format.fprintf ppf "%s:%s" s (Sabotage.mode_to_string m) )
+
+let conform_cmd =
+  let run kind n seed events pool capacity probes fault fault_max break_ record
+      save replay shrink out =
+    let bad fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "fastrule_cli: %s@." m;
+          exit 2)
+        fmt
+    in
+    if fault < 0. || fault > 1. then bad "--fault must be in [0,1] (got %g)" fault;
+    let trace =
+      match replay with
+      | Some path -> (
+          match Trace.load path with
+          | Ok t -> t
+          | Error e -> bad "cannot load trace %s: %s" path e)
+      | None ->
+          let pool = Option.value pool ~default:(2 * n) in
+          let capacity = Option.value capacity ~default:(4 * n) in
+          Trace.generate ~kind ~seed ~initial:n ~pool ~capacity ~events ()
+    in
+    let config =
+      {
+        Oracle.default_config with
+        Oracle.probes;
+        record = record || save <> None;
+        sabotage = break_;
+        fault_prob = fault;
+        max_failures = fault_max;
+      }
+    in
+    let report = Oracle.run ~config trace in
+    Oracle.pp_report Format.std_formatter report;
+    (match save with
+    | Some path ->
+        Trace.save report.Oracle.trace path;
+        Format.printf "wrote trace (with recordings) to %s@." path
+    | None -> ());
+    let ok = Oracle.clean report in
+    if (not ok) && shrink then begin
+      let shrink_config = { config with Oracle.record = false } in
+      let failing t = not (Oracle.clean (Oracle.run ~config:shrink_config t)) in
+      let small, runs =
+        Shrink.minimize ~failing (Trace.with_events trace trace.Trace.events)
+      in
+      Format.printf "@.shrunk to %d events (from %d) in %d oracle runs:@."
+        (List.length small.Trace.events)
+        (List.length trace.Trace.events)
+        runs;
+      List.iteri
+        (fun i ev -> Format.printf "  %2d: %a@." i Trace.pp_event ev)
+        small.Trace.events;
+      match out with
+      | Some path ->
+          Trace.save small path;
+          Format.printf "wrote reproducer to %s (replay with: fastrule_cli \
+                         conform --replay %s)@."
+            path path
+      | None -> ()
+    end;
+    exit (if ok then 0 else 1)
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "e"; "events" ] ~docv:"COUNT" ~doc:"Workload events to generate.")
+  in
+  let pool_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool" ] ~docv:"N" ~doc:"Rule pool size (default 2n).")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "c"; "capacity" ] ~docv:"SLOTS"
+          ~doc:"TCAM slots per agent (default 4n).")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "probes" ] ~docv:"K"
+          ~doc:"Lookup probes per event (TCAM winner vs linear scan).")
+  in
+  let fault_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "fault" ] ~docv:"P"
+          ~doc:"Inject write failures with this probability on the \
+                FastRule agents.")
+  in
+  let fault_max_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fault-max" ] ~docv:"N"
+          ~doc:"Injection budget per agent (-1: unlimited).")
+  in
+  let break_arg =
+    Arg.(
+      value
+      & opt_all break_conv []
+      & info [ "break" ] ~docv:"SCHED[:MODE]"
+          ~doc:"Sabotage a scheduler (reverse or drop-first) — the oracle \
+                must catch it.  Repeatable.")
+  in
+  let record_arg =
+    Arg.(
+      value & flag
+      & info [ "record" ]
+          ~doc:"Embed each scheduler's emitted sequences in the report \
+                trace (implied by --save).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"PATH" ~doc:"Write the trace after the run.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:"Replay a saved trace instead of generating one; embedded \
+                recordings are checked for scheduler determinism.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"On divergence, minimize the trace to a small reproducer.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Where to write the shrunk reproducer trace.")
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:"Differential conformance: one seeded workload through every \
+             scheduler, cross-checked event by event (exit 1 on \
+             divergence).")
+    Term.(
+      const run $ kind_arg $ n_arg $ seed_arg $ events_arg $ pool_arg
+      $ capacity_arg $ probes_arg $ fault_arg $ fault_max_arg $ break_arg
+      $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg)
+
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "fastrule_cli" ~doc)
-          [ stats_cmd; generate_cmd; run_cmd; hw_cmd; ctrl_cmd ]))
+          [ stats_cmd; generate_cmd; run_cmd; hw_cmd; ctrl_cmd; conform_cmd ]))

@@ -1,0 +1,372 @@
+module Rng = Fr_prng.Rng
+module Rule = Fr_tern.Rule
+module Header = Fr_tern.Header
+module Op = Fr_tcam.Op
+module Tcam = Fr_tcam.Tcam
+module Fault = Fr_tcam.Fault
+module Algo = Fr_sched.Algo
+module Sabotage = Fr_sched.Sabotage
+module Firmware = Fr_switch.Firmware
+module Agent = Fr_switch.Agent
+module Measure = Fr_switch.Measure
+
+type outcome =
+  | Applied
+  | Rejected of string
+  | Verify_failed of string
+  | Faulted of string
+
+let pp_outcome ppf = function
+  | Applied -> Format.pp_print_string ppf "applied"
+  | Rejected e -> Format.fprintf ppf "rejected (%s)" e
+  | Verify_failed e -> Format.fprintf ppf "VERIFY FAILED (%s)" e
+  | Faulted e -> Format.fprintf ppf "faulted (%s)" e
+
+type divergence = { event : int; scheduler : string; detail : string }
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "[%s] %s: %s"
+    (if d.event < 0 then "end" else string_of_int d.event)
+    d.scheduler d.detail
+
+type config = {
+  probes : int;
+  verify : bool;
+  record : bool;
+  sabotage : (string * Sabotage.mode) list;
+  fault_prob : float;
+  fault_seed : int;
+  max_failures : int;
+}
+
+let default_config =
+  {
+    probes = 8;
+    verify = true;
+    record = false;
+    sabotage = [];
+    fault_prob = 0.;
+    fault_seed = 0;
+    max_failures = -1;
+  }
+
+type column = {
+  scheduler : string;
+  applied : int;
+  rejected : int;
+  verify_failed : int;
+  faulted : int;
+  crashed : string option;
+}
+
+type report = {
+  trace : Trace.t;
+  columns : column list;
+  events_run : int;
+  probes_run : int;
+  divergences : divergence list;
+  checked_ops : int;
+  verify_ms : float;
+  wall_ms : float;
+}
+
+let clean r =
+  r.divergences = [] && List.for_all (fun c -> c.crashed = None) r.columns
+
+(* One scheduler under examination. *)
+type lane = {
+  name : string;
+  agent : Agent.t;
+  emitted : Op.t list array;  (** what the scheduler emitted, per event *)
+  history : Buffer.t;  (** '1' per applied event, '0' otherwise *)
+  mutable n_applied : int;
+  mutable n_rejected : int;
+  mutable n_verify_failed : int;
+  mutable n_faulted : int;
+  mutable dead : string option;
+}
+
+(* Record every accepted emission into [slot.(!cur)] — wrapped outside the
+   saboteur, so the recording is what actually reached the TCAM. *)
+let recorder ~slot ~cur (a : Algo.t) =
+  {
+    a with
+    Algo.schedule_insert =
+      (fun ~rule_id ~deps ~dependents ->
+        let r = a.Algo.schedule_insert ~rule_id ~deps ~dependents in
+        (match r with Ok ops -> slot.(!cur) <- ops | Error _ -> ());
+        r);
+    schedule_delete =
+      (fun ~rule_id ->
+        let r = a.Algo.schedule_delete ~rule_id in
+        (match r with Ok ops -> slot.(!cur) <- ops | Error _ -> ());
+        r);
+    insert_batch = None;
+  }
+
+let fault_tolerant = function
+  | Firmware.FR_O _ | Firmware.FR_SD _ | Firmware.FR_SB _ -> true
+  | Firmware.Naive | Firmware.Ruletris -> false
+
+let classify = function
+  | Ok () -> Applied
+  | Error e ->
+      let has_prefix p =
+        String.length e >= String.length p && String.sub e 0 (String.length p) = p
+      in
+      if has_prefix "verify: " then Verify_failed e
+      else if has_prefix "fault: " then Faulted e
+      else Rejected e
+
+let store_image agent =
+  List.sort compare
+    (List.map (fun (r : Rule.t) -> (r.Rule.id, r.Rule.action)) (Agent.rules agent))
+
+let winner_id = function None -> -1 | Some (r : Rule.t) -> r.Rule.id
+
+let run ?(config = default_config) (trace : Trace.t) =
+  let pool = Trace.rules trace in
+  let n_events = List.length trace.Trace.events in
+  let kinds = Firmware.standard_algos Fr_sched.Store.Bit_backend in
+  let cur = ref 0 in
+  let preload = Array.sub pool 0 trace.Trace.initial in
+  let divergences = ref [] in
+  let diverge ~event ~scheduler detail =
+    divergences := { event; scheduler; detail } :: !divergences
+  in
+  let make_lane kind =
+    let name = Firmware.algo_kind_name kind in
+    let emitted = Array.make (max n_events 1) ([] : Op.t list) in
+    let scheduler ~graph ~tcam =
+      let base = Firmware.make_scheduler kind ~graph ~tcam in
+      let base =
+        match List.assoc_opt name config.sabotage with
+        | Some mode -> Sabotage.wrap mode base
+        | None -> base
+      in
+      recorder ~slot:emitted ~cur base
+    in
+    let agent =
+      Agent.of_rules ~kind ~scheduler ~verify:config.verify
+        ~capacity:trace.Trace.capacity preload
+    in
+    (if config.fault_prob > 0. && fault_tolerant kind then
+       let plan =
+         Fault.create ~fail_prob:config.fault_prob
+           ~max_failures:config.max_failures
+           ~seed:(trace.Trace.seed lxor config.fault_seed lxor Hashtbl.hash name)
+           ()
+       in
+       Agent.set_fault agent (Some plan));
+    {
+      name;
+      agent;
+      emitted;
+      history = Buffer.create (n_events + 1);
+      n_applied = 0;
+      n_rejected = 0;
+      n_verify_failed = 0;
+      n_faulted = 0;
+      dead = None;
+    }
+  in
+  let lanes, setup_ms = Measure.time_ms (fun () -> List.map make_lane kinds) in
+  (* probe stream: second split of the trace seed (the first is the event
+     stream the generator consumed) *)
+  let root = Rng.create ~seed:trace.Trace.seed in
+  let _event_stream = Rng.split root in
+  let probe_rng = Rng.split root in
+  let probes_run = ref 0 in
+  let body () =
+    List.iteri
+      (fun idx ev ->
+        cur := idx;
+        let fm = Trace.flow_mod pool ev in
+        (* 1. drive the event through every (live) lane *)
+        List.iter
+          (fun lane ->
+            match lane.dead with
+            | Some _ -> Buffer.add_char lane.history 'x'
+            | None -> (
+                match classify (Agent.apply lane.agent fm) with
+                | Applied ->
+                    lane.n_applied <- lane.n_applied + 1;
+                    Buffer.add_char lane.history '1'
+                | Rejected _ ->
+                    lane.n_rejected <- lane.n_rejected + 1;
+                    Buffer.add_char lane.history '0'
+                | Verify_failed e ->
+                    lane.n_verify_failed <- lane.n_verify_failed + 1;
+                    Buffer.add_char lane.history '0';
+                    diverge ~event:idx ~scheduler:lane.name e
+                | Faulted _ ->
+                    lane.n_faulted <- lane.n_faulted + 1;
+                    (* A faulted sequence can still change the store: a
+                       Remove whose erase landed before the fault completes
+                       the logical removal.  The history tracks the store
+                       *effect* (that is what the grouping compares), so
+                       probe the store rather than trusting the verdict. *)
+                    let changed =
+                      match ev with
+                      | Trace.Remove i ->
+                          Agent.rule lane.agent pool.(i).Rule.id = None
+                      | Trace.Add _ | Trace.Set_action _ -> false
+                    in
+                    Buffer.add_char lane.history (if changed then '1' else '0')
+                | exception e ->
+                    lane.dead <- Some (Printexc.to_string e);
+                    Buffer.add_char lane.history 'x';
+                    diverge ~event:idx ~scheduler:lane.name
+                      ("agent crashed: " ^ Printexc.to_string e)))
+          lanes;
+        (* 2. dependency invariant on every intermediate state *)
+        List.iter
+          (fun lane ->
+            if lane.dead = None then
+              match
+                Tcam.check_dag_order (Agent.tcam lane.agent)
+                  (Agent.graph lane.agent)
+              with
+              | Ok () -> ()
+              | Error e ->
+                  diverge ~event:idx ~scheduler:lane.name
+                    ("dependency invariant violated: " ^ e))
+          lanes;
+        (* 3. semantic lookup equivalence: TCAM winner vs linear scan.
+           The probe stream advances regardless of lane health, so equal
+           traces probe equal packets. *)
+        for _ = 1 to config.probes do
+          let r = pool.(Rng.int probe_rng (Array.length pool)) in
+          let pkt = Header.packet_in probe_rng r.Rule.field in
+          incr probes_run;
+          List.iter
+            (fun lane ->
+              if lane.dead = None then
+                let hw = winner_id (Agent.lookup lane.agent pkt) in
+                let sem = winner_id (Agent.semantic_lookup lane.agent pkt) in
+                if hw <> sem then
+                  diverge ~event:idx ~scheduler:lane.name
+                    (Printf.sprintf
+                       "lookup divergence: TCAM matched rule %d, linear scan \
+                        says %d"
+                       hw sem))
+            lanes
+        done;
+        (* 4. lanes with identical accept histories must hold identical
+           stores *)
+        let groups : (string, (string * (int * Rule.action) list) list) Hashtbl.t
+            =
+          Hashtbl.create 8
+        in
+        List.iter
+          (fun lane ->
+            if lane.dead = None then
+              let key = Buffer.contents lane.history in
+              let img = store_image lane.agent in
+              Hashtbl.replace groups key
+                ((lane.name, img)
+                :: (try Hashtbl.find groups key with Not_found -> [])))
+          lanes;
+        Hashtbl.iter
+          (fun _ members ->
+            match members with
+            | [] | [ _ ] -> ()
+            | (ref_name, ref_img) :: rest ->
+                List.iter
+                  (fun (name, img) ->
+                    if img <> ref_img then
+                      diverge ~event:idx ~scheduler:name
+                        (Printf.sprintf
+                           "store differs from %s despite identical accept \
+                            history (%d vs %d rules)"
+                           ref_name (List.length img) (List.length ref_img)))
+                  rest)
+          groups)
+      trace.Trace.events;
+    (* 5. determinism: fresh emissions must reproduce embedded recordings *)
+    List.iter
+      (fun (name, recorded) ->
+        match List.find_opt (fun l -> l.name = name) lanes with
+        | None -> ()
+        | Some lane ->
+            if lane.dead = None then
+              Array.iteri
+                (fun idx ops ->
+                  if idx < n_events
+                     && not (List.equal Op.equal ops lane.emitted.(idx))
+                  then
+                    diverge ~event:idx ~scheduler:name
+                      (Format.asprintf
+                         "nondeterministic emission: recorded %a, replayed %a"
+                         Op.pp_sequence ops Op.pp_sequence lane.emitted.(idx)))
+                recorded)
+      trace.Trace.recordings
+  in
+  let (), body_ms = Measure.time_ms body in
+  let columns =
+    List.map
+      (fun lane ->
+        {
+          scheduler = lane.name;
+          applied = lane.n_applied;
+          rejected = lane.n_rejected;
+          verify_failed = lane.n_verify_failed;
+          faulted = lane.n_faulted;
+          crashed = lane.dead;
+        })
+      lanes
+  in
+  let checked_ops =
+    List.fold_left (fun acc l -> acc + Agent.verified_ops l.agent) 0 lanes
+  in
+  let verify_ms =
+    List.fold_left (fun acc l -> acc +. Agent.verify_ms_total l.agent) 0. lanes
+  in
+  let trace =
+    if config.record then
+      {
+        trace with
+        Trace.recordings =
+          List.map (fun l -> (l.name, Array.sub l.emitted 0 n_events)) lanes;
+      }
+    else trace
+  in
+  {
+    trace;
+    columns;
+    events_run = n_events;
+    probes_run = !probes_run;
+    divergences = List.rev !divergences;
+    checked_ops;
+    verify_ms;
+    wall_ms = setup_ms +. body_ms;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a@." Trace.pp r.trace;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-9s %4d applied, %3d rejected%s%s%s@." c.scheduler
+        c.applied c.rejected
+        (if c.verify_failed > 0 then
+           Printf.sprintf ", %d VERIFY-FAILED" c.verify_failed
+         else "")
+        (if c.faulted > 0 then Printf.sprintf ", %d faulted" c.faulted else "")
+        (match c.crashed with
+        | Some e -> Printf.sprintf ", CRASHED (%s)" e
+        | None -> ""))
+    r.columns;
+  Format.fprintf ppf "  %d probes/agent; %d ops checked in %.2f ms%s@."
+    r.probes_run r.checked_ops r.verify_ms
+    (if r.verify_ms > 0. then
+       Printf.sprintf " (%.0f checked-ops/s)"
+         (float_of_int r.checked_ops /. (r.verify_ms /. 1000.))
+     else "");
+  match r.divergences with
+  | [] -> Format.fprintf ppf "  divergences: none@."
+  | ds ->
+      Format.fprintf ppf "  divergences: %d@." (List.length ds);
+      let shown = List.filteri (fun i _ -> i < 10) ds in
+      List.iter (fun d -> Format.fprintf ppf "    %a@." pp_divergence d) shown;
+      if List.length ds > 10 then
+        Format.fprintf ppf "    ... and %d more@." (List.length ds - 10)

@@ -1,0 +1,97 @@
+(** The differential conformance oracle.
+
+    One seeded trace is replayed through {e every} standard scheduler
+    (Naive, RuleTris, FR-O, FR-SD, FR-SB), each driving its own
+    {!Fr_switch.Agent} with the shadow-table check on, and the oracle
+    cross-examines the five tables after every event:
+
+    - {b sequence validity} — the agent runs {!Fr_sched.Check.sequence}
+      over every emitted sequence before it touches the TCAM; a rejection
+      surfaces as a ["verify: "]-prefixed error and is {e always} a
+      divergence (the scheduler emitted a wrong sequence);
+    - {b dependency invariant} — {!Fr_tcam.Tcam.check_dag_order} on every
+      intermediate state, including states left by injected faults;
+    - {b lookup equivalence} — seeded packet probes, sampled to hit pool
+      rules: the TCAM answer ({!Fr_switch.Agent.lookup}, highest address)
+      must name the same rule as the priority-sorted linear scan
+      ({!Fr_switch.Agent.semantic_lookup});
+    - {b store agreement} — agents whose accept histories are identical
+      must hold identical [(id, action)] stores;
+    - {b determinism} — when the trace embeds recordings, each scheduler's
+      fresh emissions must reproduce them op for op.
+
+    Schedulers are allowed to {e disagree on acceptance} (a capacity
+    rejection on one layout is not a bug on another — the "skip on
+    Table_full" allowance); they are never allowed to diverge silently.
+
+    Fault injection ({!config.fault_prob}) installs a {!Fr_tcam.Fault}
+    plan on the FastRule agents only — their bookkeeping recomputes from
+    TCAM truth, so a sequence cut mid-way is a state the oracle can hold
+    to the same invariants.  The stateful baselines run fault-free and
+    anchor the comparison. *)
+
+type outcome =
+  | Applied
+  | Rejected of string  (** scheduling/request rejection — allowed skew *)
+  | Verify_failed of string  (** shadow table refused the sequence *)
+  | Faulted of string  (** injected hardware failure cut the sequence *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type divergence = {
+  event : int;  (** event index; [-1] for end-of-run checks *)
+  scheduler : string;  (** offending scheduler (kind name) *)
+  detail : string;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type config = {
+  probes : int;  (** packets sampled per event (default 8) *)
+  verify : bool;
+      (** shadow-table check on every sequence (default [true]; turn off
+          only to baseline the check's overhead on trusted schedulers —
+          a saboteur without the net crashes its agent, which the oracle
+          reports as a divergence but cannot localise) *)
+  record : bool;  (** embed each scheduler's emissions in the report trace *)
+  sabotage : (string * Fr_sched.Sabotage.mode) list;
+      (** mangle these schedulers (by kind name, e.g. ["fr-o"]) — the
+          self-test hook behind [conform --break] *)
+  fault_prob : float;  (** per-write failure probability, 0 = off *)
+  fault_seed : int;  (** offsets the trace seed for the fault streams *)
+  max_failures : int;  (** injection budget per agent; [-1] unlimited *)
+}
+
+val default_config : config
+(** 8 probes, verify on, no recording, no sabotage, no faults. *)
+
+type column = {
+  scheduler : string;
+  applied : int;
+  rejected : int;
+  verify_failed : int;
+  faulted : int;
+  crashed : string option;
+      (** an exception escaped the agent; it sat out the remaining events *)
+}
+
+type report = {
+  trace : Trace.t;  (** input trace, with recordings when [record] *)
+  columns : column list;  (** per scheduler, trace order *)
+  events_run : int;
+  probes_run : int;  (** total packets probed (per agent) *)
+  divergences : divergence list;
+  checked_ops : int;  (** ops through {!Fr_sched.Check.sequence}, summed *)
+  verify_ms : float;  (** wall-clock inside the check, summed *)
+  wall_ms : float;
+}
+
+val clean : report -> bool
+(** No divergences and no crashed agent. *)
+
+val run : ?config:config -> Trace.t -> report
+(** Replay the trace through all five schedulers and cross-examine.
+    Deterministic: equal traces and configs yield equal reports (up to
+    the wall-clock fields). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,52 @@
+let drop_range lst lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) lst
+
+let minimize ?(max_runs = 2000) ~failing (trace : Trace.t) =
+  let runs = ref 0 in
+  let check t =
+    if !runs >= max_runs then false
+    else begin
+      incr runs;
+      failing t
+    end
+  in
+  let base = Trace.with_events trace trace.Trace.events in
+  if not (check base) then (base, !runs)
+  else begin
+    let best = ref base in
+    let improved = ref true in
+    while !improved && !runs < max_runs do
+      improved := false;
+      let n = List.length !best.Trace.events in
+      (* chunk sizes n/2, n/4, ..., 1 — restart from the top after any
+         successful deletion (the classic ddmin refinement loop) *)
+      let chunk = ref (max 1 (n / 2)) in
+      let continue_sizes = ref true in
+      while !continue_sizes && !runs < max_runs do
+        let n = List.length !best.Trace.events in
+        let deleted_one = ref false in
+        let lo = ref 0 in
+        while !lo < n && !runs < max_runs do
+          let len = min !chunk (List.length !best.Trace.events - !lo) in
+          if len > 0 && !lo < List.length !best.Trace.events then begin
+            let candidate =
+              Trace.with_events !best (drop_range !best.Trace.events !lo len)
+            in
+            if candidate.Trace.events <> !best.Trace.events && check candidate
+            then begin
+              best := candidate;
+              deleted_one := true;
+              improved := true
+              (* keep [lo]: the next chunk slid into this position *)
+            end
+            else lo := !lo + len
+          end
+          else lo := !lo + max len 1
+        done;
+        if !deleted_one then ()
+        else if !chunk = 1 then continue_sizes := false
+        else chunk := max 1 (!chunk / 2)
+      done
+    done;
+    (!best, !runs)
+  end

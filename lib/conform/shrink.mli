@@ -1,0 +1,24 @@
+(** Greedy trace minimization (ddmin-lite).
+
+    Given a trace on which [failing] holds (typically "the oracle found a
+    divergence"), repeatedly try to delete chunks of events — halves,
+    quarters, down to single events, to a fixpoint — keeping any deletion
+    that still fails.  The result is {e 1-minimal in expectation}, not
+    guaranteed globally minimal: deleting any single remaining event makes
+    the failure disappear.
+
+    The workload header (pool, preload, capacity, seed) is never shrunk —
+    pool indices in the surviving events must keep meaning the same rules
+    — so a shrunk trace replays with the exact [conform replay] command
+    the CLI prints.  Recordings are dropped (they are positional). *)
+
+val minimize :
+  ?max_runs:int ->
+  failing:(Trace.t -> bool) ->
+  Trace.t ->
+  Trace.t * int
+(** [minimize ~failing t] is [(t', runs)]: the smallest failing trace
+    found and the number of times [failing] ran.  [t] itself is returned
+    (with recordings dropped) if it does not fail to begin with or if
+    [max_runs] (default 2000) is exhausted before any deletion sticks.
+    [failing] must be deterministic — feed it a fixed oracle config. *)

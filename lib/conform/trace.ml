@@ -1,0 +1,324 @@
+module Rng = Fr_prng.Rng
+module Rule = Fr_tern.Rule
+module Op = Fr_tcam.Op
+module Dataset = Fr_workload.Dataset
+module Agent = Fr_switch.Agent
+
+type event =
+  | Add of int
+  | Remove of int
+  | Set_action of int * Rule.action
+
+let pp_event ppf = function
+  | Add i -> Format.fprintf ppf "add %d" i
+  | Remove i -> Format.fprintf ppf "remove %d" i
+  | Set_action (i, a) ->
+      Format.fprintf ppf "set %d %s" i
+        (match a with
+        | Rule.Forward p -> Printf.sprintf "fwd:%d" p
+        | Rule.Drop -> "drop"
+        | Rule.Controller -> "ctrl")
+
+type t = {
+  kind : Dataset.kind;
+  seed : int;
+  initial : int;
+  pool : int;
+  capacity : int;
+  events : event list;
+  recordings : (string * Op.t list array) list;
+}
+
+(* -- generation ----------------------------------------------------- *)
+
+let generate ?(p_remove = 0.2) ?(p_set = 0.1) ~kind ~seed ~initial ~pool
+    ~capacity ~events () =
+  if initial > pool then
+    invalid_arg
+      (Printf.sprintf "Trace.generate: initial %d exceeds pool %d" initial pool);
+  if p_remove < 0. || p_set < 0. || p_remove +. p_set >= 1. then
+    invalid_arg "Trace.generate: probabilities must leave room for adds";
+  if events > 0 && pool <= 0 then
+    invalid_arg "Trace.generate: events need a non-empty pool";
+  let rng = Rng.create ~seed in
+  let ev_rng = Rng.split rng in
+  (* Track the live pool indices the replayed agents will hold, so every
+     Remove/Set_action targets something plausibly installed and every Add
+     targets something absent.  Rejections can still occur downstream
+     (capacity, duplicate races under faults) — that is the oracle's
+     business, not the generator's. *)
+  let live = Hashtbl.create (2 * pool) in
+  for i = 0 to initial - 1 do
+    Hashtbl.replace live i ()
+  done;
+  let free = ref [] in
+  for i = pool - 1 downto initial do
+    free := i :: !free
+  done;
+  let pick_live () =
+    let targets =
+      List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) live [])
+    in
+    List.nth targets (Rng.int ev_rng (List.length targets))
+  in
+  let do_add () =
+    let arr = Array.of_list !free in
+    let i = arr.(Rng.int ev_rng (Array.length arr)) in
+    free := List.filter (fun j -> j <> i) !free;
+    Hashtbl.replace live i ();
+    Add i
+  in
+  let do_remove () =
+    let i = pick_live () in
+    Hashtbl.remove live i;
+    free := i :: !free;
+    Remove i
+  in
+  let do_set () =
+    let i = pick_live () in
+    Set_action
+      ( i,
+        match Rng.int ev_rng 3 with
+        | 0 -> Rule.Forward (Rng.int ev_rng 16)
+        | 1 -> Rule.Drop
+        | _ -> Rule.Controller )
+  in
+  let evs = ref [] in
+  for _ = 1 to events do
+    let n_live = Hashtbl.length live in
+    let can_add = !free <> [] in
+    let roll = Rng.float ev_rng in
+    let ev =
+      if n_live = 0 then do_add () (* pool > 0, so free is non-empty here *)
+      else if not can_add then
+        if roll < p_set /. (p_remove +. p_set) then do_set () else do_remove ()
+      else if roll < p_remove then do_remove ()
+      else if roll < p_remove +. p_set then do_set ()
+      else do_add ()
+    in
+    evs := ev :: !evs
+  done;
+  {
+    kind;
+    seed;
+    initial;
+    pool;
+    capacity;
+    events = List.rev !evs;
+    recordings = [];
+  }
+
+let rules t = Dataset.generate t.kind ~seed:t.seed ~n:t.pool
+
+let flow_mod pool ev =
+  match ev with
+  | Add i -> Agent.Add pool.(i)
+  | Remove i -> Agent.Remove { id = pool.(i).Rule.id }
+  | Set_action (i, a) -> Agent.Set_action { id = pool.(i).Rule.id; action = a }
+
+let with_events t events = { t with events; recordings = [] }
+
+(* -- serialization -------------------------------------------------- *)
+
+let action_to_string = function
+  | Rule.Forward p -> Printf.sprintf "f%d" p
+  | Rule.Drop -> "d"
+  | Rule.Controller -> "c"
+
+let action_of_string s =
+  if s = "d" then Some Rule.Drop
+  else if s = "c" then Some Rule.Controller
+  else if String.length s >= 2 && s.[0] = 'f' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some p -> Some (Rule.Forward p)
+    | None -> None
+  else None
+
+let op_to_string = function
+  | Op.Insert { rule_id; addr } -> Printf.sprintf "i%d@%d" rule_id addr
+  | Op.Delete { addr } -> Printf.sprintf "d@%d" addr
+
+let op_of_string s =
+  match String.index_opt s '@' with
+  | None -> None
+  | Some at -> (
+      let addr = String.sub s (at + 1) (String.length s - at - 1) in
+      match int_of_string_opt addr with
+      | None -> None
+      | Some addr ->
+          if s = Printf.sprintf "d@%d" addr then Some (Op.delete ~addr)
+          else if String.length s >= 2 && s.[0] = 'i' then
+            match int_of_string_opt (String.sub s 1 (at - 1)) with
+            | Some rule_id -> Some (Op.insert ~rule_id ~addr)
+            | None -> None
+          else None)
+
+let ops_to_string = function
+  | [] -> "-"
+  | ops -> String.concat "," (List.map op_to_string ops)
+
+let ops_of_string s =
+  if s = "-" then Some []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest -> (
+          match op_of_string p with
+          | Some op -> go (op :: acc) rest
+          | None -> None)
+    in
+    go [] parts
+
+let magic = "fastrule-conform-trace v1"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "kind %s" (Dataset.to_string t.kind);
+  line "seed %d" t.seed;
+  line "initial %d" t.initial;
+  line "pool %d" t.pool;
+  line "capacity %d" t.capacity;
+  line "events %d" (List.length t.events);
+  List.iter
+    (fun ev ->
+      match ev with
+      | Add i -> line "a %d" i
+      | Remove i -> line "r %d" i
+      | Set_action (i, a) -> line "s %d %s" i (action_to_string a))
+    t.events;
+  List.iter
+    (fun (name, per_event) ->
+      Array.iteri
+        (fun idx ops -> line "ops %s %d %s" name idx (ops_to_string ops))
+        per_event)
+    t.recordings;
+  line "end";
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let err n msg = Error (Printf.sprintf "trace line %d: %s" n msg) in
+  match lines with
+  | [] -> Error "trace: empty input"
+  | m :: rest when m = magic -> (
+      (* header *)
+      let header = Hashtbl.create 8 in
+      let rec read_header n = function
+        | l :: rest -> (
+            match String.split_on_char ' ' l with
+            | [ k; v ]
+              when List.mem k
+                     [ "kind"; "seed"; "initial"; "pool"; "capacity"; "events" ]
+              ->
+                Hashtbl.replace header k v;
+                read_header (n + 1) rest
+            | _ -> Ok (n, l :: rest))
+        | [] -> Ok (n, [])
+      in
+      let get k =
+        match Hashtbl.find_opt header k with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "trace: missing header %s" k)
+      in
+      let get_int k =
+        match get k with
+        | Ok v -> (
+            match int_of_string_opt v with
+            | Some i -> Ok i
+            | None -> Error (Printf.sprintf "trace: bad %s %S" k v))
+        | Error e -> Error e
+      in
+      let ( let* ) = Result.bind in
+      match read_header 2 rest with
+      | Error e -> Error e
+      | Ok (body_start, body) ->
+          let* kind_s = get "kind" in
+          let* kind =
+            match Dataset.of_string kind_s with
+            | Some k -> Ok k
+            | None -> Error (Printf.sprintf "trace: unknown kind %S" kind_s)
+          in
+          let* seed = get_int "seed" in
+          let* initial = get_int "initial" in
+          let* pool = get_int "pool" in
+          let* capacity = get_int "capacity" in
+          let* n_events = get_int "events" in
+          let rec read_events n acc left = function
+            | l :: rest when left > 0 -> (
+                match String.split_on_char ' ' l with
+                | [ "a"; i ] -> (
+                    match int_of_string_opt i with
+                    | Some i -> read_events (n + 1) (Add i :: acc) (left - 1) rest
+                    | None -> err n "bad add index")
+                | [ "r"; i ] -> (
+                    match int_of_string_opt i with
+                    | Some i ->
+                        read_events (n + 1) (Remove i :: acc) (left - 1) rest
+                    | None -> err n "bad remove index")
+                | [ "s"; i; a ] -> (
+                    match (int_of_string_opt i, action_of_string a) with
+                    | Some i, Some a ->
+                        read_events (n + 1) (Set_action (i, a) :: acc) (left - 1)
+                          rest
+                    | _ -> err n "bad set-action event")
+                | _ -> err n (Printf.sprintf "expected an event, got %S" l))
+            | rest when left = 0 -> Ok (n, List.rev acc, rest)
+            | _ -> Error "trace: truncated event list"
+          in
+          let* n, events, tail = read_events body_start [] n_events body in
+          let recs : (string, Op.t list array) Hashtbl.t = Hashtbl.create 8 in
+          let order = ref [] in
+          let rec read_tail n = function
+            | [ "end" ] | [] -> Ok ()
+            | l :: rest -> (
+                match String.split_on_char ' ' l with
+                | [ "ops"; name; idx; ops_s ] -> (
+                    match (int_of_string_opt idx, ops_of_string ops_s) with
+                    | Some idx, Some ops when idx >= 0 && idx < n_events ->
+                        (if not (Hashtbl.mem recs name) then begin
+                           Hashtbl.replace recs name
+                             (Array.make n_events ([] : Op.t list));
+                           order := name :: !order
+                         end);
+                        (Hashtbl.find recs name).(idx) <- ops;
+                        read_tail (n + 1) rest
+                    | _ -> err n "bad ops line"
+                    )
+                | _ -> err n (Printf.sprintf "unexpected line %S" l))
+          in
+          let* () = read_tail n tail in
+          let recordings =
+            List.rev_map (fun name -> (name, Hashtbl.find recs name)) !order
+          in
+          Ok { kind; seed; initial; pool; capacity; events; recordings })
+  | m :: _ -> err 1 (Printf.sprintf "bad magic %S (want %S)" m magic)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error e -> Error e
+
+let pp ppf t =
+  Format.fprintf ppf "%s trace: seed %d, %d preloaded of %d pool, cap %d, %d events%s"
+    (Dataset.to_string t.kind) t.seed t.initial t.pool t.capacity
+    (List.length t.events)
+    (if t.recordings = [] then ""
+     else Printf.sprintf ", %d recordings" (List.length t.recordings))

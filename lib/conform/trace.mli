@@ -1,0 +1,77 @@
+(** Conformance traces: a seeded, serializable workload recording.
+
+    A trace is everything needed to replay one conformance run bit-for-bit
+    on another machine: the workload parameters (table kind, seed, pool
+    and preload sizes, per-agent TCAM capacity) and the flow-mod events,
+    expressed as indices into the deterministic rule pool
+    [Fr_workload.Dataset.generate kind ~seed ~n:pool].  Optionally it also
+    carries {e recordings} — the update sequences each scheduler emitted
+    per event — so a replay can assert the schedulers are deterministic,
+    not merely correct.
+
+    The on-disk format is a line-oriented text file (see doc/CONFORM.md):
+    a header of [key value] pairs, one event per line ([a i] insert pool
+    rule [i], [r i] remove it, [s i f4] rewrite its action), then optional
+    [ops <scheduler> <event> <csv>] recording lines.  It is stable,
+    diff-able and small — a 1000-event trace is a few kilobytes. *)
+
+type event =
+  | Add of int  (** install pool rule [i] *)
+  | Remove of int  (** remove pool rule [i] (by its id) *)
+  | Set_action of int * Fr_tern.Rule.action
+      (** rewrite pool rule [i]'s action in place *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type t = {
+  kind : Fr_workload.Dataset.kind;
+  seed : int;  (** pool generation, event stream and probe sampling *)
+  initial : int;  (** pool rules [0 .. initial-1] are preloaded *)
+  pool : int;  (** pool size; events draw from [initial ..] first *)
+  capacity : int;  (** TCAM slots per agent *)
+  events : event list;
+  recordings : (string * Fr_tcam.Op.t list array) list;
+      (** per scheduler name, the emitted sequence per event index
+          (empty list for events that scheduled nothing) *)
+}
+
+val generate :
+  ?p_remove:float ->
+  ?p_set:float ->
+  kind:Fr_workload.Dataset.kind ->
+  seed:int ->
+  initial:int ->
+  pool:int ->
+  capacity:int ->
+  events:int ->
+  unit ->
+  t
+(** A seeded event stream: each step is an [Add] of a pool rule not
+    currently live (probability [1 - p_remove - p_set], and forced when
+    nothing is live), a [Remove] of a live one ([p_remove], default 0.2),
+    or a [Set_action] ([p_set], default 0.1).  Removed rules return to the
+    draw pool, so long streams churn rather than drain.  Equal arguments
+    yield equal traces.
+    @raise Invalid_argument if [initial > pool] or the probabilities leave
+    no room for adds. *)
+
+val rules : t -> Fr_tern.Rule.t array
+(** The trace's rule pool, regenerated from [(kind, seed, pool)]. *)
+
+val flow_mod : Fr_tern.Rule.t array -> event -> Fr_switch.Agent.flow_mod
+(** Resolve one event against the pool. *)
+
+val with_events : t -> event list -> t
+(** Same workload, different events; recordings are dropped (they are
+    indexed by event position). *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** [of_string (to_string t) = Ok t].  [Error] pinpoints the first bad
+    line. *)
+
+val save : t -> string -> unit
+val load : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** Human-oriented one-line summary (not the serialization). *)

@@ -52,6 +52,7 @@ module Layout = Fr_tcam.Layout
 module Latency = Fr_tcam.Latency
 module Hw_emu = Fr_tcam.Hw_emu
 module Defrag = Fr_tcam.Defrag
+module Fault = Fr_tcam.Fault
 
 (** {1 Schedulers (§III–§V)} *)
 
@@ -68,6 +69,7 @@ module Greedy = Fr_sched.Fastrule
 
 module Separated = Fr_sched.Separated
 module Check = Fr_sched.Check
+module Sabotage = Fr_sched.Sabotage
 
 (** {1 Workloads (§VI.2)} *)
 
@@ -95,3 +97,9 @@ module Telemetry = Fr_ctrl.Telemetry
 module Shard = Fr_ctrl.Shard
 module Ctrl = Fr_ctrl.Service
 module Churn = Fr_ctrl.Churn
+
+(** {1 Conformance (differential oracle, fault injection)} *)
+
+module Trace = Fr_conform.Trace
+module Oracle = Fr_conform.Oracle
+module Shrink = Fr_conform.Shrink

@@ -54,6 +54,7 @@ let shard t i =
   t.shards.(i)
 
 let partition t = t.partition
+let set_fault t ~shard:i f = Shard.set_fault (shard t i) f
 let shard_of_rule t id = Hashtbl.find_opt t.routes id
 
 let rule_count t =

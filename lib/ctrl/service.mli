@@ -58,6 +58,11 @@ val shard : t -> int -> Shard.t
 
 val partition : t -> Partition.t
 
+val set_fault : t -> shard:int -> Fr_tcam.Fault.t option -> unit
+(** Install (or clear) a fault plan on one shard's agent — the
+    conformance harness' lever for mid-batch aborts.
+    @raise Invalid_argument if the index is out of range. *)
+
 val shard_of_rule : t -> int -> int option
 (** Where a rule id lives (installed) or will live (pending add); [None]
     for ids the service is not tracking. *)

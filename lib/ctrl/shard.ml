@@ -32,6 +32,7 @@ let id t = t.id
 let agent t = t.agent
 let telemetry t = t.telemetry
 let queue_depth t = Coalesce.depth t.queue
+let set_fault t f = Agent.set_fault t.agent f
 
 let installed t fm =
   let rule_id =

@@ -47,6 +47,13 @@ val agent : t -> Fr_switch.Agent.t
 val telemetry : t -> Telemetry.t
 val queue_depth : t -> int
 
+val set_fault : t -> Fr_tcam.Fault.t option -> unit
+(** Install a fault plan on this shard's agent
+    ({!Fr_switch.Agent.set_fault}); drains then take the per-op path and
+    report each injected casualty in {!drain_result}[.failed] while the
+    sibling shards stay untouched — the isolation the conformance
+    fault-injection tests assert. *)
+
 val submit : t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
 (** Fold one flow-mod into the queue (no hardware contact). *)
 

@@ -20,6 +20,11 @@ type state = {
   (* Addresses whose occupancy changes without being any op's target — the
      balance fill's final vacated slot. *)
   mutable pending_addrs : int list;
+  (* The sequence [pending_post] was computed for.  [after_apply] runs the
+     closure only when exactly this sequence landed; anything else (a
+     fault-truncated prefix, an in-place write after a rejected schedule)
+     resynchronises the regions from the TCAM instead. *)
+  mutable pending_ops : Op.t list;
 }
 
 let create ?(backend = Store.Bit_backend) ~delete_mode ~graph ~tcam () =
@@ -34,6 +39,7 @@ let create ?(backend = Store.Bit_backend) ~delete_mode ~graph ~tcam () =
     pending_post = ignore;
     pending_ids = [];
     pending_addrs = [];
+    pending_ops = [];
   }
 
 let regions st = st.r
@@ -176,8 +182,12 @@ let schedule_insert st ~rule_id ~deps ~dependents =
               with_fallback (fun () -> Error "middle pool exhausted")
           in
           (match result with
-          | Ok ops -> st.pending_post <- post_of_insert_ops st ops
-          | Error _ -> ());
+          | Ok ops ->
+              st.pending_post <- post_of_insert_ops st ops;
+              st.pending_ops <- ops
+          | Error _ ->
+              st.pending_post <- ignore;
+              st.pending_ops <- []);
           result)
 
 (* Balance delete: migrate the hole to the region's middle edge.  Each step
@@ -263,7 +273,10 @@ let balance_fill_top st ~hole =
 
 let schedule_delete st ~rule_id =
   match Tcam.addr_of st.tcam rule_id with
-  | None -> Error (Printf.sprintf "entry %d is not in the TCAM" rule_id)
+  | None ->
+      st.pending_post <- ignore;
+      st.pending_ops <- [];
+      Error (Printf.sprintf "entry %d is not in the TCAM" rule_id)
   | Some addr ->
       let r = st.r in
       let affected = ref [] in
@@ -277,7 +290,9 @@ let schedule_delete st ~rule_id =
             (fun () ->
               if in_bottom then r.Layout.bottom_count <- r.Layout.bottom_count - 1
               else r.Layout.top_count <- r.Layout.top_count - 1);
-          Ok [ Op.delete ~addr ]
+          let ops = [ Op.delete ~addr ] in
+          st.pending_ops <- ops;
+          Ok ops
       | Balance ->
           if in_bottom then begin
             let final_hole, moves = balance_fill_bottom st ~hole:addr in
@@ -286,7 +301,9 @@ let schedule_delete st ~rule_id =
                 r.Layout.bottom_count <- r.Layout.bottom_count - 1;
                 r.Layout.bottom_next <- final_hole);
             st.pending_addrs <- [ final_hole ];
-            Ok (Op.delete ~addr :: moves)
+            let ops = Op.delete ~addr :: moves in
+            st.pending_ops <- ops;
+            Ok ops
           end
           else begin
             let final_hole, moves = balance_fill_top st ~hole:addr in
@@ -295,13 +312,58 @@ let schedule_delete st ~rule_id =
                 r.Layout.top_count <- r.Layout.top_count - 1;
                 r.Layout.top_next <- final_hole);
             st.pending_addrs <- [ final_hole ];
-            Ok (Op.delete ~addr :: moves)
+            let ops = Op.delete ~addr :: moves in
+            st.pending_ops <- ops;
+            Ok ops
           end)
 
+(* Rebuild the region model from the TCAM image alone, choosing the longest
+   run of free slots as the middle pool — the one region shape every
+   scheduling path can trust ([bottom_next]/[top_next] must point at free
+   slots, and the middle pool must be entirely free; entries stranded
+   inside a region by a truncated sequence become that region's holes,
+   which the chain logic already tolerates). *)
+let resync st =
+  let sz = Tcam.size st.tcam in
+  let best_lo = ref sz and best_len = ref 0 in
+  let cur_lo = ref 0 and cur_len = ref 0 in
+  for a = 0 to sz - 1 do
+    if Tcam.is_free st.tcam a then begin
+      if !cur_len = 0 then cur_lo := a;
+      incr cur_len;
+      if !cur_len > !best_len then begin
+        best_lo := !cur_lo;
+        best_len := !cur_len
+      end
+    end
+    else cur_len := 0
+  done;
+  let bn, tn =
+    if !best_len = 0 then (sz, -1) else (!best_lo, !best_lo + !best_len - 1)
+  in
+  let bc = ref 0 and tc = ref 0 in
+  Tcam.iter_used st.tcam (fun ~addr ~rule_id:_ ->
+      if addr < bn then incr bc else if addr > tn then incr tc);
+  st.r.Layout.bottom_next <- bn;
+  st.r.Layout.top_next <- tn;
+  st.r.Layout.bottom_count <- !bc;
+  st.r.Layout.top_count <- !tc
+
 let after_apply st ops =
+  let scheduled = st.pending_ops in
   let post = st.pending_post in
+  st.pending_ops <- [];
   st.pending_post <- ignore;
-  post ();
+  (if List.equal Op.equal ops scheduled then post ()
+   else if scheduled = [] then
+     (* an in-place write the scheduler never saw (Set_action): occupancy
+        is unchanged, the region model still holds *)
+     ()
+   else
+     (* a truncated or substituted sequence (injected fault, or a caller
+        touching the table after a rejected schedule): the closure's
+        assumptions are void — re-derive the regions from the hardware *)
+     resync st);
   let addrs = st.pending_addrs @ List.map Op.addr ops in
   st.pending_addrs <- [];
   let ids = st.pending_ids in

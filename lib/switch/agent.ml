@@ -28,8 +28,11 @@ type t = {
   algo : Algo.t;
   latency : Latency.t;
   verify : bool;
+  mutable fault : Fr_tcam.Fault.t option;
   mutable fw_ms : float;
   mutable tcam_ms : float;
+  mutable verify_ms : float;
+  mutable verified_ops : int;
   mutable mods : int;
   counters : (int, int) Hashtbl.t;  (* rule id -> packets matched *)
   mutable packets : int;
@@ -38,27 +41,33 @@ type t = {
 
 let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
 
-let create ?(kind = default_kind) ?(latency = Latency.default) ?(verify = false)
-    ~capacity () =
+let default_scheduler kind ~graph ~tcam = Firmware.make_scheduler kind ~graph ~tcam
+
+let create ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
+    ?(verify = false) ~capacity () =
   let tcam = Tcam.create ~size:capacity in
   let graph = Graph.create () in
+  let make = Option.value scheduler ~default:(default_scheduler kind) in
   {
     store = Hashtbl.create 64;
     index = Overlap_index.create ();
     graph;
     tcam;
-    algo = Firmware.make_scheduler kind ~graph ~tcam;
+    algo = make ~graph ~tcam;
     latency;
     verify;
+    fault = None;
     fw_ms = 0.0;
     tcam_ms = 0.0;
+    verify_ms = 0.0;
+    verified_ops = 0;
     mods = 0;
     counters = Hashtbl.create 64;
     packets = 0;
     misses = 0;
   }
 
-let of_rules ?(kind = default_kind) ?(latency = Latency.default)
+let of_rules ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
     ?(verify = false) ~capacity rules =
   let seen = Hashtbl.create (Array.length rules) in
   Array.iter
@@ -71,17 +80,21 @@ let of_rules ?(kind = default_kind) ?(latency = Latency.default)
   let order = Fr_workload.Dataset.precedence_order rules in
   let layout = Firmware.layout_of kind in
   let tcam = Layout.place layout ~tcam_size:capacity ~order in
+  let make = Option.value scheduler ~default:(default_scheduler kind) in
   let t =
     {
       store = Hashtbl.create (2 * Array.length rules);
       index = Overlap_index.create ();
       graph;
       tcam;
-      algo = Firmware.make_scheduler kind ~graph ~tcam;
+      algo = make ~graph ~tcam;
       latency;
       verify;
+      fault = None;
       fw_ms = 0.0;
       tcam_ms = 0.0;
+      verify_ms = 0.0;
+      verified_ops = 0;
       mods = 0;
       counters = Hashtbl.create 64;
       packets = 0;
@@ -96,18 +109,54 @@ let of_rules ?(kind = default_kind) ?(latency = Latency.default)
   t
 
 let existing t = Hashtbl.fold (fun _ r acc -> r :: acc) t.store []
+let set_fault t f = t.fault <- f
+
+(* Apply op-by-op, asking the fault plan before each write; the applied
+   prefix stays — a verified sequence keeps the dependency invariant after
+   every single op, so stopping mid-sequence leaves a consistent table. *)
+let apply_faulted t fault ops =
+  let rec go applied = function
+    | [] -> (List.rev applied, Ok ())
+    | op :: rest ->
+        let addr = Op.addr op in
+        if Fr_tcam.Fault.should_fail fault ~addr then
+          ( List.rev applied,
+            Error
+              (Format.asprintf "fault: injected write failure on %a" Op.pp op)
+          )
+        else begin
+          Tcam.apply_sequence t.tcam [ op ];
+          go (op :: applied) rest
+        end
+  in
+  go [] ops
 
 let commit t ops =
-  (if t.verify then Check.sequence t.graph t.tcam ops else Ok ())
+  (if t.verify then begin
+     let r, dt = Measure.time_ms (fun () -> Check.sequence t.graph t.tcam ops) in
+     t.verify_ms <- t.verify_ms +. dt;
+     t.verified_ops <- t.verified_ops + List.length ops;
+     match r with Ok () -> Ok () | Error e -> Error ("verify: " ^ e)
+   end
+   else Ok ())
   |> function
   | Error _ as e -> e
   | Ok () ->
-      Tcam.apply_sequence t.tcam ops;
-      t.tcam_ms <- t.tcam_ms +. Latency.sequence_ms t.latency ops;
-      let (), dt = Measure.time_ms (fun () -> t.algo.Algo.after_apply ops) in
+      let applied, outcome =
+        match t.fault with
+        | None ->
+            Tcam.apply_sequence t.tcam ops;
+            (ops, Ok ())
+        | Some fault -> apply_faulted t fault ops
+      in
+      t.tcam_ms <- t.tcam_ms +. Latency.sequence_ms t.latency applied;
+      (* The metric refreshes recompute from the TCAM's actual state, so
+         feeding them the applied prefix keeps the store truthful even
+         after a mid-sequence fault. *)
+      let (), dt = Measure.time_ms (fun () -> t.algo.Algo.after_apply applied) in
       t.fw_ms <- t.fw_ms +. dt;
-      t.mods <- t.mods + 1;
-      Ok ()
+      (match outcome with Ok () -> t.mods <- t.mods + 1 | Error _ -> ());
+      outcome
 
 let apply t fm =
   match fm with
@@ -167,19 +216,30 @@ let apply t fm =
           Measure.time_ms (fun () -> t.algo.Algo.schedule_delete ~rule_id:id)
         in
         t.fw_ms <- t.fw_ms +. dt;
+        let finish () =
+          (* Contraction keeps transitive shadowing order alive. *)
+          Graph.remove_node ~contract:true t.graph id;
+          (match Hashtbl.find_opt t.store id with
+          | Some r -> Overlap_index.remove t.index r
+          | None -> ());
+          Hashtbl.remove t.store id;
+          Hashtbl.remove t.counters id
+        in
         match result with
         | Error _ as e -> e
         | Ok ops -> (
             match commit t ops with
+            | Error e when not (Tcam.mem t.tcam id) ->
+                (* A fault interrupted the sequence after the erase itself
+                   landed (e.g. before a balance move): the entry is gone
+                   from hardware, so complete the logical removal — the
+                   recovery that keeps store and TCAM agreeing — but still
+                   report the casualty. *)
+                finish ();
+                Error (e ^ " (entry removed; trailing moves abandoned)")
             | Error _ as e -> e
             | Ok () ->
-                (* Contraction keeps transitive shadowing order alive. *)
-                Graph.remove_node ~contract:true t.graph id;
-                (match Hashtbl.find_opt t.store id with
-                | Some r -> Overlap_index.remove t.index r
-                | None -> ());
-                Hashtbl.remove t.store id;
-                Hashtbl.remove t.counters id;
+                finish ();
                 Ok ()))
 
 (* A run of consecutive [Add]s through the scheduler's batched-insert
@@ -284,7 +344,7 @@ let apply_batch ?(refresh_every = 1) t mods =
   if refresh_every < 1 then
     invalid_arg "Agent.apply_batch: refresh_every must be >= 1";
   match t.algo.Algo.insert_batch with
-  | Some batch when not t.verify ->
+  | Some batch when (not t.verify) && t.fault = None ->
       let mods = Array.of_list mods in
       let results = Array.make (Array.length mods) (Ok ()) in
       let n = Array.length mods in
@@ -369,7 +429,10 @@ let graph t = t.graph
 let tcam t = t.tcam
 let firmware_ms_total t = t.fw_ms
 let tcam_ms_total t = t.tcam_ms
+let verify_ms_total t = t.verify_ms
+let verified_ops t = t.verified_ops
 let mods_applied t = t.mods
+let fault t = t.fault
 
 let restore ?kind ?latency ?verify ~capacity path =
   match Fr_workload.Rules_io.load path with

@@ -33,16 +33,22 @@ type t
 
 val create :
   ?kind:Firmware.algo_kind ->
+  ?scheduler:(graph:Fr_dag.Graph.t -> tcam:Fr_tcam.Tcam.t -> Fr_sched.Algo.t) ->
   ?latency:Fr_tcam.Latency.t ->
   ?verify:bool ->
   capacity:int ->
   unit ->
   t
 (** An empty table.  Defaults: FastRule on the original layout with the
-    BIT back-end, 0.6 ms/op latency model, [verify = false]. *)
+    BIT back-end, 0.6 ms/op latency model, [verify = false].
+    [scheduler] overrides the {!Firmware.make_scheduler} factory for
+    [kind] while keeping [kind]'s layout — the conformance harness uses it
+    to interpose recorders and saboteurs ({!Fr_sched.Sabotage}) around the
+    real scheduler. *)
 
 val of_rules :
   ?kind:Firmware.algo_kind ->
+  ?scheduler:(graph:Fr_dag.Graph.t -> tcam:Fr_tcam.Tcam.t -> Fr_sched.Algo.t) ->
   ?latency:Fr_tcam.Latency.t ->
   ?verify:bool ->
   capacity:int ->
@@ -53,7 +59,16 @@ val of_rules :
     @raise Invalid_argument if the rules do not fit or ids collide. *)
 
 val apply : t -> flow_mod -> (unit, string) result
-(** Process one flow-mod end to end.  On [Error] the table is unchanged. *)
+(** Process one flow-mod end to end.  On [Error] the table is unchanged —
+    with two deliberate exceptions under an installed fault plan (see
+    {!set_fault}): a fault that interrupts a sequence mid-way leaves the
+    already-applied prefix in place (safe: a verified sequence keeps the
+    dependency invariant after {e every} op), and a [Remove] whose erase
+    landed before the fault completes its logical removal so the store
+    and the TCAM keep agreeing.  Error messages are classifiable by
+    prefix: ["verify: ..."] is a shadow-table rejection of the emitted
+    sequence (the scheduler is wrong), ["fault: ..."] an injected
+    hardware failure; anything else is a scheduling/request rejection. *)
 
 val apply_batch :
   ?refresh_every:int -> t -> flow_mod list -> (unit, string) result list
@@ -69,9 +84,19 @@ val apply_batch :
     A failed mod never disturbs its batch mates — earlier requests stay
     applied, later ones are re-scheduled without the failed rule — so each
     result is exactly what the sequential [apply] stream would have
-    produced.  Agents created with [verify = true] (and schedulers without
-    a batch path) fall back to per-mod {!apply}, so the shadow-table check
-    still guards every sequence. *)
+    produced.  Agents created with [verify = true], agents with a fault
+    plan installed (and schedulers without a batch path) fall back to
+    per-mod {!apply}, so the shadow-table check and the fault plan still
+    guard every sequence. *)
+
+val set_fault : t -> Fr_tcam.Fault.t option -> unit
+(** Install (or clear) a fault plan consulted before every hardware op.
+    Intended for the conformance harness on the (default) FastRule
+    schedulers, whose [after_apply] bookkeeping recomputes from TCAM
+    truth and therefore survives partially-applied sequences; the
+    stateful baselines (Naive's pending renumber) are not fault-safe. *)
+
+val fault : t -> Fr_tcam.Fault.t option
 
 val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
 (** What the hardware answers: highest-address match.  Increments the
@@ -104,6 +129,15 @@ val tcam : t -> Fr_tcam.Tcam.t
 val firmware_ms_total : t -> float
 val tcam_ms_total : t -> float
 val mods_applied : t -> int
+
+val verify_ms_total : t -> float
+(** Wall-clock spent in {!Fr_sched.Check.sequence} (0 unless
+    [verify = true]) — the price of the safety net, reported separately
+    from firmware time so the conformance bench can quote verification
+    overhead honestly. *)
+
+val verified_ops : t -> int
+(** Ops run through the shadow-table check so far. *)
 
 val snapshot : t -> string
 (** The installed policy in the {!Fr_workload.Rules_io} text format

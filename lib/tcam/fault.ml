@@ -1,0 +1,43 @@
+module Rng = Fr_prng.Rng
+
+type t = {
+  rng : Rng.t;
+  fail_prob : float;
+  stuck : (int, unit) Hashtbl.t;
+  mutable remaining : int;  (* spontaneous failures left; -1 = unlimited *)
+  mutable injected : int;
+}
+
+let create ?(fail_prob = 0.0) ?(stuck = []) ?max_failures ~seed () =
+  if fail_prob < 0.0 || fail_prob > 1.0 then
+    invalid_arg "Fault.create: fail_prob must be in [0, 1]";
+  let tbl = Hashtbl.create (max 1 (List.length stuck)) in
+  List.iter (fun a -> Hashtbl.replace tbl a ()) stuck;
+  {
+    rng = Rng.create ~seed;
+    fail_prob;
+    stuck = tbl;
+    remaining = Option.value max_failures ~default:(-1);
+    injected = 0;
+  }
+
+let should_fail t ~addr =
+  if Hashtbl.mem t.stuck addr then begin
+    t.injected <- t.injected + 1;
+    true
+  end
+  else if
+    t.fail_prob > 0.0 && t.remaining <> 0 && Rng.chance t.rng t.fail_prob
+  then begin
+    t.injected <- t.injected + 1;
+    if t.remaining > 0 then t.remaining <- t.remaining - 1;
+    true
+  end
+  else false
+
+let injected t = t.injected
+let stuck_slots t = Hashtbl.fold (fun a () acc -> a :: acc) t.stuck []
+
+let pp ppf t =
+  Format.fprintf ppf "fault(p=%g, stuck=%d, injected=%d)" t.fail_prob
+    (Hashtbl.length t.stuck) t.injected

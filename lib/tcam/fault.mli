@@ -1,0 +1,35 @@
+(** Hardware-write fault plans — the injection half of the conformance
+    harness ([Fr_conform]).
+
+    A plan decides, per attempted hardware write/erase, whether the
+    operation is made to fail: either the target address is {e stuck}
+    (every access fails, modelling a broken TCAM row) or the write fails
+    spontaneously with probability [fail_prob] (modelling flaky SDK
+    calls / bus errors).  Decisions are drawn from a dedicated seeded
+    {!Fr_prng.Rng.t}, so a faulty run replays exactly.
+
+    Consumers ({!Hw_emu}, [Fr_switch.Agent]) ask {!should_fail} before
+    each raw operation and leave the hardware untouched when it answers
+    [true]; the plan counts every injected failure so tests can assert
+    how much damage was actually dealt. *)
+
+type t
+
+val create :
+  ?fail_prob:float -> ?stuck:int list -> ?max_failures:int -> seed:int -> unit -> t
+(** [fail_prob] (default 0) is the per-operation spontaneous failure
+    probability; [stuck] addresses always fail; [max_failures] caps the
+    number of {e spontaneous} failures injected (stuck slots keep
+    failing — hardware does not heal), default unlimited.
+    @raise Invalid_argument if [fail_prob] is outside [\[0, 1\]]. *)
+
+val should_fail : t -> addr:int -> bool
+(** One decision for one attempted operation at [addr].  Advances the
+    plan's PRNG; counts the failure when it answers [true]. *)
+
+val injected : t -> int
+(** Failures injected so far (stuck hits included). *)
+
+val stuck_slots : t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -3,11 +3,15 @@ type t = {
   hw_table_size : int;
   latency : Latency.t;
   (* The physical TCAM image under modulo addressing.  Distinct logical
-     entries can collide on a hardware slot; the emulation (like the
-     paper's) only cares that a write of the right size happened. *)
-  hw_slots : int option array;
+     entries can collide on a hardware slot; each slot tracks every live
+     logical address mapped onto it (most recent writer first) so
+     collisions are detected instead of silently clobbering. *)
+  hw_slots : int list array;
   mutable calls : int;
   mutable clock_ms : float;
+  mutable collisions : int;
+  mutable dropped : int;
+  mutable fault : Fault.t option;
 }
 
 let default_hw_table_size = 256
@@ -19,25 +23,49 @@ let create ?(hw_table_size = default_hw_table_size) ?(latency = Latency.default)
     logical = Tcam.create ~size:logical_size;
     hw_table_size;
     latency;
-    hw_slots = Array.make hw_table_size None;
+    hw_slots = Array.make hw_table_size [];
     calls = 0;
     clock_ms = 0.0;
+    collisions = 0;
+    dropped = 0;
+    fault = None;
   }
 
 let logical t = t.logical
 let hw_size t = t.hw_table_size
+let set_fault t f = t.fault <- f
+
+let faulted t ~addr =
+  match t.fault with
+  | None -> false
+  | Some f ->
+      if Fault.should_fail f ~addr then begin
+        (* The SDK call was issued and errored: it costs a call and its
+           latency but leaves both tables untouched. *)
+        t.dropped <- t.dropped + 1;
+        true
+      end
+      else false
 
 let add_entry t ~rule_id ~addr =
-  Tcam.write t.logical ~rule_id ~addr;
-  t.hw_slots.(addr mod t.hw_table_size) <- Some rule_id;
   t.calls <- t.calls + 1;
-  t.clock_ms <- t.clock_ms +. t.latency.Latency.write_ms
+  t.clock_ms <- t.clock_ms +. t.latency.Latency.write_ms;
+  if not (faulted t ~addr) then begin
+    Tcam.write t.logical ~rule_id ~addr;
+    let slot = addr mod t.hw_table_size in
+    let live = List.filter (fun a -> a <> addr) t.hw_slots.(slot) in
+    if live <> [] then t.collisions <- t.collisions + 1;
+    t.hw_slots.(slot) <- addr :: live
+  end
 
 let delete_entry t ~addr =
-  Tcam.erase t.logical ~addr;
-  t.hw_slots.(addr mod t.hw_table_size) <- None;
   t.calls <- t.calls + 1;
-  t.clock_ms <- t.clock_ms +. t.latency.Latency.erase_ms
+  t.clock_ms <- t.clock_ms +. t.latency.Latency.erase_ms;
+  if not (faulted t ~addr) then begin
+    Tcam.erase t.logical ~addr;
+    let slot = addr mod t.hw_table_size in
+    t.hw_slots.(slot) <- List.filter (fun a -> a <> addr) t.hw_slots.(slot)
+  end
 
 let apply_sequence t ops =
   List.iter
@@ -48,6 +76,14 @@ let apply_sequence t ops =
 
 let hw_calls t = t.calls
 let elapsed_ms t = t.clock_ms
+let collisions t = t.collisions
+
+let colliding_slots t =
+  Array.fold_left
+    (fun acc live -> if List.length live > 1 then acc + 1 else acc)
+    0 t.hw_slots
+
+let dropped_writes t = t.dropped
 
 let reset_meters t =
   t.calls <- 0;

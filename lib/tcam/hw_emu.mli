@@ -9,7 +9,17 @@
     This module reproduces that rig in software: a logical TCAM carries the
     real state, a small "hardware" TCAM receives the modulo-addressed
     writes through [add_entry]/[delete_entry] (the ONetSwitch SDK entry
-    points), and the modelled hardware clock advances per call. *)
+    points), and the modelled hardware clock advances per call.
+
+    Two emulation realities are surfaced rather than hidden:
+
+    - {e modulo collisions}: two live logical entries can map to the same
+      physical slot; each slot tracks every live logical address on it and
+      {!collisions}/{!colliding_slots} report the overlap instead of one
+      entry silently clobbering the other;
+    - {e injected faults}: an optional {!Fault.t} plan makes individual
+      SDK calls fail (the call is issued and billed, but neither table
+      changes); {!dropped_writes} counts the casualties. *)
 
 type t
 
@@ -25,11 +35,12 @@ val hw_size : t -> int
 
 val add_entry : t -> rule_id:int -> addr:int -> unit
 (** SDK [ADDENTRY]: logical write at [addr], hardware write at
-    [addr mod hw_table_size] (hardware slot contents are overwritten
-    blindly, as real modulo emulation does). *)
+    [addr mod hw_table_size].  A write landing on a slot that already
+    carries a {e different} live logical address counts a collision. *)
 
 val delete_entry : t -> addr:int -> unit
-(** SDK [DELETEENTRY]. *)
+(** SDK [DELETEENTRY].  Only the logical address being erased leaves its
+    physical slot; colliding co-tenants stay live. *)
 
 val apply_sequence : t -> Op.t list -> unit
 (** Apply a scheduler sequence (already in application order) through the
@@ -41,4 +52,20 @@ val hw_calls : t -> int
 val elapsed_ms : t -> float
 (** Modelled hardware time consumed so far. *)
 
+val collisions : t -> int
+(** Lifetime count of writes that landed on a physical slot already
+    occupied by a different live logical entry. *)
+
+val colliding_slots : t -> int
+(** Physical slots currently shared by more than one live logical
+    entry — the lookups the real rig would answer wrongly right now. *)
+
+val set_fault : t -> Fault.t option -> unit
+(** Install (or clear) a fault plan consulted before every SDK call. *)
+
+val dropped_writes : t -> int
+(** SDK calls dropped by the fault plan (billed but not applied). *)
+
 val reset_meters : t -> unit
+(** Resets [hw_calls]/[elapsed_ms]; collision and fault counters are
+    lifetime totals and survive. *)

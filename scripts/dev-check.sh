@@ -13,6 +13,9 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+echo "== dune build @conform (differential smoke run) =="
+dune build @conform
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt

@@ -7,10 +7,10 @@ let () =
    @ Test_range.suite
    @ Test_graph.suite @ Test_topo.suite @ Test_build.suite @ Test_stats.suite
    @ Test_levels.suite @ Test_overlap_index.suite @ Test_bitree.suite @ Test_tcam.suite @ Test_layout.suite
-   @ Test_latency.suite @ Test_hw_emu.suite @ Test_defrag.suite @ Test_algo.suite @ Test_metric.suite
+   @ Test_latency.suite @ Test_hw_emu.suite @ Test_defrag.suite @ Test_algo.suite @ Test_dir.suite @ Test_metric.suite
    @ Test_store.suite @ Test_check.suite @ Test_naive.suite @ Test_ruletris.suite
    @ Test_fastrule.suite @ Test_separated.suite @ Test_workload.suite
    @ Test_updates.suite @ Test_rules_io.suite @ Test_measure.suite
    @ Test_experiment.suite @ Test_firmware.suite @ Test_agent.suite
    @ Test_queue_sim.suite @ Test_paper_examples.suite @ Test_ctrl.suite
-   @ Test_props.suite)
+   @ Test_conform.suite @ Test_props.suite)

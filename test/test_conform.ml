@@ -1,0 +1,330 @@
+(* Tests for the Fr_conform harness: trace serialization round-trips, the
+   differential oracle is clean on honest schedulers and catches sabotaged
+   ones, the shrinker produces small reproducers, and fault injection
+   through Agent and the Fr_ctrl shards leaves the dependency invariant
+   standing with failures isolated. *)
+
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_trace ?(seed = 7) ?(kind = Dataset.FW5) ?(events = 60) () =
+  Trace.generate ~kind ~seed ~initial:100 ~pool:200 ~capacity:400 ~events ()
+
+(* --- trace ------------------------------------------------------------- *)
+
+let test_trace_roundtrip () =
+  let t = small_trace () in
+  (match Trace.of_string (Trace.to_string t) with
+  | Ok t' -> check "round-trip" true (t = t')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* with recordings attached (the oracle's --record path) *)
+  let report = Oracle.run ~config:{ Oracle.default_config with Oracle.record = true } t in
+  let rt = report.Oracle.trace in
+  check "recordings present" true (List.length rt.Trace.recordings = 5);
+  match Trace.of_string (Trace.to_string rt) with
+  | Ok rt' -> check "round-trip with recordings" true (rt = rt')
+  | Error e -> Alcotest.failf "parse with recordings failed: %s" e
+
+let test_trace_generation_shape () =
+  let t = small_trace ~events:200 () in
+  check_int "event count" 200 (List.length t.Trace.events);
+  (* replaying the live/free bookkeeping: adds target absent rules,
+     removes/set-actions target live ones *)
+  let live = Hashtbl.create 64 in
+  for i = 0 to t.Trace.initial - 1 do
+    Hashtbl.replace live i ()
+  done;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Add i ->
+          check "add targets absent rule" false (Hashtbl.mem live i);
+          check "add within pool" true (i >= 0 && i < t.Trace.pool);
+          Hashtbl.replace live i ()
+      | Trace.Remove i ->
+          check "remove targets live rule" true (Hashtbl.mem live i);
+          Hashtbl.remove live i
+      | Trace.Set_action (i, _) ->
+          check "set targets live rule" true (Hashtbl.mem live i))
+    t.Trace.events;
+  (* determinism *)
+  check "same seed, same trace" true (small_trace ~events:200 () = small_trace ~events:200 ());
+  check "different seed, different trace" false
+    (small_trace ~seed:8 () = small_trace ~seed:9 ())
+
+let test_trace_rejects_garbage () =
+  let bad s =
+    match Trace.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check "bad magic" true (bad "not a trace\n");
+  check "truncated" true
+    (bad "fastrule-conform-trace v1\nkind fw5\nseed 1\ninitial 1\npool 2\ncapacity 8\nevents 3\na 1\nend\n");
+  check "bad event" true
+    (bad "fastrule-conform-trace v1\nkind fw5\nseed 1\ninitial 1\npool 2\ncapacity 8\nevents 1\nq 1\nend\n")
+
+(* --- oracle: clean runs ----------------------------------------------- *)
+
+let test_oracle_clean () =
+  List.iter
+    (fun (kind, seed) ->
+      let t = small_trace ~kind ~seed () in
+      let r = Oracle.run t in
+      check "clean" true (Oracle.clean r);
+      check_int "five schedulers" 5 (List.length r.Oracle.columns);
+      check "ops were checked" true (r.Oracle.checked_ops > 0);
+      List.iter
+        (fun (c : Oracle.column) ->
+          check "every lane applied something" true (c.Oracle.applied > 0))
+        r.Oracle.columns)
+    [ (Dataset.ACL4, 3); (Dataset.FW5, 7); (Dataset.ROUTE, 11) ]
+
+let test_oracle_tight_capacity_skew_allowed () =
+  (* Barely-fitting tables: schedulers may legitimately disagree on which
+     inserts they can place (Table_full-style rejections) — that is skew,
+     not divergence. *)
+  let t =
+    Trace.generate ~kind:Dataset.ACL4 ~seed:5 ~initial:90 ~pool:180
+      ~capacity:110 ~events:80 ()
+  in
+  let r = Oracle.run t in
+  check "clean despite rejections" true (Oracle.clean r)
+
+let test_oracle_replay_determinism () =
+  let t = small_trace () in
+  let r1 = Oracle.run ~config:{ Oracle.default_config with Oracle.record = true } t in
+  (* replaying the recorded trace must reproduce every emission *)
+  let r2 = Oracle.run r1.Oracle.trace in
+  check "replay clean" true (Oracle.clean r2)
+
+(* --- oracle: catching saboteurs ---------------------------------------- *)
+
+let break_config mode =
+  { Oracle.default_config with Oracle.sabotage = [ ("fr-o", mode) ] }
+
+let test_oracle_catches_sabotage () =
+  List.iter
+    (fun mode ->
+      let t = small_trace ~events:100 () in
+      let r = Oracle.run ~config:(break_config mode) t in
+      check
+        (Printf.sprintf "sabotage %s caught" (Sabotage.mode_to_string mode))
+        false (Oracle.clean r);
+      (* the culprit is named, and honest schedulers are not accused *)
+      check "culprit identified" true
+        (List.for_all
+           (fun (d : Oracle.divergence) -> d.Oracle.scheduler = "fr-o")
+           r.Oracle.divergences);
+      let col =
+        List.find (fun (c : Oracle.column) -> c.Oracle.scheduler = "fr-o")
+          r.Oracle.columns
+      in
+      check "verify counted the rejections" true (col.Oracle.verify_failed > 0))
+    Sabotage.all_modes
+
+(* --- shrinker ----------------------------------------------------------- *)
+
+let test_shrinker_minimizes () =
+  let t = small_trace ~events:100 () in
+  let config = break_config Sabotage.Reverse in
+  let failing tr = not (Oracle.clean (Oracle.run ~config tr)) in
+  check "trace fails to begin with" true (failing t);
+  let small, runs = Shrink.minimize ~failing t in
+  check "shrunk trace still fails" true (failing small);
+  check "reproducer is tiny" true (List.length small.Trace.events <= 10);
+  check "oracle ran a sane number of times" true (runs > 0 && runs <= 2000);
+  (* 1-minimality: deleting any single remaining event loses the failure *)
+  let n = List.length small.Trace.events in
+  for i = 0 to n - 1 do
+    let without =
+      Trace.with_events small
+        (List.filteri (fun j _ -> j <> i) small.Trace.events)
+    in
+    check "1-minimal" false (failing without)
+  done
+
+let test_shrinker_passing_trace_untouched () =
+  let t = small_trace () in
+  let small, runs = Shrink.minimize ~failing:(fun _ -> false) t in
+  check_int "events kept" (List.length t.Trace.events)
+    (List.length small.Trace.events);
+  check_int "one probe run" 1 runs
+
+(* --- fault injection: agent level -------------------------------------- *)
+
+let fr_kinds =
+  [ Firmware.FR_O Store.Bit_backend; Firmware.FR_SD Store.Bit_backend;
+    Firmware.FR_SB Store.Bit_backend ]
+
+let test_agent_fault_recovery () =
+  (* Hammer each FastRule agent with a high fault rate; after every single
+     flow-mod the dependency invariant must hold and the store must agree
+     with the TCAM image. *)
+  List.iter
+    (fun kind ->
+      let pool = Dataset.generate Dataset.ACL4 ~seed:21 ~n:160 in
+      let agent =
+        Agent.of_rules ~kind ~verify:true ~capacity:320 (Array.sub pool 0 80)
+      in
+      Agent.set_fault agent (Some (Fault.create ~fail_prob:0.3 ~seed:99 ()));
+      let faults = ref 0 and applied = ref 0 in
+      for i = 80 to 159 do
+        (match Agent.apply agent (Agent.Add pool.(i)) with
+        | Ok () -> incr applied
+        | Error e ->
+            if String.length e >= 7 && String.sub e 0 7 = "fault: " then
+              incr faults);
+        check "invariant after every mod" true
+          (Tcam.check_dag_order (Agent.tcam agent) (Agent.graph agent) = Ok ());
+        check_int "store and TCAM agree" (Agent.rule_count agent)
+          (Tcam.used_count (Agent.tcam agent))
+      done;
+      check "faults were injected" true (!faults > 0);
+      check "some inserts survived" true (!applied > 0);
+      (* recovery: clear the plan and retry — the table must accept new
+         work as if nothing happened *)
+      Agent.set_fault agent None;
+      let before = Agent.rule_count agent in
+      let retry = pool.(159) in
+      let r =
+        if Agent.rule agent retry.Rule.id = None then Agent.apply agent (Agent.Add retry)
+        else Ok ()
+      in
+      check "post-recovery insert ok" true (r = Ok ());
+      check "table grew or stayed" true (Agent.rule_count agent >= before))
+    fr_kinds
+
+let test_agent_faulted_remove_completes () =
+  (* A delete sequence erases first; if a later (movement) op faults, the
+     logical removal must still complete — store and TCAM keep agreeing. *)
+  let pool = Dataset.generate Dataset.FW5 ~seed:33 ~n:120 in
+  let agent =
+    Agent.of_rules ~kind:(Firmware.FR_SB Store.Bit_backend) ~verify:true
+      ~capacity:240 pool
+  in
+  Agent.set_fault agent (Some (Fault.create ~fail_prob:0.5 ~seed:77 ()));
+  Array.iter
+    (fun (r : Rule.t) ->
+      (match Agent.apply agent (Agent.Remove { id = r.Rule.id }) with
+      | Ok () -> check "removed" true (Agent.rule agent r.Rule.id = None)
+      | Error _ ->
+          (* either way, store must mirror the TCAM *)
+          check "store/TCAM agree on membership" true
+            (Agent.rule agent r.Rule.id <> None
+            = Tcam.mem (Agent.tcam agent) r.Rule.id));
+      check "invariant holds" true
+        (Tcam.check_dag_order (Agent.tcam agent) (Agent.graph agent) = Ok ()))
+    (Array.sub pool 0 60)
+
+(* --- fault injection: control-plane isolation --------------------------- *)
+
+let test_ctrl_shard_fault_isolation () =
+  let rules = Dataset.generate Dataset.ACL4 ~seed:55 ~n:200 in
+  let svc =
+    Ctrl.of_rules ~verify:true ~shards:4 ~capacity:400 (Array.sub rules 0 120)
+  in
+  (* break shard 1's hardware completely *)
+  Ctrl.set_fault svc ~shard:1 (Some (Fault.create ~fail_prob:1.0 ~seed:5 ()));
+  Array.iter
+    (fun r -> Ctrl.submit svc (Agent.Add r))
+    (Array.sub rules 120 80);
+  let report = Ctrl.flush svc in
+  let failures = Ctrl.failures report in
+  check "the broken shard failed its adds" true (failures <> []);
+  Array.iteri
+    (fun i (d : Shard.drain_result) ->
+      if i = 1 then
+        check "shard 1: every failure is an injected fault" true
+          (List.for_all
+             (fun (_, e) -> String.length e >= 7 && String.sub e 0 7 = "fault: ")
+             d.Shard.failed)
+      else check "healthy shards unaffected" true (d.Shard.failed = []))
+    report.Ctrl.results;
+  (* every shard — broken one included — still satisfies the invariant *)
+  for i = 0 to 3 do
+    let a = Ctrl.shard svc i |> Shard.agent in
+    check "per-shard invariant" true
+      (Tcam.check_dag_order (Agent.tcam a) (Agent.graph a) = Ok ())
+  done;
+  (* recovery: heal the shard, resubmit the casualties, everything lands *)
+  Ctrl.set_fault svc ~shard:1 None;
+  List.iter (fun (fm, _) -> Ctrl.submit svc fm) failures;
+  let report2 = Ctrl.flush svc in
+  check "resubmission clean" true (Ctrl.failures report2 = []);
+  check_int "all 200 rules installed" 200 (Ctrl.rule_count svc)
+
+(* --- oracle under faults ------------------------------------------------ *)
+
+let test_oracle_fault_runs_clean () =
+  List.iter
+    (fun seed ->
+      let t = small_trace ~kind:Dataset.ROUTE ~seed ~events:80 () in
+      let r =
+        Oracle.run
+          ~config:{ Oracle.default_config with Oracle.fault_prob = 0.1 } t
+      in
+      check "no divergence under injected faults" true (Oracle.clean r))
+    [ 1; 2; 3 ]
+
+(* --- qcheck: the differential property ---------------------------------- *)
+
+let prop_differential =
+  QCheck.Test.make ~name:"oracle clean on honest schedulers" ~count:12
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 0 10_000)
+            (oneofl [ Dataset.ACL4; Dataset.FW4; Dataset.FW5; Dataset.ROUTE ])
+            (int_range 110 400))
+        ~print:(fun (seed, kind, cap) ->
+          Printf.sprintf "seed=%d kind=%s capacity=%d" seed
+            (Dataset.to_string kind) cap))
+    (fun (seed, kind, capacity) ->
+      (* capacity sweeps from barely-fits to roomy: acceptance skews are
+         allowed, silent divergence never.  Every accepted insert passes
+         Check.sequence because the agents run verify:true — a failure
+         would surface as a Verify_failed divergence. *)
+      let t =
+        Trace.generate ~kind ~seed ~initial:100 ~pool:200 ~capacity ~events:40
+          ()
+      in
+      Oracle.clean (Oracle.run ~config:{ Oracle.default_config with Oracle.probes = 4 } t))
+
+let suite =
+  [
+    ( "conform-trace",
+      [
+        Alcotest.test_case "round-trip" `Quick test_trace_roundtrip;
+        Alcotest.test_case "generation shape" `Quick test_trace_generation_shape;
+        Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+      ] );
+    ( "conform-oracle",
+      [
+        Alcotest.test_case "clean runs" `Quick test_oracle_clean;
+        Alcotest.test_case "tight capacity skew allowed" `Quick
+          test_oracle_tight_capacity_skew_allowed;
+        Alcotest.test_case "replay determinism" `Quick
+          test_oracle_replay_determinism;
+        Alcotest.test_case "catches sabotage" `Quick test_oracle_catches_sabotage;
+        Alcotest.test_case "fault runs stay clean" `Quick
+          test_oracle_fault_runs_clean;
+      ] );
+    ( "conform-shrink",
+      [
+        Alcotest.test_case "minimizes to a tiny reproducer" `Quick
+          test_shrinker_minimizes;
+        Alcotest.test_case "passing trace untouched" `Quick
+          test_shrinker_passing_trace_untouched;
+      ] );
+    ( "conform-faults",
+      [
+        Alcotest.test_case "agent recovery" `Quick test_agent_fault_recovery;
+        Alcotest.test_case "faulted remove completes" `Quick
+          test_agent_faulted_remove_completes;
+        Alcotest.test_case "shard isolation" `Quick
+          test_ctrl_shard_fault_isolation;
+      ] );
+    ( "conform-props",
+      [ QCheck_alcotest.to_alcotest prop_differential ] );
+  ]

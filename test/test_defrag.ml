@@ -65,6 +65,32 @@ let test_intermediate_safety () =
       done)
     layouts
 
+let test_empty_table () =
+  let tcam = Tcam.create ~size:16 in
+  List.iter
+    (fun layout ->
+      check "empty is canonical" true (Defrag.is_canonical tcam ~layout);
+      check_int "no moves for nothing" 0 (Defrag.moves_needed tcam ~layout);
+      check "empty plan" true (Defrag.plan tcam ~layout = []))
+    layouts
+
+let test_single_entry () =
+  List.iter
+    (fun layout ->
+      (* one entry marooned at the top: the plan is at most one move and
+         lands it on the layout's canonical slot for a 1-entry table *)
+      let tcam = Tcam.create ~size:16 in
+      Tcam.write tcam ~rule_id:5 ~addr:15;
+      let ops = Defrag.plan tcam ~layout in
+      check "at most one move" true (List.length ops <= 1);
+      Tcam.apply_sequence tcam ops;
+      check "canonical after" true (Defrag.is_canonical tcam ~layout);
+      check_int "still one entry" 1 (Tcam.used_count tcam);
+      check "entry survived" true (Tcam.mem tcam 5);
+      (* idempotence on the single entry *)
+      check "second plan empty" true (Defrag.plan tcam ~layout = []))
+    layouts
+
 let test_moves_bounded () =
   let rng = Rng.create ~seed:43 in
   let tcam = scattered_tcam rng ~size:60 ~k:20 in
@@ -113,6 +139,8 @@ let suite =
     ( "defrag",
       [
         Alcotest.test_case "already canonical" `Quick test_already_canonical;
+        Alcotest.test_case "empty table" `Quick test_empty_table;
+        Alcotest.test_case "single entry" `Quick test_single_entry;
         Alcotest.test_case "restores each layout" `Quick test_restores_each_layout;
         Alcotest.test_case "intermediate safety" `Quick test_intermediate_safety;
         Alcotest.test_case "moves bounded" `Quick test_moves_bounded;

@@ -86,6 +86,58 @@ let test_mirrors_firmware_pipeline () =
   check "shadow invariant" true
     (Tcam.check_dag_order (Hw_emu.logical emu) graph = Ok ())
 
+let test_collision_detection () =
+  (* Two logical addresses mapping onto one physical slot used to clobber
+     each other silently; now the collision is counted and observable. *)
+  let e = Hw_emu.create ~hw_table_size:8 ~logical_size:64 () in
+  Hw_emu.add_entry e ~rule_id:1 ~addr:3;
+  check_int "no collision yet" 0 (Hw_emu.collisions e);
+  Hw_emu.add_entry e ~rule_id:2 ~addr:11;
+  (* 11 mod 8 = 3 *)
+  check_int "collision counted" 1 (Hw_emu.collisions e);
+  check_int "one colliding slot" 1 (Hw_emu.colliding_slots e);
+  (* both logical entries survive — the logical table never lies *)
+  check "first entry intact" true (Tcam.read (Hw_emu.logical e) 3 = Tcam.Used 1);
+  check "second entry intact" true
+    (Tcam.read (Hw_emu.logical e) 11 = Tcam.Used 2);
+  (* deleting one of the colliders clears the live collision but not the
+     lifetime count *)
+  Hw_emu.delete_entry e ~addr:11;
+  check_int "collision resolved" 0 (Hw_emu.colliding_slots e);
+  check_int "lifetime count sticks" 1 (Hw_emu.collisions e);
+  check "survivor still there" true (Tcam.read (Hw_emu.logical e) 3 = Tcam.Used 1);
+  (* re-adding the freed logical address re-collides on the same slot *)
+  Hw_emu.add_entry e ~rule_id:2 ~addr:11;
+  check_int "recollision counted" 2 (Hw_emu.collisions e);
+  check_int "colliding again" 1 (Hw_emu.colliding_slots e)
+
+let test_fault_drops_writes () =
+  let e = Hw_emu.create ~hw_table_size:16 ~logical_size:32 () in
+  Hw_emu.set_fault e (Some (Fault.create ~fail_prob:1.0 ~seed:1 ()));
+  Hw_emu.add_entry e ~rule_id:1 ~addr:4;
+  check "write dropped" true (Tcam.read (Hw_emu.logical e) 4 = Tcam.Free);
+  check_int "dropped counted" 1 (Hw_emu.dropped_writes e);
+  check_int "SDK call still billed" 1 (Hw_emu.hw_calls e);
+  check "latency still billed" true (Hw_emu.elapsed_ms e > 0.);
+  (* healing the fault restores normal service *)
+  Hw_emu.set_fault e None;
+  Hw_emu.add_entry e ~rule_id:1 ~addr:4;
+  check "write lands after heal" true
+    (Tcam.read (Hw_emu.logical e) 4 = Tcam.Used 1);
+  check_int "dropped count unchanged" 1 (Hw_emu.dropped_writes e)
+
+let test_stuck_slot () =
+  let e = Hw_emu.create ~hw_table_size:16 ~logical_size:32 () in
+  Hw_emu.set_fault e (Some (Fault.create ~stuck:[ 7 ] ~seed:2 ()));
+  Hw_emu.add_entry e ~rule_id:1 ~addr:7;
+  Hw_emu.add_entry e ~rule_id:2 ~addr:8;
+  check "stuck address rejects" true (Tcam.read (Hw_emu.logical e) 7 = Tcam.Free);
+  check "other address fine" true (Tcam.read (Hw_emu.logical e) 8 = Tcam.Used 2);
+  (* stuck slots do not heal: a retry fails again *)
+  Hw_emu.add_entry e ~rule_id:1 ~addr:7;
+  check "still stuck" true (Tcam.read (Hw_emu.logical e) 7 = Tcam.Free);
+  check_int "both attempts dropped" 2 (Hw_emu.dropped_writes e)
+
 let test_default_size () =
   check_int "ONS_HW_TABLE_SIZE" 256 Hw_emu.default_hw_table_size;
   let e = Hw_emu.create ~logical_size:10 () in
@@ -99,6 +151,9 @@ let suite =
         Alcotest.test_case "latency clock" `Quick test_clock;
         Alcotest.test_case "apply sequence" `Quick test_apply_sequence;
         Alcotest.test_case "mirrors firmware pipeline" `Quick test_mirrors_firmware_pipeline;
+        Alcotest.test_case "collision detection" `Quick test_collision_detection;
+        Alcotest.test_case "fault drops writes" `Quick test_fault_drops_writes;
+        Alcotest.test_case "stuck slot" `Quick test_stuck_slot;
         Alcotest.test_case "defaults" `Quick test_default_size;
       ] );
   ]
