@@ -4,7 +4,7 @@
    core data-structure operations.
 
    Usage:  main.exe [--quick] [table2] [fig7] [fig8] [fig9] [ablation]
-           [micro] [ctrl] [conform]
+           [micro] [ctrl] [conform] [resil]
 
    With no section argument every section runs.  --quick restricts the
    sweeps to sizes <= 4000 (a couple of minutes); the full run covers the
@@ -584,6 +584,180 @@ let conform () =
     (List.length results)
 
 (* ------------------------------------------------------------------ *)
+(* resil: the cost of surviving — crash-recovery time against table
+   size, supervisor retry overhead against injected fault rates, and the
+   circuit breaker quarantining a permanently-faulted shard while its
+   siblings keep serving. *)
+
+let resil () =
+  let rm_rf dir =
+    try
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Sys.rmdir dir
+    with Sys_error _ -> ()
+  in
+  let open Telemetry.Json in
+  (* -- recovery time vs table size --------------------------------- *)
+  let rec_sizes = if !quick then [ 500; 2_000 ] else [ 1_000; 4_000; 16_000 ] in
+  Format.printf "%-8s %9s %9s %9s %8s %10s@." "initial" "drains" "mods"
+    "requeued" "rules" "recover-ms";
+  let recovery_rows =
+    List.map
+      (fun n ->
+        let dir = Journal.fresh_dir ~prefix:"fr-bench-resil" in
+        let spec =
+          {
+            Churn.kind = Dataset.ACL4;
+            initial = n;
+            ops = n / 2;
+            shards = 2;
+            capacity = 2 * n;
+            batch = 64;
+            seed;
+          }
+        in
+        let r = Churn.run ~journal:dir ~stop_after_flushes:(n / 256) spec in
+        Ctrl.simulate_crash ~mid_drain:true r.Churn.service;
+        let rec_, ms =
+          Measure.time_ms (fun () -> Ctrl.recover ~journal:dir ())
+        in
+        let row =
+          match rec_ with
+          | Error e ->
+              Format.printf "%-8d recovery FAILED: %s@." n e;
+              Obj [ ("initial", Int n); ("error", Str e) ]
+          | Ok rc ->
+              Format.printf "%-8d %9d %9d %9d %8d %10.1f@." n
+                rc.Ctrl.replayed_drains rc.Ctrl.replayed_mods rc.Ctrl.requeued
+                (Ctrl.rule_count rc.Ctrl.service)
+                ms;
+              Obj
+                [
+                  ("initial", Int n);
+                  ("replayed_drains", Int rc.Ctrl.replayed_drains);
+                  ("replayed_mods", Int rc.Ctrl.replayed_mods);
+                  ("requeued", Int rc.Ctrl.requeued);
+                  ("rules", Int (Ctrl.rule_count rc.Ctrl.service));
+                  ("recover_ms", Float ms);
+                  ("warnings", Int (List.length rc.Ctrl.warnings));
+                ]
+        in
+        rm_rf dir;
+        row)
+      rec_sizes
+  in
+  (* -- retry overhead vs fault rate -------------------------------- *)
+  let fault_rates = [ 0.0; 0.01; 0.05 ] in
+  let churn_spec =
+    {
+      Churn.kind = Dataset.ACL4;
+      initial = (if !quick then 500 else 2_000);
+      ops = (if !quick then 1_000 else 5_000);
+      shards = 4;
+      capacity = (if !quick then 2_000 else 8_000);
+      batch = 64;
+      seed;
+    }
+  in
+  Format.printf "@.%-7s %8s %7s %7s %8s %11s %10s@." "fault-p" "applied"
+    "failed" "retries" "re-ops" "backoff-ms" "p99(ms)";
+  let retry_rows =
+    List.map
+      (fun p ->
+        let configure svc =
+          if p > 0. then
+            for s = 0 to Ctrl.shards svc - 1 do
+              Ctrl.set_fault svc ~shard:s
+                (Some (Fault.create ~fail_prob:p ~seed:(seed + s) ()))
+            done
+        in
+        let r = Churn.run ~configure churn_spec in
+        let svc = r.Churn.service in
+        let sum f =
+          let acc = ref 0 in
+          for s = 0 to Ctrl.shards svc - 1 do
+            acc := !acc + f (Shard.telemetry (Ctrl.shard svc s))
+          done;
+          !acc
+        in
+        let backoff =
+          let acc = ref 0.0 in
+          for s = 0 to Ctrl.shards svc - 1 do
+            acc :=
+              !acc +. Telemetry.backoff_ms_total (Shard.telemetry (Ctrl.shard svc s))
+          done;
+          !acc
+        in
+        Format.printf "%-7.2f %8d %7d %7d %8d %11.1f %10.3f@." p
+          r.Churn.applied r.Churn.failed r.Churn.retries
+          (sum Telemetry.retried_ops)
+          backoff r.Churn.flush_wall_ms.Measure.p99;
+        Obj
+          [
+            ("fault_prob", Float p);
+            ("applied", Int r.Churn.applied);
+            ("failed", Int r.Churn.failed);
+            ("retries", Int r.Churn.retries);
+            ("retried_ops", Int (sum Telemetry.retried_ops));
+            ("backoff_ms", Float backoff);
+            ("flush_wall_p99_ms", Float r.Churn.flush_wall_ms.Measure.p99);
+          ])
+      fault_rates
+  in
+  (* -- breaker: one shard permanently faulted ----------------------- *)
+  let resil_policy =
+    { Ctrl.default_resil with Ctrl.queue_bound = 32; breaker_threshold = 2 }
+  in
+  let configure svc =
+    Ctrl.set_fault svc ~shard:0 (Some (Fault.create ~fail_prob:1.0 ~seed ()))
+  in
+  let r = Churn.run ~resil:resil_policy ~configure churn_spec in
+  let svc = r.Churn.service in
+  let shard0 = Shard.telemetry (Ctrl.shard svc 0) in
+  let sibling_applied =
+    let acc = ref 0 in
+    for s = 1 to Ctrl.shards svc - 1 do
+      acc := !acc + Telemetry.applied (Shard.telemetry (Ctrl.shard svc s))
+    done;
+    !acc
+  in
+  Format.printf
+    "@.breaker: shard 0 at fault-p 1.0 — state %s, %d opens, %d shed; \
+     shard 0 applied %d, siblings applied %d@."
+    (Telemetry.breaker_state shard0)
+    r.Churn.breaker_opens r.Churn.shed
+    (Telemetry.applied shard0)
+    sibling_applied;
+  let breaker_row =
+    Obj
+      [
+        ("shard0_state", Str (Telemetry.breaker_state shard0));
+        ("breaker_opens", Int r.Churn.breaker_opens);
+        ("shed", Int r.Churn.shed);
+        ("shard0_applied", Int (Telemetry.applied shard0));
+        ("sibling_applied", Int sibling_applied);
+        ("failed", Int r.Churn.failed);
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("bench", Str "resil");
+        ("seed", Int seed);
+        ("recovery", List recovery_rows);
+        ("retry", List retry_rows);
+        ("breaker", breaker_row);
+      ]
+  in
+  let oc = open_out "BENCH_resil.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_resil.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -597,6 +771,7 @@ let sections =
     ("ablation", ablation);
     ("ctrl", ctrl);
     ("conform", conform);
+    ("resil", resil);
   ]
 
 let () =

@@ -185,17 +185,110 @@ let policy_conv =
   Arg.conv
     (parse, fun ppf p -> Format.pp_print_string ppf (Partition.policy_to_string p))
 
+let fault_spec_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | None -> Error (`Msg "expected SHARD:SPEC (e.g. 0:p=0.1,max=4)")
+    | Some i -> (
+        match int_of_string_opt (String.sub s 0 i) with
+        | None -> Error (`Msg (Printf.sprintf "bad shard index in %S" s))
+        | Some shard -> (
+            match
+              Fault.spec_of_string (String.sub s (i + 1) (String.length s - i - 1))
+            with
+            | Ok spec -> Ok (shard, spec)
+            | Error e -> Error (`Msg e)))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf (s, spec) ->
+        Format.fprintf ppf "%d:%s" s (Fault.spec_to_string spec) )
+
+let ctrl_json path service ~scenario =
+  let oc = open_out path in
+  output_string oc (Telemetry.Json.to_string (Ctrl.to_json ~scenario service));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote per-shard telemetry to %s@." path
+
 let ctrl_cmd =
-  let run kind n seed shards capacity ops batch policy refresh_every json =
+  let run kind n seed shards capacity ops batch policy refresh_every json
+      journal do_recover faults crash_after crash_mid allow_failures =
     let bad fmt = Format.kasprintf (fun m -> Format.eprintf "fastrule_cli: %s@." m; exit 1) fmt in
     if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
     if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
     if batch < 1 then bad "--batch must be >= 1 (got %d)" batch;
     if refresh_every < 1 then bad "--refresh-every must be >= 1 (got %d)" refresh_every;
+    (match crash_after with
+    | Some k when k < 1 -> bad "--crash-after must be >= 1 (got %d)" k
+    | Some _ when journal = None ->
+        bad "--crash-after needs --journal (a crash without a journal loses \
+             everything)"
+    | _ -> ());
+    if do_recover then begin
+      (* Recovery mode: the journal directory is the whole input — shape,
+         checkpoint and intent all come from disk. *)
+      let dir =
+        match journal with
+        | Some d -> d
+        | None -> bad "--recover needs --journal DIR"
+      in
+      match Ctrl.recover ~journal:dir () with
+      | Error e -> bad "recovery failed: %s" e
+      | Ok r ->
+          let service = r.Ctrl.service in
+          Format.printf
+            "recovered %d shards (%d rules) from %s@." (Ctrl.shards service)
+            (Ctrl.rule_count service) dir;
+          Format.printf
+            "replayed %d committed drains (%d mods), requeued %d uncommitted, \
+             %d shard(s) were mid-drain@."
+            r.Ctrl.replayed_drains r.Ctrl.replayed_mods r.Ctrl.requeued
+            r.Ctrl.interrupted;
+          List.iter (fun w -> Format.printf "WARNING: %s@." w) r.Ctrl.warnings;
+          let flushed =
+            if Ctrl.pending service > 0 then begin
+              let report = Ctrl.flush service in
+              Format.printf "post-recovery flush: applied %d, failed %d@."
+                (Ctrl.applied report)
+                (List.length (Ctrl.failures report));
+              Ctrl.failures report
+            end
+            else []
+          in
+          Format.printf "@.";
+          Ctrl.pp_stats Format.std_formatter service;
+          (match json with
+          | Some path -> ctrl_json path service ~scenario:("recover-" ^ dir)
+          | None -> ());
+          exit
+            (if r.Ctrl.warnings = [] && (allow_failures || flushed = []) then 0
+             else 1)
+    end;
     let spec =
       { Churn.kind; initial = n; ops; shards; capacity; batch; seed }
     in
-    let r = Churn.run ~policy ~refresh_every spec in
+    let configure =
+      match faults with
+      | [] -> None
+      | fs ->
+          List.iter
+            (fun (s, _) ->
+              if s < 0 || s >= shards then
+                bad "--fault shard %d out of range (0..%d)" s (shards - 1))
+            fs;
+          Some
+            (fun service ->
+              List.iter
+                (fun (s, fspec) ->
+                  Ctrl.set_fault service ~shard:s
+                    (Some (Fault.of_spec fspec ~seed:(seed lxor (0x5a17 + s)))))
+                fs)
+    in
+    let r =
+      Churn.run ~policy ~refresh_every ?journal ?configure
+        ?stop_after_flushes:crash_after spec
+    in
     Format.printf
       "churn %s: %d shards x %d slots, %d preloaded, %d ops in windows of %d@."
       (Dataset.to_string kind) shards capacity n ops batch;
@@ -203,23 +296,31 @@ let ctrl_cmd =
                    flushes %d@."
       r.Churn.submitted r.Churn.coalesced r.Churn.applied r.Churn.failed
       r.Churn.flushes;
+    if r.Churn.retries + r.Churn.shed + r.Churn.breaker_opens > 0 then
+      Format.printf "retries %d  shed %d  breaker opens %d@." r.Churn.retries
+        r.Churn.shed r.Churn.breaker_opens;
     Format.printf "flush wall (ms): %a@.@." Measure.pp_summary
       r.Churn.flush_wall_ms;
     Ctrl.pp_stats Format.std_formatter r.Churn.service;
-    match json with
+    (match json with
     | None -> ()
     | Some path ->
         let scenario =
           Printf.sprintf "ctrl-%s-%dx%d" (Dataset.to_string kind) shards
             capacity
         in
-        let oc = open_out path in
-        output_string oc
-          (Telemetry.Json.to_string
-             (Ctrl.to_json ~scenario r.Churn.service));
-        output_char oc '\n';
-        close_out oc;
-        Format.printf "@.wrote per-shard telemetry to %s@." path
+        ctrl_json path r.Churn.service ~scenario);
+    match crash_after with
+    | Some _ ->
+        Ctrl.simulate_crash ~mid_drain:crash_mid r.Churn.service;
+        Format.printf
+          "@.simulated crash after %d flushes (%d ops still queued); recover \
+           with: fastrule_cli ctrl --journal %s --recover@."
+          r.Churn.flushes
+          (Ctrl.pending r.Churn.service)
+          (Option.value journal ~default:"DIR");
+        exit 42
+    | None -> exit (if allow_failures || r.Churn.failed = 0 then 0 else 1)
   in
   let shards_arg =
     Arg.(
@@ -267,13 +368,64 @@ let ctrl_cmd =
       & info [ "json" ] ~docv:"PATH"
           ~doc:"Also dump per-shard telemetry as JSON.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Write-ahead journal directory (created if missing): every \
+                accepted submit goes durable before the hardware sees it.")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:"Rebuild the service from --journal DIR (checkpoint + replay \
+                + requeued suffix), flush the requeued intent, and report. \
+                Exits non-zero on recovery warnings or flush failures.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt_all fault_spec_conv []
+      & info [ "fault" ] ~docv:"SHARD:SPEC"
+          ~doc:"Install a fault plan on one shard's agent, e.g. \
+                $(b,0:p=0.2,max=4) or $(b,1:p=1) — the supervisor's retry \
+                and circuit-breaker paths under test.  Repeatable.")
+  in
+  let crash_after_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after" ] ~docv:"FLUSHES"
+          ~doc:"Stop the stream after this many flushes and simulate a \
+                process crash (journal left on disk, exit 42).  Requires \
+                --journal.")
+  in
+  let crash_mid_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-mid-drain" ]
+          ~doc:"With --crash-after: die after the begin markers go durable \
+                but before any commit — the worst crash point.")
+  in
+  let allow_failures_arg =
+    Arg.(
+      value & flag
+      & info [ "allow-failures" ]
+          ~doc:"Exit 0 even when the stream reports failed ops (rejections \
+                are expected under injected faults and tight capacity).")
+  in
   Cmd.v
     (Cmd.info "ctrl"
        ~doc:"Drive the sharded control-plane service with a seeded churn \
-             stream and report per-shard telemetry.")
+             stream and report per-shard telemetry (exit 1 on failed ops \
+             unless --allow-failures).")
     Term.(
       const run $ kind_arg $ n_arg $ seed_arg $ shards_arg $ capacity_arg
-      $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg)
+      $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg
+      $ journal_arg $ recover_arg $ fault_arg $ crash_after_arg $ crash_mid_arg
+      $ allow_failures_arg)
 
 (* --- conform --------------------------------------------------------- *)
 
@@ -308,7 +460,7 @@ let break_conv =
 
 let conform_cmd =
   let run kind n seed events pool capacity probes fault fault_max break_ record
-      save replay shrink out =
+      save replay shrink out crash_at crash_mid crash_batch =
     let bad fmt =
       Format.kasprintf
         (fun m ->
@@ -317,6 +469,7 @@ let conform_cmd =
         fmt
     in
     if fault < 0. || fault > 1. then bad "--fault must be in [0,1] (got %g)" fault;
+    if crash_batch < 1 then bad "--crash-batch must be >= 1 (got %d)" crash_batch;
     let trace =
       match replay with
       | Some path -> (
@@ -328,6 +481,18 @@ let conform_cmd =
           let capacity = Option.value capacity ~default:(4 * n) in
           Trace.generate ~kind ~seed ~initial:n ~pool ~capacity ~events ()
     in
+    (match crash_at with
+    | Some at ->
+        (* Crash-recovery differential mode: kill a journaled service at
+           op [at] and hold the recovered state to the committed prefix,
+           for every scheduler kind. *)
+        let r =
+          Oracle.run_crash ~probes ~batch:crash_batch ~mid_drain:crash_mid ~at
+            trace
+        in
+        Oracle.pp_crash_report Format.std_formatter r;
+        exit (if Oracle.crash_clean r then 0 else 1)
+    | None -> ());
     let config =
       {
         Oracle.default_config with
@@ -448,6 +613,29 @@ let conform_cmd =
       & info [ "o"; "output" ] ~docv:"PATH"
           ~doc:"Where to write the shrunk reproducer trace.")
   in
+  let crash_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at" ] ~docv:"K"
+          ~doc:"Crash-recovery mode: drive the trace through a journaled \
+                single-shard service per scheduler, kill it after K events, \
+                recover, and check the recovered state against the committed \
+                prefix (exit 1 on divergence).")
+  in
+  let crash_mid_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-mid-drain" ]
+          ~doc:"With --crash-at: crash after the begin markers are durable \
+                but before any commit.")
+  in
+  let crash_batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "crash-batch" ] ~docv:"OPS"
+          ~doc:"Flush cadence in crash-recovery mode.")
+  in
   Cmd.v
     (Cmd.info "conform"
        ~doc:"Differential conformance: one seeded workload through every \
@@ -456,7 +644,8 @@ let conform_cmd =
     Term.(
       const run $ kind_arg $ n_arg $ seed_arg $ events_arg $ pool_arg
       $ capacity_arg $ probes_arg $ fault_arg $ fault_max_arg $ break_arg
-      $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg)
+      $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg
+      $ crash_at_arg $ crash_mid_arg $ crash_batch_arg)
 
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in

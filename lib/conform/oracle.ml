@@ -9,6 +9,9 @@ module Sabotage = Fr_sched.Sabotage
 module Firmware = Fr_switch.Firmware
 module Agent = Fr_switch.Agent
 module Measure = Fr_switch.Measure
+module Journal = Fr_resil.Journal
+module Service = Fr_ctrl.Service
+module Shard = Fr_ctrl.Shard
 
 type outcome =
   | Applied
@@ -341,6 +344,170 @@ let run ?(config = default_config) (trace : Trace.t) =
     verify_ms;
     wall_ms = setup_ms +. body_ms;
   }
+
+(* -- crash-recovery differential mode -------------------------------- *)
+
+type crash_column = {
+  crash_scheduler : string;
+  committed : int;
+  suffix : int;
+  replayed_drains : int;
+  requeued : int;
+  recovered_rules : int;
+}
+
+type crash_report = {
+  crash_trace : Trace.t;
+  crash_at : int;
+  mid_drain : bool;
+  crash_columns : crash_column list;
+  crash_divergences : divergence list;
+  crash_wall_ms : float;
+}
+
+let crash_clean r = r.crash_divergences = []
+
+let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at
+    (trace : Trace.t) =
+  if batch <= 0 then invalid_arg "Oracle.run_crash: batch must be positive";
+  let pool = Trace.rules trace in
+  let n_events = List.length trace.Trace.events in
+  let at = match at with None -> n_events | Some a -> max 0 (min a n_events) in
+  let events = Array.of_list trace.Trace.events in
+  let preload = Array.sub pool 0 trace.Trace.initial in
+  let kinds = Firmware.standard_algos Fr_sched.Store.Bit_backend in
+  let divergences = ref [] in
+  let diverge ~scheduler detail =
+    divergences := { event = -1; scheduler; detail } :: !divergences
+  in
+  (* The spec for what recovery must rebuild: a journal-free service of the
+     same shape driven over a prefix with the same flush cadence.  Replay
+     determinism (dirty drains checkpoint, clean ones re-drain identically)
+     is exactly the claim under test. *)
+  let reference kind upto =
+    let s =
+      Service.of_rules ~kind ~shards:1 ~capacity:trace.Trace.capacity preload
+    in
+    for i = 0 to upto - 1 do
+      Service.submit s (Trace.flow_mod pool events.(i));
+      if (i + 1) mod batch = 0 then ignore (Service.flush s)
+    done;
+    if Service.pending s > 0 then ignore (Service.flush s);
+    s
+  in
+  let agent_of s = Shard.agent (Service.shard s 0) in
+  let compare_states ~scheduler ~stage a b =
+    let img_a = store_image a and img_b = store_image b in
+    if img_a <> img_b then
+      diverge ~scheduler
+        (Printf.sprintf
+           "%s: store differs from committed-prefix replay (%d vs %d rules)"
+           stage (List.length img_a) (List.length img_b));
+    let rng = Rng.create ~seed:(trace.Trace.seed lxor 0x5eed) in
+    for _ = 1 to probes do
+      let r = pool.(Rng.int rng (Array.length pool)) in
+      let pkt = Header.packet_in rng r.Rule.field in
+      let wa = winner_id (Agent.lookup a pkt) in
+      let wb = winner_id (Agent.lookup b pkt) in
+      if wa <> wb then
+        diverge ~scheduler
+          (Printf.sprintf
+             "%s: lookup divergence (recovered matched %d, reference %d)" stage
+             wa wb)
+    done
+  in
+  let run_kind kind =
+    let name = Firmware.algo_kind_name kind in
+    let dir = Journal.fresh_dir ~prefix:"fr-conform-crash" in
+    let service =
+      Service.of_rules ~kind ~shards:1 ~capacity:trace.Trace.capacity
+        ~journal:dir preload
+    in
+    let committed = ref 0 in
+    for i = 0 to at - 1 do
+      Service.submit service (Trace.flow_mod pool events.(i));
+      if (i + 1) mod batch = 0 then begin
+        ignore (Service.flush service);
+        committed := i + 1
+      end
+    done;
+    Service.simulate_crash ~mid_drain service;
+    let col =
+      match Service.recover ~journal:dir () with
+      | Error e ->
+          diverge ~scheduler:name ("recovery failed: " ^ e);
+          {
+            crash_scheduler = name;
+            committed = !committed;
+            suffix = at - !committed;
+            replayed_drains = 0;
+            requeued = 0;
+            recovered_rules = 0;
+          }
+      | Ok r ->
+          List.iter
+            (fun w -> diverge ~scheduler:name ("recovery warning: " ^ w))
+            r.Service.warnings;
+          let recovered = r.Service.service in
+          let ragent = agent_of recovered in
+          (match Agent.verify_consistent ragent with
+          | Ok () -> ()
+          | Error e ->
+              diverge ~scheduler:name ("recovered agent inconsistent: " ^ e));
+          (* installed state of the recovered service == committed prefix *)
+          compare_states ~scheduler:name ~stage:"post-recovery" ragent
+            (agent_of (reference kind !committed));
+          (* flushing the requeued suffix == having run the whole prefix *)
+          if Service.pending recovered > 0 then ignore (Service.flush recovered);
+          compare_states ~scheduler:name ~stage:"post-recovery flush" ragent
+            (agent_of (reference kind at));
+          {
+            crash_scheduler = name;
+            committed = !committed;
+            suffix = at - !committed;
+            replayed_drains = r.Service.replayed_drains;
+            requeued = r.Service.requeued;
+            recovered_rules = Service.rule_count recovered;
+          }
+    in
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir);
+       Sys.rmdir dir
+     with Sys_error _ -> ());
+    col
+  in
+  let crash_columns, crash_wall_ms =
+    Measure.time_ms (fun () -> List.map run_kind kinds)
+  in
+  {
+    crash_trace = trace;
+    crash_at = at;
+    mid_drain;
+    crash_columns;
+    crash_divergences = List.rev !divergences;
+    crash_wall_ms;
+  }
+
+let pp_crash_report ppf r =
+  Format.fprintf ppf "%a@." Trace.pp r.crash_trace;
+  Format.fprintf ppf "  crash after %d events%s@." r.crash_at
+    (if r.mid_drain then " (mid-drain: begin markers on disk, no commit)"
+     else "");
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-9s committed %d + suffix %d; replayed %d drains, requeued %d, \
+         %d rules recovered@."
+        c.crash_scheduler c.committed c.suffix c.replayed_drains c.requeued
+        c.recovered_rules)
+    r.crash_columns;
+  match r.crash_divergences with
+  | [] -> Format.fprintf ppf "  divergences: none@."
+  | ds ->
+      Format.fprintf ppf "  divergences: %d@." (List.length ds);
+      List.iter (fun d -> Format.fprintf ppf "    %a@." pp_divergence d) ds
 
 let pp_report ppf r =
   Format.fprintf ppf "%a@." Trace.pp r.trace;

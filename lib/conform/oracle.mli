@@ -95,3 +95,57 @@ val run : ?config:config -> Trace.t -> report
     the wall-clock fields). *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Crash-recovery differential mode}
+
+    The durability counterpart of {!run}: the same trace is driven, per
+    scheduler kind, through a single-shard {e journaled}
+    {!Fr_ctrl.Service}, flushed every [batch] events, and then killed
+    after [at] events via {!Fr_ctrl.Service.simulate_crash} — with
+    [mid_drain], in the worst spot, after the begin markers went durable
+    but before any commit.  {!Fr_ctrl.Service.recover} rebuilds a service
+    from the journal directory alone, and the oracle checks, for every
+    kind:
+
+    - the recovered installed state (store image and probe lookups)
+      equals a journal-free reference service driven over just the
+      {e committed} prefix;
+    - after one more flush (draining the requeued suffix), it equals the
+      reference over the {e whole} prefix — no accepted intent was lost;
+    - the recovered agent passes
+      {!Fr_switch.Agent.verify_consistent}, and recovery itself reports
+      no warnings. *)
+
+type crash_column = {
+  crash_scheduler : string;
+  committed : int;  (** events covered by completed flushes *)
+  suffix : int;  (** events submitted but uncommitted at the crash *)
+  replayed_drains : int;
+  requeued : int;
+  recovered_rules : int;
+}
+
+type crash_report = {
+  crash_trace : Trace.t;
+  crash_at : int;  (** clamped to the trace length *)
+  mid_drain : bool;
+  crash_columns : crash_column list;
+  crash_divergences : divergence list;
+  crash_wall_ms : float;
+}
+
+val crash_clean : crash_report -> bool
+
+val run_crash :
+  ?probes:int ->
+  ?batch:int ->
+  ?mid_drain:bool ->
+  ?at:int ->
+  Trace.t ->
+  crash_report
+(** Defaults: 8 probes, flush every 4 events, clean crash between
+    flushes, [at] = the whole trace.  Journals live in (and are cleaned
+    from) a fresh temp directory per scheduler.
+    @raise Invalid_argument if [batch <= 0]. *)
+
+val pp_crash_report : Format.formatter -> crash_report -> unit

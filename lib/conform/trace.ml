@@ -120,19 +120,11 @@ let with_events t events = { t with events; recordings = [] }
 
 (* -- serialization -------------------------------------------------- *)
 
-let action_to_string = function
-  | Rule.Forward p -> Printf.sprintf "f%d" p
-  | Rule.Drop -> "d"
-  | Rule.Controller -> "c"
-
-let action_of_string s =
-  if s = "d" then Some Rule.Drop
-  else if s = "c" then Some Rule.Controller
-  else if String.length s >= 2 && s.[0] = 'f' then
-    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
-    | Some p -> Some (Rule.Forward p)
-    | None -> None
-  else None
+(* The compact action tokens are owned by the journal's line codec now —
+   one format, two files (WAL and trace) that stay in sync by
+   construction. *)
+let action_to_string = Fr_resil.Journal.action_to_string
+let action_of_string = Fr_resil.Journal.action_of_string
 
 let op_to_string = function
   | Op.Insert { rule_id; addr } -> Printf.sprintf "i%d@%d" rule_id addr

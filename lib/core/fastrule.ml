@@ -89,6 +89,12 @@ module Queue_sim = Fr_switch.Queue_sim
 module Experiment = Fr_switch.Experiment
 module Report = Fr_switch.Report
 
+(** {1 Resilience (journal, retry, circuit breaker)} *)
+
+module Journal = Fr_resil.Journal
+module Backoff = Fr_resil.Backoff
+module Breaker = Fr_resil.Breaker
+
 (** {1 The control plane (sharded multi-agent service)} *)
 
 module Partition = Fr_ctrl.Partition

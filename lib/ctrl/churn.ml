@@ -21,17 +21,24 @@ type result = {
   failed : int;
   coalesced : int;
   flushes : int;
+  retries : int;
+  shed : int;
+  breaker_opens : int;
   flush_wall_ms : Measure.summary;
 }
 
-let run ?policy ?algo ?verify ?refresh_every spec =
+exception Stop
+
+let run ?policy ?algo ?verify ?refresh_every ?resil ?journal ?configure
+    ?stop_after_flushes spec =
   (* One pool covers the preload and every insertion the mix can draw. *)
   let pool = Dataset.generate spec.kind ~seed:spec.seed ~n:(spec.initial + spec.ops) in
   let service =
-    Service.of_rules ?kind:algo ?verify ?refresh_every ?policy
+    Service.of_rules ?kind:algo ?verify ?refresh_every ?policy ?resil ?journal
       ~shards:spec.shards ~capacity:spec.capacity
       (Array.sub pool 0 spec.initial)
   in
+  Option.iter (fun f -> f service) configure;
   let rng = Rng.create ~seed:(spec.seed + 1) in
   (* The generator's view of which ids are alive: optimistic (a rejected
      op leaves it slightly stale), like a controller racing its own
@@ -53,10 +60,17 @@ let run ?policy ?algo ?verify ?refresh_every spec =
   let wall = Measure.Series.create () in
   let flushes = ref 0 in
   let flush () =
+    (* Stop *before* the flush past the budget: the current window's ops
+       stay queued (and journaled) — exactly the uncommitted suffix a
+       crash test wants to find on recovery. *)
+    (match stop_after_flushes with
+    | Some n when !flushes >= n -> raise Stop
+    | _ -> ());
     let report = Service.flush service in
     Measure.Series.add wall report.Service.wall_ms;
     incr flushes
   in
+  (try
   for op = 1 to spec.ops do
     let roll = Rng.int rng 100 in
     (if (roll < 55 || !n_live = 0) && !next < Array.length pool then begin
@@ -76,7 +90,8 @@ let run ?policy ?algo ?verify ?refresh_every spec =
          (Agent.Set_action { id = pick_live (); action = Rule.Forward (Rng.int rng 16) }));
     if op mod spec.batch = 0 then flush ()
   done;
-  if Service.pending service > 0 then flush ();
+  if Service.pending service > 0 then flush ()
+  with Stop -> ());
   let sum f =
     let acc = ref 0 in
     for i = 0 to spec.shards - 1 do
@@ -91,5 +106,8 @@ let run ?policy ?algo ?verify ?refresh_every spec =
     failed = sum Telemetry.failed;
     coalesced = sum Telemetry.coalesced;
     flushes = !flushes;
+    retries = sum Telemetry.retries;
+    shed = sum Telemetry.shed;
+    breaker_opens = sum Telemetry.breaker_opens;
     flush_wall_ms = Measure.Series.summary wall;
   }

@@ -26,6 +26,9 @@ type result = {
   failed : int;  (** drain failures, push-time rejections included *)
   coalesced : int;
   flushes : int;
+  retries : int;  (** supervisor retry rounds, summed over shards *)
+  shed : int;  (** submits rejected behind open breakers *)
+  breaker_opens : int;  (** circuit-breaker trips, summed over shards *)
   flush_wall_ms : Fr_switch.Measure.summary;
       (** wall-clock per {!Service.flush} call *)
 }
@@ -35,7 +38,17 @@ val run :
   ?algo:Fr_switch.Firmware.algo_kind ->
   ?verify:bool ->
   ?refresh_every:int ->
+  ?resil:Service.resil ->
+  ?journal:string ->
+  ?configure:(Service.t -> unit) ->
+  ?stop_after_flushes:int ->
   spec ->
   result
-(** @raise Invalid_argument if the initial policy does not fit its
+(** [configure] runs right after the service is built, before any op is
+    submitted — the hook for installing fault plans.  [stop_after_flushes]
+    abandons the stream at the flush that would follow the [n]th: the
+    current window's ops stay queued (and, with [journal], journaled but
+    uncommitted), which is exactly the suffix the CLI's crash simulation
+    wants recovery to find.
+    @raise Invalid_argument if the initial policy does not fit its
     shards. *)

@@ -1,28 +1,124 @@
 module Rule = Fr_tern.Rule
 module Agent = Fr_switch.Agent
+module Firmware = Fr_switch.Firmware
 module Measure = Fr_switch.Measure
+module Journal = Fr_resil.Journal
+module Backoff = Fr_resil.Backoff
+module Breaker = Fr_resil.Breaker
+
+(* -- supervision policy ---------------------------------------------- *)
+
+type resil = {
+  retry_budget : int;
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_max_ms : float;
+  backoff_jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  queue_bound : int;
+  checkpoint_every : int;
+}
+
+let default_resil =
+  {
+    retry_budget = 2;
+    backoff_base_ms = 1.0;
+    backoff_factor = 2.0;
+    backoff_max_ms = 64.0;
+    backoff_jitter = 0.2;
+    breaker_threshold = 3;
+    breaker_cooldown = 2;
+    queue_bound = 1024;
+    checkpoint_every = 32;
+  }
 
 type t = {
   partition : Partition.t;
   shards : Shard.t array;
   routes : (int, int) Hashtbl.t;
       (* rule id -> shard, for every id pending or installed.  Rebuilt
-         from the agents after each flush (queues are empty then), so a
-         failed Add never leaves a stale route behind. *)
+         from the agents (and the still-pending queues of quarantined
+         shards) after each flush, so a failed Add never leaves a stale
+         route behind. *)
+  resil : resil;
+  journals : Journal.t array option;  (* one WAL per shard *)
+  breakers : Breaker.t array;
+  backoffs : Backoff.t array;
+  shed : (Agent.flow_mod * string) list array;  (* newest first, per shard *)
+  commits_since_ckpt : int array;
 }
 
-let create ?kind ?latency ?verify ?refresh_every
-    ?(policy = Partition.Hash_id) ~shards ~capacity () =
+let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
+
+let make_supervision resil ~shards =
+  ( Array.init shards (fun _ ->
+        Breaker.create ~threshold:resil.breaker_threshold
+          ~cooldown:resil.breaker_cooldown ()),
+    Array.init shards (fun i ->
+        Backoff.create ~base_ms:resil.backoff_base_ms
+          ~factor:resil.backoff_factor ~max_ms:resil.backoff_max_ms
+          ~jitter:resil.backoff_jitter
+          ~seed:(0x5e51 + i)
+          ()) )
+
+(* A fresh journal directory: shape metadata once, then one compacted
+   journal per shard anchored on a checkpoint of its starting table (so
+   recovery always has a baseline).  Refuses a directory that already
+   carries a journal — recover from it or point elsewhere. *)
+let make_journals ~dir ~kind ~policy ~verify ~refresh_every ~capacity
+    (shards : Shard.t array) =
+  if Sys.file_exists (Journal.meta_file ~dir) then
+    invalid_arg
+      (Printf.sprintf
+         "Service: journal directory %s already holds a journal (recover from \
+          it instead)"
+         dir);
+  Journal.write_meta ~dir
+    {
+      Journal.shards = Array.length shards;
+      capacity;
+      policy = Partition.policy_to_string policy;
+      kind = Firmware.algo_kind_name kind;
+      refresh_every;
+      verify;
+    };
+  Array.map
+    (fun shard ->
+      let j = Journal.create ~dir ~shard:(Shard.id shard) in
+      Journal.checkpoint j
+        ~rules:(Array.of_list (Agent.rules (Shard.agent shard)));
+      j)
+    shards
+
+let create ?(kind = default_kind) ?latency ?(verify = false)
+    ?(refresh_every = 1) ?(policy = Partition.Hash_id)
+    ?(resil = default_resil) ?journal ~shards ~capacity () =
+  let shard_arr =
+    Array.init shards (fun id ->
+        Shard.create ~kind ?latency ~verify ~refresh_every ~capacity ~id ())
+  in
+  let breakers, backoffs = make_supervision resil ~shards in
   {
     partition = Partition.create ~shards policy;
-    shards =
-      Array.init shards (fun id ->
-          Shard.create ?kind ?latency ?verify ?refresh_every ~capacity ~id ());
+    shards = shard_arr;
     routes = Hashtbl.create 1024;
+    resil;
+    journals =
+      Option.map
+        (fun dir ->
+          make_journals ~dir ~kind ~policy ~verify ~refresh_every ~capacity
+            shard_arr)
+        journal;
+    breakers;
+    backoffs;
+    shed = Array.make shards [];
+    commits_since_ckpt = Array.make shards 0;
   }
 
-let of_rules ?kind ?latency ?verify ?refresh_every
-    ?(policy = Partition.Hash_id) ~shards ~capacity rules =
+let of_rules ?(kind = default_kind) ?latency ?(verify = false)
+    ?(refresh_every = 1) ?(policy = Partition.Hash_id)
+    ?(resil = default_resil) ?journal ~shards ~capacity rules =
   let partition = Partition.create ~shards policy in
   let slices = Array.make shards [] in
   Array.iter
@@ -30,14 +126,28 @@ let of_rules ?kind ?latency ?verify ?refresh_every
       let s = Partition.route_rule partition r in
       slices.(s) <- r :: slices.(s))
     rules;
+  let shard_arr =
+    Array.init shards (fun id ->
+        Shard.of_rules ~kind ?latency ~verify ~refresh_every ~capacity ~id
+          (Array.of_list (List.rev slices.(id))))
+  in
+  let breakers, backoffs = make_supervision resil ~shards in
   let t =
     {
       partition;
-      shards =
-        Array.init shards (fun id ->
-            Shard.of_rules ?kind ?latency ?verify ?refresh_every ~capacity ~id
-              (Array.of_list (List.rev slices.(id))));
+      shards = shard_arr;
       routes = Hashtbl.create (2 * Array.length rules);
+      resil;
+      journals =
+        Option.map
+          (fun dir ->
+            make_journals ~dir ~kind ~policy ~verify ~refresh_every ~capacity
+              shard_arr)
+          journal;
+      breakers;
+      backoffs;
+      shed = Array.make shards [];
+      commits_since_ckpt = Array.make shards 0;
     }
   in
   Array.iter
@@ -56,6 +166,8 @@ let shard t i =
 let partition t = t.partition
 let set_fault t ~shard:i f = Shard.set_fault (shard t i) f
 let shard_of_rule t id = Hashtbl.find_opt t.routes id
+let breaker_state t i = Breaker.state t.breakers.(i)
+let journaled t = t.journals <> None
 
 let rule_count t =
   Array.fold_left (fun acc s -> acc + Agent.rule_count (Shard.agent s)) 0 t.shards
@@ -64,6 +176,10 @@ let find_rule t id =
   match Hashtbl.find_opt t.routes id with
   | Some s -> Agent.rule (Shard.agent t.shards.(s)) id
   | None -> None
+
+let id_of = function
+  | Agent.Add r -> r.Rule.id
+  | Agent.Set_action { id; _ } | Agent.Remove { id } -> id
 
 let route t fm =
   match fm with
@@ -80,7 +196,39 @@ let route t fm =
       | Some s -> s
       | None -> Partition.route_id t.partition id)
 
-let submit t fm = ignore (Shard.submit t.shards.(route t fm) fm)
+type submit_outcome = Accepted | Overloaded of string
+
+let try_submit t fm =
+  let id = id_of fm in
+  let had_route = Hashtbl.mem t.routes id in
+  let s = route t fm in
+  let sh = t.shards.(s) in
+  if
+    (not (Breaker.admits t.breakers.(s)))
+    && Shard.queue_depth sh >= t.resil.queue_bound
+  then begin
+    (* Quarantined and the bounded queue is full: shed instead of letting
+       a dead shard's backlog grow without limit. *)
+    if not had_route then Hashtbl.remove t.routes id;
+    let msg =
+      Printf.sprintf "overloaded: shard %d quarantined (queue bound %d)" s
+        t.resil.queue_bound
+    in
+    Telemetry.record_shed (Shard.telemetry sh);
+    t.shed.(s) <- (fm, msg) :: t.shed.(s);
+    Overloaded msg
+  end
+  else begin
+    (* WAL before queue: intent is durable (fsync-batched — see
+       {!Fr_resil.Journal}) before any drain can touch hardware. *)
+    (match t.journals with
+    | Some js -> ignore (Journal.log_mod js.(s) fm)
+    | None -> ());
+    ignore (Shard.submit sh fm);
+    Accepted
+  end
+
+let submit t fm = ignore (try_submit t fm)
 let submit_all t mods = List.iter (submit t) mods
 
 let pending t =
@@ -88,6 +236,7 @@ let pending t =
 
 type flush_report = {
   results : Shard.drain_result array;
+  quarantined : int list;
   wall_ms : float;
 }
 
@@ -106,15 +255,286 @@ let rebuild_routes t =
     (fun s shard ->
       List.iter
         (fun (r : Rule.t) -> Hashtbl.replace t.routes r.Rule.id s)
-        (Agent.rules (Shard.agent shard)))
+        (Agent.rules (Shard.agent shard));
+      (* A quarantined shard still holds queued intent; keep its routes
+         so follow-up ops for those ids find the right queue. *)
+      List.iter
+        (fun fm -> Hashtbl.replace t.routes (id_of fm) s)
+        (Shard.pending_mods shard))
     t.shards
 
+(* -- failure classification ------------------------------------------ *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A transient casualty is an injected hardware failure that left the op
+   un-applied — worth retrying.  A Remove whose erase landed before the
+   fault ("entry removed") already took effect; retrying it would only
+   manufacture a spurious rejection. *)
+let is_transient e = has_prefix ~prefix:"fault: " e && not (contains ~sub:"entry removed" e)
+
+(* A drain whose final casualty list still contains fault (or shadow-table)
+   damage cannot be reproduced by a fault-free replay; recovery must
+   restart from a checkpoint instead. *)
+let is_dirty_failure e = is_transient e || has_prefix ~prefix:"verify: " e
+
+let merge_results keep_failed (a : Shard.drain_result)
+    (b : Shard.drain_result) =
+  {
+    Shard.shard = a.Shard.shard;
+    applied = a.Shard.applied + b.Shard.applied;
+    failed = keep_failed @ b.Shard.failed;
+    coalesced = a.Shard.coalesced + b.Shard.coalesced;
+    firmware_ms = a.Shard.firmware_ms +. b.Shard.firmware_ms;
+    hardware_ms = a.Shard.hardware_ms +. b.Shard.hardware_ms;
+    tcam_ops = a.Shard.tcam_ops + b.Shard.tcam_ops;
+    wall_ms = a.Shard.wall_ms +. b.Shard.wall_ms;
+  }
+
+let checkpoint_shard t i =
+  match t.journals with
+  | None -> ()
+  | Some js ->
+      Journal.checkpoint js.(i)
+        ~rules:(Array.of_list (Agent.rules (Shard.agent t.shards.(i))));
+      Telemetry.record_checkpoint (Shard.telemetry t.shards.(i));
+      t.commits_since_ckpt.(i) <- 0
+
+let checkpoint t =
+  Array.iteri (fun i _ -> checkpoint_shard t i) t.shards
+
+(* Drain one admitted shard under the supervisor: retry transient
+   casualties with backoff (modelled delay, accounted not slept), then
+   settle the journal — a clean drain commits (a fault-free replay of its
+   mods reproduces it exactly); a dirty one, or one past the checkpoint
+   cadence, checkpoints instead so recovery never replays through
+   non-deterministic fault damage. *)
+let drain_supervised t i =
+  let sh = t.shards.(i) in
+  let tele = Shard.telemetry sh in
+  let had_work = Shard.has_work sh in
+  let drain_id =
+    match t.journals with
+    | Some js when had_work -> Some (Journal.log_begin js.(i))
+    | _ -> None
+  in
+  let rec retry (r : Shard.drain_result) attempt =
+    if attempt > t.resil.retry_budget then r
+    else
+      match List.partition (fun (_, e) -> is_transient e) r.Shard.failed with
+      | [], _ -> r
+      | transient, rest ->
+          let delay = Backoff.delay_ms t.backoffs.(i) ~attempt in
+          Telemetry.record_retry tele ~ops:(List.length transient)
+            ~backoff_ms:delay;
+          List.iter (fun (fm, _) -> ignore (Shard.requeue sh fm)) transient;
+          retry (merge_results rest r (Shard.drain sh)) (attempt + 1)
+  in
+  let final = retry (Shard.drain sh) 1 in
+  let br = t.breakers.(i) in
+  if had_work then begin
+    let was_open = Breaker.state br = Breaker.Open in
+    (* Plain rejections (duplicates, not-installed, capacity) are
+       normal-plane noise; only hardware/verify damage counts against the
+       breaker. *)
+    let damaged =
+      List.exists
+        (fun (_, e) ->
+          has_prefix ~prefix:"fault: " e || has_prefix ~prefix:"verify: " e)
+        final.Shard.failed
+    in
+    if damaged then Breaker.note_failure br else Breaker.note_success br;
+    if Breaker.state br = Breaker.Open && not was_open then
+      Telemetry.record_breaker_open tele
+  end;
+  Telemetry.set_breaker_state tele (Breaker.state_to_string (Breaker.state br));
+  (match (t.journals, drain_id) with
+  | Some js, Some drain ->
+      let dirty =
+        List.exists (fun (_, e) -> is_dirty_failure e) final.Shard.failed
+      in
+      t.commits_since_ckpt.(i) <- t.commits_since_ckpt.(i) + 1;
+      if dirty || t.commits_since_ckpt.(i) >= t.resil.checkpoint_every then
+        checkpoint_shard t i
+      else
+        Journal.log_commit js.(i) ~drain ~applied:final.Shard.applied
+          ~failed:(List.length final.Shard.failed)
+  | _ -> ());
+  final
+
 let flush t =
-  let results, wall_ms =
-    Measure.time_ms (fun () -> Array.map Shard.drain t.shards)
+  let (results, quarantined), wall_ms =
+    Measure.time_ms (fun () ->
+        let quarantined = ref [] in
+        let results =
+          Array.init (Array.length t.shards) (fun i ->
+              let sheds = List.rev t.shed.(i) in
+              t.shed.(i) <- [];
+              let br = t.breakers.(i) in
+              if not (Breaker.admits br) then begin
+                Breaker.note_skipped br;
+                Telemetry.set_breaker_state
+                  (Shard.telemetry t.shards.(i))
+                  (Breaker.state_to_string (Breaker.state br));
+                quarantined := i :: !quarantined;
+                { (Shard.empty_result ~shard:i) with Shard.failed = sheds }
+              end
+              else
+                let r = drain_supervised t i in
+                { r with Shard.failed = sheds @ r.Shard.failed })
+        in
+        (results, List.rev !quarantined))
   in
   rebuild_routes t;
-  { results; wall_ms }
+  { results; quarantined; wall_ms }
+
+(* -- crash simulation ------------------------------------------------ *)
+
+let simulate_crash ?(mid_drain = false) t =
+  match t.journals with
+  | None -> invalid_arg "Service.simulate_crash: service has no journal"
+  | Some js ->
+      Array.iteri
+        (fun i sh ->
+          if mid_drain && Shard.has_work sh then ignore (Journal.log_begin js.(i)))
+        t.shards;
+      (* Closing flushes the buffered tail; the process is now free to
+         disappear.  The service must not be used afterwards. *)
+      Array.iter Journal.close js
+
+(* -- recovery -------------------------------------------------------- *)
+
+type recovery = {
+  service : t;
+  replayed_drains : int;
+  replayed_mods : int;
+  requeued : int;
+  interrupted : int;
+  warnings : string list;
+}
+
+let recover ?latency ?(resil = default_resil) ~journal:dir () =
+  let ( let* ) = Result.bind in
+  let* meta = Journal.read_meta ~dir in
+  let* kind =
+    match Firmware.algo_kind_of_string meta.Journal.kind with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "recover: unknown kind %S" meta.Journal.kind)
+  in
+  let* policy =
+    match Partition.policy_of_string meta.Journal.policy with
+    | Some p -> Ok p
+    | None ->
+        Error (Printf.sprintf "recover: unknown policy %S" meta.Journal.policy)
+  in
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  let replayed_drains = ref 0 in
+  let replayed_mods = ref 0 in
+  let requeued = ref 0 in
+  let interrupted = ref 0 in
+  let rebuild_shard i =
+    let* r = Journal.read_recovery ~dir ~shard:i in
+    let* rules =
+      match r.Journal.checkpoint with
+      | None -> Ok [||]
+      | Some (_, file) -> Fr_workload.Rules_io.load file
+    in
+    let* sh =
+      match
+        Shard.of_rules ~kind ?latency ~verify:meta.Journal.verify
+          ~refresh_every:meta.Journal.refresh_every
+          ~capacity:meta.Journal.capacity ~id:i rules
+      with
+      | sh -> Ok sh
+      | exception Invalid_argument msg ->
+          Error (Printf.sprintf "recover: shard %d checkpoint: %s" i msg)
+    in
+    (* Committed drains replay deterministically: the journal never
+       commits through fault damage (dirty drains checkpoint instead), so
+       re-driving each drain's mods through a fresh queue reproduces the
+       recorded outcome. *)
+    let mods = ref r.Journal.mods in
+    List.iter
+      (fun (c : Journal.committed) ->
+        let batch, rest =
+          List.partition (fun (seq, _) -> seq <= c.Journal.upto) !mods
+        in
+        mods := rest;
+        List.iter (fun (_, fm) -> ignore (Shard.requeue sh fm)) batch;
+        let dr = Shard.drain sh in
+        incr replayed_drains;
+        replayed_mods := !replayed_mods + List.length batch;
+        if
+          dr.Shard.applied <> c.Journal.applied
+          || List.length dr.Shard.failed <> c.Journal.failed
+        then
+          warn "shard %d: drain %d replayed as %d applied / %d failed (journal says %d / %d)"
+            i c.Journal.drain dr.Shard.applied
+            (List.length dr.Shard.failed)
+            c.Journal.applied c.Journal.failed)
+      r.Journal.committed;
+    (* The uncommitted suffix is intent, not state: re-enqueue it so the
+       next flush drives it, leaving the installed table equal to the
+       committed prefix. *)
+    List.iter
+      (fun (_, fm) ->
+        ignore (Shard.requeue sh fm);
+        incr requeued)
+      !mods;
+    if r.Journal.interrupted then incr interrupted;
+    (match Agent.verify_consistent (Shard.agent sh) with
+    | Ok () -> ()
+    | Error e -> warn "shard %d: inconsistent after recovery: %s" i e);
+    Ok
+      ( sh,
+        Journal.reopen ~dir ~shard:i ~next_seq:r.Journal.next_seq
+          ~next_drain:r.Journal.next_drain )
+  in
+  let rec go i acc =
+    if i >= meta.Journal.shards then Ok (List.rev acc)
+    else
+      let* pair = rebuild_shard i in
+      go (i + 1) (pair :: acc)
+  in
+  let* pairs = go 0 [] in
+  let shard_arr = Array.of_list (List.map fst pairs) in
+  let journals = Array.of_list (List.map snd pairs) in
+  let breakers, backoffs =
+    make_supervision resil ~shards:meta.Journal.shards
+  in
+  let t =
+    {
+      partition = Partition.create ~shards:meta.Journal.shards policy;
+      shards = shard_arr;
+      routes = Hashtbl.create 1024;
+      resil;
+      journals = Some journals;
+      breakers;
+      backoffs;
+      shed = Array.make meta.Journal.shards [];
+      commits_since_ckpt = Array.make meta.Journal.shards 0;
+    }
+  in
+  rebuild_routes t;
+  Ok
+    {
+      service = t;
+      replayed_drains = !replayed_drains;
+      replayed_mods = !replayed_mods;
+      requeued = !requeued;
+      interrupted = !interrupted;
+      warnings = List.rev !warnings;
+    }
+
+(* -- dumps ----------------------------------------------------------- *)
 
 let pp_stats ppf t =
   Array.iter
@@ -150,6 +570,7 @@ let to_json ?scenario t =
     @ [
         ("shards", Int (Array.length t.shards));
         ("policy", Str (Partition.policy_to_string (Partition.policy t.partition)));
+        ("journaled", Bool (t.journals <> None));
         ("rules", Int (rule_count t));
         ("per_shard", List per_shard);
       ])

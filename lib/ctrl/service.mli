@@ -1,4 +1,5 @@
-(** [Fr_ctrl]'s front door: a sharded, batched control-plane service.
+(** [Fr_ctrl]'s front door: a sharded, batched, {e self-healing}
+    control-plane service.
 
     The service is what a controller application programs against when
     one switch agent is not enough: it owns [N] {!Shard}s (each a full
@@ -18,9 +19,52 @@
 
     Failure isolation is structural: shards share nothing, a flush drains
     every shard regardless of its siblings' failures, and each shard's
-    casualties are reported in its own {!Shard.drain_result}.  Telemetry
-    aggregates per shard ({!Telemetry}); {!pp_stats} and {!to_json} dump
-    the whole service. *)
+    casualties are reported in its own {!Shard.drain_result}.
+
+    On top of that sits the [Fr_resil] supervision layer:
+
+    - {b Durability} — given a [journal] directory, every accepted submit
+      is written ahead to a per-shard WAL ({!Fr_resil.Journal}), drains
+      are bracketed by begin/commit markers, and the installed table is
+      checkpointed on a cadence (and immediately after any drain whose
+      damage a replay could not reproduce).  {!recover} rebuilds the
+      whole service from the directory alone: checkpoint, deterministic
+      replay of committed drains, and re-enqueueing of the uncommitted
+      suffix as pending intent — so the installed state always equals the
+      committed prefix, and no accepted intent is lost past its last
+      sync.
+    - {b Retry} — transient fault-plan casualties are re-driven within
+      the flush, up to [retry_budget] rounds, with exponential backoff
+      and jitter ({!Fr_resil.Backoff}) accounted as modelled delay in
+      {!Telemetry}.
+    - {b Circuit breaking} — a shard whose drains keep ending in
+      hardware/verify damage is quarantined ({!Fr_resil.Breaker}):
+      flushes skip it (siblings keep being served), submits for it queue
+      up to [queue_bound] and are then shed with explicit {!Overloaded}
+      rejections, and after a cooldown the breaker goes half-open and one
+      probe drain decides re-admission.
+
+    Telemetry aggregates per shard ({!Telemetry}); {!pp_stats} and
+    {!to_json} dump the whole service. *)
+
+(** {1 Supervision policy} *)
+
+type resil = {
+  retry_budget : int;  (** retry rounds per shard per flush *)
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_max_ms : float;
+  backoff_jitter : float;
+  breaker_threshold : int;  (** consecutive damaged drains that trip *)
+  breaker_cooldown : int;  (** flush rounds quarantined before probing *)
+  queue_bound : int;  (** max queued entries behind an open breaker *)
+  checkpoint_every : int;  (** commits between periodic checkpoints *)
+}
+
+val default_resil : resil
+(** [retry_budget = 2], backoff 1 ms doubling to 64 ms with ±20% jitter,
+    breaker trips after 3 damaged drains and cools down for 2 flushes,
+    [queue_bound = 1024], checkpoint every 32 commits. *)
 
 type t
 
@@ -30,6 +74,8 @@ val create :
   ?verify:bool ->
   ?refresh_every:int ->
   ?policy:Partition.policy ->
+  ?resil:resil ->
+  ?journal:string ->
   shards:int ->
   capacity:int ->
   unit ->
@@ -37,7 +83,12 @@ val create :
 (** [shards] empty agents of [capacity] TCAM slots each.  Defaults:
     FastRule on the original layout, 0.6 ms/op, no shadow-table verify,
     per-insert metric maintenance ([refresh_every = 1], see
-    {!Fr_switch.Agent.apply_batch}), {!Partition.Hash_id} routing. *)
+    {!Fr_switch.Agent.apply_batch}), {!Partition.Hash_id} routing,
+    {!default_resil} supervision, no journal.  [journal] names a
+    directory (created if missing) that receives the service's shape
+    metadata plus one WAL per shard.
+    @raise Invalid_argument if [journal] already holds a journal —
+    {!recover} from it instead of silently overwriting history. *)
 
 val of_rules :
   ?kind:Fr_switch.Firmware.algo_kind ->
@@ -45,11 +96,15 @@ val of_rules :
   ?verify:bool ->
   ?refresh_every:int ->
   ?policy:Partition.policy ->
+  ?resil:resil ->
+  ?journal:string ->
   shards:int ->
   capacity:int ->
   Fr_tern.Rule.t array ->
   t
-(** Partition an initial policy and bulk-load each shard's slice.
+(** Partition an initial policy and bulk-load each shard's slice.  With
+    [journal], each shard's starting table becomes its baseline
+    checkpoint.
     @raise Invalid_argument if ids collide or a slice does not fit. *)
 
 val shards : t -> int
@@ -63,6 +118,9 @@ val set_fault : t -> shard:int -> Fr_tcam.Fault.t option -> unit
     conformance harness' lever for mid-batch aborts.
     @raise Invalid_argument if the index is out of range. *)
 
+val breaker_state : t -> int -> Fr_resil.Breaker.state
+val journaled : t -> bool
+
 val shard_of_rule : t -> int -> int option
 (** Where a rule id lives (installed) or will live (pending add); [None]
     for ids the service is not tracking. *)
@@ -72,17 +130,33 @@ val rule_count : t -> int
 
 val find_rule : t -> int -> Fr_tern.Rule.t option
 
+(** {1 Submitting} *)
+
+type submit_outcome = Accepted | Overloaded of string
+
+val try_submit : t -> Fr_switch.Agent.flow_mod -> submit_outcome
+(** Route and enqueue one flow-mod (journaling it first when a WAL is
+    attached).  [Overloaded] means the target shard is quarantined and
+    its bounded queue is full: the op was {e not} accepted, and the same
+    rejection is reported in the next flush's casualty list for that
+    shard. *)
+
 val submit : t -> Fr_switch.Agent.flow_mod -> unit
-(** Route and enqueue one flow-mod.  No hardware contact until
-    {!flush}. *)
+(** {!try_submit} with the outcome dropped (sheds still reach telemetry
+    and the next flush report).  No hardware contact until {!flush}. *)
 
 val submit_all : t -> Fr_switch.Agent.flow_mod list -> unit
 
 val pending : t -> int
 (** Queued entries over all shards. *)
 
+(** {1 Flushing} *)
+
 type flush_report = {
   results : Shard.drain_result array;  (** indexed by shard *)
+  quarantined : int list;
+      (** shards skipped this flush (breaker open); their result slot is
+          {!Shard.empty_result} plus any shed submits as failures *)
   wall_ms : float;
 }
 
@@ -91,12 +165,58 @@ val failures : flush_report -> (Fr_switch.Agent.flow_mod * string) list
 (** All shards' casualties, shard order. *)
 
 val flush : t -> flush_report
-(** Drain every shard (all of them, even when some report failures) and
-    reconcile the routing table against the installed state. *)
+(** Drain every admitted shard (all of them, even when some report
+    failures), retrying transient casualties under the backoff policy,
+    advancing/settling each shard's breaker, writing the journal's
+    begin/commit/checkpoint markers, and reconciling the routing table
+    against the installed state plus any still-queued intent. *)
+
+val checkpoint : t -> unit
+(** Force a checkpoint (and journal compaction) on every shard now.
+    No-op without a journal. *)
+
+(** {1 Crash and recovery} *)
+
+val simulate_crash : ?mid_drain:bool -> t -> unit
+(** Put the journal directory into the exact on-disk state of a process
+    crash: with [mid_drain] (default false), begin markers are written
+    for every shard with pending work first — the state of dying inside
+    a flush after intent went durable but before any commit.  Closes the
+    WALs; the service must not be used afterwards.
+    @raise Invalid_argument if the service has no journal. *)
+
+type recovery = {
+  service : t;
+  replayed_drains : int;  (** committed drains re-driven *)
+  replayed_mods : int;  (** mods those drains covered *)
+  requeued : int;  (** uncommitted suffix re-enqueued as pending *)
+  interrupted : int;  (** shards with a begin marker but no commit *)
+  warnings : string list;
+      (** replay-count mismatches and consistency-check failures —
+          recovery still completes, but the journal and the rebuilt state
+          disagree somewhere *)
+}
+
+val recover :
+  ?latency:Fr_tcam.Latency.t ->
+  ?resil:resil ->
+  journal:string ->
+  unit ->
+  (recovery, string) result
+(** Rebuild a service from a journal directory alone (shape comes from
+    the directory's metadata): per shard, load the last checkpoint,
+    replay the committed drains after it (deterministic — dirty drains
+    always checkpoint, so replay never crosses fault damage), verify the
+    rebuilt agent ({!Fr_switch.Agent.verify_consistent}), and re-enqueue
+    the uncommitted suffix as pending intent for the next {!flush}.  The
+    installed state of the result equals the committed prefix of the
+    journal. *)
+
+(** {1 Dumps} *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** Per-shard plain-text telemetry dump. *)
 
 val to_json : ?scenario:string -> t -> Telemetry.Json.v
-(** [{scenario?, shards, policy, rules, per_shard: [...]}] — each shard
-    contributes {!Telemetry.to_json} plus its rule count. *)
+(** [{scenario?, shards, policy, journaled, rules, per_shard: [...]}] —
+    each shard contributes {!Telemetry.to_json} plus its rule count. *)

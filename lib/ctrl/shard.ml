@@ -47,6 +47,14 @@ let submit t fm =
   Telemetry.record_submitted t.telemetry;
   Coalesce.push t.queue ~installed:(installed t fm) fm
 
+(* Re-enqueue work the service already counted once: retried casualties
+   and journal replay go through here so [submitted] stays an arrival
+   count, not an attempt count. *)
+let requeue t fm = Coalesce.push t.queue ~installed:(installed t fm) fm
+
+let has_work t = not (Coalesce.is_empty t.queue)
+let pending_mods t = Coalesce.pending_ops t.queue
+
 type drain_result = {
   shard : int;
   applied : int;
@@ -57,6 +65,18 @@ type drain_result = {
   tcam_ops : int;
   wall_ms : float;
 }
+
+let empty_result ~shard =
+  {
+    shard;
+    applied = 0;
+    failed = [];
+    coalesced = 0;
+    firmware_ms = 0.0;
+    hardware_ms = 0.0;
+    tcam_ops = 0;
+    wall_ms = 0.0;
+  }
 
 let drain t =
   let plan = Coalesce.pending_ops t.queue in

@@ -57,6 +57,20 @@ val set_fault : t -> Fr_tcam.Fault.t option -> unit
 val submit : t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
 (** Fold one flow-mod into the queue (no hardware contact). *)
 
+val requeue : t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
+(** Like {!submit} but without the [submitted] telemetry tick — for work
+    the service already counted once: supervisor retries of transient
+    casualties and journal replay during recovery. *)
+
+val has_work : t -> bool
+(** Whether a drain would do anything (pending ops or queued
+    rejections). *)
+
+val pending_mods : t -> Fr_switch.Agent.flow_mod list
+(** The drain plan a {!drain} would execute now, without clearing
+    anything — the service uses it to keep routes alive for ops queued
+    behind a quarantined shard. *)
+
 type drain_result = {
   shard : int;
   applied : int;  (** ops the agent accepted *)
@@ -73,3 +87,7 @@ type drain_result = {
 val drain : t -> drain_result
 (** Apply everything pending and clear the queue.  Never raises on op
     failure; all accounting lands in the shard's {!Telemetry}. *)
+
+val empty_result : shard:int -> drain_result
+(** The all-zero result — what a flush reports for a shard it skipped
+    (quarantined by its circuit breaker). *)

@@ -83,6 +83,14 @@ type t = {
   mutable fw_ms : float;
   mutable hw_ms : float;
   mutable depth_max : int;
+  (* supervision (Fr_resil) *)
+  mutable retries : int;  (* retry rounds run *)
+  mutable retried_ops : int;  (* ops re-driven by those rounds *)
+  mutable backoff_ms : float;  (* modelled backoff delay accrued *)
+  mutable shed : int;  (* submits rejected Overloaded *)
+  mutable breaker_opens : int;
+  mutable checkpoints : int;
+  mutable breaker_state : string;  (* current, for dumps *)
   fw_series : Measure.Series.t;  (* per drain *)
   hw_series : Measure.Series.t;
   wall_series : Measure.Series.t;
@@ -102,6 +110,13 @@ let create () =
     fw_ms = 0.0;
     hw_ms = 0.0;
     depth_max = 0;
+    retries = 0;
+    retried_ops = 0;
+    backoff_ms = 0.0;
+    shed = 0;
+    breaker_opens = 0;
+    checkpoints = 0;
+    breaker_state = "closed";
     fw_series = Measure.Series.create ();
     hw_series = Measure.Series.create ();
     wall_series = Measure.Series.create ();
@@ -109,6 +124,16 @@ let create () =
   }
 
 let record_submitted t = t.submitted <- t.submitted + 1
+
+let record_retry t ~ops ~backoff_ms =
+  t.retries <- t.retries + 1;
+  t.retried_ops <- t.retried_ops + ops;
+  t.backoff_ms <- t.backoff_ms +. backoff_ms
+
+let record_shed t = t.shed <- t.shed + 1
+let record_breaker_open t = t.breaker_opens <- t.breaker_opens + 1
+let record_checkpoint t = t.checkpoints <- t.checkpoints + 1
+let set_breaker_state t s = t.breaker_state <- s
 let record_coalesced t n = t.coalesced <- t.coalesced + n
 let record_rejected t n = t.rejected <- t.rejected + n
 
@@ -138,6 +163,13 @@ let moves t = t.moves
 let firmware_ms_total t = t.fw_ms
 let hardware_ms_total t = t.hw_ms
 let queue_depth_max t = t.depth_max
+let retries t = t.retries
+let retried_ops t = t.retried_ops
+let backoff_ms_total t = t.backoff_ms
+let shed t = t.shed
+let breaker_opens t = t.breaker_opens
+let checkpoints t = t.checkpoints
+let breaker_state t = t.breaker_state
 let firmware_ms t = Measure.Series.summary t.fw_series
 let hardware_ms t = Measure.Series.summary t.hw_series
 let wall_ms t = Measure.Series.summary t.wall_series
@@ -199,6 +231,14 @@ let pp ppf t =
   Format.fprintf ppf
     "drains %d  tcam-ops %d  moves %d  queue-depth-max %d@."
     t.drains t.tcam_ops t.moves t.depth_max;
+  if
+    t.retries > 0 || t.shed > 0 || t.breaker_opens > 0 || t.checkpoints > 0
+    || t.breaker_state <> "closed"
+  then
+    Format.fprintf ppf
+      "retries %d (%d ops, %.1f ms backoff)  shed %d  breaker %s (opened %d)  checkpoints %d@."
+      t.retries t.retried_ops t.backoff_ms t.shed t.breaker_state
+      t.breaker_opens t.checkpoints;
   Format.fprintf ppf "firmware/drain (ms): %a@." Measure.pp_summary
     (firmware_ms t);
   Format.fprintf ppf "hardware/drain (ms): %a@." Measure.pp_summary
@@ -225,6 +265,13 @@ let to_json t =
       ("tcam_ops", Json.Int t.tcam_ops);
       ("moves", Json.Int t.moves);
       ("queue_depth_max", Json.Int t.depth_max);
+      ("retries", Json.Int t.retries);
+      ("retried_ops", Json.Int t.retried_ops);
+      ("backoff_ms_total", Json.Float t.backoff_ms);
+      ("shed", Json.Int t.shed);
+      ("breaker_opens", Json.Int t.breaker_opens);
+      ("breaker_state", Json.Str t.breaker_state);
+      ("checkpoints", Json.Int t.checkpoints);
       ("firmware_ms_total", Json.Float t.fw_ms);
       ("hardware_ms_total", Json.Float t.hw_ms);
       ("firmware_ms", Json.of_summary (firmware_ms t));

@@ -53,6 +53,19 @@ val record_drain :
 (** One drain's worth of accounting; the [*_ms] / op figures feed the
     per-drain series, the rest the counters. *)
 
+(** {1 Recording (called by the supervisor, [Fr_resil] via {!Service})} *)
+
+val record_retry : t -> ops:int -> backoff_ms:float -> unit
+(** One retry round: how many transient casualties were re-driven and the
+    modelled backoff delay charged before the round. *)
+
+val record_shed : t -> unit
+(** One submit rejected [Overloaded] while the shard was quarantined. *)
+
+val record_breaker_open : t -> unit
+val record_checkpoint : t -> unit
+val set_breaker_state : t -> string -> unit
+
 (** {1 Reading} *)
 
 val submitted : t -> int
@@ -66,6 +79,15 @@ val moves : t -> int
 val firmware_ms_total : t -> float
 val hardware_ms_total : t -> float
 val queue_depth_max : t -> int
+val retries : t -> int
+val retried_ops : t -> int
+val backoff_ms_total : t -> float
+val shed : t -> int
+val breaker_opens : t -> int
+val checkpoints : t -> int
+
+val breaker_state : t -> string
+(** Current breaker state name ("closed" when no supervisor runs). *)
 
 val firmware_ms : t -> Fr_switch.Measure.summary
 (** Per-drain firmware milliseconds. *)

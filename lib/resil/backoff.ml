@@ -1,0 +1,28 @@
+module Rng = Fr_prng.Rng
+
+type t = {
+  base_ms : float;
+  factor : float;
+  max_ms : float;
+  jitter : float;
+  rng : Rng.t;
+}
+
+let create ?(base_ms = 1.0) ?(factor = 2.0) ?(max_ms = 64.0) ?(jitter = 0.2)
+    ~seed () =
+  if base_ms <= 0.0 || factor <= 0.0 then
+    invalid_arg "Backoff.create: base_ms and factor must be positive";
+  if jitter < 0.0 || jitter > 1.0 then
+    invalid_arg "Backoff.create: jitter must be in [0, 1]";
+  { base_ms; factor; max_ms; jitter; rng = Rng.create ~seed }
+
+let delay_ms t ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_ms: attempt is 1-based";
+  let nominal =
+    Float.min t.max_ms
+      (t.base_ms *. Float.pow t.factor (float_of_int (attempt - 1)))
+  in
+  if t.jitter = 0.0 then nominal
+  else
+    let spread = nominal *. t.jitter in
+    nominal -. spread +. (2.0 *. spread *. Rng.float t.rng)

@@ -1,0 +1,28 @@
+(** Exponential backoff with deterministic jitter.
+
+    Delays are {e modelled} milliseconds, in the same spirit as the
+    latency model ({!Fr_tcam.Latency}): the supervisor accounts them in
+    telemetry instead of sleeping, so tests and benches stay fast and
+    reproducible.  Jitter is drawn from a seeded {!Fr_prng.Rng.t} —
+    equal seeds give equal retry schedules. *)
+
+type t
+
+val create :
+  ?base_ms:float ->
+  ?factor:float ->
+  ?max_ms:float ->
+  ?jitter:float ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: [base_ms = 1.0], [factor = 2.0], [max_ms = 64.0],
+    [jitter = 0.2] (each delay is spread uniformly over ±20% of its
+    nominal value).
+    @raise Invalid_argument on a non-positive base/factor or a jitter
+    outside [\[0, 1\]]. *)
+
+val delay_ms : t -> attempt:int -> float
+(** Delay before retry [attempt] (1-based):
+    [base * factor^(attempt-1)] capped at [max_ms], jittered.
+    Advances the jitter PRNG. *)

@@ -1,0 +1,57 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown : int;
+  mutable state : state;
+  mutable streak : int;  (* consecutive failed drains while Closed *)
+  mutable cooldown_left : int;
+  mutable opens : int;
+}
+
+let create ?(threshold = 3) ?(cooldown = 2) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown < 0 then invalid_arg "Breaker.create: cooldown must be >= 0";
+  { threshold; cooldown; state = Closed; streak = 0; cooldown_left = 0; opens = 0 }
+
+let state t = t.state
+let admits t = t.state <> Open
+let opens t = t.opens
+
+let trip t =
+  t.state <- Open;
+  t.streak <- 0;
+  t.cooldown_left <- t.cooldown;
+  t.opens <- t.opens + 1
+
+let note_success t =
+  match t.state with
+  | Closed -> t.streak <- 0
+  | Half_open ->
+      t.state <- Closed;
+      t.streak <- 0
+  | Open -> ()
+
+let note_failure t =
+  match t.state with
+  | Closed ->
+      t.streak <- t.streak + 1;
+      if t.streak >= t.threshold then trip t
+  | Half_open -> trip t
+  | Open -> ()
+
+let note_skipped t =
+  match t.state with
+  | Open ->
+      t.cooldown_left <- t.cooldown_left - 1;
+      if t.cooldown_left <= 0 then t.state <- Half_open
+  | Closed | Half_open -> ()
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let pp ppf t =
+  Format.fprintf ppf "breaker(%s, streak=%d, opens=%d)"
+    (state_to_string t.state) t.streak t.opens

@@ -1,0 +1,50 @@
+(** Per-shard circuit breaker.
+
+    The classic three-state machine, with time measured in {e flush
+    rounds} (the control plane's natural clock) rather than wall time:
+
+    {v
+      Closed --[threshold consecutive failed drains]--> Open
+      Open   --[cooldown skipped flushes]------------> Half_open
+      Half_open --[probe drain succeeds]-------------> Closed
+      Half_open --[probe drain fails]----------------> Open
+    v}
+
+    While Open the supervisor skips the shard's drain entirely; submits
+    still queue up to a bound, beyond which they are shed with explicit
+    [overloaded] rejections (see {!Fr_ctrl.Service}). *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+(** [threshold] (default 3) consecutive failed drains trip the breaker;
+    [cooldown] (default 2) is how many flush rounds stay skipped before
+    the half-open probe.
+    @raise Invalid_argument if either is below 1 (threshold) / 0
+    (cooldown). *)
+
+val state : t -> state
+
+val admits : t -> bool
+(** Whether the next flush should drain this shard ([Closed] or
+    [Half_open]). *)
+
+val note_success : t -> unit
+(** A drain that attempted work and ended with no failures.  Resets the
+    failure streak; closes a half-open breaker. *)
+
+val note_failure : t -> unit
+(** A drain that attempted work and ended with failures.  Extends the
+    streak (tripping at [threshold]); re-opens a half-open breaker. *)
+
+val note_skipped : t -> unit
+(** A flush round passed over an open breaker.  After [cooldown] such
+    rounds the breaker goes half-open. *)
+
+val opens : t -> int
+(** Lifetime count of transitions into [Open]. *)
+
+val state_to_string : state -> string
+val pp : Format.formatter -> t -> unit

@@ -434,6 +434,29 @@ let verified_ops t = t.verified_ops
 let mods_applied t = t.mods
 let fault t = t.fault
 
+(* Recovery post-condition: the store, the TCAM image and the dependency
+   graph must tell one coherent story before a rebuilt agent is put back
+   in service. *)
+let verify_consistent t =
+  let stored = Hashtbl.length t.store in
+  let in_tcam = Tcam.used_count t.tcam in
+  if stored <> in_tcam then
+    Error
+      (Printf.sprintf "store holds %d rules but TCAM holds %d entries" stored
+         in_tcam)
+  else
+    let missing =
+      Hashtbl.fold
+        (fun id _ acc -> if Tcam.mem t.tcam id then acc else id :: acc)
+        t.store []
+    in
+    match missing with
+    | id :: _ -> Error (Printf.sprintf "rule %d is stored but not in the TCAM" id)
+    | [] -> (
+        match Tcam.check_dag_order t.tcam t.graph with
+        | Ok () -> Ok ()
+        | Error e -> Error ("dependency order: " ^ e))
+
 let restore ?kind ?latency ?verify ~capacity path =
   match Fr_workload.Rules_io.load path with
   | Error _ as e -> e

@@ -147,6 +147,13 @@ val snapshot : t -> string
 val save : t -> string -> unit
 (** [save t path] — {!snapshot} to a file. *)
 
+val verify_consistent : t -> (unit, string) result
+(** Cross-check the three views of the table: every stored rule has a
+    TCAM entry, the TCAM holds nothing else, and the image respects the
+    dependency-graph order ({!Fr_tcam.Tcam.check_dag_order}).  The
+    recovery path ([Fr_resil] / [Fr_ctrl.Service.recover]) runs this on
+    every rebuilt shard before putting it back in service. *)
+
 val restore :
   ?kind:Firmware.algo_kind ->
   ?latency:Fr_tcam.Latency.t ->

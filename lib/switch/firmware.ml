@@ -22,6 +22,19 @@ let algo_kind_name = function
   | FR_SD _ -> "fr-sd"
   | FR_SB _ -> "fr-sb"
 
+(* Inverse of [algo_kind_name] plus the CLI's backend-qualified spellings
+   (fr-o/array, fr-o/od); bare FastRule names resolve to the BIT backend. *)
+let algo_kind_of_string s =
+  match String.lowercase_ascii s with
+  | "naive" -> Some Naive
+  | "ruletris" -> Some Ruletris
+  | "fr-o" -> Some (FR_O Store.Bit_backend)
+  | "fr-o/array" -> Some (FR_O Store.Array_backend)
+  | "fr-o/od" | "fr-o/on-demand" -> Some (FR_O Store.On_demand)
+  | "fr-sd" -> Some (FR_SD Store.Bit_backend)
+  | "fr-sb" -> Some (FR_SB Store.Bit_backend)
+  | _ -> None
+
 let layout_of = function
   | Naive | Ruletris | FR_O _ -> Layout.Original
   | FR_SD _ | FR_SB _ -> Layout.Separated

@@ -23,6 +23,12 @@ type algo_kind =
 val algo_kind_name : algo_kind -> string
 (** Short display name ("naive", "ruletris", "fr-o", "fr-sd", "fr-sb"). *)
 
+val algo_kind_of_string : string -> algo_kind option
+(** Inverse of {!algo_kind_name}, accepting the CLI's backend-qualified
+    spellings ("fr-o/array", "fr-o/od"); bare FastRule names resolve to
+    the BIT back-end.  Used wherever a kind crosses a serialisation
+    boundary (CLI flags, journal metadata). *)
+
 val layout_of : algo_kind -> Fr_tcam.Layout.t
 
 val standard_algos : Fr_sched.Store.backend -> algo_kind list

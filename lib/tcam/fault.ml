@@ -35,9 +35,57 @@ let should_fail t ~addr =
   end
   else false
 
-let injected t = t.injected
-let stuck_slots t = Hashtbl.fold (fun a () acc -> a :: acc) t.stuck []
+type spec = { fail_prob : float; stuck : int list; max_failures : int option }
 
-let pp ppf t =
+let of_spec { fail_prob; stuck; max_failures } ~seed =
+  create ~fail_prob ~stuck ?max_failures ~seed ()
+
+let spec_to_string { fail_prob; stuck; max_failures } =
+  String.concat ","
+    (Printf.sprintf "p=%g" fail_prob
+     :: (match stuck with
+        | [] -> []
+        | l -> [ "stuck=" ^ String.concat "+" (List.map string_of_int l) ])
+    @ (match max_failures with Some m -> [ Printf.sprintf "max=%d" m ] | None -> []))
+
+(* "p=0.5,stuck=3+9,max=4" — every key optional, order free. *)
+let spec_of_string s =
+  let parts = String.split_on_char ',' s |> List.filter (fun p -> p <> "") in
+  let rec go acc = function
+    | [] -> Ok acc
+    | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> Error (Printf.sprintf "fault spec: expected key=value, got %S" part)
+        | Some i -> (
+            let key = String.sub part 0 i in
+            let value = String.sub part (i + 1) (String.length part - i - 1) in
+            match key with
+            | "p" -> (
+                match float_of_string_opt value with
+                | Some p when p >= 0.0 && p <= 1.0 ->
+                    go { acc with fail_prob = p } rest
+                | _ -> Error (Printf.sprintf "fault spec: bad probability %S" value))
+            | "stuck" -> (
+                let addrs =
+                  String.split_on_char '+' value
+                  |> List.filter (fun a -> a <> "")
+                  |> List.map int_of_string_opt
+                in
+                if List.exists Option.is_none addrs then
+                  Error (Printf.sprintf "fault spec: bad stuck list %S" value)
+                else
+                  go { acc with stuck = List.filter_map Fun.id addrs } rest)
+            | "max" -> (
+                match int_of_string_opt value with
+                | Some m when m >= 0 -> go { acc with max_failures = Some m } rest
+                | _ -> Error (Printf.sprintf "fault spec: bad max %S" value))
+            | k -> Error (Printf.sprintf "fault spec: unknown key %S" k)))
+  in
+  go { fail_prob = 0.0; stuck = []; max_failures = None } parts
+
+let injected t = t.injected
+let stuck_slots (t : t) = Hashtbl.fold (fun a () acc -> a :: acc) t.stuck []
+
+let pp ppf (t : t) =
   Format.fprintf ppf "fault(p=%g, stuck=%d, injected=%d)" t.fail_prob
     (Hashtbl.length t.stuck) t.injected

@@ -23,6 +23,21 @@ val create :
     failing — hardware does not heal), default unlimited.
     @raise Invalid_argument if [fail_prob] is outside [\[0, 1\]]. *)
 
+type spec = { fail_prob : float; stuck : int list; max_failures : int option }
+(** A plan's shape without its PRNG — the serialisable half, so fault
+    plans can cross the CLI/bench boundary as strings. *)
+
+val of_spec : spec -> seed:int -> t
+(** @raise Invalid_argument as {!create}. *)
+
+val spec_to_string : spec -> string
+(** ["p=0.1,stuck=3+9,max=4"] (keys with default values omitted). *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse the {!spec_to_string} form; every key is optional and order is
+    free ([p] in [\[0,1\]], [stuck] a [+]-separated address list, [max]
+    a non-negative failure budget). *)
+
 val should_fail : t -> addr:int -> bool
 (** One decision for one attempted operation at [addr].  Advances the
     plan's PRNG; counts the failure when it answers [true]. *)

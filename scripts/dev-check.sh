@@ -16,6 +16,17 @@ dune runtest
 echo "== dune build @conform (differential smoke run) =="
 dune build @conform
 
+echo "== journal recovery drill (crash mid-flush, recover, flush clean) =="
+J=$(mktemp -d)
+CLI=_build/default/bin/fastrule_cli.exe
+dune build bin/fastrule_cli.exe
+status=0
+"$CLI" ctrl -k acl4 -s 4 -n 400 -u 2000 -b 32 \
+  --journal "$J" --crash-after 5 --crash-mid-drain >/dev/null || status=$?
+[ "$status" -eq 42 ] || { echo "crash drill: expected exit 42, got $status"; exit 1; }
+"$CLI" ctrl --journal "$J" --recover >/dev/null
+rm -rf "$J"
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt

@@ -222,6 +222,56 @@ let test_snapshot_restore () =
   check "restore missing file" true
     (Result.is_error (Agent.restore ~capacity:10 "/nonexistent/agent.rules"))
 
+(* Satellite property: snapshot -> save -> restore is the identity on the
+   installed table for every scheduler kind — the contract the [Fr_resil]
+   checkpoint/recovery path leans on. *)
+let all_kinds =
+  [
+    Firmware.Naive;
+    Firmware.Ruletris;
+    Firmware.FR_O Store.Bit_backend;
+    Firmware.FR_SD Store.Bit_backend;
+    Firmware.FR_SB Store.Bit_backend;
+  ]
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~count:20
+    ~name:"agent snapshot/save/restore round-trips (every scheduler kind)"
+    QCheck.(pair (int_bound 1_000) (int_bound 40))
+    (fun (seed, ops) ->
+      let pool = Dataset.generate Dataset.ACL4 ~seed:(seed + 1) ~n:40 in
+      List.for_all
+        (fun kind ->
+          let agent = Agent.of_rules ~kind ~capacity:200 (Array.sub pool 0 20) in
+          let rng = Rng.create ~seed in
+          for _ = 1 to ops do
+            let i = Rng.int rng 40 in
+            let fm =
+              match Rng.int rng 3 with
+              | 0 -> Agent.Add pool.(i)
+              | 1 -> Agent.Remove { id = pool.(i).Rule.id }
+              | _ ->
+                  Agent.Set_action
+                    { id = pool.(i).Rule.id; action = Rule.Forward (Rng.int rng 8) }
+            in
+            ignore (Agent.apply agent fm)
+          done;
+          let path = Filename.temp_file "fr_snap" ".rules" in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              Agent.save agent path;
+              match Agent.restore ~kind ~capacity:200 path with
+              | Error e ->
+                  QCheck.Test.fail_reportf "restore (%s): %s"
+                    (Firmware.algo_kind_name kind) e
+              | Ok back ->
+                  Agent.snapshot agent = Agent.snapshot back
+                  && Agent.rule_count agent = Agent.rule_count back
+                  && Agent.verify_consistent back = Ok ()
+                  && lookups_agree (Rng.create ~seed:(seed + 2)) back))
+        all_kinds)
+
 let test_meters () =
   let rules = small_policy () in
   let agent = Agent.of_rules ~capacity:200 rules in
@@ -251,5 +301,6 @@ let suite =
         Alcotest.test_case "flow counters" `Quick test_flow_counters;
         Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
         Alcotest.test_case "meters" `Quick test_meters;
+        QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
       ] );
   ]

@@ -123,6 +123,50 @@ let test_coalesce_folds () =
   check_int "rejections reported" 2 (List.length (Coalesce.rejected q));
   check_int "rejections are not pending" 0 (List.length (Coalesce.pending_ops q))
 
+(* The folds must keep the *later* op's action: a fold that merges the
+   ops but forgets the newest action silently installs stale policy —
+   worse than no coalescing at all. *)
+let test_coalesce_keeps_later_action () =
+  let q = Coalesce.create () in
+  let r = mk_rule 7 in
+  (* Add (pending) then Set_action: the pending insertion must carry the
+     rewritten action. *)
+  check "add queued" true
+    (Coalesce.push q ~installed:false (Agent.Add r) = Coalesce.Queued);
+  check "set folds into pending add" true
+    (Coalesce.push q ~installed:false
+       (Agent.Set_action { id = 7; action = Rule.Drop })
+    = Coalesce.Folded);
+  (match Coalesce.pending_ops q with
+  | [ Agent.Add r' ] ->
+      check "pending add carries the rewrite" true
+        (Rule.equal_action r'.Rule.action Rule.Drop)
+  | ops -> Alcotest.failf "expected lone add (%d ops)" (List.length ops));
+  Coalesce.clear q;
+  (* Remove (installed) then Add of a *different* replacement rule: the
+     replace must re-insert the new rule, new action included. *)
+  let replacement = { r with Rule.action = Rule.Forward 13; priority = 30 } in
+  check "remove queued" true
+    (Coalesce.push q ~installed:true (Agent.Remove { id = 7 }) = Coalesce.Queued);
+  check "add folds to replace" true
+    (Coalesce.push q ~installed:true (Agent.Add replacement) = Coalesce.Folded);
+  (match Coalesce.pending_ops q with
+  | [ Agent.Remove { id = 7 }; Agent.Add r' ] ->
+      check "replace re-adds the new rule" true
+        (Rule.equal_action r'.Rule.action (Rule.Forward 13)
+        && r'.Rule.priority = 30)
+  | ops -> Alcotest.failf "expected remove;add (%d ops)" (List.length ops));
+  (* ... and a Set_action landing on the replace rewrites it again. *)
+  check "set folds into replace" true
+    (Coalesce.push q ~installed:true
+       (Agent.Set_action { id = 7; action = Rule.Controller })
+    = Coalesce.Folded);
+  (match Coalesce.pending_ops q with
+  | [ Agent.Remove { id = 7 }; Agent.Add r' ] ->
+      check "replace carries the last rewrite" true
+        (Rule.equal_action r'.Rule.action Rule.Controller)
+  | ops -> Alcotest.failf "expected remove;add (%d ops)" (List.length ops))
+
 (* --- batched apply ----------------------------------------------------- *)
 
 let table_of agent =
@@ -271,6 +315,8 @@ let suite =
           test_partition_determinism;
         Alcotest.test_case "prefix colocation" `Quick test_prefix_colocation;
         Alcotest.test_case "coalesce folds" `Quick test_coalesce_folds;
+        Alcotest.test_case "coalesce keeps later action" `Quick
+          test_coalesce_keeps_later_action;
         Alcotest.test_case "apply_batch = sequential" `Quick
           test_apply_batch_equivalence;
         Alcotest.test_case "shard failure isolation" `Quick

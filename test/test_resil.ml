@@ -1,0 +1,483 @@
+(* Tests for the Fr_resil supervision layer and its wiring through the
+   control plane: journal record round-trips and torn-tail tolerance,
+   backoff and breaker unit behaviour, supervisor retry and quarantine
+   integration, and the headline crash-recovery property — a recovered
+   service always equals the committed prefix of its journal. *)
+
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let rm_rf dir =
+  try
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  with Sys_error _ -> ()
+
+let mk_rule ?(action = Rule.Forward 1) ?(priority = 24) id =
+  Rule.make ~id
+    ~field:
+      (Header.pack
+         {
+           Header.wildcard with
+           Header.dst_ip =
+             Ternary.prefix_of_int64 ~width:32 ~plen:24
+               (Int64.of_int (0x0A000000 + (id * 256)));
+         })
+    ~action ~priority
+
+(* --- journal ----------------------------------------------------------- *)
+
+let test_journal_entry_codec () =
+  let entries =
+    [
+      Journal.Mod { seq = 1; fm = Agent.Add (mk_rule 7 ~action:Rule.Drop) };
+      Journal.Mod { seq = 2; fm = Agent.Remove { id = 7 } };
+      Journal.Mod
+        { seq = 3; fm = Agent.Set_action { id = 9; action = Rule.Controller } };
+      Journal.Mod
+        { seq = 4; fm = Agent.Set_action { id = 9; action = Rule.Forward 5 } };
+      Journal.Begin { drain = 2; upto = 4 };
+      Journal.Commit { drain = 2; upto = 4; applied = 3; failed = 1 };
+      Journal.Checkpoint { upto = 4; file = "shard-0-ckpt-4.rules" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let s = Journal.entry_to_string e in
+      match Journal.entry_of_string s with
+      | Ok e' -> check_str "entry round-trips" s (Journal.entry_to_string e')
+      | Error msg -> Alcotest.failf "cannot reparse %S: %s" s msg)
+    entries;
+  check "garbage rejected" true
+    (Result.is_error (Journal.entry_of_string "x 1 2 3"));
+  check "truncated commit rejected" true
+    (Result.is_error (Journal.entry_of_string "c 2 4 3"))
+
+let test_journal_write_read () =
+  let dir = Journal.fresh_dir ~prefix:"fr-test-journal" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let j = Journal.create ~dir ~shard:0 in
+      let s1 = Journal.log_mod j (Agent.Add (mk_rule 1)) in
+      let s2 = Journal.log_mod j (Agent.Add (mk_rule 2)) in
+      let d1 = Journal.log_begin j in
+      Journal.log_commit j ~drain:d1 ~applied:2 ~failed:0;
+      let s3 = Journal.log_mod j (Agent.Remove { id = 1 }) in
+      let d2 = Journal.log_begin j in
+      Journal.close j;
+      (match Journal.read_recovery ~dir ~shard:0 with
+      | Error e -> Alcotest.failf "read_recovery: %s" e
+      | Ok r ->
+          check "no checkpoint yet" true (r.Journal.checkpoint = None);
+          (match r.Journal.committed with
+          | [ c ] ->
+              check_int "committed drain" d1 c.Journal.drain;
+              check_int "committed upto" s2 c.Journal.upto;
+              check_int "committed applied" 2 c.Journal.applied
+          | l -> Alcotest.failf "expected 1 committed drain, got %d" (List.length l));
+          check "all mods present" true
+            (List.map fst r.Journal.mods = [ s1; s2; s3 ]);
+          check "mid-drain begin detected" true r.Journal.interrupted;
+          check_int "next_seq" (s3 + 1) r.Journal.next_seq;
+          check_int "next_drain" (d2 + 1) r.Journal.next_drain);
+      (* A torn tail — the partial line a crash mid-append leaves — is
+         dropped, not reported. *)
+      let path = Journal.dir_file ~dir ~shard:0 in
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      output_string oc "m 99 a 123";
+      close_out oc;
+      (match Journal.read_recovery ~dir ~shard:0 with
+      | Error e -> Alcotest.failf "torn tail must be tolerated: %s" e
+      | Ok r ->
+          check "torn tail dropped" true
+            (List.map fst r.Journal.mods = [ s1; s2; s3 ]));
+      (* Corruption *before* the tail is real and must be reported. *)
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      output_string oc "\nc 9 9 9 9\n";
+      close_out oc;
+      check "mid-file garbage is an error" true
+        (Result.is_error (Journal.read_recovery ~dir ~shard:0)))
+
+let test_journal_checkpoint_compacts () =
+  let dir = Journal.fresh_dir ~prefix:"fr-test-journal" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let j = Journal.create ~dir ~shard:1 in
+      let _ = Journal.log_mod j (Agent.Add (mk_rule 1)) in
+      let _ = Journal.log_mod j (Agent.Add (mk_rule 2)) in
+      let d = Journal.log_begin j in
+      Journal.log_commit j ~drain:d ~applied:2 ~failed:0;
+      Journal.checkpoint j ~rules:[| mk_rule 1; mk_rule 2 |];
+      let s4 = Journal.log_mod j (Agent.Remove { id = 2 }) in
+      Journal.sync j;
+      Journal.close j;
+      match Journal.read_recovery ~dir ~shard:1 with
+      | Error e -> Alcotest.failf "read_recovery: %s" e
+      | Ok r ->
+          (match r.Journal.checkpoint with
+          | Some (upto, file) ->
+              check_int "checkpoint covers the commit" 2 upto;
+              (match Rules_io.load file with
+              | Ok rules -> check_int "checkpoint table" 2 (Array.length rules)
+              | Error e -> Alcotest.failf "checkpoint table: %s" e)
+          | None -> Alcotest.fail "expected a checkpoint");
+          check "compaction cleared committed drains" true
+            (r.Journal.committed = []);
+          check "only the suffix mod survives" true
+            (List.map fst r.Journal.mods = [ s4 ]))
+
+let test_meta_roundtrip () =
+  let dir = Journal.fresh_dir ~prefix:"fr-test-meta" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let m =
+        {
+          Journal.shards = 4;
+          capacity = 2_000;
+          policy = "prefix:8";
+          kind = "fr-sd";
+          refresh_every = 16;
+          verify = true;
+        }
+      in
+      Journal.write_meta ~dir m;
+      match Journal.read_meta ~dir with
+      | Ok m' -> check "meta round-trips" true (m = m')
+      | Error e -> Alcotest.failf "read_meta: %s" e)
+
+(* --- backoff ----------------------------------------------------------- *)
+
+let test_backoff () =
+  let b = Backoff.create ~base_ms:1.0 ~factor:2.0 ~max_ms:8.0 ~jitter:0.25 ~seed:3 () in
+  for attempt = 1 to 6 do
+    let ideal = min 8.0 (2.0 ** float_of_int (attempt - 1)) in
+    let d = Backoff.delay_ms b ~attempt in
+    check "within jitter band" true
+      (d >= ideal *. 0.75 -. 1e-9 && d <= ideal *. 1.25 +. 1e-9)
+  done;
+  (* No jitter: exact exponential, capped. *)
+  let exact = Backoff.create ~base_ms:2.0 ~jitter:0.0 ~max_ms:16.0 ~seed:0 () in
+  check "exact base" true (Backoff.delay_ms exact ~attempt:1 = 2.0);
+  check "exact doubling" true (Backoff.delay_ms exact ~attempt:3 = 8.0);
+  check "capped" true (Backoff.delay_ms exact ~attempt:10 = 16.0);
+  check "bad jitter rejected" true
+    (try
+       ignore (Backoff.create ~jitter:1.5 ~seed:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- breaker ----------------------------------------------------------- *)
+
+let test_breaker_state_machine () =
+  let b = Breaker.create ~threshold:2 ~cooldown:2 () in
+  check "starts closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.note_failure b;
+  check "one failure stays closed" true (Breaker.state b = Breaker.Closed);
+  Breaker.note_success b;
+  Breaker.note_failure b;
+  check "success resets the streak" true (Breaker.state b = Breaker.Closed);
+  Breaker.note_failure b;
+  check "threshold trips" true (Breaker.state b = Breaker.Open);
+  check "open does not admit" false (Breaker.admits b);
+  Breaker.note_skipped b;
+  check "cooldown not elapsed" true (Breaker.state b = Breaker.Open);
+  Breaker.note_skipped b;
+  check "cooldown elapsed: half-open" true (Breaker.state b = Breaker.Half_open);
+  check "half-open admits a probe" true (Breaker.admits b);
+  Breaker.note_failure b;
+  check "failed probe reopens" true (Breaker.state b = Breaker.Open);
+  check_int "opens counted" 2 (Breaker.opens b);
+  Breaker.note_skipped b;
+  Breaker.note_skipped b;
+  Breaker.note_success b;
+  check "successful probe closes" true (Breaker.state b = Breaker.Closed)
+
+(* --- supervisor: retry ------------------------------------------------- *)
+
+let test_retry_recovers_transient_fault () =
+  let svc = Ctrl.create ~shards:1 ~capacity:100 () in
+  (* One injected failure, then a healthy plan: the first drain loses an
+     op, the in-flush retry re-drives it, the flush reports no
+     casualties. *)
+  Ctrl.set_fault svc ~shard:0
+    (Some (Fault.create ~fail_prob:1.0 ~max_failures:1 ~seed:3 ()));
+  Ctrl.submit svc (Agent.Add (mk_rule 1));
+  Ctrl.submit svc (Agent.Add (mk_rule 2));
+  let report = Ctrl.flush svc in
+  check "no residual failures" true (Ctrl.failures report = []);
+  check_int "both ops applied" 2 (Ctrl.applied report);
+  let tele = Shard.telemetry (Ctrl.shard svc 0) in
+  check "retry happened" true (Telemetry.retries tele >= 1);
+  check "backoff accounted" true (Telemetry.backoff_ms_total tele > 0.0);
+  check "breaker stays closed" true (Ctrl.breaker_state svc 0 = Breaker.Closed);
+  check_int "rules installed" 2 (Ctrl.rule_count svc)
+
+(* --- supervisor: breaker quarantine ------------------------------------ *)
+
+let test_breaker_quarantines_faulted_shard () =
+  let resil =
+    {
+      Ctrl.default_resil with
+      Ctrl.retry_budget = 0;
+      breaker_threshold = 2;
+      breaker_cooldown = 2;
+      queue_bound = 2;
+    }
+  in
+  let svc = Ctrl.create ~resil ~shards:2 ~capacity:300 () in
+  let part = Ctrl.partition svc in
+  (* Enough distinct rules routed to each shard to feed the whole
+     scenario. *)
+  let routed s =
+    let acc = ref [] in
+    let id = ref 1 in
+    while List.length !acc < 12 do
+      let r = mk_rule !id in
+      if Partition.route_rule part r = s then acc := r :: !acc;
+      incr id
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let to0 = routed 0 and to1 = routed 1 in
+  let i0 = ref 0 and i1 = ref 0 in
+  let feed s =
+    if s = 0 then begin
+      Ctrl.submit svc (Agent.Add to0.(!i0));
+      incr i0
+    end
+    else begin
+      Ctrl.submit svc (Agent.Add to1.(!i1));
+      incr i1
+    end
+  in
+  Ctrl.set_fault svc ~shard:0 (Some (Fault.create ~fail_prob:1.0 ~seed:5 ()));
+  (* Two damaged drains trip the breaker; the sibling applies both of
+     its ops regardless. *)
+  feed 0; feed 1;
+  ignore (Ctrl.flush svc);
+  check "still closed at 1 failure" true (Ctrl.breaker_state svc 0 = Breaker.Closed);
+  feed 0; feed 1;
+  let r2 = Ctrl.flush svc in
+  check "tripped at threshold" true (Ctrl.breaker_state svc 0 = Breaker.Open);
+  check "trip is visible in the flush report" true (r2.Ctrl.quarantined = []);
+  check_int "sibling unharmed" 2 (Ctrl.rule_count svc);
+  (* Quarantined: submits queue up to the bound, then shed. *)
+  let q1 = Ctrl.try_submit svc (Agent.Add to0.(!i0)) in
+  incr i0;
+  let q2 = Ctrl.try_submit svc (Agent.Add to0.(!i0)) in
+  incr i0;
+  let q3 = Ctrl.try_submit svc (Agent.Add to0.(!i0)) in
+  incr i0;
+  check "bounded queue accepts" true (q1 = Ctrl.Accepted && q2 = Ctrl.Accepted);
+  (match q3 with
+  | Ctrl.Overloaded _ -> ()
+  | Ctrl.Accepted -> Alcotest.fail "overfull quarantine queue must shed");
+  (* The next flushes skip shard 0 (cooldown), keep serving shard 1, and
+     report the shed op as a casualty. *)
+  feed 1;
+  let r3 = Ctrl.flush svc in
+  check "skipped while open" true (r3.Ctrl.quarantined = [ 0 ]);
+  check_int "shed reported" 1 (List.length (Ctrl.failures r3));
+  feed 1;
+  let r4 = Ctrl.flush svc in
+  check "still skipped" true (r4.Ctrl.quarantined = [ 0 ]);
+  check "cooldown elapsed" true (Ctrl.breaker_state svc 0 = Breaker.Half_open);
+  check_int "siblings kept applying" 4
+    (Telemetry.applied (Shard.telemetry (Ctrl.shard svc 1)));
+  (* Heal the shard: the half-open probe drains the backlog and closes
+     the breaker. *)
+  Ctrl.set_fault svc ~shard:0 None;
+  let r5 = Ctrl.flush svc in
+  check "probe admitted" true (r5.Ctrl.quarantined = []);
+  check "probe closed the breaker" true
+    (Ctrl.breaker_state svc 0 = Breaker.Closed);
+  check "backlog applied" true
+    (Agent.rule_count (Shard.agent (Ctrl.shard svc 0)) >= 2);
+  let tele0 = Shard.telemetry (Ctrl.shard svc 0) in
+  check_int "one trip recorded" 1 (Telemetry.breaker_opens tele0);
+  check_int "one shed recorded" 1 (Telemetry.shed tele0);
+  check_str "state string surfaced" "closed" (Telemetry.breaker_state tele0)
+
+(* --- crash/recovery ---------------------------------------------------- *)
+
+let service_image svc =
+  let acc = ref [] in
+  for s = 0 to Ctrl.shards svc - 1 do
+    List.iter
+      (fun (r : Rule.t) ->
+        acc := (s, r.Rule.id, r.Rule.priority, r.Rule.action) :: !acc)
+      (Agent.rules (Shard.agent (Ctrl.shard svc s)))
+  done;
+  List.sort compare !acc
+
+let consistent svc =
+  let ok = ref true in
+  for s = 0 to Ctrl.shards svc - 1 do
+    match Agent.verify_consistent (Shard.agent (Ctrl.shard svc s)) with
+    | Ok () -> ()
+    | Error _ -> ok := false
+  done;
+  !ok
+
+(* The headline property: crash anywhere (between flushes or mid-drain),
+   recover from the journal directory alone, and the installed state
+   equals the committed prefix; one more flush replays the requeued
+   suffix and lands on the same state as a service that never crashed. *)
+let prop_crash_recovery =
+  QCheck.Test.make ~count:12 ~name:"crash -> recover == committed prefix"
+    QCheck.(triple (int_bound 1_000) (int_bound 80) (int_bound 100))
+    (fun (seed, extra_ops, knobs) ->
+      let batch = 4 + (knobs mod 12) in
+      let stop = 1 + (knobs mod 3) in
+      let mid_drain = knobs mod 2 = 0 in
+      let spec =
+        {
+          Churn.kind = Dataset.ACL4;
+          initial = 30;
+          ops = 20 + extra_ops;
+          shards = 2;
+          capacity = 400;
+          batch;
+          seed;
+        }
+      in
+      let dir = Journal.fresh_dir ~prefix:"fr-test-crash" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          let crashed =
+            Churn.run ~journal:dir ~stop_after_flushes:stop spec
+          in
+          let committed_image = service_image crashed.Churn.service in
+          Ctrl.simulate_crash ~mid_drain crashed.Churn.service;
+          match Ctrl.recover ~journal:dir () with
+          | Error e -> QCheck.Test.fail_reportf "recover: %s" e
+          | Ok rc ->
+              let recovered = rc.Ctrl.service in
+              let prefix_ok =
+                service_image recovered = committed_image
+                && rc.Ctrl.warnings = []
+                && consistent recovered
+              in
+              (* Replay the suffix and compare against an uncrashed twin
+                 driven over the same stream. *)
+              if Ctrl.pending recovered > 0 then ignore (Ctrl.flush recovered);
+              let twin = Churn.run ~stop_after_flushes:stop spec in
+              if Ctrl.pending twin.Churn.service > 0 then
+                ignore (Ctrl.flush twin.Churn.service);
+              prefix_ok
+              && service_image recovered = service_image twin.Churn.service))
+
+(* Torn-tail robustness at the byte level: truncate the WAL anywhere
+   after the baseline checkpoint and recovery must still land on the
+   image of one of the flush states that actually committed. *)
+let prop_truncated_journal =
+  QCheck.Test.make ~count:12 ~name:"truncated journal recovers a committed image"
+    QCheck.(pair (int_bound 1_000) (int_bound 10_000))
+    (fun (seed, cut) ->
+      let spec =
+        {
+          Churn.kind = Dataset.ACL4;
+          initial = 20;
+          ops = 60;
+          shards = 1;
+          capacity = 300;
+          batch = 8;
+          seed;
+        }
+      in
+      let dir = Journal.fresh_dir ~prefix:"fr-test-torn" in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (* Drive the stream by hand so every post-flush image is
+             recorded. *)
+          let pool = Dataset.generate Dataset.ACL4 ~seed ~n:80 in
+          let svc =
+            Ctrl.of_rules ~journal:dir ~shards:1 ~capacity:300
+              (Array.sub pool 0 20)
+          in
+          let images = ref [ service_image svc ] in
+          for i = 20 to 79 do
+            Ctrl.submit svc (Agent.Add pool.(i));
+            if (i - 19) mod spec.Churn.batch = 0 then begin
+              ignore (Ctrl.flush svc);
+              images := service_image svc :: !images
+            end
+          done;
+          Ctrl.simulate_crash svc;
+          (* Truncate anywhere after the header + baseline checkpoint
+             line (everything before that is written atomically, not
+             appended). *)
+          let path = Journal.dir_file ~dir ~shard:0 in
+          let text =
+            let ic = open_in_bin path in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          let nl = ref 0 and floor = ref 0 in
+          String.iteri
+            (fun i c ->
+              if c = '\n' && !nl < 3 then begin
+                incr nl;
+                floor := i + 1
+              end)
+            text;
+          let len = String.length text in
+          let point = !floor + (cut mod (len - !floor + 1)) in
+          let oc = open_out_bin path in
+          output_string oc (String.sub text 0 point);
+          close_out oc;
+          match Ctrl.recover ~journal:dir () with
+          | Error e -> QCheck.Test.fail_reportf "recover after truncation: %s" e
+          | Ok rc ->
+              consistent rc.Ctrl.service
+              && List.mem (service_image rc.Ctrl.service) !images))
+
+(* A journal directory refuses double initialisation: accidental reuse
+   would silently erase history. *)
+let test_journal_dir_refuses_reuse () =
+  let dir = Journal.fresh_dir ~prefix:"fr-test-reuse" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let svc = Ctrl.create ~journal:dir ~shards:1 ~capacity:50 () in
+      check "journaled" true (Ctrl.journaled svc);
+      check "reuse refused" true
+        (try
+           ignore (Ctrl.create ~journal:dir ~shards:1 ~capacity:50 ());
+           false
+         with Invalid_argument _ -> true))
+
+let suite =
+  [
+    ( "resil",
+      [
+        Alcotest.test_case "journal entry codec" `Quick test_journal_entry_codec;
+        Alcotest.test_case "journal write/read + torn tail" `Quick
+          test_journal_write_read;
+        Alcotest.test_case "checkpoint compacts" `Quick
+          test_journal_checkpoint_compacts;
+        Alcotest.test_case "meta round-trip" `Quick test_meta_roundtrip;
+        Alcotest.test_case "backoff" `Quick test_backoff;
+        Alcotest.test_case "breaker state machine" `Quick
+          test_breaker_state_machine;
+        Alcotest.test_case "retry recovers transient fault" `Quick
+          test_retry_recovers_transient_fault;
+        Alcotest.test_case "breaker quarantines faulted shard" `Quick
+          test_breaker_quarantines_faulted_shard;
+        Alcotest.test_case "journal dir refuses reuse" `Quick
+          test_journal_dir_refuses_reuse;
+        QCheck_alcotest.to_alcotest prop_crash_recovery;
+        QCheck_alcotest.to_alcotest prop_truncated_journal;
+      ] );
+  ]
