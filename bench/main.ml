@@ -599,54 +599,70 @@ let resil () =
     with Sys_error _ -> ()
   in
   let open Telemetry.Json in
-  (* -- recovery time vs table size --------------------------------- *)
-  let rec_sizes = if !quick then [ 500; 2_000 ] else [ 1_000; 4_000; 16_000 ] in
-  Format.printf "%-8s %9s %9s %9s %8s %10s@." "initial" "drains" "mods"
-    "requeued" "rules" "recover-ms";
+  (* -- recovery time vs table kind and size ------------------------- *)
+  (* ClassBench-style kinds with genuinely different dependency shapes,
+     swept to the paper's 40k-rule scale. *)
+  let rec_kinds =
+    if !quick then [ Dataset.ACL4 ]
+    else [ Dataset.ACL4; Dataset.FW5; Dataset.ROUTE ]
+  in
+  let rec_sizes =
+    if !quick then [ 500; 2_000 ] else [ 1_000; 4_000; 16_000; 40_000 ]
+  in
+  Format.printf "%-6s %-8s %9s %9s %9s %8s %10s@." "kind" "initial" "drains"
+    "mods" "requeued" "rules" "recover-ms";
   let recovery_rows =
-    List.map
-      (fun n ->
-        let dir = Journal.fresh_dir ~prefix:"fr-bench-resil" in
-        let spec =
-          {
-            Churn.kind = Dataset.ACL4;
-            initial = n;
-            ops = n / 2;
-            shards = 2;
-            capacity = 2 * n;
-            batch = 64;
-            seed;
-          }
-        in
-        let r = Churn.run ~journal:dir ~stop_after_flushes:(n / 256) spec in
-        Ctrl.simulate_crash ~mid_drain:true r.Churn.service;
-        let rec_, ms =
-          Measure.time_ms (fun () -> Ctrl.recover ~journal:dir ())
-        in
-        let row =
-          match rec_ with
-          | Error e ->
-              Format.printf "%-8d recovery FAILED: %s@." n e;
-              Obj [ ("initial", Int n); ("error", Str e) ]
-          | Ok rc ->
-              Format.printf "%-8d %9d %9d %9d %8d %10.1f@." n
-                rc.Ctrl.replayed_drains rc.Ctrl.replayed_mods rc.Ctrl.requeued
-                (Ctrl.rule_count rc.Ctrl.service)
-                ms;
-              Obj
-                [
-                  ("initial", Int n);
-                  ("replayed_drains", Int rc.Ctrl.replayed_drains);
-                  ("replayed_mods", Int rc.Ctrl.replayed_mods);
-                  ("requeued", Int rc.Ctrl.requeued);
-                  ("rules", Int (Ctrl.rule_count rc.Ctrl.service));
-                  ("recover_ms", Float ms);
-                  ("warnings", Int (List.length rc.Ctrl.warnings));
-                ]
-        in
-        rm_rf dir;
-        row)
-      rec_sizes
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun n ->
+            let dir = Journal.fresh_dir ~prefix:"fr-bench-resil" in
+            let spec =
+              {
+                Churn.kind;
+                initial = n;
+                ops = n / 2;
+                shards = 2;
+                capacity = 2 * n;
+                batch = 64;
+                seed;
+              }
+            in
+            let r =
+              Churn.run ~journal:dir ~stop_after_flushes:(n / 256) spec
+            in
+            Ctrl.simulate_crash ~mid_drain:true r.Churn.service;
+            let rec_, ms =
+              Measure.time_ms (fun () -> Ctrl.recover ~journal:dir ())
+            in
+            let kname = Dataset.to_string kind in
+            let row =
+              match rec_ with
+              | Error e ->
+                  Format.printf "%-6s %-8d recovery FAILED: %s@." kname n e;
+                  Obj [ ("kind", Str kname); ("initial", Int n); ("error", Str e) ]
+              | Ok rc ->
+                  Format.printf "%-6s %-8d %9d %9d %9d %8d %10.1f@." kname n
+                    rc.Ctrl.replayed_drains rc.Ctrl.replayed_mods
+                    rc.Ctrl.requeued
+                    (Ctrl.rule_count rc.Ctrl.service)
+                    ms;
+                  Obj
+                    [
+                      ("kind", Str kname);
+                      ("initial", Int n);
+                      ("replayed_drains", Int rc.Ctrl.replayed_drains);
+                      ("replayed_mods", Int rc.Ctrl.replayed_mods);
+                      ("requeued", Int rc.Ctrl.requeued);
+                      ("rules", Int (Ctrl.rule_count rc.Ctrl.service));
+                      ("recover_ms", Float ms);
+                      ("warnings", Int (List.length rc.Ctrl.warnings));
+                    ]
+            in
+            rm_rf dir;
+            row)
+          rec_sizes)
+      rec_kinds
   in
   (* -- retry overhead vs fault rate -------------------------------- *)
   let fault_rates = [ 0.0; 0.01; 0.05 ] in
@@ -741,6 +757,60 @@ let resil () =
         ("failed", Int r.Churn.failed);
       ]
   in
+  (* -- failover: graceful degradation under a persistent slow shard -- *)
+  let failover_resil =
+    {
+      Ctrl.default_resil with
+      Ctrl.failover = true;
+      slow_drain_ms = 2.0;
+      breaker_slow_threshold = 2;
+      breaker_cooldown = 2;
+    }
+  in
+  let fo_configure svc =
+    Ctrl.set_fault svc ~shard:0 (Some (Fault.create ~slow_ms:8.0 ~seed ()))
+  in
+  let fo = Churn.run ~resil:failover_resil ~configure:fo_configure churn_spec in
+  let fo_svc = fo.Churn.service in
+  (* Heal and flush until the overlay drains home — the recovery half of
+     the failover loop, timed. *)
+  Ctrl.set_fault fo_svc ~shard:0 None;
+  let heal_flushes = ref 0 in
+  let (), heal_ms =
+    Measure.time_ms (fun () ->
+        while
+          (Ctrl.diverted_count fo_svc > 0 || Ctrl.pending fo_svc > 0)
+          && !heal_flushes < 100
+        do
+          ignore (Ctrl.flush fo_svc);
+          incr heal_flushes
+        done)
+  in
+  Format.printf
+    "@.failover: slow shard 0 — %d diverted, %d shed, %d failed; healed in \
+     %d flushes (%.1f ms), %d residual diverted@."
+    fo.Churn.diverted fo.Churn.shed fo.Churn.failed !heal_flushes heal_ms
+    (Ctrl.diverted_count fo_svc);
+  let fo_rebalanced =
+    let acc = ref 0 in
+    for s = 0 to Ctrl.shards fo_svc - 1 do
+      acc := !acc + Telemetry.rebalanced (Shard.telemetry (Ctrl.shard fo_svc s))
+    done;
+    !acc
+  in
+  let failover_row =
+    Obj
+      [
+        ("diverted", Int fo.Churn.diverted);
+        ("rebalanced", Int fo_rebalanced);
+        ("shed", Int fo.Churn.shed);
+        ("failed", Int fo.Churn.failed);
+        ("breaker_opens", Int fo.Churn.breaker_opens);
+        ("heal_flushes", Int !heal_flushes);
+        ("heal_ms", Float heal_ms);
+        ("residual_diverted", Int (Ctrl.diverted_count fo_svc));
+      ]
+  in
   let doc =
     Obj
       [
@@ -749,6 +819,7 @@ let resil () =
         ("recovery", List recovery_rows);
         ("retry", List retry_rows);
         ("breaker", breaker_row);
+        ("failover", failover_row);
       ]
   in
   let oc = open_out "BENCH_resil.json" in

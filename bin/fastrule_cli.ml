@@ -213,7 +213,8 @@ let ctrl_json path service ~scenario =
 
 let ctrl_cmd =
   let run kind n seed shards capacity ops batch policy refresh_every json
-      journal do_recover faults crash_after crash_mid allow_failures =
+      journal do_recover faults crash_after crash_mid allow_failures failover
+      slow_call chaos_n =
     let bad fmt = Format.kasprintf (fun m -> Format.eprintf "fastrule_cli: %s@." m; exit 1) fmt in
     if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
     if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
@@ -265,6 +266,31 @@ let ctrl_cmd =
             (if r.Ctrl.warnings = [] && (allow_failures || flushed = []) then 0
              else 1)
     end;
+    let resil =
+      let base = Ctrl.default_resil in
+      let base = { base with Ctrl.failover } in
+      match slow_call with
+      | Some ms when ms <= 0.0 -> bad "--slow-call must be positive (got %g)" ms
+      | Some ms -> { base with Ctrl.slow_drain_ms = ms }
+      | None -> base
+    in
+    if chaos_n < 0 then bad "--chaos must be >= 0 (got %d)" chaos_n;
+    let chaos =
+      if chaos_n = 0 then []
+      else begin
+        let flushes = max 1 (ops / batch) in
+        let plan =
+          Churn.chaos_plan ~seed:(seed lxor 0xc405) ~shards ~flushes
+            ~events:chaos_n
+        in
+        Format.printf "chaos plan (%d events%s):@." (List.length plan)
+          (if journal = None then "; restarts need --journal, degraded to \
+                                   no-ops"
+           else "");
+        List.iter (fun e -> Format.printf "  %a@." Churn.pp_chaos_event e) plan;
+        plan
+      end
+    in
     let spec =
       { Churn.kind; initial = n; ops; shards; capacity; batch; seed }
     in
@@ -286,7 +312,7 @@ let ctrl_cmd =
                 fs)
     in
     let r =
-      Churn.run ~policy ~refresh_every ?journal ?configure
+      Churn.run ~policy ~refresh_every ~resil ?journal ?configure ~chaos
         ?stop_after_flushes:crash_after spec
     in
     Format.printf
@@ -299,6 +325,11 @@ let ctrl_cmd =
     if r.Churn.retries + r.Churn.shed + r.Churn.breaker_opens > 0 then
       Format.printf "retries %d  shed %d  breaker opens %d@." r.Churn.retries
         r.Churn.shed r.Churn.breaker_opens;
+    if r.Churn.diverted + r.Churn.rebalanced + r.Churn.restarts > 0 then
+      Format.printf "diverted %d  rebalanced %d  restarts %d  residual \
+                     diverted %d@."
+        r.Churn.diverted r.Churn.rebalanced r.Churn.restarts
+        (Ctrl.diverted_count r.Churn.service);
     Format.printf "flush wall (ms): %a@.@." Measure.pp_summary
       r.Churn.flush_wall_ms;
     Ctrl.pp_stats Format.std_formatter r.Churn.service;
@@ -416,6 +447,31 @@ let ctrl_cmd =
           ~doc:"Exit 0 even when the stream reports failed ops (rejections \
                 are expected under injected faults and tight capacity).")
   in
+  let failover_arg =
+    Arg.(
+      value & flag
+      & info [ "failover" ]
+          ~doc:"Breaker-aware failover routing: new rule ids headed for a \
+                quarantined shard divert to healthy siblings and drain back \
+                home after the breaker closes.")
+  in
+  let slow_call_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-call" ] ~docv:"MS"
+          ~doc:"Slow-call breaker policy: a damage-free drain averaging \
+                more than MS modelled hardware ms per op counts against \
+                the shard's breaker (default: disabled).")
+  in
+  let chaos_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos" ] ~docv:"EVENTS"
+          ~doc:"Schedule this many seeded fault-domain events (slow faults, \
+                write failures, restarts, heals) across the run.  Restart \
+                events need --journal.")
+  in
   Cmd.v
     (Cmd.info "ctrl"
        ~doc:"Drive the sharded control-plane service with a seeded churn \
@@ -425,7 +481,68 @@ let ctrl_cmd =
       const run $ kind_arg $ n_arg $ seed_arg $ shards_arg $ capacity_arg
       $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg
       $ journal_arg $ recover_arg $ fault_arg $ crash_after_arg $ crash_mid_arg
-      $ allow_failures_arg)
+      $ allow_failures_arg $ failover_arg $ slow_call_arg $ chaos_arg)
+
+(* --- journal --------------------------------------------------------- *)
+
+let journal_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR" ~doc:"Journal directory to inspect.")
+
+let journal_stat_cmd =
+  let human_bytes b =
+    if b >= 1_048_576 then Printf.sprintf "%.1f MiB" (float_of_int b /. 1_048_576.)
+    else if b >= 1_024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1_024.)
+    else Printf.sprintf "%d B" b
+  in
+  let run dir =
+    match Journal.read_meta ~dir with
+    | Error e ->
+        Format.eprintf "fastrule_cli: %s@." e;
+        exit 1
+    | Ok meta ->
+        Format.printf
+          "journal %s: %d shard(s), capacity %d, policy %s, scheduler %s%s@."
+          dir meta.Journal.shards meta.Journal.capacity meta.Journal.policy
+          meta.Journal.kind
+          (if meta.Journal.verify then ", verify on" else "");
+        let failed = ref false in
+        for s = 0 to meta.Journal.shards - 1 do
+          match Journal.stat ~dir ~shard:s with
+          | Error e ->
+              failed := true;
+              Format.printf "  shard %d: ERROR %s@." s e
+          | Ok st ->
+              Format.printf
+                "  shard %d: WAL %s (age %.1f s), %d drain(s) total, %d \
+                 committed since checkpoint, %d pending mod(s)%s@."
+                s
+                (human_bytes st.Journal.wal_bytes)
+                st.Journal.wal_age_s st.Journal.total_drains
+                st.Journal.committed_drains st.Journal.pending_mods
+                (if st.Journal.interrupted then ", INTERRUPTED (mid-drain)"
+                 else "");
+              List.iter
+                (fun (upto, file, bytes) ->
+                  Format.printf "    checkpoint upto seq %d: %s (%s)@." upto
+                    file (human_bytes bytes))
+                st.Journal.checkpoints
+        done;
+        exit (if !failed then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:"Per-shard journal health: WAL and checkpoint sizes, ages, \
+             drain and pending-mod counts.")
+    Term.(const run $ journal_dir_arg)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:"Inspect a write-ahead journal directory without touching it.")
+    [ journal_stat_cmd ]
 
 (* --- conform --------------------------------------------------------- *)
 
@@ -460,7 +577,8 @@ let break_conv =
 
 let conform_cmd =
   let run kind n seed events pool capacity probes fault fault_max break_ record
-      save replay shrink out crash_at crash_mid crash_batch =
+      save replay shrink out crash_at crash_mid crash_batch failover_shard
+      fo_shards capture =
     let bad fmt =
       Format.kasprintf
         (fun m ->
@@ -470,6 +588,36 @@ let conform_cmd =
     in
     if fault < 0. || fault > 1. then bad "--fault must be in [0,1] (got %g)" fault;
     if crash_batch < 1 then bad "--crash-batch must be >= 1 (got %d)" crash_batch;
+    (* A bundle replay re-runs the captured differential mode with the
+       captured parameters — the offline half of --capture. *)
+    (match replay with
+    | Some path when Bundle.is_bundle path -> (
+        match Bundle.load path with
+        | Error e -> bad "%s" e
+        | Ok (info, trace) ->
+            Format.printf "replaying %a@." Bundle.pp_info info;
+            if info.Bundle.mode = "failover" then begin
+              let slow_ms =
+                if info.Bundle.slow_ms > 0.0 then info.Bundle.slow_ms else 8.0
+              in
+              let r =
+                Oracle.run_failover ~probes ~batch:info.Bundle.batch
+                  ~shards:(max 2 info.Bundle.shards)
+                  ~fault_shard:info.Bundle.fault_shard ~slow_ms ?capture trace
+              in
+              Oracle.pp_failover_report Format.std_formatter r;
+              exit (if Oracle.failover_clean r then 0 else 1)
+            end
+            else begin
+              let r =
+                Oracle.run_crash ~probes ~batch:info.Bundle.batch
+                  ~mid_drain:info.Bundle.mid_drain ~at:info.Bundle.at ?capture
+                  trace
+              in
+              Oracle.pp_crash_report Format.std_formatter r;
+              exit (if Oracle.crash_clean r then 0 else 1)
+            end)
+    | _ -> ());
     let trace =
       match replay with
       | Some path -> (
@@ -488,10 +636,22 @@ let conform_cmd =
            for every scheduler kind. *)
         let r =
           Oracle.run_crash ~probes ~batch:crash_batch ~mid_drain:crash_mid ~at
-            trace
+            ?capture trace
         in
         Oracle.pp_crash_report Format.std_formatter r;
         exit (if Oracle.crash_clean r then 0 else 1)
+    | None -> ());
+    (match failover_shard with
+    | Some fs ->
+        if fo_shards < 2 then bad "--shards must be >= 2 (got %d)" fo_shards;
+        if fs < 0 || fs >= fo_shards then
+          bad "--failover shard %d out of range (0..%d)" fs (fo_shards - 1);
+        let r =
+          Oracle.run_failover ~probes ~batch:crash_batch ~shards:fo_shards
+            ~fault_shard:fs ?capture trace
+        in
+        Oracle.pp_failover_report Format.std_formatter r;
+        exit (if Oracle.failover_clean r then 0 else 1)
     | None -> ());
     let config =
       {
@@ -636,6 +796,31 @@ let conform_cmd =
       & info [ "crash-batch" ] ~docv:"OPS"
           ~doc:"Flush cadence in crash-recovery mode.")
   in
+  let failover_shard_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "failover" ] ~docv:"SHARD"
+          ~doc:"Failover differential mode: drive the trace through a \
+                multi-shard failover-enabled service with a persistent \
+                latency fault on SHARD, heal, and check the converged \
+                state against a never-faulted twin (exit 1 on divergence).")
+  in
+  let fo_shards_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Shard count in failover mode (>= 2).")
+  in
+  let capture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"DIR"
+          ~doc:"On divergence in crash or failover mode, write a replayable \
+                bundle (trace + parameters + journal copy) under DIR; \
+                replay it with --replay DIR/<bundle>.")
+  in
   Cmd.v
     (Cmd.info "conform"
        ~doc:"Differential conformance: one seeded workload through every \
@@ -645,7 +830,8 @@ let conform_cmd =
       const run $ kind_arg $ n_arg $ seed_arg $ events_arg $ pool_arg
       $ capacity_arg $ probes_arg $ fault_arg $ fault_max_arg $ break_arg
       $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg
-      $ crash_at_arg $ crash_mid_arg $ crash_batch_arg)
+      $ crash_at_arg $ crash_mid_arg $ crash_batch_arg $ failover_shard_arg
+      $ fo_shards_arg $ capture_arg)
 
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in
@@ -653,4 +839,12 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "fastrule_cli" ~doc)
-          [ stats_cmd; generate_cmd; run_cmd; hw_cmd; ctrl_cmd; conform_cmd ]))
+          [
+            stats_cmd;
+            generate_cmd;
+            run_cmd;
+            hw_cmd;
+            ctrl_cmd;
+            journal_cmd;
+            conform_cmd;
+          ]))

@@ -12,6 +12,8 @@ module Measure = Fr_switch.Measure
 module Journal = Fr_resil.Journal
 module Service = Fr_ctrl.Service
 module Shard = Fr_ctrl.Shard
+module Telemetry = Fr_ctrl.Telemetry
+module Breaker = Fr_resil.Breaker
 
 type outcome =
   | Applied
@@ -367,7 +369,7 @@ type crash_report = {
 
 let crash_clean r = r.crash_divergences = []
 
-let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at
+let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at ?capture
     (trace : Trace.t) =
   if batch <= 0 then invalid_arg "Oracle.run_crash: batch must be positive";
   let pool = Trace.rules trace in
@@ -418,6 +420,7 @@ let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at
   in
   let run_kind kind =
     let name = Firmware.algo_kind_name kind in
+    let diverged_before = List.length !divergences in
     let dir = Journal.fresh_dir ~prefix:"fr-conform-crash" in
     let service =
       Service.of_rules ~kind ~shards:1 ~capacity:trace.Trace.capacity
@@ -470,6 +473,25 @@ let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at
             recovered_rules = Service.rule_count recovered;
           }
     in
+    (* Capture must beat the cleanup below: the journal is the evidence. *)
+    (match capture with
+    | Some cap when List.length !divergences > diverged_before ->
+        let bundle =
+          Bundle.write
+            ~dir:(Filename.concat cap ("crash-" ^ name))
+            {
+              Bundle.mode = "crash";
+              at;
+              mid_drain;
+              batch;
+              shards = 1;
+              fault_shard = 0;
+              slow_ms = 0.0;
+            }
+            ~trace ~journal:(Some dir)
+        in
+        diverge ~scheduler:name ("divergence bundle captured at " ^ bundle)
+    | Some _ | None -> ());
     (try
        Array.iter
          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
@@ -504,6 +526,233 @@ let pp_crash_report ppf r =
         c.recovered_rules)
     r.crash_columns;
   match r.crash_divergences with
+  | [] -> Format.fprintf ppf "  divergences: none@."
+  | ds ->
+      Format.fprintf ppf "  divergences: %d@." (List.length ds);
+      List.iter (fun d -> Format.fprintf ppf "    %a@." pp_divergence d) ds
+
+(* -- failover differential mode --------------------------------------- *)
+
+type failover_column = {
+  failover_scheduler : string;
+  fo_applied : int;
+  fo_failed : int;
+  fo_shed : int;
+  fo_diverted : int;
+  fo_rebalanced : int;
+  heal_flushes : int;
+}
+
+type failover_report = {
+  failover_trace : Trace.t;
+  fo_shards : int;
+  fault_shard : int;
+  fo_slow_ms : float;
+  failover_columns : failover_column list;
+  failover_divergences : divergence list;
+  failover_wall_ms : float;
+}
+
+let failover_clean r = r.failover_divergences = []
+
+(* The union of every shard's installed table — placement-independent, so
+   a service that diverted and rebalanced compares equal to one that never
+   faulted as long as the *rules* agree. *)
+let union_image service =
+  let acc = ref [] in
+  for i = 0 to Service.shards service - 1 do
+    acc := store_image (Shard.agent (Service.shard service i)) @ !acc
+  done;
+  List.sort compare !acc
+
+(* Cross-shard lookup winner: highest priority, ties to the smaller id —
+   the same total order {!Agent.semantic_lookup} uses within one shard. *)
+let union_lookup service pkt =
+  let best = ref None in
+  for i = 0 to Service.shards service - 1 do
+    match Agent.lookup (Shard.agent (Service.shard service i)) pkt with
+    | None -> ()
+    | Some (r : Rule.t) -> (
+        match !best with
+        | Some (b : Rule.t)
+          when b.Rule.priority > r.Rule.priority
+               || (b.Rule.priority = r.Rule.priority && b.Rule.id < r.Rule.id)
+          -> ()
+        | _ -> best := Some r)
+  done;
+  winner_id !best
+
+let run_failover ?(probes = 8) ?(batch = 4) ?(shards = 3) ?(fault_shard = 0)
+    ?(slow_ms = 8.0) ?capture (trace : Trace.t) =
+  if batch <= 0 then invalid_arg "Oracle.run_failover: batch must be positive";
+  if shards < 2 then
+    invalid_arg "Oracle.run_failover: failover needs at least 2 shards";
+  if fault_shard < 0 || fault_shard >= shards then
+    invalid_arg "Oracle.run_failover: fault_shard out of range";
+  if slow_ms <= 0.0 then
+    invalid_arg "Oracle.run_failover: slow_ms must be positive";
+  let pool = Trace.rules trace in
+  let events = Array.of_list trace.Trace.events in
+  let n_events = Array.length events in
+  let preload = Array.sub pool 0 trace.Trace.initial in
+  let kinds = Firmware.standard_algos Fr_sched.Store.Bit_backend in
+  let divergences = ref [] in
+  let diverge ~scheduler detail =
+    divergences := { event = -1; scheduler; detail } :: !divergences
+  in
+  (* A slow threshold between the healthy per-op cost (~0.6 ms) and the
+     faulted one (base + slow_ms) — healthy shards never trip it, the
+     sick one always does. *)
+  let resil =
+    {
+      Service.default_resil with
+      Service.failover = true;
+      slow_drain_ms = 2.0;
+      breaker_slow_threshold = 2;
+      breaker_cooldown = 2;
+    }
+  in
+  let run_kind kind =
+    let name = Firmware.algo_kind_name kind in
+    let diverged_before = List.length !divergences in
+    let drive ~faulted =
+      let s =
+        Service.of_rules ~kind ~shards ~capacity:trace.Trace.capacity ~resil
+          preload
+      in
+      if faulted then
+        Service.set_fault s ~shard:fault_shard
+          (Some
+             (Fault.create ~slow_ms ~seed:(trace.Trace.seed lxor 0xfa11) ()));
+      for i = 0 to n_events - 1 do
+        Service.submit s (Trace.flow_mod pool events.(i));
+        if (i + 1) mod batch = 0 then ignore (Service.flush s)
+      done;
+      if Service.pending s > 0 then ignore (Service.flush s);
+      s
+    in
+    let faulted = drive ~faulted:true in
+    let twin = drive ~faulted:false in
+    (* Heal, then keep flushing: cooldown expires, the half-open probe
+       closes the breaker, and the rebalance pass drains the overlay home
+       in bounded batches. *)
+    Service.set_fault faulted ~shard:fault_shard None;
+    let converged () =
+      Service.diverted_count faulted = 0
+      && Service.pending faulted = 0
+      &&
+      let ok = ref true in
+      for i = 0 to shards - 1 do
+        if Service.breaker_state faulted i <> Breaker.Closed then ok := false
+      done;
+      !ok
+    in
+    let heal_flushes = ref 0 in
+    while (not (converged ())) && !heal_flushes < 100 do
+      ignore (Service.flush faulted);
+      incr heal_flushes
+    done;
+    let sum f =
+      let acc = ref 0 in
+      for i = 0 to shards - 1 do
+        acc := !acc + f (Shard.telemetry (Service.shard faulted i))
+      done;
+      !acc
+    in
+    let fo_shed = sum Telemetry.shed in
+    let fo_failed = sum Telemetry.failed in
+    let fo_diverted = sum Telemetry.diverted in
+    let fo_rebalanced = sum Telemetry.rebalanced in
+    if fo_shed > 0 then
+      diverge ~scheduler:name
+        (Printf.sprintf "graceful degradation violated: %d submits shed"
+           fo_shed);
+    if fo_failed > 0 then
+      diverge ~scheduler:name
+        (Printf.sprintf "%d ops failed under a latency-only fault" fo_failed);
+    if fo_diverted = 0 then
+      diverge ~scheduler:name
+        "vacuous run: the latency fault never diverted any id";
+    if not (converged ()) then
+      diverge ~scheduler:name
+        (Printf.sprintf
+           "failover did not converge: %d ids still diverted after %d heal \
+            flushes"
+           (Service.diverted_count faulted)
+           !heal_flushes);
+    let img_a = union_image faulted and img_b = union_image twin in
+    if img_a <> img_b then
+      diverge ~scheduler:name
+        (Printf.sprintf
+           "final store differs from the never-faulted twin (%d vs %d rules)"
+           (List.length img_a) (List.length img_b));
+    let rng = Rng.create ~seed:(trace.Trace.seed lxor 0xf10e) in
+    for _ = 1 to probes do
+      let r = pool.(Rng.int rng (Array.length pool)) in
+      let pkt = Header.packet_in rng r.Rule.field in
+      let wa = union_lookup faulted pkt in
+      let wb = union_lookup twin pkt in
+      if wa <> wb then
+        diverge ~scheduler:name
+          (Printf.sprintf
+             "lookup divergence under failover (healed matched %d, twin %d)" wa
+             wb)
+    done;
+    (match capture with
+    | Some cap when List.length !divergences > diverged_before ->
+        let bundle =
+          Bundle.write
+            ~dir:(Filename.concat cap ("failover-" ^ name))
+            {
+              Bundle.mode = "failover";
+              at = n_events;
+              mid_drain = false;
+              batch;
+              shards;
+              fault_shard;
+              slow_ms;
+            }
+            ~trace ~journal:None
+        in
+        diverge ~scheduler:name ("divergence bundle captured at " ^ bundle)
+    | Some _ | None -> ());
+    {
+      failover_scheduler = name;
+      fo_applied = sum Telemetry.applied;
+      fo_failed;
+      fo_shed;
+      fo_diverted;
+      fo_rebalanced;
+      heal_flushes = !heal_flushes;
+    }
+  in
+  let failover_columns, failover_wall_ms =
+    Measure.time_ms (fun () -> List.map run_kind kinds)
+  in
+  {
+    failover_trace = trace;
+    fo_shards = shards;
+    fault_shard;
+    fo_slow_ms = slow_ms;
+    failover_columns;
+    failover_divergences = List.rev !divergences;
+    failover_wall_ms;
+  }
+
+let pp_failover_report ppf r =
+  Format.fprintf ppf "%a@." Trace.pp r.failover_trace;
+  Format.fprintf ppf
+    "  failover: %d shards, persistent %g ms/op latency fault on shard %d@."
+    r.fo_shards r.fo_slow_ms r.fault_shard;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-9s %4d applied, %d failed, %d shed; %d diverted, %d rebalanced \
+         home in %d heal flushes@."
+        c.failover_scheduler c.fo_applied c.fo_failed c.fo_shed c.fo_diverted
+        c.fo_rebalanced c.heal_flushes)
+    r.failover_columns;
+  match r.failover_divergences with
   | [] -> Format.fprintf ppf "  divergences: none@."
   | ds ->
       Format.fprintf ppf "  divergences: %d@." (List.length ds);

@@ -141,11 +141,78 @@ val run_crash :
   ?batch:int ->
   ?mid_drain:bool ->
   ?at:int ->
+  ?capture:string ->
   Trace.t ->
   crash_report
 (** Defaults: 8 probes, flush every 4 events, clean crash between
     flushes, [at] = the whole trace.  Journals live in (and are cleaned
-    from) a fresh temp directory per scheduler.
+    from) a fresh temp directory per scheduler — unless [capture] names a
+    directory, in which case each diverging kind leaves a {!Bundle}
+    (trace + parameters + journal copy) at [capture/crash-<kind>]
+    {e before} the temp journal is deleted, replayable offline via
+    [conform --replay].
     @raise Invalid_argument if [batch <= 0]. *)
 
 val pp_crash_report : Format.formatter -> crash_report -> unit
+
+(** {1 Failover differential mode}
+
+    The graceful-degradation counterpart of {!run_crash}: per scheduler
+    kind, the trace is driven through a multi-shard failover-enabled
+    {!Fr_ctrl.Service} with a {e persistent latency fault} on one shard
+    (every hardware op succeeds, [slow_ms] late), flushed every [batch]
+    events.  The slow-call breaker quarantines the sick shard, failover
+    routing diverts new ids to healthy siblings, and after the stream
+    ends the oracle heals the fault and keeps flushing until the overlay
+    drains home.  It then checks, against a never-faulted twin of the
+    same shape:
+
+    - no submit was shed and no op failed (latency must degrade service,
+      not correctness);
+    - the fault actually engaged ([diverted > 0] — otherwise the run is
+      vacuous and reported as such);
+    - the overlay converges back to 0 diverted ids with every breaker
+      closed;
+    - the union of all shards' installed tables, and cross-shard probe
+      lookups, equal the twin's — lookup equivalence under failover. *)
+
+type failover_column = {
+  failover_scheduler : string;
+  fo_applied : int;
+  fo_failed : int;
+  fo_shed : int;
+  fo_diverted : int;  (** ids routed away from the sick home *)
+  fo_rebalanced : int;  (** ids drained back home after the heal *)
+  heal_flushes : int;  (** flushes from heal to convergence *)
+}
+
+type failover_report = {
+  failover_trace : Trace.t;
+  fo_shards : int;
+  fault_shard : int;
+  fo_slow_ms : float;
+  failover_columns : failover_column list;
+  failover_divergences : divergence list;
+  failover_wall_ms : float;
+}
+
+val failover_clean : failover_report -> bool
+
+val run_failover :
+  ?probes:int ->
+  ?batch:int ->
+  ?shards:int ->
+  ?fault_shard:int ->
+  ?slow_ms:float ->
+  ?capture:string ->
+  Trace.t ->
+  failover_report
+(** Defaults: 8 probes, flush every 4 events, 3 shards, the fault on
+    shard 0, 8 ms/op — far above the supervisor's 2 ms/op slow-call
+    threshold, so the sick shard always trips and healthy ones never do.
+    With [capture], diverging kinds leave a bundle at
+    [capture/failover-<kind>].
+    @raise Invalid_argument if [batch <= 0], [shards < 2], [fault_shard]
+    is out of range, or [slow_ms <= 0]. *)
+
+val pp_failover_report : Format.formatter -> failover_report -> unit

@@ -109,3 +109,4 @@ module Churn = Fr_ctrl.Churn
 module Trace = Fr_conform.Trace
 module Oracle = Fr_conform.Oracle
 module Shrink = Fr_conform.Shrink
+module Bundle = Fr_conform.Bundle

@@ -29,9 +29,42 @@ type result = {
   retries : int;  (** supervisor retry rounds, summed over shards *)
   shed : int;  (** submits rejected behind open breakers *)
   breaker_opens : int;  (** circuit-breaker trips, summed over shards *)
+  diverted : int;  (** new ids failover-routed away from sick homes *)
+  rebalanced : int;  (** diverted ids drained back home after heal *)
+  restarts : int;  (** whole-shard restart faults absorbed mid-run *)
   flush_wall_ms : Fr_switch.Measure.summary;
       (** wall-clock per {!Service.flush} call *)
 }
+
+(** {1 Chaos: scheduled whole-shard fault/heal events} *)
+
+type chaos_action =
+  | Chaos_fault of Fr_tcam.Fault.spec
+      (** install a write-failure plan on the shard *)
+  | Chaos_slow of float
+      (** install a latency fault: this many extra modelled ms per
+          hardware op (trips the breaker's slow-call policy, never fails
+          an op) *)
+  | Chaos_restart
+      (** kill and re-adopt the shard's agent via
+          {!Service.restart_shard}; degrades to a no-op on an unjournaled
+          service *)
+  | Chaos_heal  (** clear the shard's fault plan *)
+
+type chaos_event = { at_flush : int; shard : int; action : chaos_action }
+(** [action] fires on [shard] just before the flush numbered [at_flush]
+    (0-based count of completed flushes). *)
+
+val chaos_plan :
+  seed:int -> shards:int -> flushes:int -> events:int -> chaos_event list
+(** A seeded, deterministic schedule of [events] fault-domain events over
+    a run expected to flush [flushes] times: slow faults, write-failure
+    faults and restarts land on healthy shards, heals and restarts on
+    sick ones.  Sorted by [at_flush].
+    @raise Invalid_argument if [shards] or [flushes] is below 1. *)
+
+val chaos_action_to_string : chaos_action -> string
+val pp_chaos_event : Format.formatter -> chaos_event -> unit
 
 val run :
   ?policy:Partition.policy ->
@@ -41,11 +74,14 @@ val run :
   ?resil:Service.resil ->
   ?journal:string ->
   ?configure:(Service.t -> unit) ->
+  ?chaos:chaos_event list ->
   ?stop_after_flushes:int ->
   spec ->
   result
 (** [configure] runs right after the service is built, before any op is
-    submitted — the hook for installing fault plans.  [stop_after_flushes]
+    submitted — the hook for installing fault plans.  [chaos] events fire
+    between flushes, each just before the flush its [at_flush] names
+    (events whose flush never happens are dropped).  [stop_after_flushes]
     abandons the stream at the flush that would follow the [n]th: the
     current window's ops stay queued (and, with [journal], journaled but
     uncommitted), which is exactly the suffix the CLI's crash simulation

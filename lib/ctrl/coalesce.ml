@@ -16,13 +16,27 @@ type outcome = Queued | Folded | Annihilated | Rejected of string
 
 type t = {
   tbl : (int, pending) Hashtbl.t;
+  (* Placement epoch of each pending id (failover fencing): once an id
+     has pending ops under epoch [e], ops tagged with a different epoch
+     are fenced off — they belong to a different shard placement and
+     accepting them here would let one id's ops interleave across two
+     shards.  The service bumps an id's epoch only when it has no pending
+     ops anywhere, so a fence firing means the ordering invariant was
+     about to break. *)
+  epochs : (int, int) Hashtbl.t;
   mutable next_seq : int;
   mutable coalesced : int;
   mutable rejected : (Agent.flow_mod * string) list;  (* newest first *)
 }
 
 let create () =
-  { tbl = Hashtbl.create 64; next_seq = 0; coalesced = 0; rejected = [] }
+  {
+    tbl = Hashtbl.create 64;
+    epochs = Hashtbl.create 64;
+    next_seq = 0;
+    coalesced = 0;
+    rejected = [];
+  }
 
 let depth t = Hashtbl.length t.tbl
 let is_empty t = Hashtbl.length t.tbl = 0 && t.rejected = []
@@ -31,6 +45,7 @@ let rejected t = List.rev t.rejected
 
 let clear t =
   Hashtbl.reset t.tbl;
+  Hashtbl.reset t.epochs;
   t.coalesced <- 0;
   t.rejected <- []
 
@@ -40,7 +55,31 @@ let reject t fm msg =
 
 let fold t ~n = t.coalesced <- t.coalesced + n
 
-let push t ~installed fm =
+let fm_id = function
+  | Agent.Add r -> r.Rule.id
+  | Agent.Set_action { id; _ } -> id
+  | Agent.Remove { id } -> id
+
+let fence t ~epoch fm =
+  match epoch with
+  | None -> None
+  | Some e -> (
+      let id = fm_id fm in
+      match Hashtbl.find_opt t.epochs id with
+      | Some e' when e' <> e && Hashtbl.mem t.tbl id ->
+          Some
+            (Printf.sprintf
+               "epoch fence: rule %d moved shards mid-queue (pending epoch \
+                %d, op epoch %d)"
+               id e' e)
+      | _ ->
+          Hashtbl.replace t.epochs id e;
+          None)
+
+let push ?epoch t ~installed fm =
+  match fence t ~epoch fm with
+  | Some msg -> reject t fm msg
+  | None ->
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   match fm with
@@ -97,6 +136,7 @@ let push t ~installed fm =
           (* The insertion never happened as far as the hardware is
              concerned: both ops vanish. *)
           Hashtbl.remove t.tbl id;
+          Hashtbl.remove t.epochs id;
           fold t ~n:2;
           Annihilated
       | Some (P_set { seq; _ }) ->

@@ -47,10 +47,18 @@ type outcome =
   | Rejected of string
       (** can never succeed against the base state; reported at drain *)
 
-val push : t -> installed:bool -> Fr_switch.Agent.flow_mod -> outcome
+val push : ?epoch:int -> t -> installed:bool -> Fr_switch.Agent.flow_mod -> outcome
 (** [push q ~installed fm] — fold [fm] into the queue.  [installed] is
     whether the op's rule id is currently installed in the owning agent
-    (ignoring the queue's own pending ops). *)
+    (ignoring the queue's own pending ops).
+
+    [epoch] is the id's placement epoch under failover routing: if the id
+    already has pending ops recorded under a {e different} epoch the push
+    is [Rejected] (an "epoch fence") instead of queued, because mixing
+    epochs in one queue would mean the id's ops were interleaving across
+    two shard placements.  The service only re-homes an id when it has no
+    pending ops, so a fence firing indicates a routing bug, not load.
+    Omitted = unfenced (the pre-failover behaviour). *)
 
 val depth : t -> int
 (** Pending entries (a replace counts once). *)

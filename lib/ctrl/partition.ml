@@ -65,3 +65,34 @@ let route_rule t (rule : Rule.t) =
       match dst_prefix_value rule ~k with
       | Some v -> v mod t.shards
       | None -> route_id t rule.Rule.id)
+
+(* Rendezvous (highest-random-weight) pick over the healthy shards: each
+   (id, shard) pair gets an independent mixed weight and the id goes to
+   the admissible shard with the largest one.  Deterministic across runs,
+   and when a shard heals only the ids that were diverted move — the
+   weights of the others never changed. *)
+let rendezvous t ~healthy id =
+  let best = ref None in
+  for s = 0 to t.shards - 1 do
+    if healthy s then begin
+      let w = mix (id + ((s + 1) * 0x9e3779b9)) in
+      match !best with
+      | Some (bw, _) when bw >= w -> ()
+      | _ -> best := Some (w, s)
+    end
+  done;
+  Option.map snd !best
+
+module Overlay = struct
+  type nonrec t = (int, int) Hashtbl.t
+
+  let create () = Hashtbl.create 64
+  let find t id = Hashtbl.find_opt t id
+  let divert t ~id ~shard = Hashtbl.replace t id shard
+  let settle t ~id = Hashtbl.remove t id
+  let count t = Hashtbl.length t
+
+  let bindings t =
+    Hashtbl.fold (fun id shard acc -> (id, shard) :: acc) t []
+    |> List.sort compare
+end

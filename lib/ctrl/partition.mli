@@ -50,3 +50,28 @@ val route_id : t -> int -> int
 val route_rule : t -> Fr_tern.Rule.t -> int
 (** Route an [Add] by the configured policy.  Always in
     [0 .. shards - 1]. *)
+
+val rendezvous : t -> healthy:(int -> bool) -> int -> int option
+(** Rendezvous-hash pick for failover: the shard among those [healthy]
+    answers [true] for with the highest per-(id, shard) mixed weight, or
+    [None] when no shard is healthy.  Deterministic, and minimally
+    disruptive — changing the healthy set only re-routes ids whose
+    winning shard joined or left it. *)
+
+(** The dynamic failover overlay: rule ids temporarily living away from
+    their static home while that home's breaker is open.  A plain mutable
+    id → shard table owned by the service; the partitioner itself stays a
+    pure value. *)
+module Overlay : sig
+  type t
+
+  val create : unit -> t
+  val find : t -> int -> int option
+  val divert : t -> id:int -> shard:int -> unit
+  val settle : t -> id:int -> unit
+  (** The id is back on (or gone from) its static home. *)
+
+  val count : t -> int
+  val bindings : t -> (int * int) list
+  (** Sorted, for deterministic iteration in the rebalance pass. *)
+end

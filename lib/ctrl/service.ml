@@ -15,9 +15,14 @@ type resil = {
   backoff_max_ms : float;
   backoff_jitter : float;
   breaker_threshold : int;
+  breaker_slow_threshold : int;
+  slow_drain_ms : float;
   breaker_cooldown : int;
   queue_bound : int;
   checkpoint_every : int;
+  checkpoint_retain : int;
+  failover : bool;
+  rebalance_batch : int;
 }
 
 let default_resil =
@@ -28,9 +33,14 @@ let default_resil =
     backoff_max_ms = 64.0;
     backoff_jitter = 0.2;
     breaker_threshold = 3;
+    breaker_slow_threshold = 3;
+    slow_drain_ms = infinity;
     breaker_cooldown = 2;
     queue_bound = 1024;
     checkpoint_every = 32;
+    checkpoint_retain = 1;
+    failover = false;
+    rebalance_batch = 64;
   }
 
 type t = {
@@ -47,6 +57,11 @@ type t = {
   backoffs : Backoff.t array;
   shed : (Agent.flow_mod * string) list array;  (* newest first, per shard *)
   commits_since_ckpt : int array;
+  overlay : Partition.Overlay.t;
+      (* ids living away from their static home while it is quarantined *)
+  epochs : (int, int) Hashtbl.t;
+      (* id -> placement epoch, bumped each time the rebalance pass
+         re-homes the id; threaded into Coalesce as the ordering fence *)
 }
 
 let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
@@ -54,6 +69,9 @@ let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
 let make_supervision resil ~shards =
   ( Array.init shards (fun _ ->
         Breaker.create ~threshold:resil.breaker_threshold
+          ~slow_threshold:
+            (if resil.slow_drain_ms = infinity then 0
+             else resil.breaker_slow_threshold)
           ~cooldown:resil.breaker_cooldown ()),
     Array.init shards (fun i ->
         Backoff.create ~base_ms:resil.backoff_base_ms
@@ -114,6 +132,8 @@ let create ?(kind = default_kind) ?latency ?(verify = false)
     backoffs;
     shed = Array.make shards [];
     commits_since_ckpt = Array.make shards 0;
+    overlay = Partition.Overlay.create ();
+    epochs = Hashtbl.create 64;
   }
 
 let of_rules ?(kind = default_kind) ?latency ?(verify = false)
@@ -148,6 +168,8 @@ let of_rules ?(kind = default_kind) ?latency ?(verify = false)
       backoffs;
       shed = Array.make shards [];
       commits_since_ckpt = Array.make shards 0;
+      overlay = Partition.Overlay.create ();
+      epochs = Hashtbl.create 64;
     }
   in
   Array.iter
@@ -181,6 +203,9 @@ let id_of = function
   | Agent.Add r -> r.Rule.id
   | Agent.Set_action { id; _ } | Agent.Remove { id } -> id
 
+let diverted_count t = Partition.Overlay.count t.overlay
+let epoch_of t id = Option.value (Hashtbl.find_opt t.epochs id) ~default:0
+
 let route t fm =
   match fm with
   | Agent.Add r -> (
@@ -188,13 +213,34 @@ let route t fm =
       match Hashtbl.find_opt t.routes id with
       | Some s -> s (* duplicate: let the owning shard reject it *)
       | None ->
-          let s = Partition.route_rule t.partition r in
+          let home = Partition.route_rule t.partition r in
+          let s =
+            if t.resil.failover && not (Breaker.admits t.breakers.(home)) then
+              (* The static home is quarantined: divert this *new* id to
+                 the rendezvous pick among the healthy shards.  Ids that
+                 already live on the sick shard keep their sticky route
+                 (the [Some s] branch above). *)
+              match
+                Partition.rendezvous t.partition
+                  ~healthy:(fun i -> Breaker.admits t.breakers.(i))
+                  id
+              with
+              | Some alt ->
+                  Partition.Overlay.divert t.overlay ~id ~shard:alt;
+                  Telemetry.record_diverted (Shard.telemetry t.shards.(alt));
+                  alt
+              | None -> home (* nobody is healthy; let it queue or shed *)
+            else home
+          in
           Hashtbl.replace t.routes id s;
           s)
   | Agent.Set_action { id; _ } | Agent.Remove { id } -> (
       match Hashtbl.find_opt t.routes id with
       | Some s -> s
-      | None -> Partition.route_id t.partition id)
+      | None -> (
+          match Partition.Overlay.find t.overlay id with
+          | Some s -> s
+          | None -> Partition.route_id t.partition id))
 
 type submit_outcome = Accepted | Overloaded of string
 
@@ -224,7 +270,9 @@ let try_submit t fm =
     (match t.journals with
     | Some js -> ignore (Journal.log_mod js.(s) fm)
     | None -> ());
-    ignore (Shard.submit sh fm);
+    (if t.resil.failover then
+       ignore (Shard.submit ~epoch:(epoch_of t id) sh fm)
+     else ignore (Shard.submit sh fm));
     Accepted
   end
 
@@ -261,7 +309,16 @@ let rebuild_routes t =
       List.iter
         (fun fm -> Hashtbl.replace t.routes (id_of fm) s)
         (Shard.pending_mods shard))
-    t.shards
+    t.shards;
+  (* Prune overlay bindings that no longer describe reality: the id was
+     removed, or it drained back home (rebalance), or its diverted Add
+     never materialised. *)
+  List.iter
+    (fun (id, s) ->
+      match Hashtbl.find_opt t.routes id with
+      | Some s' when s' = s -> ()
+      | _ -> Partition.Overlay.settle t.overlay ~id)
+    (Partition.Overlay.bindings t.overlay)
 
 (* -- failure classification ------------------------------------------ *)
 
@@ -302,7 +359,7 @@ let checkpoint_shard t i =
   match t.journals with
   | None -> ()
   | Some js ->
-      Journal.checkpoint js.(i)
+      Journal.checkpoint ~retain:t.resil.checkpoint_retain js.(i)
         ~rules:(Array.of_list (Agent.rules (Shard.agent t.shards.(i))));
       Telemetry.record_checkpoint (Shard.telemetry t.shards.(i));
       t.commits_since_ckpt.(i) <- 0
@@ -350,10 +407,33 @@ let drain_supervised t i =
           has_prefix ~prefix:"fault: " e || has_prefix ~prefix:"verify: " e)
         final.Shard.failed
     in
-    if damaged then Breaker.note_failure br else Breaker.note_success br;
+    (* Slow-call policy: a damage-free drain whose modelled per-op
+       hardware time breached [slow_drain_ms] counts against the
+       breaker's slow streak — a switch that answers too slowly is
+       quarantine-worthy even though nothing failed. *)
+    let slow =
+      (not damaged)
+      && final.Shard.tcam_ops > 0
+      && final.Shard.hardware_ms /. float_of_int final.Shard.tcam_ops
+         > t.resil.slow_drain_ms
+    in
+    if damaged then Breaker.note_failure br
+    else if slow then begin
+      Telemetry.record_slow_drain tele;
+      Breaker.note_slow br
+    end
+    else Breaker.note_success br;
     if Breaker.state br = Breaker.Open && not was_open then
       Telemetry.record_breaker_open tele
-  end;
+  end
+  else if Breaker.state br = Breaker.Half_open then
+    (* An empty probe window: the shard had nothing to drain, so there is
+       no damage and no latency to judge.  Count it as a passed probe —
+       otherwise a shard healed *after* the op stream ends stays
+       half-open forever and the rebalance pass (which wants a fully
+       closed home) can never drain its diverted ids back.  If the fault
+       is in fact still there, the first real drain re-trips. *)
+    Breaker.note_success br;
   Telemetry.set_breaker_state tele (Breaker.state_to_string (Breaker.state br));
   (match (t.journals, drain_id) with
   | Some js, Some drain ->
@@ -368,6 +448,97 @@ let drain_supervised t i =
           ~failed:(List.length final.Shard.failed)
   | _ -> ());
   final
+
+let journal_mod t s fm =
+  match t.journals with
+  | Some js -> ignore (Journal.log_mod js.(s) fm)
+  | None -> ()
+
+let dedup_ints l = List.sort_uniq compare l
+
+(* The background rebalance pass: once a diverted id's static home is
+   healthy again ([Closed], not merely probing), migrate it back in
+   bounded batches.  Ordering safety: an id is only touched when it has
+   no pending ops on either shard, its placement epoch is bumped before
+   the migration ops are queued (the Coalesce fence would reject any
+   racing op from the old placement), and the Remove on the overlay
+   shard drains *before* the Add on the home shard — the id is briefly
+   absent from the union, never present twice. *)
+let rebalance t =
+  if (not t.resil.failover) || Partition.Overlay.count t.overlay = 0 then []
+  else begin
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    let candidates =
+      Partition.Overlay.bindings t.overlay
+      |> List.filter_map (fun (id, s) ->
+             match Agent.rule (Shard.agent t.shards.(s)) id with
+             | None -> None (* not installed there (yet); nothing to move *)
+             | Some r ->
+                 let home = Partition.route_rule t.partition r in
+                 if
+                   home <> s
+                   && Breaker.state t.breakers.(home) = Breaker.Closed
+                   && Breaker.admits t.breakers.(s)
+                   && (not (Shard.has_pending_id t.shards.(s) id))
+                   && not (Shard.has_pending_id t.shards.(home) id)
+                 then Some (id, s, home, r)
+                 else None)
+      |> take t.resil.rebalance_batch
+    in
+    if candidates = [] then []
+    else begin
+      (* Phase 1: erase each migrating id from its overlay shard. *)
+      List.iter
+        (fun (id, s, _home, _r) ->
+          let e = epoch_of t id + 1 in
+          Hashtbl.replace t.epochs id e;
+          journal_mod t s (Agent.Remove { id });
+          ignore (Shard.requeue ~epoch:e t.shards.(s) (Agent.Remove { id })))
+        candidates;
+      let rm_results =
+        List.map
+          (fun s -> drain_supervised t s)
+          (dedup_ints (List.map (fun (_, s, _, _) -> s) candidates))
+      in
+      (* Phase 2: re-insert at home every id whose erase landed. *)
+      let moved =
+        List.filter
+          (fun (id, s, _home, _r) ->
+            Agent.rule (Shard.agent t.shards.(s)) id = None)
+          candidates
+      in
+      List.iter
+        (fun (id, _s, home, r) ->
+          journal_mod t home (Agent.Add r);
+          ignore (Shard.requeue ~epoch:(epoch_of t id) t.shards.(home) (Agent.Add r)))
+        moved;
+      let add_results =
+        List.map
+          (fun h -> drain_supervised t h)
+          (dedup_ints (List.map (fun (_, _, h, _) -> h) moved))
+      in
+      (* Phase 3: settle what landed; re-shelter what did not. *)
+      let repair_results = ref [] in
+      List.iter
+        (fun (id, s, home, r) ->
+          if Agent.rule (Shard.agent t.shards.(home)) id <> None then begin
+            Partition.Overlay.settle t.overlay ~id;
+            Hashtbl.replace t.routes id home;
+            Telemetry.record_rebalanced (Shard.telemetry t.shards.(home))
+          end
+          else begin
+            (* The home insert failed (capacity, fresh damage): put the
+               rule back where it was and keep the overlay binding. *)
+            let e = epoch_of t id + 1 in
+            Hashtbl.replace t.epochs id e;
+            journal_mod t s (Agent.Add r);
+            ignore (Shard.requeue ~epoch:e t.shards.(s) (Agent.Add r));
+            repair_results := drain_supervised t s :: !repair_results
+          end)
+        moved;
+      rm_results @ add_results @ List.rev !repair_results
+    end
+  end
 
 let flush t =
   let (results, quarantined), wall_ms =
@@ -390,6 +561,14 @@ let flush t =
                 let r = drain_supervised t i in
                 { r with Shard.failed = sheds @ r.Shard.failed })
         in
+        (* The extra drains the rebalance pass runs are merged into the
+           per-shard slots so the report stays a truthful account of the
+           whole flush. *)
+        List.iter
+          (fun (r : Shard.drain_result) ->
+            let i = r.Shard.shard in
+            results.(i) <- merge_results results.(i).Shard.failed results.(i) r)
+          (rebalance t);
         (results, List.rev !quarantined))
   in
   rebuild_routes t;
@@ -408,6 +587,72 @@ let simulate_crash ?(mid_drain = false) t =
       (* Closing flushes the buffered tail; the process is now free to
          disappear.  The service must not be used afterwards. *)
       Array.iter Journal.close js
+
+(* -- whole-shard restart fault ---------------------------------------- *)
+
+type readoption = {
+  restart_replayed_drains : int;
+  restart_replayed_mods : int;
+  restart_requeued : int;
+}
+
+(* One shard's agent process dies and restarts mid-run: volatile state
+   (installed table view, queue) is lost, the journal survives, and the
+   service re-adopts the shard from it without disturbing its siblings —
+   checkpoint, deterministic replay of committed drains, uncommitted
+   suffix requeued.  The replay goes through the raw [Shard.drain] (no
+   begin/commit markers: those drains are already journaled) and the
+   writer keeps appending afterwards with its own counters.  Only safe
+   between flushes, which is when the chaos layer fires it. *)
+let restart_shard t ~shard:i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg (Printf.sprintf "Service.restart_shard: no shard %d" i);
+  match t.journals with
+  | None -> Error "restart_shard: service has no journal"
+  | Some js ->
+      let ( let* ) = Result.bind in
+      let j = js.(i) in
+      (* The reader must see every buffered mod the writer accepted. *)
+      Journal.sync j;
+      let sh = t.shards.(i) in
+      let dir = Journal.dir j in
+      let* r = Journal.read_recovery ~dir ~shard:i in
+      let* rules =
+        match r.Journal.checkpoint with
+        | None -> Ok [||]
+        | Some (_, file) -> Fr_workload.Rules_io.load file
+      in
+      Telemetry.record_restart (Shard.telemetry sh);
+      Shard.reset sh rules;
+      let replayed_drains = ref 0 and replayed_mods = ref 0 in
+      let requeued = ref 0 in
+      let mods = ref r.Journal.mods in
+      List.iter
+        (fun (c : Journal.committed) ->
+          let batch, rest =
+            List.partition (fun (seq, _) -> seq <= c.Journal.upto) !mods
+          in
+          mods := rest;
+          List.iter (fun (_, fm) -> ignore (Shard.requeue sh fm)) batch;
+          ignore (Shard.drain sh);
+          incr replayed_drains;
+          replayed_mods := !replayed_mods + List.length batch)
+        r.Journal.committed;
+      List.iter
+        (fun (_, fm) ->
+          ignore (Shard.requeue sh fm);
+          incr requeued)
+        !mods;
+      (match Agent.verify_consistent (Shard.agent sh) with
+      | Ok () ->
+          Ok
+            {
+              restart_replayed_drains = !replayed_drains;
+              restart_replayed_mods = !replayed_mods;
+              restart_requeued = !requeued;
+            }
+      | Error e ->
+          Error (Printf.sprintf "restart_shard: shard %d inconsistent: %s" i e))
 
 (* -- recovery -------------------------------------------------------- *)
 
@@ -521,6 +766,8 @@ let recover ?latency ?(resil = default_resil) ~journal:dir () =
       backoffs;
       shed = Array.make meta.Journal.shards [];
       commits_since_ckpt = Array.make meta.Journal.shards 0;
+      overlay = Partition.Overlay.create ();
+      epochs = Hashtbl.create 64;
     }
   in
   rebuild_routes t;

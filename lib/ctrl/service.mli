@@ -56,15 +56,31 @@ type resil = {
   backoff_max_ms : float;
   backoff_jitter : float;
   breaker_threshold : int;  (** consecutive damaged drains that trip *)
+  breaker_slow_threshold : int;
+      (** consecutive slow drains that trip (only active when
+          [slow_drain_ms] is finite) *)
+  slow_drain_ms : float;
+      (** per-op modelled hardware-time bound above which a damage-free
+          drain counts as {e slow}; [infinity] disables the slow-call
+          policy *)
   breaker_cooldown : int;  (** flush rounds quarantined before probing *)
   queue_bound : int;  (** max queued entries behind an open breaker *)
   checkpoint_every : int;  (** commits between periodic checkpoints *)
+  checkpoint_retain : int;  (** checkpoint tables kept per shard (>= 1) *)
+  failover : bool;
+      (** divert new rule ids away from quarantined shards (and drain
+          them back home on recovery) instead of queueing/shedding *)
+  rebalance_batch : int;
+      (** max diverted ids migrated home per flush once the home heals *)
 }
 
 val default_resil : resil
 (** [retry_budget = 2], backoff 1 ms doubling to 64 ms with ±20% jitter,
-    breaker trips after 3 damaged drains and cools down for 2 flushes,
-    [queue_bound = 1024], checkpoint every 32 commits. *)
+    breaker trips after 3 damaged drains (slow-call policy disabled:
+    [slow_drain_ms = infinity], [breaker_slow_threshold = 3] once
+    enabled) and cools down for 2 flushes, [queue_bound = 1024],
+    checkpoint every 32 commits keeping 1 table, failover routing off,
+    [rebalance_batch = 64]. *)
 
 type t
 
@@ -121,6 +137,12 @@ val set_fault : t -> shard:int -> Fr_tcam.Fault.t option -> unit
 val breaker_state : t -> int -> Fr_resil.Breaker.state
 val journaled : t -> bool
 
+val diverted_count : t -> int
+(** Rule ids currently living away from their static home under failover
+    routing.  Converges back to 0 after the sick shard heals (the
+    rebalance pass drains them home in [rebalance_batch]-bounded
+    batches). *)
+
 val shard_of_rule : t -> int -> int option
 (** Where a rule id lives (installed) or will live (pending add); [None]
     for ids the service is not tracking. *)
@@ -168,8 +190,11 @@ val flush : t -> flush_report
 (** Drain every admitted shard (all of them, even when some report
     failures), retrying transient casualties under the backoff policy,
     advancing/settling each shard's breaker, writing the journal's
-    begin/commit/checkpoint markers, and reconciling the routing table
-    against the installed state plus any still-queued intent. *)
+    begin/commit/checkpoint markers, running the failover rebalance pass
+    (diverted ids whose home is healthy again migrate back, erase before
+    re-insert, never two copies live), and reconciling the routing table
+    against the installed state plus any still-queued intent.  Rebalance
+    drains are merged into the owning shard's [results] slot. *)
 
 val checkpoint : t -> unit
 (** Force a checkpoint (and journal compaction) on every shard now.
@@ -184,6 +209,24 @@ val simulate_crash : ?mid_drain:bool -> t -> unit
     a flush after intent went durable but before any commit.  Closes the
     WALs; the service must not be used afterwards.
     @raise Invalid_argument if the service has no journal. *)
+
+type readoption = {
+  restart_replayed_drains : int;  (** committed drains re-driven *)
+  restart_replayed_mods : int;  (** mods those drains covered *)
+  restart_requeued : int;  (** uncommitted suffix re-enqueued *)
+}
+
+val restart_shard : t -> shard:int -> (readoption, string) result
+(** A whole-shard restart fault, absorbed mid-run: shard [shard]'s agent
+    loses all volatile state ({!Shard.reset}) and is re-adopted from its
+    journal in place — checkpoint load, deterministic replay of committed
+    drains, uncommitted suffix requeued — while the sibling shards keep
+    running untouched.  The shard's hardware fault plan survives (the
+    fault lives in the switch, not the agent process).  Only sound
+    between flushes.  Errors when the rebuilt agent fails its consistency
+    check or the journal cannot be read.
+    @raise Invalid_argument if the index is out of range; [Error] if the
+    service has no journal. *)
 
 type recovery = {
   service : t;

@@ -4,10 +4,18 @@ module Tcam = Fr_tcam.Tcam
 
 type t = {
   id : int;
-  agent : Agent.t;
+  (* Mutable so a whole-shard restart fault can swap in a fresh agent:
+     the old one's volatile state is the thing the fault destroys. *)
+  mutable agent : Agent.t;
   queue : Coalesce.t;
   telemetry : Telemetry.t;
   refresh_every : int;
+  (* Construction parameters, kept so [reset] rebuilds an identical
+     agent shape. *)
+  kind : Fr_switch.Firmware.algo_kind option;
+  latency : Fr_tcam.Latency.t option;
+  verify : bool option;
+  capacity : int;
 }
 
 let create ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id () =
@@ -17,6 +25,10 @@ let create ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id () =
     queue = Coalesce.create ();
     telemetry = Telemetry.create ();
     refresh_every;
+    kind;
+    latency;
+    verify;
+    capacity;
   }
 
 let of_rules ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id rules =
@@ -26,6 +38,10 @@ let of_rules ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id rules =
     queue = Coalesce.create ();
     telemetry = Telemetry.create ();
     refresh_every;
+    kind;
+    latency;
+    verify;
+    capacity;
   }
 
 let id t = t.id
@@ -33,6 +49,18 @@ let agent t = t.agent
 let telemetry t = t.telemetry
 let queue_depth t = Coalesce.depth t.queue
 let set_fault t f = Agent.set_fault t.agent f
+
+(* A whole-shard restart: the agent process dies and comes back holding
+   [rules] (what the journal checkpoint says it should hold).  Volatile
+   state — queue, pending ops — is lost; the hardware fault plan survives
+   because the fault is in the switch, not the agent process. *)
+let reset t rules =
+  let fault = Agent.fault t.agent in
+  t.agent <-
+    Agent.of_rules ?kind:t.kind ?latency:t.latency ?verify:t.verify
+      ~capacity:t.capacity rules;
+  Agent.set_fault t.agent fault;
+  Coalesce.clear t.queue
 
 let installed t fm =
   let rule_id =
@@ -43,17 +71,25 @@ let installed t fm =
   in
   Agent.rule t.agent rule_id <> None
 
-let submit t fm =
+let submit ?epoch t fm =
   Telemetry.record_submitted t.telemetry;
-  Coalesce.push t.queue ~installed:(installed t fm) fm
+  Coalesce.push ?epoch t.queue ~installed:(installed t fm) fm
 
 (* Re-enqueue work the service already counted once: retried casualties
    and journal replay go through here so [submitted] stays an arrival
    count, not an attempt count. *)
-let requeue t fm = Coalesce.push t.queue ~installed:(installed t fm) fm
+let requeue ?epoch t fm = Coalesce.push ?epoch t.queue ~installed:(installed t fm) fm
 
 let has_work t = not (Coalesce.is_empty t.queue)
 let pending_mods t = Coalesce.pending_ops t.queue
+
+let has_pending_id t id =
+  List.exists
+    (fun fm ->
+      match fm with
+      | Agent.Add r -> r.Fr_tern.Rule.id = id
+      | Agent.Set_action { id = i; _ } | Agent.Remove { id = i } -> i = id)
+    (Coalesce.pending_ops t.queue)
 
 type drain_result = {
   shard : int;

@@ -54,10 +54,19 @@ val set_fault : t -> Fr_tcam.Fault.t option -> unit
     sibling shards stay untouched — the isolation the conformance
     fault-injection tests assert. *)
 
-val submit : t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
-(** Fold one flow-mod into the queue (no hardware contact). *)
+val reset : t -> Fr_tern.Rule.t array -> unit
+(** A whole-shard restart fault: replace the agent with a fresh one
+    holding [rules] and drop the coalescing queue — everything volatile
+    dies, exactly what an agent-process crash loses.  The hardware fault
+    plan carries over (the fault lives in the switch, not the process).
+    {!Service.restart_shard} follows this with a journal re-adoption. *)
 
-val requeue : t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
+val submit : ?epoch:int -> t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
+(** Fold one flow-mod into the queue (no hardware contact).  [epoch] is
+    the id's failover placement epoch, threaded to {!Coalesce.push} as
+    the ordering fence. *)
+
+val requeue : ?epoch:int -> t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
 (** Like {!submit} but without the [submitted] telemetry tick — for work
     the service already counted once: supervisor retries of transient
     casualties and journal replay during recovery. *)
@@ -70,6 +79,10 @@ val pending_mods : t -> Fr_switch.Agent.flow_mod list
 (** The drain plan a {!drain} would execute now, without clearing
     anything — the service uses it to keep routes alive for ops queued
     behind a quarantined shard. *)
+
+val has_pending_id : t -> int -> bool
+(** Whether any pending op touches rule [id] — the rebalance pass only
+    migrates ids that are quiescent on both shards. *)
 
 type drain_result = {
   shard : int;

@@ -91,6 +91,11 @@ type t = {
   mutable breaker_opens : int;
   mutable checkpoints : int;
   mutable breaker_state : string;  (* current, for dumps *)
+  (* failover / fault domains *)
+  mutable diverted : int;  (* new ids routed here away from a sick home *)
+  mutable rebalanced : int;  (* diverted ids drained back to this home *)
+  mutable restarts : int;  (* whole-shard restart faults absorbed *)
+  mutable slow_drains : int;  (* drains over the slow-call threshold *)
   fw_series : Measure.Series.t;  (* per drain *)
   hw_series : Measure.Series.t;
   wall_series : Measure.Series.t;
@@ -117,6 +122,10 @@ let create () =
     breaker_opens = 0;
     checkpoints = 0;
     breaker_state = "closed";
+    diverted = 0;
+    rebalanced = 0;
+    restarts = 0;
+    slow_drains = 0;
     fw_series = Measure.Series.create ();
     hw_series = Measure.Series.create ();
     wall_series = Measure.Series.create ();
@@ -133,6 +142,10 @@ let record_retry t ~ops ~backoff_ms =
 let record_shed t = t.shed <- t.shed + 1
 let record_breaker_open t = t.breaker_opens <- t.breaker_opens + 1
 let record_checkpoint t = t.checkpoints <- t.checkpoints + 1
+let record_diverted t = t.diverted <- t.diverted + 1
+let record_rebalanced t = t.rebalanced <- t.rebalanced + 1
+let record_restart t = t.restarts <- t.restarts + 1
+let record_slow_drain t = t.slow_drains <- t.slow_drains + 1
 let set_breaker_state t s = t.breaker_state <- s
 let record_coalesced t n = t.coalesced <- t.coalesced + n
 let record_rejected t n = t.rejected <- t.rejected + n
@@ -170,6 +183,10 @@ let shed t = t.shed
 let breaker_opens t = t.breaker_opens
 let checkpoints t = t.checkpoints
 let breaker_state t = t.breaker_state
+let diverted t = t.diverted
+let rebalanced t = t.rebalanced
+let restarts t = t.restarts
+let slow_drains t = t.slow_drains
 let firmware_ms t = Measure.Series.summary t.fw_series
 let hardware_ms t = Measure.Series.summary t.hw_series
 let wall_ms t = Measure.Series.summary t.wall_series
@@ -239,6 +256,11 @@ let pp ppf t =
       "retries %d (%d ops, %.1f ms backoff)  shed %d  breaker %s (opened %d)  checkpoints %d@."
       t.retries t.retried_ops t.backoff_ms t.shed t.breaker_state
       t.breaker_opens t.checkpoints;
+  if t.diverted > 0 || t.rebalanced > 0 || t.restarts > 0 || t.slow_drains > 0
+  then
+    Format.fprintf ppf
+      "diverted %d  rebalanced %d  restarts %d  slow-drains %d@." t.diverted
+      t.rebalanced t.restarts t.slow_drains;
   Format.fprintf ppf "firmware/drain (ms): %a@." Measure.pp_summary
     (firmware_ms t);
   Format.fprintf ppf "hardware/drain (ms): %a@." Measure.pp_summary
@@ -272,6 +294,10 @@ let to_json t =
       ("breaker_opens", Json.Int t.breaker_opens);
       ("breaker_state", Json.Str t.breaker_state);
       ("checkpoints", Json.Int t.checkpoints);
+      ("diverted", Json.Int t.diverted);
+      ("rebalanced", Json.Int t.rebalanced);
+      ("restarts", Json.Int t.restarts);
+      ("slow_drains", Json.Int t.slow_drains);
       ("firmware_ms_total", Json.Float t.fw_ms);
       ("hardware_ms_total", Json.Float t.hw_ms);
       ("firmware_ms", Json.of_summary (firmware_ms t));

@@ -66,6 +66,22 @@ val record_breaker_open : t -> unit
 val record_checkpoint : t -> unit
 val set_breaker_state : t -> string -> unit
 
+val record_diverted : t -> unit
+(** A new rule id landed on this shard because its static home was
+    quarantined (failover routing). *)
+
+val record_rebalanced : t -> unit
+(** A diverted id was drained back to this shard — its static home —
+    after the home's breaker closed. *)
+
+val record_restart : t -> unit
+(** This shard absorbed a whole-shard restart fault and was re-adopted
+    from its journal. *)
+
+val record_slow_drain : t -> unit
+(** A drain finished damage-free but over the supervisor's slow-call
+    latency threshold. *)
+
 (** {1 Reading} *)
 
 val submitted : t -> int
@@ -85,6 +101,10 @@ val backoff_ms_total : t -> float
 val shed : t -> int
 val breaker_opens : t -> int
 val checkpoints : t -> int
+val diverted : t -> int
+val rebalanced : t -> int
+val restarts : t -> int
+val slow_drains : t -> int
 
 val breaker_state : t -> string
 (** Current breaker state name ("closed" when no supervisor runs). *)

@@ -2,17 +2,30 @@ type state = Closed | Open | Half_open
 
 type t = {
   threshold : int;
+  slow_threshold : int;  (* 0 = slow calls never trip *)
   cooldown : int;
   mutable state : state;
   mutable streak : int;  (* consecutive failed drains while Closed *)
+  mutable slow_streak : int;  (* consecutive slow drains while Closed *)
   mutable cooldown_left : int;
   mutable opens : int;
 }
 
-let create ?(threshold = 3) ?(cooldown = 2) () =
+let create ?(threshold = 3) ?(slow_threshold = 0) ?(cooldown = 2) () =
   if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if slow_threshold < 0 then
+    invalid_arg "Breaker.create: slow_threshold must be >= 0";
   if cooldown < 0 then invalid_arg "Breaker.create: cooldown must be >= 0";
-  { threshold; cooldown; state = Closed; streak = 0; cooldown_left = 0; opens = 0 }
+  {
+    threshold;
+    slow_threshold;
+    cooldown;
+    state = Closed;
+    streak = 0;
+    slow_streak = 0;
+    cooldown_left = 0;
+    opens = 0;
+  }
 
 let state t = t.state
 let admits t = t.state <> Open
@@ -21,15 +34,19 @@ let opens t = t.opens
 let trip t =
   t.state <- Open;
   t.streak <- 0;
+  t.slow_streak <- 0;
   t.cooldown_left <- t.cooldown;
   t.opens <- t.opens + 1
 
 let note_success t =
   match t.state with
-  | Closed -> t.streak <- 0
+  | Closed ->
+      t.streak <- 0;
+      t.slow_streak <- 0
   | Half_open ->
       t.state <- Closed;
-      t.streak <- 0
+      t.streak <- 0;
+      t.slow_streak <- 0
   | Open -> ()
 
 let note_failure t =
@@ -39,6 +56,19 @@ let note_failure t =
       if t.streak >= t.threshold then trip t
   | Half_open -> trip t
   | Open -> ()
+
+let note_slow t =
+  if t.slow_threshold = 0 then note_success t
+  else
+    match t.state with
+    | Closed ->
+        (* A slow drain is not evidence of damage, so the failure streak is
+           left alone; it is also not evidence of health, so it is not
+           reset either. *)
+        t.slow_streak <- t.slow_streak + 1;
+        if t.slow_streak >= t.slow_threshold then trip t
+    | Half_open -> trip t
+    | Open -> ()
 
 let note_skipped t =
   match t.state with

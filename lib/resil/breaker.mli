@@ -18,12 +18,14 @@ type state = Closed | Open | Half_open
 
 type t
 
-val create : ?threshold:int -> ?cooldown:int -> unit -> t
+val create : ?threshold:int -> ?slow_threshold:int -> ?cooldown:int -> unit -> t
 (** [threshold] (default 3) consecutive failed drains trip the breaker;
-    [cooldown] (default 2) is how many flush rounds stay skipped before
-    the half-open probe.
-    @raise Invalid_argument if either is below 1 (threshold) / 0
-    (cooldown). *)
+    [slow_threshold] (default 0, meaning disabled) consecutive {e slow}
+    drains trip it too — a shard that answers, but too slowly, is as
+    quarantine-worthy as one that fails; [cooldown] (default 2) is how
+    many flush rounds stay skipped before the half-open probe.
+    @raise Invalid_argument if [threshold] is below 1 or either of the
+    others below 0. *)
 
 val state : t -> state
 
@@ -38,6 +40,13 @@ val note_success : t -> unit
 val note_failure : t -> unit
 (** A drain that attempted work and ended with failures.  Extends the
     streak (tripping at [threshold]); re-opens a half-open breaker. *)
+
+val note_slow : t -> unit
+(** A drain that attempted work, succeeded, but breached the supervisor's
+    slow-call latency threshold.  Extends a separate slow streak
+    (tripping at [slow_threshold]); a slow half-open probe re-opens the
+    breaker.  When the slow policy is disabled ([slow_threshold = 0])
+    this is equivalent to {!note_success}. *)
 
 val note_skipped : t -> unit
 (** A flush round passed over an open breaker.  After [cooldown] such

@@ -86,6 +86,27 @@ let meta_file ~dir = Filename.concat dir "meta"
 let ckpt_basename ~shard ~upto = Printf.sprintf "shard-%d-ckpt-%d.rules" shard upto
 let ckpt_prefix ~shard = Printf.sprintf "shard-%d-ckpt-" shard
 
+(* [Some upto] when [name] is one of this shard's checkpoint tables. *)
+let ckpt_upto_of_name ~shard name =
+  let prefix = ckpt_prefix ~shard in
+  let plen = String.length prefix in
+  let ext = ".rules" in
+  if
+    String.length name > plen + String.length ext
+    && String.sub name 0 plen = prefix
+    && Filename.check_suffix name ext
+  then int_of_string_opt (String.sub name plen (String.length name - plen - String.length ext))
+  else None
+
+let list_checkpoints ~dir ~shard =
+  (try Sys.readdir dir with Sys_error _ -> [||])
+  |> Array.to_list
+  |> List.filter_map (fun name ->
+         match ckpt_upto_of_name ~shard name with
+         | Some upto -> Some (upto, name)
+         | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
 let rec ensure_dir dir =
   if not (Sys.file_exists dir) then begin
     let parent = Filename.dirname dir in
@@ -196,6 +217,7 @@ let reopen ~dir ~shard ~next_seq ~next_drain =
   { dir; shard; path; oc; next_seq; next_drain }
 
 let path t = t.path
+let dir t = t.dir
 let last_seq t = t.next_seq - 1
 let sync t = flush t.oc
 let append t e = output_string t.oc (entry_to_string e ^ "\n")
@@ -217,7 +239,8 @@ let log_commit t ~drain ~applied ~failed =
   append t (Commit { drain; upto = last_seq t; applied; failed });
   sync t
 
-let checkpoint t ~rules =
+let checkpoint ?(retain = 1) t ~rules =
+  let retain = max 1 retain in
   let upto = last_seq t in
   let file = ckpt_basename ~shard:t.shard ~upto in
   Rules_io.save (Filename.concat t.dir file) rules;
@@ -232,16 +255,13 @@ let checkpoint t ~rules =
   close_out oc;
   Sys.rename tmp t.path;
   t.oc <- open_out_gen [ Open_wronly; Open_append ] 0o644 t.path;
-  (* GC superseded checkpoint tables, best-effort. *)
-  let prefix = ckpt_prefix ~shard:t.shard in
-  Array.iter
-    (fun name ->
-      if
-        String.length name > String.length prefix
-        && String.sub name 0 (String.length prefix) = prefix
-        && name <> file
-      then try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
-    (try Sys.readdir t.dir with Sys_error _ -> [||])
+  (* GC checkpoint tables beyond the retention window (newest [retain]
+     survive, recovery only ever reads the newest), best-effort. *)
+  List.iteri
+    (fun i (_, name) ->
+      if i >= retain then
+        try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
+    (list_checkpoints ~dir:t.dir ~shard:t.shard)
 
 let close t = close_out t.oc
 
@@ -336,3 +356,54 @@ let read_recovery ~dir ~shard =
   | m :: _ when m <> magic ->
       Error (Printf.sprintf "%s: bad magic %S (want %S)" path m magic)
   | _ -> Error (Printf.sprintf "%s: truncated header" path)
+
+(* -- observability ---------------------------------------------------- *)
+
+type stat = {
+  shard : int;
+  wal_bytes : int;
+  wal_age_s : float;
+  checkpoints : (int * string * int) list;  (* upto, file, bytes; newest first *)
+  total_drains : int;
+  committed_drains : int;  (* committed since the last checkpoint *)
+  pending_mods : int;
+  interrupted : bool;
+}
+
+let stat ~dir ~shard =
+  let ( let* ) = Result.bind in
+  let* r = read_recovery ~dir ~shard in
+  let path = dir_file ~dir ~shard in
+  let* st =
+    try Ok (Unix.stat path)
+    with Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  in
+  let now = Unix.gettimeofday () in
+  let checkpoints =
+    list_checkpoints ~dir ~shard
+    |> List.map (fun (upto, name) ->
+           let bytes =
+             try (Unix.stat (Filename.concat dir name)).Unix.st_size
+             with Unix.Unix_error _ -> 0
+           in
+           (upto, name, bytes))
+  in
+  let committed_floor =
+    List.fold_left
+      (fun acc (c : committed) -> max acc c.upto)
+      (match r.checkpoint with Some (u, _) -> u | None -> 0)
+      r.committed
+  in
+  Ok
+    {
+      shard;
+      wal_bytes = st.Unix.st_size;
+      wal_age_s = Float.max 0.0 (now -. st.Unix.st_mtime);
+      checkpoints;
+      total_drains = r.next_drain - 1;
+      committed_drains = List.length r.committed;
+      pending_mods =
+        List.length (List.filter (fun (seq, _) -> seq > committed_floor) r.mods);
+      interrupted = r.interrupted;
+    }

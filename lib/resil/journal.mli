@@ -87,6 +87,10 @@ val reopen : dir:string -> shard:int -> next_seq:int -> next_drain:int -> t
     counters come from {!read_recovery}. *)
 
 val path : t -> string
+
+val dir : t -> string
+(** The journal directory this writer lives in. *)
+
 val last_seq : t -> int
 
 val log_mod : t -> Agent.flow_mod -> int
@@ -99,10 +103,13 @@ val log_begin : t -> int
 val log_commit : t -> drain:int -> applied:int -> failed:int -> unit
 (** Append the matching commit marker and flush. *)
 
-val checkpoint : t -> rules:Rule.t array -> unit
+val checkpoint : ?retain:int -> t -> rules:Rule.t array -> unit
 (** Write a checkpoint table covering every mod so far and compact the
     journal down to it (see module doc).  Subsumes the pending drain's
-    commit marker: a checkpoint {e is} a commit. *)
+    commit marker: a checkpoint {e is} a commit.  [retain] (default 1,
+    clamped to at least 1) keeps the newest [retain] checkpoint tables on
+    disk and garbage-collects the rest; recovery only ever reads the
+    newest, the extras are an operator safety margin. *)
 
 val sync : t -> unit
 val close : t -> unit
@@ -124,3 +131,21 @@ type recovery = {
 }
 
 val read_recovery : dir:string -> shard:int -> (recovery, string) result
+
+(** {1 Observability} *)
+
+type stat = {
+  shard : int;
+  wal_bytes : int;
+  wal_age_s : float;  (** seconds since the WAL was last written *)
+  checkpoints : (int * string * int) list;
+      (** (covered seq, file name, bytes), newest first *)
+  total_drains : int;  (** drains ever recorded (checkpoints included) *)
+  committed_drains : int;  (** committed drains since the last checkpoint *)
+  pending_mods : int;  (** journaled mods not yet covered by a commit *)
+  interrupted : bool;
+}
+
+val stat : dir:string -> shard:int -> (stat, string) result
+(** Read-only health summary of one shard's journal — sizes and ages from
+    the filesystem, counts from {!read_recovery}. *)

@@ -150,6 +150,12 @@ let commit t ops =
         | Some fault -> apply_faulted t fault ops
       in
       t.tcam_ms <- t.tcam_ms +. Latency.sequence_ms t.latency applied;
+      (* Latency faults slow every op actually driven to hardware. *)
+      (match t.fault with
+      | Some f ->
+          t.tcam_ms <-
+            t.tcam_ms +. (Fr_tcam.Fault.slow_ms f *. float (List.length applied))
+      | None -> ());
       (* The metric refreshes recompute from the TCAM's actual state, so
          feeding them the applied prefix keeps the store truthful even
          after a mid-sequence fault. *)

@@ -4,22 +4,28 @@ type t = {
   rng : Rng.t;
   fail_prob : float;
   stuck : (int, unit) Hashtbl.t;
+  slow_ms : float;  (* extra modelled latency per hardware op *)
   mutable remaining : int;  (* spontaneous failures left; -1 = unlimited *)
   mutable injected : int;
 }
 
-let create ?(fail_prob = 0.0) ?(stuck = []) ?max_failures ~seed () =
+let create ?(fail_prob = 0.0) ?(stuck = []) ?max_failures ?(slow_ms = 0.0)
+    ~seed () =
   if fail_prob < 0.0 || fail_prob > 1.0 then
     invalid_arg "Fault.create: fail_prob must be in [0, 1]";
+  if slow_ms < 0.0 then invalid_arg "Fault.create: slow_ms must be >= 0";
   let tbl = Hashtbl.create (max 1 (List.length stuck)) in
   List.iter (fun a -> Hashtbl.replace tbl a ()) stuck;
   {
     rng = Rng.create ~seed;
     fail_prob;
     stuck = tbl;
+    slow_ms;
     remaining = Option.value max_failures ~default:(-1);
     injected = 0;
   }
+
+let slow_ms t = t.slow_ms
 
 let should_fail t ~addr =
   if Hashtbl.mem t.stuck addr then begin
@@ -35,20 +41,26 @@ let should_fail t ~addr =
   end
   else false
 
-type spec = { fail_prob : float; stuck : int list; max_failures : int option }
+type spec = {
+  fail_prob : float;
+  stuck : int list;
+  max_failures : int option;
+  slow_ms : float;
+}
 
-let of_spec { fail_prob; stuck; max_failures } ~seed =
-  create ~fail_prob ~stuck ?max_failures ~seed ()
+let of_spec { fail_prob; stuck; max_failures; slow_ms } ~seed =
+  create ~fail_prob ~stuck ?max_failures ~slow_ms ~seed ()
 
-let spec_to_string { fail_prob; stuck; max_failures } =
+let spec_to_string { fail_prob; stuck; max_failures; slow_ms } =
   String.concat ","
     (Printf.sprintf "p=%g" fail_prob
      :: (match stuck with
         | [] -> []
         | l -> [ "stuck=" ^ String.concat "+" (List.map string_of_int l) ])
-    @ (match max_failures with Some m -> [ Printf.sprintf "max=%d" m ] | None -> []))
+    @ (match max_failures with Some m -> [ Printf.sprintf "max=%d" m ] | None -> [])
+    @ if slow_ms > 0.0 then [ Printf.sprintf "slow=%g" slow_ms ] else [])
 
-(* "p=0.5,stuck=3+9,max=4" — every key optional, order free. *)
+(* "p=0.5,stuck=3+9,max=4,slow=2.5" — every key optional, order free. *)
 let spec_of_string s =
   let parts = String.split_on_char ',' s |> List.filter (fun p -> p <> "") in
   let rec go acc = function
@@ -79,9 +91,13 @@ let spec_of_string s =
                 match int_of_string_opt value with
                 | Some m when m >= 0 -> go { acc with max_failures = Some m } rest
                 | _ -> Error (Printf.sprintf "fault spec: bad max %S" value))
+            | "slow" -> (
+                match float_of_string_opt value with
+                | Some ms when ms >= 0.0 -> go { acc with slow_ms = ms } rest
+                | _ -> Error (Printf.sprintf "fault spec: bad slow %S" value))
             | k -> Error (Printf.sprintf "fault spec: unknown key %S" k)))
   in
-  go { fail_prob = 0.0; stuck = []; max_failures = None } parts
+  go { fail_prob = 0.0; stuck = []; max_failures = None; slow_ms = 0.0 } parts
 
 let injected t = t.injected
 let stuck_slots (t : t) = Hashtbl.fold (fun a () acc -> a :: acc) t.stuck []

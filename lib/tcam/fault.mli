@@ -16,14 +16,28 @@
 type t
 
 val create :
-  ?fail_prob:float -> ?stuck:int list -> ?max_failures:int -> seed:int -> unit -> t
+  ?fail_prob:float ->
+  ?stuck:int list ->
+  ?max_failures:int ->
+  ?slow_ms:float ->
+  seed:int ->
+  unit ->
+  t
 (** [fail_prob] (default 0) is the per-operation spontaneous failure
     probability; [stuck] addresses always fail; [max_failures] caps the
     number of {e spontaneous} failures injected (stuck slots keep
-    failing — hardware does not heal), default unlimited.
-    @raise Invalid_argument if [fail_prob] is outside [\[0, 1\]]. *)
+    failing — hardware does not heal), default unlimited; [slow_ms]
+    (default 0) is extra modelled latency billed per hardware operation
+    — a latency fault: the op still succeeds, it just takes longer.
+    @raise Invalid_argument if [fail_prob] is outside [\[0, 1\]] or
+    [slow_ms] is negative. *)
 
-type spec = { fail_prob : float; stuck : int list; max_failures : int option }
+type spec = {
+  fail_prob : float;
+  stuck : int list;
+  max_failures : int option;
+  slow_ms : float;
+}
 (** A plan's shape without its PRNG — the serialisable half, so fault
     plans can cross the CLI/bench boundary as strings. *)
 
@@ -31,16 +45,22 @@ val of_spec : spec -> seed:int -> t
 (** @raise Invalid_argument as {!create}. *)
 
 val spec_to_string : spec -> string
-(** ["p=0.1,stuck=3+9,max=4"] (keys with default values omitted). *)
+(** ["p=0.1,stuck=3+9,max=4,slow=2.5"] (keys with default values
+    omitted). *)
 
 val spec_of_string : string -> (spec, string) result
 (** Parse the {!spec_to_string} form; every key is optional and order is
     free ([p] in [\[0,1\]], [stuck] a [+]-separated address list, [max]
-    a non-negative failure budget). *)
+    a non-negative failure budget, [slow] a non-negative latency in
+    ms). *)
 
 val should_fail : t -> addr:int -> bool
 (** One decision for one attempted operation at [addr].  Advances the
     plan's PRNG; counts the failure when it answers [true]. *)
+
+val slow_ms : t -> float
+(** Extra modelled latency billed per hardware operation (0 when the
+    plan carries no latency fault). *)
 
 val injected : t -> int
 (** Failures injected so far (stuck hits included). *)

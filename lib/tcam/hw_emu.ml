@@ -47,9 +47,17 @@ let faulted t ~addr =
       end
       else false
 
+(* Latency faults bill every hardware call, successful or not: a slow
+   bus is slow regardless of the outcome. *)
+let bill_slow t =
+  match t.fault with
+  | Some f -> t.clock_ms <- t.clock_ms +. Fault.slow_ms f
+  | None -> ()
+
 let add_entry t ~rule_id ~addr =
   t.calls <- t.calls + 1;
   t.clock_ms <- t.clock_ms +. t.latency.Latency.write_ms;
+  bill_slow t;
   if not (faulted t ~addr) then begin
     Tcam.write t.logical ~rule_id ~addr;
     let slot = addr mod t.hw_table_size in
@@ -61,6 +69,7 @@ let add_entry t ~rule_id ~addr =
 let delete_entry t ~addr =
   t.calls <- t.calls + 1;
   t.clock_ms <- t.clock_ms +. t.latency.Latency.erase_ms;
+  bill_slow t;
   if not (faulted t ~addr) then begin
     Tcam.erase t.logical ~addr;
     let slot = addr mod t.hw_table_size in

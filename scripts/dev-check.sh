@@ -27,6 +27,26 @@ status=0
 "$CLI" ctrl --journal "$J" --recover >/dev/null
 rm -rf "$J"
 
+echo "== failover drill (persistent slow fault, zero shed, diverted > 0) =="
+out=$("$CLI" ctrl -k acl4 -s 4 -n 400 -c 2000 -u 2000 -b 32 \
+  --failover --slow-call 2 --fault 0:slow=8)
+echo "$out" | grep -q 'shed 0' || { echo "failover drill: submits were shed"; exit 1; }
+echo "$out" | grep -q 'failed 0  flushes' || { echo "failover drill: ops failed"; exit 1; }
+echo "$out" | grep -Eq 'diverted [1-9]' || { echo "failover drill: nothing diverted — fault never engaged"; exit 1; }
+
+echo "== chaos crash drill (random faults, crash mid-flush, stat, recover) =="
+J=$(mktemp -d)
+status=0
+"$CLI" ctrl -k acl4 -s 4 -n 400 -u 2000 -b 32 --failover --slow-call 2 \
+  --journal "$J" --chaos 6 --crash-after 8 --crash-mid-drain >/dev/null || status=$?
+[ "$status" -eq 42 ] || { echo "chaos crash drill: expected exit 42, got $status"; exit 1; }
+"$CLI" journal stat --journal "$J" >/dev/null
+"$CLI" ctrl --journal "$J" --recover >/dev/null
+rm -rf "$J"
+
+echo "== failover conformance (every scheduler, divergences fail the gate) =="
+"$CLI" conform -k acl4 -n 60 -e 150 --failover 0 --shards 3 >/dev/null
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt
