@@ -456,6 +456,85 @@ let ctrl () =
         (name, r))
       scenarios
   in
+  (* Parallel flush sweep: kind x size x domains, 8 shards.  The drain
+     results are identical across domain counts by construction (the
+     deterministic join) — what varies is wall-clock, and only on
+     machines that actually have spare cores: on a single-core host the
+     table records parity, which is the honest baseline the trajectory
+     starts from. *)
+  let par_shards = 8 in
+  let par_kinds =
+    if !quick then [ Dataset.FW5 ] else [ Dataset.FW5; Dataset.ACL4 ]
+  in
+  let par_sizes = if !quick then [ 4_000 ] else [ 10_000; 40_000 ] in
+  let par_domains = [ 1; 2; 4 ] in
+  Format.printf
+    "@.parallel flush: domain-per-shard drains, %d shards (cores here: %d)@."
+    par_shards (Pool.recommended ());
+  Format.printf "%-6s %8s %8s %8s %8s %11s %9s %9s %8s@." "kind" "size"
+    "domains" "flushes" "applied" "drain(ms)" "p50(ms)" "p99(ms)" "speedup";
+  let par_rows =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun size ->
+            let seq_wall = ref nan in
+            let seq_applied = ref (-1) in
+            List.map
+              (fun domains ->
+                let spec =
+                  {
+                    Churn.kind;
+                    initial = size;
+                    ops = max 2_000 (size / 4);
+                    shards = par_shards;
+                    capacity = size / 2;
+                    batch = 256;
+                    seed;
+                  }
+                in
+                let r = Churn.run ~domains spec in
+                let w = r.Churn.flush_wall_ms in
+                let total = float_of_int w.Measure.count *. w.Measure.mean in
+                if domains = 1 then begin
+                  seq_wall := total;
+                  seq_applied := r.Churn.applied
+                end
+                else if r.Churn.applied <> !seq_applied then
+                  Format.printf
+                    "WARNING: %s/%d domains=%d applied %d <> sequential %d \
+                     (determinism breach)@."
+                    (Dataset.to_string kind) size domains r.Churn.applied
+                    !seq_applied;
+                let speedup = !seq_wall /. total in
+                Format.printf
+                  "%-6s %8d %8d %8d %8d %11.1f %9.3f %9.3f %7.2fx@."
+                  (Dataset.to_string kind) size domains r.Churn.flushes
+                  r.Churn.applied total w.Measure.p50 w.Measure.p99 speedup;
+                (kind, size, domains, r, total, speedup))
+              par_domains)
+          par_sizes)
+      par_kinds
+  in
+  (* One-line regression sentinel: sequential vs widest at the biggest
+     sweep point, visible without opening the JSON. *)
+  (let top_kind = List.hd par_kinds in
+   let top_size = List.nth par_sizes (List.length par_sizes - 1) in
+   let top_domains = List.nth par_domains (List.length par_domains - 1) in
+   let wall_of d =
+     List.find_map
+       (fun (k, s, dm, _, total, _) ->
+         if k = top_kind && s = top_size && dm = d then Some total else None)
+       par_rows
+   in
+   match (wall_of 1, wall_of top_domains) with
+   | Some seq_ms, Some par_ms ->
+       Format.printf
+         "@.speedup summary (%s, %d rules): %.1f ms seq / %.1f ms at %d \
+          domains = %.2fx@."
+         (Dataset.to_string top_kind) top_size seq_ms par_ms top_domains
+         (seq_ms /. par_ms)
+   | _ -> ());
   (* Machine-readable dump: headline figures per scenario plus the full
      per-shard telemetry (schema in doc/CTRL.md). *)
   let open Telemetry.Json in
@@ -490,6 +569,26 @@ let ctrl () =
                      ("service", Ctrl.to_json ~scenario:name svc);
                    ])
                results) );
+        ( "parallel",
+          List
+            (List.map
+               (fun (kind, size, domains, (r : Churn.result), total, speedup) ->
+                 let w = r.Churn.flush_wall_ms in
+                 Obj
+                   [
+                     ("kind", Str (Dataset.to_string kind));
+                     ("size", Int size);
+                     ("domains", Int domains);
+                     ("shards", Int par_shards);
+                     ("flushes", Int r.Churn.flushes);
+                     ("applied", Int r.Churn.applied);
+                     ("drain_wall_total_ms", Float total);
+                     ("flush_wall_p50_ms", Float w.Measure.p50);
+                     ("flush_wall_p99_ms", Float w.Measure.p99);
+                     ("speedup_vs_seq", Float speedup);
+                   ])
+               par_rows) );
+        ("cores", Int (Pool.recommended ()));
       ]
   in
   let oc = open_out "BENCH_ctrl.json" in

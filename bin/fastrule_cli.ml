@@ -214,12 +214,13 @@ let ctrl_json path service ~scenario =
 let ctrl_cmd =
   let run kind n seed shards capacity ops batch policy refresh_every json
       journal do_recover faults crash_after crash_mid allow_failures failover
-      slow_call chaos_n =
+      slow_call slow_factor chaos_n domains =
     let bad fmt = Format.kasprintf (fun m -> Format.eprintf "fastrule_cli: %s@." m; exit 1) fmt in
     if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
     if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
     if batch < 1 then bad "--batch must be >= 1 (got %d)" batch;
     if refresh_every < 1 then bad "--refresh-every must be >= 1 (got %d)" refresh_every;
+    if domains < 1 then bad "--domains must be >= 1 (got %d)" domains;
     (match crash_after with
     | Some k when k < 1 -> bad "--crash-after must be >= 1 (got %d)" k
     | Some _ when journal = None ->
@@ -234,7 +235,7 @@ let ctrl_cmd =
         | Some d -> d
         | None -> bad "--recover needs --journal DIR"
       in
-      match Ctrl.recover ~journal:dir () with
+      match Ctrl.recover ~domains ~journal:dir () with
       | Error e -> bad "recovery failed: %s" e
       | Ok r ->
           let service = r.Ctrl.service in
@@ -269,6 +270,13 @@ let ctrl_cmd =
     let resil =
       let base = Ctrl.default_resil in
       let base = { base with Ctrl.failover } in
+      let base =
+        match slow_factor with
+        | Some k when k <= 0.0 ->
+            bad "--slow-factor must be positive (got %g)" k
+        | Some k -> { base with Ctrl.slow_factor = k }
+        | None -> base
+      in
       match slow_call with
       | Some ms when ms <= 0.0 -> bad "--slow-call must be positive (got %g)" ms
       | Some ms -> { base with Ctrl.slow_drain_ms = ms }
@@ -312,12 +320,14 @@ let ctrl_cmd =
                 fs)
     in
     let r =
-      Churn.run ~policy ~refresh_every ~resil ?journal ?configure ~chaos
-        ?stop_after_flushes:crash_after spec
+      Churn.run ~policy ~refresh_every ~resil ?journal ~domains ?configure
+        ~chaos ?stop_after_flushes:crash_after spec
     in
     Format.printf
-      "churn %s: %d shards x %d slots, %d preloaded, %d ops in windows of %d@."
-      (Dataset.to_string kind) shards capacity n ops batch;
+      "churn %s: %d shards x %d slots, %d preloaded, %d ops in windows of %d \
+       (%d domain%s)@."
+      (Dataset.to_string kind) shards capacity n ops batch domains
+      (if domains = 1 then "" else "s");
     Format.printf "submitted %d  coalesced %d  applied %d  failed %d  \
                    flushes %d@."
       r.Churn.submitted r.Churn.coalesced r.Churn.applied r.Churn.failed
@@ -464,6 +474,16 @@ let ctrl_cmd =
                 more than MS modelled hardware ms per op counts against \
                 the shard's breaker (default: disabled).")
   in
+  let slow_factor_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-factor" ] ~docv:"K"
+          ~doc:"Adaptive slow-call breaker policy: judge each drain against \
+                the shard's own p99 per-op hardware latency times K (from \
+                its telemetry histogram), so the threshold tracks drift. \
+                --slow-call overrides with a fixed bound.")
+  in
   let chaos_arg =
     Arg.(
       value & opt int 0
@@ -471,6 +491,16 @@ let ctrl_cmd =
           ~doc:"Schedule this many seeded fault-domain events (slow faults, \
                 write failures, restarts, heals) across the run.  Restart \
                 events need --journal.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int (Pool.recommended ())
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Executors per flush: shards drain concurrently on N OCaml \
+                domains with a deterministic join (results are identical \
+                for every N; default: the runtime's recommended domain \
+                count).  1 = strictly sequential.")
   in
   Cmd.v
     (Cmd.info "ctrl"
@@ -481,7 +511,8 @@ let ctrl_cmd =
       const run $ kind_arg $ n_arg $ seed_arg $ shards_arg $ capacity_arg
       $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg
       $ journal_arg $ recover_arg $ fault_arg $ crash_after_arg $ crash_mid_arg
-      $ allow_failures_arg $ failover_arg $ slow_call_arg $ chaos_arg)
+      $ allow_failures_arg $ failover_arg $ slow_call_arg $ slow_factor_arg
+      $ chaos_arg $ domains_arg)
 
 (* --- journal --------------------------------------------------------- *)
 
@@ -578,7 +609,7 @@ let break_conv =
 let conform_cmd =
   let run kind n seed events pool capacity probes fault fault_max break_ record
       save replay shrink out crash_at crash_mid crash_batch failover_shard
-      fo_shards capture =
+      fo_shards domains capture =
     let bad fmt =
       Format.kasprintf
         (fun m ->
@@ -588,6 +619,9 @@ let conform_cmd =
     in
     if fault < 0. || fault > 1. then bad "--fault must be in [0,1] (got %g)" fault;
     if crash_batch < 1 then bad "--crash-batch must be >= 1 (got %d)" crash_batch;
+    (match domains with
+    | Some d when d < 1 -> bad "--domains must be >= 1 (got %d)" d
+    | _ -> ());
     (* A bundle replay re-runs the captured differential mode with the
        captured parameters — the offline half of --capture. *)
     (match replay with
@@ -603,7 +637,8 @@ let conform_cmd =
               let r =
                 Oracle.run_failover ~probes ~batch:info.Bundle.batch
                   ~shards:(max 2 info.Bundle.shards)
-                  ~fault_shard:info.Bundle.fault_shard ~slow_ms ?capture trace
+                  ~fault_shard:info.Bundle.fault_shard ~slow_ms ?domains
+                  ?capture trace
               in
               Oracle.pp_failover_report Format.std_formatter r;
               exit (if Oracle.failover_clean r then 0 else 1)
@@ -611,8 +646,8 @@ let conform_cmd =
             else begin
               let r =
                 Oracle.run_crash ~probes ~batch:info.Bundle.batch
-                  ~mid_drain:info.Bundle.mid_drain ~at:info.Bundle.at ?capture
-                  trace
+                  ~mid_drain:info.Bundle.mid_drain ~at:info.Bundle.at ?domains
+                  ?capture trace
               in
               Oracle.pp_crash_report Format.std_formatter r;
               exit (if Oracle.crash_clean r then 0 else 1)
@@ -636,7 +671,7 @@ let conform_cmd =
            for every scheduler kind. *)
         let r =
           Oracle.run_crash ~probes ~batch:crash_batch ~mid_drain:crash_mid ~at
-            ?capture trace
+            ?domains ?capture trace
         in
         Oracle.pp_crash_report Format.std_formatter r;
         exit (if Oracle.crash_clean r then 0 else 1)
@@ -648,7 +683,7 @@ let conform_cmd =
           bad "--failover shard %d out of range (0..%d)" fs (fo_shards - 1);
         let r =
           Oracle.run_failover ~probes ~batch:crash_batch ~shards:fo_shards
-            ~fault_shard:fs ?capture trace
+            ~fault_shard:fs ?domains ?capture trace
         in
         Oracle.pp_failover_report Format.std_formatter r;
         exit (if Oracle.failover_clean r then 0 else 1)
@@ -812,6 +847,16 @@ let conform_cmd =
       & info [ "shards" ] ~docv:"N"
           ~doc:"Shard count in failover mode (>= 2).")
   in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Run the crash/failover services with N flush executors — \
+                with N > 1 a clean oracle is the proof that the parallel \
+                drain path is observationally equivalent to the sequential \
+                one (default: FASTRULE_DOMAINS or 1).")
+  in
   let capture_arg =
     Arg.(
       value
@@ -831,7 +876,7 @@ let conform_cmd =
       $ capacity_arg $ probes_arg $ fault_arg $ fault_max_arg $ break_arg
       $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg
       $ crash_at_arg $ crash_mid_arg $ crash_batch_arg $ failover_shard_arg
-      $ fo_shards_arg $ capture_arg)
+      $ fo_shards_arg $ domains_arg $ capture_arg)
 
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in

@@ -369,8 +369,8 @@ type crash_report = {
 
 let crash_clean r = r.crash_divergences = []
 
-let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at ?capture
-    (trace : Trace.t) =
+let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at ?domains
+    ?capture (trace : Trace.t) =
   if batch <= 0 then invalid_arg "Oracle.run_crash: batch must be positive";
   let pool = Trace.rules trace in
   let n_events = List.length trace.Trace.events in
@@ -388,7 +388,8 @@ let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at ?capture
      is exactly the claim under test. *)
   let reference kind upto =
     let s =
-      Service.of_rules ~kind ~shards:1 ~capacity:trace.Trace.capacity preload
+      Service.of_rules ~kind ?domains ~shards:1 ~capacity:trace.Trace.capacity
+        preload
     in
     for i = 0 to upto - 1 do
       Service.submit s (Trace.flow_mod pool events.(i));
@@ -423,7 +424,7 @@ let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at ?capture
     let diverged_before = List.length !divergences in
     let dir = Journal.fresh_dir ~prefix:"fr-conform-crash" in
     let service =
-      Service.of_rules ~kind ~shards:1 ~capacity:trace.Trace.capacity
+      Service.of_rules ~kind ?domains ~shards:1 ~capacity:trace.Trace.capacity
         ~journal:dir preload
     in
     let committed = ref 0 in
@@ -436,7 +437,7 @@ let run_crash ?(probes = 8) ?(batch = 4) ?(mid_drain = false) ?at ?capture
     done;
     Service.simulate_crash ~mid_drain service;
     let col =
-      match Service.recover ~journal:dir () with
+      match Service.recover ?domains ~journal:dir () with
       | Error e ->
           diverge ~scheduler:name ("recovery failed: " ^ e);
           {
@@ -583,7 +584,7 @@ let union_lookup service pkt =
   winner_id !best
 
 let run_failover ?(probes = 8) ?(batch = 4) ?(shards = 3) ?(fault_shard = 0)
-    ?(slow_ms = 8.0) ?capture (trace : Trace.t) =
+    ?(slow_ms = 8.0) ?domains ?capture (trace : Trace.t) =
   if batch <= 0 then invalid_arg "Oracle.run_failover: batch must be positive";
   if shards < 2 then
     invalid_arg "Oracle.run_failover: failover needs at least 2 shards";
@@ -617,8 +618,8 @@ let run_failover ?(probes = 8) ?(batch = 4) ?(shards = 3) ?(fault_shard = 0)
     let diverged_before = List.length !divergences in
     let drive ~faulted =
       let s =
-        Service.of_rules ~kind ~shards ~capacity:trace.Trace.capacity ~resil
-          preload
+        Service.of_rules ~kind ?domains ~shards ~capacity:trace.Trace.capacity
+          ~resil preload
       in
       if faulted then
         Service.set_fault s ~shard:fault_shard

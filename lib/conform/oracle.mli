@@ -141,11 +141,15 @@ val run_crash :
   ?batch:int ->
   ?mid_drain:bool ->
   ?at:int ->
+  ?domains:int ->
   ?capture:string ->
   Trace.t ->
   crash_report
 (** Defaults: 8 probes, flush every 4 events, clean crash between
-    flushes, [at] = the whole trace.  Journals live in (and are cleaned
+    flushes, [at] = the whole trace.  [domains] is handed to every
+    service the oracle builds (reference, journaled run, recovery) — with
+    [domains > 1] the oracle doubles as the proof that the parallel drain
+    path is observationally equivalent to the sequential one.  Journals live in (and are cleaned
     from) a fresh temp directory per scheduler — unless [capture] names a
     directory, in which case each diverging kind leaves a {!Bundle}
     (trace + parameters + journal copy) at [capture/crash-<kind>]
@@ -204,12 +208,16 @@ val run_failover :
   ?shards:int ->
   ?fault_shard:int ->
   ?slow_ms:float ->
+  ?domains:int ->
   ?capture:string ->
   Trace.t ->
   failover_report
 (** Defaults: 8 probes, flush every 4 events, 3 shards, the fault on
     shard 0, 8 ms/op — far above the supervisor's 2 ms/op slow-call
     threshold, so the sick shard always trips and healthy ones never do.
+    [domains] drives both the faulted service and its twin, so the whole
+    quarantine/divert/heal/rebalance cycle is exercised under the
+    parallel drain path.
     With [capture], diverging kinds leave a bundle at
     [capture/failover-<kind>].
     @raise Invalid_argument if [batch <= 0], [shards < 2], [fault_shard]

@@ -95,6 +95,10 @@ module Journal = Fr_resil.Journal
 module Backoff = Fr_resil.Backoff
 module Breaker = Fr_resil.Breaker
 
+(** {1 Execution (domain pool for parallel drains)} *)
+
+module Pool = Fr_exec.Pool
+
 (** {1 The control plane (sharded multi-agent service)} *)
 
 module Partition = Fr_ctrl.Partition

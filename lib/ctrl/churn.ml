@@ -105,8 +105,15 @@ let apply_chaos_event service ~seed e =
            (Fr_tcam.Fault.of_spec spec
               ~seed:(seed lxor (0xc4a05 + (e.shard * 131) + e.at_flush))))
   | Chaos_slow ms ->
+      (* Seed keyed by shard and fire time, like Chaos_fault above: one
+         shared stream across shards would make any draw the fault plan
+         ever takes depend on which other shards got slow faults first —
+         a replay-determinism hazard even in a sequential run. *)
       Service.set_fault service ~shard:e.shard
-        (Some (Fr_tcam.Fault.create ~slow_ms:ms ~seed:(seed lxor 0x510) ()))
+        (Some
+           (Fr_tcam.Fault.create ~slow_ms:ms
+              ~seed:(seed lxor (0x510 + (e.shard * 131) + e.at_flush))
+              ()))
   | Chaos_heal -> Service.set_fault service ~shard:e.shard None
   | Chaos_restart ->
       (* Restart faults need a journal to re-adopt from; on an
@@ -115,13 +122,13 @@ let apply_chaos_event service ~seed e =
       if Service.journaled service then
         ignore (Service.restart_shard service ~shard:e.shard)
 
-let run ?policy ?algo ?verify ?refresh_every ?resil ?journal ?configure
-    ?(chaos = []) ?stop_after_flushes spec =
+let run ?policy ?algo ?verify ?refresh_every ?resil ?journal ?domains
+    ?configure ?(chaos = []) ?stop_after_flushes spec =
   (* One pool covers the preload and every insertion the mix can draw. *)
   let pool = Dataset.generate spec.kind ~seed:spec.seed ~n:(spec.initial + spec.ops) in
   let service =
     Service.of_rules ?kind:algo ?verify ?refresh_every ?policy ?resil ?journal
-      ~shards:spec.shards ~capacity:spec.capacity
+      ?domains ~shards:spec.shards ~capacity:spec.capacity
       (Array.sub pool 0 spec.initial)
   in
   Option.iter (fun f -> f service) configure;

@@ -73,13 +73,16 @@ val run :
   ?refresh_every:int ->
   ?resil:Service.resil ->
   ?journal:string ->
+  ?domains:int ->
   ?configure:(Service.t -> unit) ->
   ?chaos:chaos_event list ->
   ?stop_after_flushes:int ->
   spec ->
   result
 (** [configure] runs right after the service is built, before any op is
-    submitted — the hook for installing fault plans.  [chaos] events fire
+    submitted — the hook for installing fault plans.  [domains] is handed
+    to {!Service.of_rules}: the run's flushes drain shards on that many
+    executors, with results identical to [domains = 1] by construction.  [chaos] events fire
     between flushes, each just before the flush its [at_flush] names
     (events whose flush never happens are dropped).  [stop_after_flushes]
     abandons the stream at the flush that would follow the [n]th: the

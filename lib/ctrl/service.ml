@@ -5,6 +5,8 @@ module Measure = Fr_switch.Measure
 module Journal = Fr_resil.Journal
 module Backoff = Fr_resil.Backoff
 module Breaker = Fr_resil.Breaker
+module Pool = Fr_exec.Pool
+module Rng = Fr_prng.Rng
 
 (* -- supervision policy ---------------------------------------------- *)
 
@@ -17,6 +19,7 @@ type resil = {
   breaker_threshold : int;
   breaker_slow_threshold : int;
   slow_drain_ms : float;
+  slow_factor : float;
   breaker_cooldown : int;
   queue_bound : int;
   checkpoint_every : int;
@@ -35,6 +38,7 @@ let default_resil =
     breaker_threshold = 3;
     breaker_slow_threshold = 3;
     slow_drain_ms = infinity;
+    slow_factor = 0.0;
     breaker_cooldown = 2;
     queue_bound = 1024;
     checkpoint_every = 32;
@@ -45,6 +49,8 @@ let default_resil =
 
 type t = {
   partition : Partition.t;
+  domains : int;
+      (* executors a flush may use; 1 = the exact legacy sequential path *)
   shards : Shard.t array;
   routes : (int, int) Hashtbl.t;
       (* rule id -> shard, for every id pending or installed.  Rebuilt
@@ -66,19 +72,52 @@ type t = {
 
 let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
 
+(* How many executors a flush uses when the caller does not say: the
+   [FASTRULE_DOMAINS] env knob (so a whole test/CI run can be switched to
+   the parallel path without touching call sites), else 1 — the library
+   never grabs extra cores uninvited. *)
+let default_domains () =
+  match Sys.getenv_opt "FASTRULE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> 1
+
+let resolve_domains = function
+  | None -> default_domains ()
+  | Some n when n >= 1 -> n
+  | Some n -> invalid_arg (Printf.sprintf "Service: domains %d < 1" n)
+
 let make_supervision resil ~shards =
-  ( Array.init shards (fun _ ->
+  let slow_policy =
+    resil.slow_drain_ms < infinity || resil.slow_factor > 0.0
+  in
+  let breakers =
+    Array.init shards (fun _ ->
         Breaker.create ~threshold:resil.breaker_threshold
-          ~slow_threshold:
-            (if resil.slow_drain_ms = infinity then 0
-             else resil.breaker_slow_threshold)
-          ~cooldown:resil.breaker_cooldown ()),
-    Array.init shards (fun i ->
+          ~slow_threshold:(if slow_policy then resil.breaker_slow_threshold else 0)
+          ~cooldown:resil.breaker_cooldown ())
+  in
+  (* Jitter streams: one root generator, split once per shard in shard
+     order.  Each backoff owns an independent stream keyed only by its
+     shard index, so a parallel flush draws exactly the jitter the
+     sequential one would — and retries on shard [i] never perturb the
+     schedule of shard [j], which a single shared generator would. *)
+  let root = Rng.create ~seed:0x5e51 in
+  let streams = Array.init shards (fun _ -> root) in
+  for i = 0 to shards - 1 do
+    streams.(i) <- Rng.split root
+  done;
+  let backoffs =
+    Array.map
+      (fun rng ->
         Backoff.create ~base_ms:resil.backoff_base_ms
           ~factor:resil.backoff_factor ~max_ms:resil.backoff_max_ms
-          ~jitter:resil.backoff_jitter
-          ~seed:(0x5e51 + i)
-          ()) )
+          ~jitter:resil.backoff_jitter ~rng ~seed:0 ())
+      streams
+  in
+  (breakers, backoffs)
 
 (* A fresh journal directory: shape metadata once, then one compacted
    journal per shard anchored on a checkpoint of its starting table (so
@@ -111,7 +150,7 @@ let make_journals ~dir ~kind ~policy ~verify ~refresh_every ~capacity
 
 let create ?(kind = default_kind) ?latency ?(verify = false)
     ?(refresh_every = 1) ?(policy = Partition.Hash_id)
-    ?(resil = default_resil) ?journal ~shards ~capacity () =
+    ?(resil = default_resil) ?journal ?domains ~shards ~capacity () =
   let shard_arr =
     Array.init shards (fun id ->
         Shard.create ~kind ?latency ~verify ~refresh_every ~capacity ~id ())
@@ -119,6 +158,7 @@ let create ?(kind = default_kind) ?latency ?(verify = false)
   let breakers, backoffs = make_supervision resil ~shards in
   {
     partition = Partition.create ~shards policy;
+    domains = resolve_domains domains;
     shards = shard_arr;
     routes = Hashtbl.create 1024;
     resil;
@@ -138,7 +178,7 @@ let create ?(kind = default_kind) ?latency ?(verify = false)
 
 let of_rules ?(kind = default_kind) ?latency ?(verify = false)
     ?(refresh_every = 1) ?(policy = Partition.Hash_id)
-    ?(resil = default_resil) ?journal ~shards ~capacity rules =
+    ?(resil = default_resil) ?journal ?domains ~shards ~capacity rules =
   let partition = Partition.create ~shards policy in
   let slices = Array.make shards [] in
   Array.iter
@@ -155,6 +195,7 @@ let of_rules ?(kind = default_kind) ?latency ?(verify = false)
   let t =
     {
       partition;
+      domains = resolve_domains domains;
       shards = shard_arr;
       routes = Hashtbl.create (2 * Array.length rules);
       resil;
@@ -179,6 +220,7 @@ let of_rules ?(kind = default_kind) ?latency ?(verify = false)
   t
 
 let shards t = Array.length t.shards
+let domains t = t.domains
 
 let shard t i =
   if i < 0 || i >= Array.length t.shards then
@@ -367,6 +409,28 @@ let checkpoint_shard t i =
 let checkpoint t =
   Array.iteri (fun i _ -> checkpoint_shard t i) t.shards
 
+(* Minimum per-op latency samples before the adaptive slow-call threshold
+   engages; below this the shard's histogram is too thin to call anything
+   an outlier, so the policy stays silent rather than tripping on
+   warm-up noise. *)
+let adaptive_min_samples = 8
+
+(* The per-op bound this drain is judged against.  An explicit
+   [slow_drain_ms] always wins; otherwise, with [slow_factor > 0], the
+   bound is the shard's *own* p99 per-op hardware time scaled by the
+   factor — derived from history only (the current drain is not yet in
+   the series), so the judgment is identical whether shards drain
+   sequentially or in parallel. *)
+let effective_slow_ms t i =
+  if t.resil.slow_drain_ms < infinity then t.resil.slow_drain_ms
+  else if t.resil.slow_factor > 0.0 then begin
+    let s = Telemetry.hw_per_op_ms (Shard.telemetry t.shards.(i)) in
+    if s.Measure.count >= adaptive_min_samples then
+      s.Measure.p99 *. t.resil.slow_factor
+    else infinity
+  end
+  else infinity
+
 (* Drain one admitted shard under the supervisor: retry transient
    casualties with backoff (modelled delay, accounted not slept), then
    settle the journal — a clean drain commits (a fault-free replay of its
@@ -376,6 +440,8 @@ let checkpoint t =
 let drain_supervised t i =
   let sh = t.shards.(i) in
   let tele = Shard.telemetry sh in
+  let slow_ms = effective_slow_ms t i in
+  Telemetry.set_slow_threshold tele slow_ms;
   let had_work = Shard.has_work sh in
   let drain_id =
     match t.journals with
@@ -415,7 +481,7 @@ let drain_supervised t i =
       (not damaged)
       && final.Shard.tcam_ops > 0
       && final.Shard.hardware_ms /. float_of_int final.Shard.tcam_ops
-         > t.resil.slow_drain_ms
+         > slow_ms
     in
     if damaged then Breaker.note_failure br
     else if slow then begin
@@ -540,30 +606,69 @@ let rebalance t =
     end
   end
 
+(* One shard's share of a flush: skip-or-drain under its breaker, with
+   any shed submits folded into the casualty list.  Everything here —
+   agent, coalesce queue, telemetry, breaker, backoff stream, journal
+   file, [shed] and [commits_since_ckpt] slot — is owned by shard [i]
+   alone, which is what makes the domain fan-out below race-free without
+   a single lock in the drain path.  Returns [(skipped, result)]. *)
+let flush_shard t i =
+  let sheds = List.rev t.shed.(i) in
+  t.shed.(i) <- [];
+  let br = t.breakers.(i) in
+  if not (Breaker.admits br) then begin
+    Breaker.note_skipped br;
+    Telemetry.set_breaker_state
+      (Shard.telemetry t.shards.(i))
+      (Breaker.state_to_string (Breaker.state br));
+    (true, { (Shard.empty_result ~shard:i) with Shard.failed = sheds })
+  end
+  else
+    let r = drain_supervised t i in
+    (false, { r with Shard.failed = sheds @ r.Shard.failed })
+
+(* Fan the per-shard drains out to the shared domain pool and join
+   deterministically.  [domains = 1] (or a single shard) bypasses the
+   pool entirely — the exact legacy sequential path.  The pool gets
+   [domains - 1] workers because the joining caller lends itself to the
+   pool while it waits, so [domains] executors run in total.  A task
+   exception is re-raised only after every sibling has finished (lowest
+   shard first), so no drain is ever abandoned mid-journal-write and the
+   raise order does not depend on scheduling. *)
+let drain_all t =
+  let n = Array.length t.shards in
+  let out = Array.make n (true, Shard.empty_result ~shard:0) in
+  if t.domains <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      out.(i) <- flush_shard t i
+    done
+  else begin
+    let pool = Pool.shared ~workers:(min (t.domains - 1) n) in
+    let joined =
+      Pool.run_all pool (Array.init n (fun i -> fun () -> flush_shard t i))
+    in
+    Array.iteri
+      (fun i -> function Ok r -> out.(i) <- r | Error _ -> ())
+      joined;
+    Array.iter (function Error e -> raise e | Ok _ -> ()) joined
+  end;
+  out
+
 let flush t =
   let (results, quarantined), wall_ms =
     Measure.time_ms (fun () ->
+        let per_shard = drain_all t in
+        let results = Array.map snd per_shard in
         let quarantined = ref [] in
-        let results =
-          Array.init (Array.length t.shards) (fun i ->
-              let sheds = List.rev t.shed.(i) in
-              t.shed.(i) <- [];
-              let br = t.breakers.(i) in
-              if not (Breaker.admits br) then begin
-                Breaker.note_skipped br;
-                Telemetry.set_breaker_state
-                  (Shard.telemetry t.shards.(i))
-                  (Breaker.state_to_string (Breaker.state br));
-                quarantined := i :: !quarantined;
-                { (Shard.empty_result ~shard:i) with Shard.failed = sheds }
-              end
-              else
-                let r = drain_supervised t i in
-                { r with Shard.failed = sheds @ r.Shard.failed })
-        in
-        (* The extra drains the rebalance pass runs are merged into the
-           per-shard slots so the report stays a truthful account of the
-           whole flush. *)
+        Array.iteri
+          (fun i (skipped, _) ->
+            if skipped then quarantined := i :: !quarantined)
+          per_shard;
+        (* The rebalance pass crosses shards (it reads sibling breakers
+           and moves ids between queues), so it runs as an ordered
+           epilogue after the join barrier, never concurrently with the
+           drains.  Its extra drains are merged into the per-shard slots
+           so the report stays a truthful account of the whole flush. *)
         List.iter
           (fun (r : Shard.drain_result) ->
             let i = r.Shard.shard in
@@ -665,7 +770,7 @@ type recovery = {
   warnings : string list;
 }
 
-let recover ?latency ?(resil = default_resil) ~journal:dir () =
+let recover ?latency ?(resil = default_resil) ?domains ~journal:dir () =
   let ( let* ) = Result.bind in
   let* meta = Journal.read_meta ~dir in
   let* kind =
@@ -758,6 +863,7 @@ let recover ?latency ?(resil = default_resil) ~journal:dir () =
   let t =
     {
       partition = Partition.create ~shards:meta.Journal.shards policy;
+      domains = resolve_domains domains;
       shards = shard_arr;
       routes = Hashtbl.create 1024;
       resil;

@@ -61,8 +61,16 @@ type resil = {
           [slow_drain_ms] is finite) *)
   slow_drain_ms : float;
       (** per-op modelled hardware-time bound above which a damage-free
-          drain counts as {e slow}; [infinity] disables the slow-call
-          policy *)
+          drain counts as {e slow}; [infinity] defers to [slow_factor]
+          (and disables the policy when that is 0 too).  A finite value
+          always overrides the adaptive threshold. *)
+  slow_factor : float;
+      (** adaptive slow-call threshold: judge each drain against the
+          shard's {e own} p99 per-op hardware time
+          ({!Telemetry.hw_per_op_ms}) times this factor, once at least 8
+          per-op samples exist — so the breaker tracks the shard's drift
+          instead of a constant.  [0.0] (default) disables; ignored while
+          [slow_drain_ms] is finite *)
   breaker_cooldown : int;  (** flush rounds quarantined before probing *)
   queue_bound : int;  (** max queued entries behind an open breaker *)
   checkpoint_every : int;  (** commits between periodic checkpoints *)
@@ -77,12 +85,19 @@ type resil = {
 val default_resil : resil
 (** [retry_budget = 2], backoff 1 ms doubling to 64 ms with ±20% jitter,
     breaker trips after 3 damaged drains (slow-call policy disabled:
-    [slow_drain_ms = infinity], [breaker_slow_threshold = 3] once
-    enabled) and cools down for 2 flushes, [queue_bound = 1024],
-    checkpoint every 32 commits keeping 1 table, failover routing off,
-    [rebalance_batch = 64]. *)
+    [slow_drain_ms = infinity], [slow_factor = 0.0],
+    [breaker_slow_threshold = 3] once enabled) and cools down for 2
+    flushes, [queue_bound = 1024], checkpoint every 32 commits keeping 1
+    table, failover routing off, [rebalance_batch = 64]. *)
 
 type t
+
+val default_domains : unit -> int
+(** The [domains] value constructors use when the caller passes none:
+    the [FASTRULE_DOMAINS] environment variable if it parses as a
+    positive integer, else [1].  The library never grabs extra cores
+    uninvited — the CLI and bench default to
+    {!Fr_exec.Pool.recommended} explicitly. *)
 
 val create :
   ?kind:Fr_switch.Firmware.algo_kind ->
@@ -92,6 +107,7 @@ val create :
   ?policy:Partition.policy ->
   ?resil:resil ->
   ?journal:string ->
+  ?domains:int ->
   shards:int ->
   capacity:int ->
   unit ->
@@ -100,11 +116,15 @@ val create :
     FastRule on the original layout, 0.6 ms/op, no shadow-table verify,
     per-insert metric maintenance ([refresh_every = 1], see
     {!Fr_switch.Agent.apply_batch}), {!Partition.Hash_id} routing,
-    {!default_resil} supervision, no journal.  [journal] names a
-    directory (created if missing) that receives the service's shape
-    metadata plus one WAL per shard.
+    {!default_resil} supervision, no journal, [domains] from
+    {!default_domains}.  [journal] names a directory (created if
+    missing) that receives the service's shape metadata plus one WAL per
+    shard.  [domains] is the number of executors a {!flush} may use to
+    drain shards concurrently; [1] is the exact legacy sequential path,
+    and any value produces bit-identical results (see {!flush}).
     @raise Invalid_argument if [journal] already holds a journal —
-    {!recover} from it instead of silently overwriting history. *)
+    {!recover} from it instead of silently overwriting history — or if
+    [domains < 1]. *)
 
 val of_rules :
   ?kind:Fr_switch.Firmware.algo_kind ->
@@ -114,6 +134,7 @@ val of_rules :
   ?policy:Partition.policy ->
   ?resil:resil ->
   ?journal:string ->
+  ?domains:int ->
   shards:int ->
   capacity:int ->
   Fr_tern.Rule.t array ->
@@ -124,6 +145,11 @@ val of_rules :
     @raise Invalid_argument if ids collide or a slice does not fit. *)
 
 val shards : t -> int
+
+val domains : t -> int
+(** Executors {!flush} may use; [1] means strictly sequential. *)
+
+
 val shard : t -> int -> Shard.t
 (** @raise Invalid_argument if the index is out of range. *)
 
@@ -194,7 +220,20 @@ val flush : t -> flush_report
     (diverted ids whose home is healthy again migrate back, erase before
     re-insert, never two copies live), and reconciling the routing table
     against the installed state plus any still-queued intent.  Rebalance
-    drains are merged into the owning shard's [results] slot. *)
+    drains are merged into the owning shard's [results] slot.
+
+    With [domains > 1] the per-shard drains — retries, breaker
+    bookkeeping, journal append/fsync and telemetry included — run
+    concurrently on a shared pool of OCaml domains
+    ({!Fr_exec.Pool.shared}) and are joined {e deterministically}: shards
+    share nothing inside a drain, each shard's backoff jitter comes from
+    its own split PRNG stream, the adaptive slow threshold reads only the
+    shard's own history, and reports are merged in shard order.  The
+    result is bit-identical to the sequential path in everything modelled
+    — applied/failed/coalesced counts, TCAM ops, modelled hardware ms,
+    journal bytes, telemetry counters; only measured wall/firmware times
+    differ.  Anything that crosses shards (the rebalance pass, route
+    reconciliation) runs after the join barrier, in shard order. *)
 
 val checkpoint : t -> unit
 (** Force a checkpoint (and journal compaction) on every shard now.
@@ -243,6 +282,7 @@ type recovery = {
 val recover :
   ?latency:Fr_tcam.Latency.t ->
   ?resil:resil ->
+  ?domains:int ->
   journal:string ->
   unit ->
   (recovery, string) result

@@ -96,10 +96,16 @@ type t = {
   mutable rebalanced : int;  (* diverted ids drained back to this home *)
   mutable restarts : int;  (* whole-shard restart faults absorbed *)
   mutable slow_drains : int;  (* drains over the slow-call threshold *)
+  mutable slow_threshold_ms : float;
+      (* per-op bound the last drain was judged against (infinity: slow
+         policy off or still warming up) *)
   fw_series : Measure.Series.t;  (* per drain *)
   hw_series : Measure.Series.t;
   wall_series : Measure.Series.t;
   ops_series : Measure.Series.t;
+  hw_op_series : Measure.Series.t;
+      (* modelled hardware ms per TCAM op, one sample per non-empty drain
+         — the latency histogram the adaptive slow-call threshold reads *)
 }
 
 let create () =
@@ -126,10 +132,12 @@ let create () =
     rebalanced = 0;
     restarts = 0;
     slow_drains = 0;
+    slow_threshold_ms = infinity;
     fw_series = Measure.Series.create ();
     hw_series = Measure.Series.create ();
     wall_series = Measure.Series.create ();
     ops_series = Measure.Series.create ();
+    hw_op_series = Measure.Series.create ();
   }
 
 let record_submitted t = t.submitted <- t.submitted + 1
@@ -146,6 +154,7 @@ let record_diverted t = t.diverted <- t.diverted + 1
 let record_rebalanced t = t.rebalanced <- t.rebalanced + 1
 let record_restart t = t.restarts <- t.restarts + 1
 let record_slow_drain t = t.slow_drains <- t.slow_drains + 1
+let set_slow_threshold t ms = t.slow_threshold_ms <- ms
 let set_breaker_state t s = t.breaker_state <- s
 let record_coalesced t n = t.coalesced <- t.coalesced + n
 let record_rejected t n = t.rejected <- t.rejected + n
@@ -163,7 +172,9 @@ let record_drain t ~queue_depth ~applied ~failed ~firmware_ms ~hardware_ms
   Measure.Series.add t.fw_series firmware_ms;
   Measure.Series.add t.hw_series hardware_ms;
   Measure.Series.add t.wall_series wall_ms;
-  Measure.Series.add t.ops_series (float_of_int tcam_ops)
+  Measure.Series.add t.ops_series (float_of_int tcam_ops);
+  if tcam_ops > 0 then
+    Measure.Series.add t.hw_op_series (hardware_ms /. float_of_int tcam_ops)
 
 let submitted t = t.submitted
 let coalesced t = t.coalesced
@@ -187,10 +198,12 @@ let diverted t = t.diverted
 let rebalanced t = t.rebalanced
 let restarts t = t.restarts
 let slow_drains t = t.slow_drains
+let slow_threshold_ms t = t.slow_threshold_ms
 let firmware_ms t = Measure.Series.summary t.fw_series
 let hardware_ms t = Measure.Series.summary t.hw_series
 let wall_ms t = Measure.Series.summary t.wall_series
 let drain_ops t = Measure.Series.summary t.ops_series
+let hw_per_op_ms t = Measure.Series.summary t.hw_op_series
 
 type histogram = { bounds : float array; counts : int array }
 
@@ -261,6 +274,8 @@ let pp ppf t =
     Format.fprintf ppf
       "diverted %d  rebalanced %d  restarts %d  slow-drains %d@." t.diverted
       t.rebalanced t.restarts t.slow_drains;
+  if Float.is_finite t.slow_threshold_ms then
+    Format.fprintf ppf "slow-call threshold (ms/op): %.3f@." t.slow_threshold_ms;
   Format.fprintf ppf "firmware/drain (ms): %a@." Measure.pp_summary
     (firmware_ms t);
   Format.fprintf ppf "hardware/drain (ms): %a@." Measure.pp_summary
@@ -298,12 +313,14 @@ let to_json t =
       ("rebalanced", Json.Int t.rebalanced);
       ("restarts", Json.Int t.restarts);
       ("slow_drains", Json.Int t.slow_drains);
+      ("slow_threshold_ms", Json.Float t.slow_threshold_ms);
       ("firmware_ms_total", Json.Float t.fw_ms);
       ("hardware_ms_total", Json.Float t.hw_ms);
       ("firmware_ms", Json.of_summary (firmware_ms t));
       ("hardware_ms", Json.of_summary (hardware_ms t));
       ("wall_ms", Json.of_summary (wall_ms t));
       ("drain_ops", Json.of_summary (drain_ops t));
+      ("hw_per_op_ms", Json.of_summary (hw_per_op_ms t));
       ("latency_histogram", histogram_json (latency_histogram t));
       ("moves_histogram", histogram_json (moves_histogram t));
     ]

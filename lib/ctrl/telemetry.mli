@@ -82,6 +82,11 @@ val record_slow_drain : t -> unit
 (** A drain finished damage-free but over the supervisor's slow-call
     latency threshold. *)
 
+val set_slow_threshold : t -> float -> unit
+(** The per-op slow-call bound (ms) the supervisor judged the last drain
+    against — a gauge, not a counter; [infinity] while the policy is off
+    or the adaptive threshold is still warming up. *)
+
 (** {1 Reading} *)
 
 val submitted : t -> int
@@ -106,6 +111,9 @@ val rebalanced : t -> int
 val restarts : t -> int
 val slow_drains : t -> int
 
+val slow_threshold_ms : t -> float
+(** Last value passed to {!set_slow_threshold}; [infinity] initially. *)
+
 val breaker_state : t -> string
 (** Current breaker state name ("closed" when no supervisor runs). *)
 
@@ -120,6 +128,13 @@ val wall_ms : t -> Fr_switch.Measure.summary
 
 val drain_ops : t -> Fr_switch.Measure.summary
 (** Per-drain TCAM op counts (the paper's movement metric, per drain). *)
+
+val hw_per_op_ms : t -> Fr_switch.Measure.summary
+(** Modelled hardware milliseconds per TCAM op, one sample per non-empty
+    drain.  This is the shard's own latency distribution: the adaptive
+    slow-call threshold is its p99 times the service's [slow_factor].
+    Modelled time, so the summary is deterministic for a given op
+    stream. *)
 
 type histogram = { bounds : float array; counts : int array }
 (** [counts.(i)] samples fall in [(bounds.(i-1), bounds.(i)]] (the first

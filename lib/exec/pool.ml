@@ -1,0 +1,246 @@
+(* Bounded domain pool with work-stealing submit and deadline-aware join.
+
+   Concurrency discipline: one mutex guards every deque, every handle
+   outcome and the pool state; [work] wakes parked workers, [resolved] wakes
+   awaiters.  Task bodies run outside the lock.  Tasks are coarse (a whole
+   shard drain each), so the single lock is a few acquisitions per task —
+   far below the cost of the task itself — and buys us an obviously
+   race-free design instead of a lock-free deque. *)
+
+exception Saturated
+exception Timed_out
+exception Shut_down
+
+type state = Running | Draining | Stopped
+
+type cell = { run : unit -> unit }
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t; (* new task queued, or shutdown requested *)
+  resolved : Condition.t; (* some handle resolved *)
+  deques : cell Queue.t array; (* one per worker; >= 1 even when workers=0 *)
+  mutable cursor : int; (* round-robin target for the next submit *)
+  mutable queued : int; (* tasks sitting in deques, not yet running *)
+  max_pending : int;
+  mutable state : state;
+  mutable domains : unit Domain.t list;
+  workers : int;
+}
+
+type 'a outcome = Pending | Done of 'a | Raised of exn
+
+type 'a handle = { pool : t; mutable outcome : 'a outcome }
+
+let workers t = t.workers
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Pop from our own deque first (oldest first — submission order), then
+   steal the oldest task of the nearest sibling.  Must hold [t.lock]. *)
+let take_locked t ~own =
+  let n = Array.length t.deques in
+  let rec scan k tried =
+    if tried >= n then None
+    else
+      let q = t.deques.(k mod n) in
+      if Queue.is_empty q then scan (k + 1) (tried + 1)
+      else Some (Queue.pop q)
+  in
+  match scan own 0 with
+  | Some c ->
+      t.queued <- t.queued - 1;
+      Some c
+  | None -> None
+
+let worker_loop t own () =
+  Mutex.lock t.lock;
+  let rec loop () =
+    match take_locked t ~own with
+    | Some c ->
+        Mutex.unlock t.lock;
+        c.run ();
+        Mutex.lock t.lock;
+        loop ()
+    | None ->
+        if t.state = Running then begin
+          Condition.wait t.work t.lock;
+          loop ()
+        end
+        (* Draining/Stopped with empty deques: fall through and exit. *)
+  in
+  loop ();
+  Mutex.unlock t.lock
+
+let create ?(max_pending = 65536) ~workers () =
+  if workers < 0 then invalid_arg "Pool.create: workers < 0";
+  if max_pending < 1 then invalid_arg "Pool.create: max_pending < 1";
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      resolved = Condition.create ();
+      deques = Array.init (max 1 workers) (fun _ -> Queue.create ());
+      cursor = 0;
+      queued = 0;
+      max_pending;
+      state = Running;
+      domains = [];
+      workers;
+    }
+  in
+  t.domains <- List.init workers (fun i -> Domain.spawn (worker_loop t i));
+  t
+
+(* The task body never escapes an exception: the outcome (value or raise) is
+   published under the pool lock so awaiters never miss a wakeup. *)
+let make_cell t f =
+  let h = { pool = t; outcome = Pending } in
+  let run () =
+    let o = match f () with v -> Done v | exception e -> Raised e in
+    Mutex.lock t.lock;
+    h.outcome <- o;
+    Condition.broadcast t.resolved;
+    Mutex.unlock t.lock
+  in
+  (h, { run })
+
+let try_submit t f =
+  Mutex.lock t.lock;
+  if t.state <> Running then begin
+    Mutex.unlock t.lock;
+    raise Shut_down
+  end;
+  if t.queued >= t.max_pending then begin
+    Mutex.unlock t.lock;
+    None
+  end
+  else begin
+    let h, c = make_cell t f in
+    let k = t.cursor mod Array.length t.deques in
+    t.cursor <- t.cursor + 1;
+    Queue.push c t.deques.(k);
+    t.queued <- t.queued + 1;
+    Condition.signal t.work;
+    Mutex.unlock t.lock;
+    Some h
+  end
+
+let submit t f =
+  match try_submit t f with Some h -> h | None -> raise Saturated
+
+let await ?deadline_ms h =
+  let t = h.pool in
+  let deadline = Option.map (fun ms -> now_ms () +. ms) deadline_ms in
+  Mutex.lock t.lock;
+  let rec loop () =
+    match h.outcome with
+    | Done v ->
+        Mutex.unlock t.lock;
+        Ok v
+    | Raised e ->
+        Mutex.unlock t.lock;
+        Error e
+    | Pending -> (
+        match deadline with
+        | Some limit ->
+            if now_ms () > limit then begin
+              Mutex.unlock t.lock;
+              Error Timed_out
+            end
+            else begin
+              (* Poll: a borrowed task could overrun the deadline, so a
+                 deadlined await never helps execute. *)
+              Mutex.unlock t.lock;
+              Unix.sleepf 0.0002;
+              Mutex.lock t.lock;
+              loop ()
+            end
+        | None -> (
+            (* Lend this domain to the pool while we wait; with workers=0
+               this is the only executor and gives the legacy inline path. *)
+            match take_locked t ~own:0 with
+            | Some c ->
+                Mutex.unlock t.lock;
+                c.run ();
+                Mutex.lock t.lock;
+                loop ()
+            | None ->
+                Condition.wait t.resolved t.lock;
+                loop ()))
+  in
+  loop ()
+
+let run_all t fs =
+  let n = Array.length fs in
+  let handles = Array.make n None in
+  for i = 0 to n - 1 do
+    handles.(i) <- Some (submit t fs.(i))
+  done;
+  let out = Array.make n (Error Timed_out) in
+  for i = 0 to n - 1 do
+    match handles.(i) with
+    | Some h -> out.(i) <- await h
+    | None -> assert false
+  done;
+  out
+
+let shutdown t =
+  Mutex.lock t.lock;
+  match t.state with
+  | Draining | Stopped -> Mutex.unlock t.lock
+  | Running ->
+      t.state <- Draining;
+      Condition.broadcast t.work;
+      let doms = t.domains in
+      t.domains <- [];
+      Mutex.unlock t.lock;
+      List.iter Domain.join doms;
+      Mutex.lock t.lock;
+      t.state <- Stopped;
+      Condition.broadcast t.resolved;
+      Mutex.unlock t.lock
+
+(* Process-wide pools, keyed by worker count.  Flushes from any number of
+   services (and test cases) share the same few domains, which keeps us far
+   from the runtime's live-domain cap. *)
+let shared_lock = Mutex.create ()
+
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared_at_exit_installed = ref false
+
+let shutdown_shared () =
+  let pools =
+    Mutex.lock shared_lock;
+    let ps = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
+    Hashtbl.reset shared_pools;
+    Mutex.unlock shared_lock;
+    ps
+  in
+  List.iter shutdown pools
+
+let shared ~workers =
+  Mutex.lock shared_lock;
+  if not !shared_at_exit_installed then begin
+    shared_at_exit_installed := true;
+    at_exit shutdown_shared
+  end;
+  let alive p =
+    Mutex.lock p.lock;
+    let a = p.state = Running in
+    Mutex.unlock p.lock;
+    a
+  in
+  let p =
+    match Hashtbl.find_opt shared_pools workers with
+    | Some p when alive p -> p
+    | _ ->
+        let p = create ~workers () in
+        Hashtbl.replace shared_pools workers p;
+        p
+  in
+  Mutex.unlock shared_lock;
+  p
+
+let recommended () = max 1 (Domain.recommended_domain_count ())

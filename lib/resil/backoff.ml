@@ -9,12 +9,18 @@ type t = {
 }
 
 let create ?(base_ms = 1.0) ?(factor = 2.0) ?(max_ms = 64.0) ?(jitter = 0.2)
-    ~seed () =
+    ?rng ~seed () =
   if base_ms <= 0.0 || factor <= 0.0 then
     invalid_arg "Backoff.create: base_ms and factor must be positive";
   if jitter < 0.0 || jitter > 1.0 then
     invalid_arg "Backoff.create: jitter must be in [0, 1]";
-  { base_ms; factor; max_ms; jitter; rng = Rng.create ~seed }
+  {
+    base_ms;
+    factor;
+    max_ms;
+    jitter;
+    rng = (match rng with Some r -> r | None -> Rng.create ~seed);
+  }
 
 let delay_ms t ~attempt =
   if attempt < 1 then invalid_arg "Backoff.delay_ms: attempt is 1-based";

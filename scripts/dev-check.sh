@@ -47,6 +47,16 @@ rm -rf "$J"
 echo "== failover conformance (every scheduler, divergences fail the gate) =="
 "$CLI" conform -k acl4 -n 60 -e 150 --failover 0 --shards 3 >/dev/null
 
+echo "== parallel flush equivalence (same seed, 1 vs 4 domains, same journal bytes) =="
+J1=$(mktemp -d)
+J4=$(mktemp -d)
+"$CLI" ctrl -k fw5 -s 4 -n 300 -u 1500 -b 32 --failover --slow-call 2 \
+  --chaos 4 --allow-failures --journal "$J1" --domains 1 >/dev/null
+"$CLI" ctrl -k fw5 -s 4 -n 300 -u 1500 -b 32 --failover --slow-call 2 \
+  --chaos 4 --allow-failures --journal "$J4" --domains 4 >/dev/null
+diff -r "$J1" "$J4" || { echo "parallel flush: journals diverged between --domains 1 and 4"; exit 1; }
+rm -rf "$J1" "$J4"
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune build @fmt =="
   dune build @fmt

@@ -13,5 +13,6 @@ let () =
    @ Test_updates.suite @ Test_rules_io.suite @ Test_measure.suite
    @ Test_experiment.suite @ Test_firmware.suite @ Test_agent.suite
    @ Test_queue_sim.suite @ Test_paper_examples.suite @ Test_ctrl.suite
-   @ Test_resil.suite @ Test_failover.suite @ Test_conform.suite
+   @ Test_resil.suite @ Test_failover.suite @ Test_exec.suite
+   @ Test_conform.suite
    @ Test_props.suite)
