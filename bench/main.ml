@@ -4,7 +4,7 @@
    core data-structure operations.
 
    Usage:  main.exe [--quick] [table2] [fig7] [fig8] [fig9] [ablation]
-           [micro] [ctrl] [conform] [resil]
+           [micro] [ctrl] [conform] [resil] [cache]
 
    With no section argument every section runs.  --quick restricts the
    sweeps to sizes <= 4000 (a couple of minutes); the full run covers the
@@ -928,6 +928,67 @@ let resil () =
   Format.printf "@.wrote BENCH_resil.json@."
 
 (* ------------------------------------------------------------------ *)
+(* cache: the TCAM-as-cache tier's hit-rate x update-cost frontier.
+   Sweeps Zipf skew x cache size x scheduler: higher skew concentrates
+   the access stream so a small cache earns its keep, while the
+   scheduler choice prices the admission/eviction churn each flush
+   round pays in TCAM moves.  Conformance is the test suite's job
+   (cache-tier oracle); here checking is off so the numbers are pure
+   cache mechanics. *)
+
+let cache () =
+  let skews = if !quick then [ 0.0; 1.1 ] else [ 0.0; 0.8; 1.2 ] in
+  let slot_sizes = if !quick then [ 128 ] else [ 256; 1_024 ] in
+  let n = if !quick then 1_000 else 4_000 in
+  let flows = if !quick then 50_000 else 200_000 in
+  let accesses = if !quick then 3_000 else 12_000 in
+  Format.printf "@.== cache: hit-rate x update-cost frontier ==@.";
+  Format.printf "table %s n=%d, %d flows, %d accesses, policy %s@.@."
+    (Dataset.to_string Dataset.ACL4)
+    n flows accesses
+    (Cache_policy.kind_to_string Cache_policy.Lru);
+  let results =
+    List.concat_map
+      (fun skew ->
+        List.concat_map
+          (fun slots ->
+            let spec =
+              {
+                Cache_driver.default_spec with
+                Cache_driver.n;
+                seed;
+                flows;
+                skew;
+                accesses;
+                slots;
+              }
+            in
+            List.map
+              (fun algo ->
+                let r = Cache_driver.run ~algo ~check:false ~probes:0 spec in
+                Format.printf "%a" Cache_driver.pp_result r;
+                r)
+              (Firmware.standard_algos backend))
+          slot_sizes)
+      skews
+  in
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("bench", Str "cache");
+        ("quick", Bool !quick);
+        ("seed", Int seed);
+        ("rows", List (List.map Cache_driver.result_json results));
+      ]
+  in
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_cache.json (%d rows)@." (List.length results)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -942,6 +1003,7 @@ let sections =
     ("ctrl", ctrl);
     ("conform", conform);
     ("resil", resil);
+    ("cache", cache);
   ]
 
 let () =

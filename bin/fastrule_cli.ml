@@ -204,6 +204,24 @@ let fault_spec_conv =
       fun ppf (s, spec) ->
         Format.fprintf ppf "%d:%s" s (Fault.spec_to_string spec) )
 
+(* One-line latency summary over a service's shards: the worst observed
+   per-op hardware p99 and the adaptive slow-call threshold it produced,
+   so drills read the gauge without parsing the JSON dump. *)
+let pp_latency_line service =
+  let thr = ref infinity and p99 = ref 0.0 in
+  for s = 0 to Ctrl.shards service - 1 do
+    let tel = Shard.telemetry (Ctrl.shard service s) in
+    let t = Telemetry.slow_threshold_ms tel in
+    if Float.is_finite t && ((not (Float.is_finite !thr)) || t > !thr) then
+      thr := t;
+    let p = (Telemetry.hw_per_op_ms tel).Measure.p99 in
+    if Float.is_finite p && p > !p99 then p99 := p
+  done;
+  Format.printf "hw/op p99 (ms): %.3f  slow-call threshold (ms/op): %s@."
+    !p99
+    (if Float.is_finite !thr then Printf.sprintf "%.3f" !thr
+     else "inf (off/warming)")
+
 let ctrl_json path service ~scenario =
   let oc = open_out path in
   output_string oc (Telemetry.Json.to_string (Ctrl.to_json ~scenario service));
@@ -259,6 +277,7 @@ let ctrl_cmd =
             else []
           in
           Format.printf "@.";
+          pp_latency_line service;
           Ctrl.pp_stats Format.std_formatter service;
           (match json with
           | Some path -> ctrl_json path service ~scenario:("recover-" ^ dir)
@@ -342,6 +361,7 @@ let ctrl_cmd =
         (Ctrl.diverted_count r.Churn.service);
     Format.printf "flush wall (ms): %a@.@." Measure.pp_summary
       r.Churn.flush_wall_ms;
+    pp_latency_line r.Churn.service;
     Ctrl.pp_stats Format.std_formatter r.Churn.service;
     (match json with
     | None -> ()
@@ -878,6 +898,208 @@ let conform_cmd =
       $ crash_at_arg $ crash_mid_arg $ crash_batch_arg $ failover_shard_arg
       $ fo_shards_arg $ domains_arg $ capture_arg)
 
+(* --- cache ------------------------------------------------------------ *)
+
+let cache_policy_conv =
+  let parse s =
+    match Cache_policy.kind_of_string s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown cache policy %S (lru, fdrc or fdrc:<misses>)" s))
+  in
+  Arg.conv
+    (parse, fun ppf k -> Format.pp_print_string ppf (Cache_policy.kind_to_string k))
+
+let algo_conv =
+  let parse s =
+    match Firmware.algo_kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  Arg.conv
+    (parse, fun ppf k -> Format.pp_print_string ppf (Firmware.algo_kind_name k))
+
+let cache_cmd =
+  let run kind n seed flows skew accesses slots shards flush_every policy algo
+      oracle no_check probes domains json =
+    let bad fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "fastrule_cli: %s@." m;
+          exit 2)
+        fmt
+    in
+    if n < 1 then bad "-n must be >= 1 (got %d)" n;
+    if flows < 1 then bad "--flows must be >= 1 (got %d)" flows;
+    if skew < 0.0 || not (Float.is_finite skew) then
+      bad "--skew must be finite and >= 0 (got %g)" skew;
+    if accesses < 1 then bad "--accesses must be >= 1 (got %d)" accesses;
+    if slots < 1 then bad "--slots must be >= 1 (got %d)" slots;
+    if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
+    if flush_every < 1 then bad "--batch must be >= 1 (got %d)" flush_every;
+    if probes < 0 then bad "--probes must be >= 0 (got %d)" probes;
+    (match domains with
+    | Some d when d < 1 -> bad "--domains must be >= 1 (got %d)" d
+    | _ -> ());
+    let spec =
+      {
+        Cache_driver.kind;
+        n;
+        seed;
+        flows;
+        skew;
+        accesses;
+        slots;
+        shards;
+        flush_every;
+        policy;
+      }
+    in
+    let results =
+      if oracle then Cache_driver.run_all ?domains ~probes spec
+      else [ Cache_driver.run ~algo ?domains ~check:(not no_check) ~probes spec ]
+    in
+    List.iter
+      (fun (r : Cache_driver.result) ->
+        Cache_driver.pp_result Format.std_formatter r;
+        List.iter
+          (fun (d : Cache_driver.divergence) ->
+            Format.printf "  DIVERGENCE at %d (%s): expected %s, got %s@."
+              d.Cache_driver.at d.Cache_driver.where d.Cache_driver.expected
+              d.Cache_driver.got)
+          r.Cache_driver.divergences)
+      results;
+    (* The satellite one-liner: cache counters + the latency gauge of the
+       last run's service, without digging through JSON. *)
+    (match List.rev results with
+    | last :: _ ->
+        Format.printf "cache: hit %.1f%%  admitted %d  evicted %d  \
+                       skipped %d  repairs %d  flushes %d@."
+          (100.0 *. last.Cache_driver.hit_rate)
+          last.Cache_driver.admitted last.Cache_driver.evicted
+          last.Cache_driver.admit_skipped last.Cache_driver.repairs
+          last.Cache_driver.rounds
+    | [] -> ());
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Telemetry.Json.to_string
+             (Telemetry.Json.List (List.map Cache_driver.result_json results)));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote cache results to %s@." path);
+    let dirty =
+      List.exists
+        (fun (r : Cache_driver.result) -> r.Cache_driver.divergences <> [])
+        results
+    in
+    if oracle then
+      Format.printf "cache oracle: %d scheduler legs, %s@."
+        (List.length results)
+        (if dirty then "DIVERGED" else "all conformant");
+    exit (if dirty then 1 else 0)
+  in
+  let flows_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "flows" ] ~docv:"COUNT"
+          ~doc:"Flow-universe size (flows are lazy: millions are cheap).")
+  in
+  let skew_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "skew" ] ~docv:"S"
+          ~doc:"Zipf exponent of the flow popularity (0 = uniform).")
+  in
+  let accesses_arg =
+    Arg.(
+      value & opt int 4_000
+      & info [ "a"; "accesses" ] ~docv:"COUNT" ~doc:"Packets to stream.")
+  in
+  let slots_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"Cache capacity in rules (the whole TCAM budget).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "s"; "shards" ] ~docv:"N" ~doc:"TCAM shards behind the tier.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "b"; "batch" ] ~docv:"ACCESSES"
+          ~doc:"Maintenance cadence: buffered admissions/evictions flush \
+                every BATCH accesses.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt cache_policy_conv Cache_policy.Lru
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Admission/eviction policy: $(b,lru), $(b,fdrc) or \
+                $(b,fdrc:<misses>).")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt algo_conv (Firmware.FR_O Store.Bit_backend)
+      & info [ "algo" ] ~docv:"SCHED"
+          ~doc:"Scheduler for the cache TCAM (ignored with --oracle).")
+  in
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:"Conformance sweep: replay the same stream through every \
+                scheduler with full checking; exit 1 on any divergence.")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:"Skip per-hit verification (bench mode; meaningless with \
+                --oracle).")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "probes" ] ~docv:"K"
+          ~doc:"Oracle probes at each flush boundary (including \
+                mid-eviction).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Flush executors for the tier's service (default: \
+                FASTRULE_DOMAINS or 1).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Dump the per-run results as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"TCAM-as-cache tier under Zipf flow traffic: dependency-safe \
+             admission/eviction over a software backing table, with a \
+             cached-vs-full-table conformance oracle.")
+    Term.(
+      const run $ kind_arg $ n_arg $ seed_arg $ flows_arg $ skew_arg
+      $ accesses_arg $ slots_arg $ shards_arg $ batch_arg $ policy_arg
+      $ algo_arg $ oracle_arg $ no_check_arg $ probes_arg $ domains_arg
+      $ json_arg)
+
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in
   exit
@@ -892,4 +1114,5 @@ let () =
             ctrl_cmd;
             journal_cmd;
             conform_cmd;
+            cache_cmd;
           ]))

@@ -1,0 +1,79 @@
+(** The software backing table: the slow path behind the TCAM cache.
+
+    Production switches keep the full policy — far larger than any TCAM
+    — in an ordinary software table and answer cache misses from it by a
+    priority-ordered scan, exactly the semantics of
+    {!Fr_switch.Agent.semantic_lookup}: highest priority wins, ties to
+    the lower rule id.  This module is that table, plus the one thing
+    the cache tier needs on top of raw lookup: the compiled dependency
+    graph of the {e whole} policy, kept incrementally, so admission and
+    eviction closures can be answered in time proportional to the
+    closure instead of the table.
+
+    Deletions contract the graph ({!Fr_dag.Graph.remove_node} with
+    [~contract:true]): two rules ordered only through a removed middle
+    rule stay transitively ordered, which is what keeps closure queries
+    sound across churn — the property the test suite's churn qcheck
+    locks in. *)
+
+type t
+
+val of_rules : Fr_tern.Rule.t array -> t
+(** Build the table and compile its dependency graph
+    ({!Fr_dag.Build.compile_fast}).
+    @raise Invalid_argument on duplicate ids. *)
+
+val size : t -> int
+val rule : t -> int -> Fr_tern.Rule.t option
+val mem : t -> int -> bool
+
+val rules : t -> Fr_tern.Rule.t list
+(** Unspecified order. *)
+
+val graph : t -> Fr_dag.Graph.t
+(** The live compiled graph; callers must not mutate it. *)
+
+val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** Semantic scan: the highest-priority matching rule, ties to the lower
+    id.  The table is kept precedence-sorted so the scan exits at the
+    first match. *)
+
+val lookups : t -> int
+(** Lookups served so far (the slow-path load a cache is trying to
+    absorb). *)
+
+val insert : t -> Fr_tern.Rule.t -> (unit, string) result
+(** Add a rule and its minimal dependency edges
+    ({!Fr_dag.Build.insert}). *)
+
+val remove : t -> int -> (unit, string) result
+(** Delete a rule; the graph contracts (see the module preamble). *)
+
+val set_action : t -> int -> Fr_tern.Rule.action -> (unit, string) result
+(** Rewrite a rule's action in place — never affects ordering, so the
+    graph is untouched. *)
+
+(** {1 Closure queries (what the cache tier runs on)} *)
+
+val admission_closure : t -> int -> Fr_tern.Rule.Id_set.t
+(** The rule plus every rule it transitively depends on — all
+    higher-precedence overlapping rules.  A cache may serve hits for a
+    rule only when its whole admission closure is cached; otherwise a
+    packet in an overlap would be answered by the wrong (cached,
+    lower-precedence) entry.
+    @raise Invalid_argument on an unknown id. *)
+
+val eviction_closure : t -> int -> cached:Fr_tern.Rule.Id_set.t -> Fr_tern.Rule.Id_set.t
+(** The rule plus every {e cached} rule transitively depending on it —
+    the set that must leave together when it leaves, or a surviving
+    dependent would shadow traffic its missing dependency should have
+    caught.  Removing such an ancestor-closed set from a closure-closed
+    cache leaves it closure-closed.
+    @raise Invalid_argument on an unknown id. *)
+
+val topo_ranks : t -> (int, int) Hashtbl.t
+(** Rank of every rule in one topological order of the current graph:
+    dependents strictly before their dependencies.  Submitting evictions
+    in ascending rank and admissions in descending rank keeps every
+    intra-shard intermediate state dependency-safe.  Recompute after
+    mutating the table. *)

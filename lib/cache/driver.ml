@@ -1,0 +1,233 @@
+module Rng = Fr_prng.Rng
+module Rule = Fr_tern.Rule
+module Header = Fr_tern.Header
+module Dataset = Fr_workload.Dataset
+module Zipf = Fr_workload.Zipf
+module Firmware = Fr_switch.Firmware
+module Measure = Fr_switch.Measure
+module Ctrl = Fr_ctrl.Service
+module Shard = Fr_ctrl.Shard
+module Telemetry = Fr_ctrl.Telemetry
+
+type spec = {
+  kind : Dataset.kind;
+  n : int;
+  seed : int;
+  flows : int;
+  skew : float;
+  accesses : int;
+  slots : int;
+  shards : int;
+  flush_every : int;
+  policy : Policy.kind;
+}
+
+let default_spec =
+  {
+    kind = Dataset.ACL4;
+    n = 800;
+    seed = 42;
+    flows = 100_000;
+    skew = 1.1;
+    accesses = 4_000;
+    slots = 128;
+    shards = 2;
+    flush_every = 64;
+    policy = Policy.Lru;
+  }
+
+type divergence = { at : int; where : string; expected : string; got : string }
+
+type result = {
+  algo : Firmware.algo_kind;
+  spec : spec;
+  hits : int;
+  misses : int;
+  hit_rate : float;
+  admitted : int;
+  evicted : int;
+  admit_skipped : int;
+  repairs : int;
+  rounds : int;
+  probes : int;
+  cached : int;
+  installed : int;
+  tcam_ops : int;
+  hardware_ms : float;
+  hw_ms_per_access : float;
+  hw_ms_per_update : float;
+  closure_p99 : float;
+  churn_per_flush : float;
+  wall_ms : float;
+  divergences : divergence list;
+}
+
+let rule_str = function
+  | None -> "none"
+  | Some (r : Rule.t) -> Printf.sprintf "#%d p=%d" r.Rule.id r.Rule.priority
+
+let run ?(algo = Firmware.FR_O Fr_sched.Store.Bit_backend) ?domains
+    ?(check = true) ?(probes = 8) spec =
+  let t0 = Measure.now_ms () in
+  let rules = Dataset.generate spec.kind ~seed:spec.seed ~n:spec.n in
+  let backing = Backing.of_rules rules in
+  let tier =
+    Tier.create ~kind:algo ?domains ~shards:spec.shards
+      ~flush_every:spec.flush_every ~policy:spec.policy ~slots:spec.slots
+      ~backing ()
+  in
+  let flows =
+    Zipf.Flows.create ~rules ~seed:(spec.seed lxor 0x5eed) ~flows:spec.flows
+      ~skew:spec.skew
+  in
+  let divergences = ref [] in
+  let probes_run = ref 0 in
+  let step = ref 0 in
+  let diverge where expected got =
+    divergences :=
+      { at = !step; where; expected; got } :: !divergences
+  in
+  let check_answer where pkt answer =
+    let full = Backing.lookup backing pkt in
+    match (answer, full) with
+    | `Hit (r : Rule.t), Some (w : Rule.t) when r.Rule.id = w.Rule.id -> ()
+    | `Hit r, full -> diverge where (rule_str full) (rule_str (Some r))
+    | `Miss ans, full ->
+        (* The miss path *is* the backing scan; this guards the plumbing. *)
+        let same =
+          match (ans, full) with
+          | None, None -> true
+          | Some (a : Rule.t), Some (b : Rule.t) -> a.Rule.id = b.Rule.id
+          | _ -> false
+        in
+        if not same then diverge where (rule_str full) (rule_str ans)
+  in
+  if check && probes > 0 then begin
+    let prng = Rng.create ~seed:(spec.seed lxor 0x517cc1b7) in
+    Tier.set_probe_hook tier (fun phase ->
+        let where =
+          match phase with
+          | Tier.Mid_eviction -> "probe:mid-eviction"
+          | Tier.Settled -> "probe:settled"
+        in
+        for _ = 1 to probes do
+          incr probes_run;
+          let pkt =
+            if Rng.bool prng then
+              Zipf.Flows.packet_of flows (Rng.int prng spec.flows)
+            else Header.random_packet prng
+          in
+          check_answer where pkt (Tier.probe tier pkt)
+        done)
+  end;
+  for i = 1 to spec.accesses do
+    step := i;
+    let _rank, pkt = Zipf.Flows.next flows in
+    let answer = Tier.access tier pkt in
+    if check then
+      match answer with
+      | `Hit _ -> check_answer "access" pkt answer
+      | `Miss _ -> ()
+  done;
+  Tier.maintain tier;
+  (match Tier.degraded tier with
+  | None -> ()
+  | Some why -> diverge "flush" "clean flushes" why);
+  let tel = Tier.telemetry tier in
+  let svc = Tier.service tier in
+  let tcam_ops = ref 0 and hw_ms = ref 0.0 in
+  for s = 0 to Ctrl.shards svc - 1 do
+    let st = Shard.telemetry (Ctrl.shard svc s) in
+    tcam_ops := !tcam_ops + Telemetry.tcam_ops st;
+    hw_ms := !hw_ms +. Telemetry.hardware_ms_total st
+  done;
+  let hits = Telemetry.cache_hits tel and misses = Telemetry.cache_misses tel in
+  let admitted = Telemetry.cache_admitted tel in
+  let evicted = Telemetry.cache_evicted tel in
+  let updates = admitted + evicted in
+  {
+    algo;
+    spec;
+    hits;
+    misses;
+    hit_rate =
+      (if hits + misses = 0 then 0.0
+       else float_of_int hits /. float_of_int (hits + misses));
+    admitted;
+    evicted;
+    admit_skipped = Telemetry.cache_admit_skips tel;
+    repairs = Telemetry.cache_repairs tel;
+    rounds = Tier.rounds tier;
+    probes = !probes_run;
+    cached = Tier.cached_count tier;
+    installed = Tier.installed_count tier;
+    tcam_ops = !tcam_ops;
+    hardware_ms = !hw_ms;
+    hw_ms_per_access =
+      (if spec.accesses = 0 then 0.0
+       else !hw_ms /. float_of_int spec.accesses);
+    hw_ms_per_update =
+      (if updates = 0 then 0.0 else !hw_ms /. float_of_int updates);
+    closure_p99 = (Telemetry.cache_closure tel).Measure.p99;
+    churn_per_flush = (Telemetry.cache_churn tel).Measure.mean;
+    wall_ms = Measure.now_ms () -. t0;
+    divergences = List.rev !divergences;
+  }
+
+let run_all ?domains ?probes spec =
+  List.map
+    (fun algo -> run ~algo ?domains ~check:true ?probes spec)
+    (Firmware.standard_algos Fr_sched.Store.Bit_backend)
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s/%s: %d accesses @@ skew %.2f, %d slots (%d shard%s, %s): hit %.1f%%  \
+     admitted %d  evicted %d  skipped %d  rounds %d@."
+    (Dataset.to_string r.spec.kind)
+    (Firmware.algo_kind_name r.algo)
+    r.spec.accesses r.spec.skew r.spec.slots r.spec.shards
+    (if r.spec.shards = 1 then "" else "s")
+    (Policy.kind_to_string r.spec.policy)
+    (100.0 *. r.hit_rate) r.admitted r.evicted r.admit_skipped r.rounds;
+  Format.fprintf ppf
+    "  update cost: %d tcam ops, %.1f ms hw (%.3f ms/access, %.3f ms/rule)  \
+     closure p99 %.0f  churn/flush %.1f  probes %d  divergences %d@."
+    r.tcam_ops r.hardware_ms r.hw_ms_per_access r.hw_ms_per_update
+    r.closure_p99 r.churn_per_flush r.probes
+    (List.length r.divergences)
+
+let result_json r =
+  let open Telemetry.Json in
+  Obj
+    [
+      ("kind", Str (Dataset.to_string r.spec.kind));
+      ("algo", Str (Firmware.algo_kind_name r.algo));
+      ("n", Int r.spec.n);
+      ("seed", Int r.spec.seed);
+      ("flows", Int r.spec.flows);
+      ("skew", Float r.spec.skew);
+      ("accesses", Int r.spec.accesses);
+      ("slots", Int r.spec.slots);
+      ("shards", Int r.spec.shards);
+      ("flush_every", Int r.spec.flush_every);
+      ("policy", Str (Policy.kind_to_string r.spec.policy));
+      ("hits", Int r.hits);
+      ("misses", Int r.misses);
+      ("hit_rate", Float r.hit_rate);
+      ("admitted", Int r.admitted);
+      ("evicted", Int r.evicted);
+      ("admit_skipped", Int r.admit_skipped);
+      ("repairs", Int r.repairs);
+      ("rounds", Int r.rounds);
+      ("probes", Int r.probes);
+      ("cached", Int r.cached);
+      ("installed", Int r.installed);
+      ("tcam_ops", Int r.tcam_ops);
+      ("hardware_ms", Float r.hardware_ms);
+      ("hw_ms_per_access", Float r.hw_ms_per_access);
+      ("hw_ms_per_update", Float r.hw_ms_per_update);
+      ("closure_p99", Float r.closure_p99);
+      ("churn_per_flush", Float r.churn_per_flush);
+      ("wall_ms", Float r.wall_ms);
+      ("divergences", Int (List.length r.divergences));
+    ]

@@ -79,6 +79,7 @@ module Route_gen = Fr_workload.Route_gen
 module Dataset = Fr_workload.Dataset
 module Updates = Fr_workload.Updates
 module Rules_io = Fr_workload.Rules_io
+module Zipf = Fr_workload.Zipf
 
 (** {1 Switch firmware and experiments (§VI)} *)
 
@@ -107,6 +108,13 @@ module Telemetry = Fr_ctrl.Telemetry
 module Shard = Fr_ctrl.Shard
 module Ctrl = Fr_ctrl.Service
 module Churn = Fr_ctrl.Churn
+
+(** {1 The TCAM-as-cache tier (small TCAM, big software table)} *)
+
+module Cache_backing = Fr_cache.Backing
+module Cache_policy = Fr_cache.Policy
+module Cache = Fr_cache.Tier
+module Cache_driver = Fr_cache.Driver
 
 (** {1 Conformance (differential oracle, fault injection)} *)
 

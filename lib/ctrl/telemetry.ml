@@ -99,6 +99,14 @@ type t = {
   mutable slow_threshold_ms : float;
       (* per-op bound the last drain was judged against (infinity: slow
          policy off or still warming up) *)
+  (* cache tier (Fr_cache) *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_admitted : int;  (* rules installed, closures included *)
+  mutable cache_evicted : int;
+  mutable cache_admit_skips : int;  (* admissions refused (no cold victims) *)
+  mutable cache_repairs : int;  (* flush-failure repair passes *)
+  mutable cache_flushes : int;  (* maintenance rounds flushed *)
   fw_series : Measure.Series.t;  (* per drain *)
   hw_series : Measure.Series.t;
   wall_series : Measure.Series.t;
@@ -106,6 +114,10 @@ type t = {
   hw_op_series : Measure.Series.t;
       (* modelled hardware ms per TCAM op, one sample per non-empty drain
          — the latency histogram the adaptive slow-call threshold reads *)
+  closure_series : Measure.Series.t;
+      (* admission-closure sizes, one sample per admission *)
+  churn_series : Measure.Series.t;
+      (* inserts + deletes per cache maintenance flush *)
 }
 
 let create () =
@@ -133,11 +145,20 @@ let create () =
     restarts = 0;
     slow_drains = 0;
     slow_threshold_ms = infinity;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_admitted = 0;
+    cache_evicted = 0;
+    cache_admit_skips = 0;
+    cache_repairs = 0;
+    cache_flushes = 0;
     fw_series = Measure.Series.create ();
     hw_series = Measure.Series.create ();
     wall_series = Measure.Series.create ();
     ops_series = Measure.Series.create ();
     hw_op_series = Measure.Series.create ();
+    closure_series = Measure.Series.create ();
+    churn_series = Measure.Series.create ();
   }
 
 let record_submitted t = t.submitted <- t.submitted + 1
@@ -157,6 +178,20 @@ let record_slow_drain t = t.slow_drains <- t.slow_drains + 1
 let set_slow_threshold t ms = t.slow_threshold_ms <- ms
 let set_breaker_state t s = t.breaker_state <- s
 let record_coalesced t n = t.coalesced <- t.coalesced + n
+let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
+let record_cache_miss t = t.cache_misses <- t.cache_misses + 1
+
+let record_cache_admission t ~rules =
+  t.cache_admitted <- t.cache_admitted + rules;
+  Measure.Series.add t.closure_series (float_of_int rules)
+
+let record_cache_eviction t ~rules = t.cache_evicted <- t.cache_evicted + rules
+let record_cache_admit_skip t = t.cache_admit_skips <- t.cache_admit_skips + 1
+let record_cache_repair t = t.cache_repairs <- t.cache_repairs + 1
+
+let record_cache_flush t ~inserts ~deletes =
+  t.cache_flushes <- t.cache_flushes + 1;
+  Measure.Series.add t.churn_series (float_of_int (inserts + deletes))
 let record_rejected t n = t.rejected <- t.rejected + n
 
 let record_drain t ~queue_depth ~applied ~failed ~firmware_ms ~hardware_ms
@@ -204,6 +239,20 @@ let hardware_ms t = Measure.Series.summary t.hw_series
 let wall_ms t = Measure.Series.summary t.wall_series
 let drain_ops t = Measure.Series.summary t.ops_series
 let hw_per_op_ms t = Measure.Series.summary t.hw_op_series
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+let cache_admitted t = t.cache_admitted
+let cache_evicted t = t.cache_evicted
+let cache_admit_skips t = t.cache_admit_skips
+let cache_repairs t = t.cache_repairs
+let cache_flushes t = t.cache_flushes
+
+let cache_hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+
+let cache_closure t = Measure.Series.summary t.closure_series
+let cache_churn t = Measure.Series.summary t.churn_series
 
 type histogram = { bounds : float array; counts : int array }
 
@@ -276,6 +325,19 @@ let pp ppf t =
       t.rebalanced t.restarts t.slow_drains;
   if Float.is_finite t.slow_threshold_ms then
     Format.fprintf ppf "slow-call threshold (ms/op): %.3f@." t.slow_threshold_ms;
+  if t.cache_hits > 0 || t.cache_misses > 0 then begin
+    Format.fprintf ppf
+      "cache: hits %d  misses %d (%.1f%% hit)  admitted %d  evicted %d  \
+       skipped %d  repairs %d  flushes %d@."
+      t.cache_hits t.cache_misses
+      (100.0 *. cache_hit_rate t)
+      t.cache_admitted t.cache_evicted t.cache_admit_skips t.cache_repairs
+      t.cache_flushes;
+    Format.fprintf ppf "admission closure (rules): %a@." Measure.pp_summary
+      (cache_closure t);
+    Format.fprintf ppf "churn/flush (ops): %a@." Measure.pp_summary
+      (cache_churn t)
+  end;
   Format.fprintf ppf "firmware/drain (ms): %a@." Measure.pp_summary
     (firmware_ms t);
   Format.fprintf ppf "hardware/drain (ms): %a@." Measure.pp_summary
@@ -314,6 +376,16 @@ let to_json t =
       ("restarts", Json.Int t.restarts);
       ("slow_drains", Json.Int t.slow_drains);
       ("slow_threshold_ms", Json.Float t.slow_threshold_ms);
+      ("cache_hits", Json.Int t.cache_hits);
+      ("cache_misses", Json.Int t.cache_misses);
+      ("cache_hit_rate", Json.Float (cache_hit_rate t));
+      ("cache_admitted", Json.Int t.cache_admitted);
+      ("cache_evicted", Json.Int t.cache_evicted);
+      ("cache_admit_skips", Json.Int t.cache_admit_skips);
+      ("cache_repairs", Json.Int t.cache_repairs);
+      ("cache_flushes", Json.Int t.cache_flushes);
+      ("cache_closure", Json.of_summary (cache_closure t));
+      ("cache_churn", Json.of_summary (cache_churn t));
       ("firmware_ms_total", Json.Float t.fw_ms);
       ("hardware_ms_total", Json.Float t.hw_ms);
       ("firmware_ms", Json.of_summary (firmware_ms t));

@@ -87,6 +87,34 @@ val set_slow_threshold : t -> float -> unit
     against — a gauge, not a counter; [infinity] while the policy is off
     or the adaptive threshold is still warming up. *)
 
+(** {1 Recording (called by the cache tier, [Fr_cache.Tier])}
+
+    A tier keeps its own [Telemetry.t] for traffic-level accounting —
+    separate from the per-shard instances, which keep metering the
+    drains the tier's flushes cause. *)
+
+val record_cache_hit : t -> unit
+val record_cache_miss : t -> unit
+
+val record_cache_admission : t -> rules:int -> unit
+(** One admission of a whole closure: [rules] entries entered the
+    target set; the closure size feeds {!cache_closure}. *)
+
+val record_cache_eviction : t -> rules:int -> unit
+(** One eviction decision: [rules] entries (victim groups, closed under
+    dependents) left the target set. *)
+
+val record_cache_admit_skip : t -> unit
+(** An admission refused: the closure would not fit, or every victim
+    group was as hot as the candidate (anti-thrash). *)
+
+val record_cache_repair : t -> unit
+(** A flush came back with casualties and the tier ran a repair pass. *)
+
+val record_cache_flush : t -> inserts:int -> deletes:int -> unit
+(** One maintenance round reached the hardware; the op counts feed
+    {!cache_churn}. *)
+
 (** {1 Reading} *)
 
 val submitted : t -> int
@@ -128,6 +156,24 @@ val wall_ms : t -> Fr_switch.Measure.summary
 
 val drain_ops : t -> Fr_switch.Measure.summary
 (** Per-drain TCAM op counts (the paper's movement metric, per drain). *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+
+val cache_hit_rate : t -> float
+(** Hits over (hits + misses); [0.] before any traffic. *)
+
+val cache_admitted : t -> int
+val cache_evicted : t -> int
+val cache_admit_skips : t -> int
+val cache_repairs : t -> int
+val cache_flushes : t -> int
+
+val cache_closure : t -> Fr_switch.Measure.summary
+(** Admission-closure sizes (rules per admission). *)
+
+val cache_churn : t -> Fr_switch.Measure.summary
+(** Inserts + deletes per maintenance flush. *)
 
 val hw_per_op_ms : t -> Fr_switch.Measure.summary
 (** Modelled hardware milliseconds per TCAM op, one sample per non-empty

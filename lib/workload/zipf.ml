@@ -1,0 +1,119 @@
+module Rng = Fr_prng.Rng
+module Rule = Fr_tern.Rule
+module Header = Fr_tern.Header
+
+(* Hörmann's rejection-inversion sampler for the Zipf distribution
+   (W. Hörmann, G. Derflinger, "Rejection-inversion to generate variates
+   from monotone discrete distributions", 1996; the same construction as
+   Apache Commons' RejectionInversionZipfSampler).  The unnormalised mass
+   h(x) = x^-skew is dominated on [k - 1/2, k + 1/2] by its own integral
+   H; inverting H turns a uniform draw into a candidate, and the
+   acceptance test only ever rejects candidates near bucket boundaries,
+   so the acceptance rate stays >= ~70% for every skew >= 0. *)
+
+type t = {
+  n : int;
+  skew : float;
+  h_x1 : float;  (* H(1.5) - 1 *)
+  h_n : float;  (* H(n + 0.5) *)
+  s : float;  (* acceptance shortcut constant *)
+}
+
+(* log1p(x)/x and expm1(x)/x, continuous at 0 (series for tiny |x|) so
+   skew = 1 and skew = 0 need no special-casing. *)
+let helper1 x =
+  if Float.abs x > 1e-8 then Float.log1p x /. x
+  else 1.0 -. (x /. 2.0) +. (x *. x /. 3.0)
+
+let helper2 x =
+  if Float.abs x > 1e-8 then Float.expm1 x /. x
+  else 1.0 +. (x /. 2.0) +. (x *. x /. 6.0)
+
+(* H(x) = integral of x^-skew, shifted so the expressions below stay
+   finite at skew = 1: H(x) = log(x) * helper2((1-skew) * log(x)). *)
+let h_integral ~skew x =
+  let lx = Float.log x in
+  helper2 ((1.0 -. skew) *. lx) *. lx
+
+let h ~skew x = Float.exp (-.skew *. Float.log x)
+
+let h_integral_inv ~skew x =
+  let t = x *. (1.0 -. skew) in
+  (* Clamp: t < -1 can only arise from rounding at the lower boundary. *)
+  let t = if t < -1.0 then -1.0 else t in
+  Float.exp (helper1 t *. x)
+
+let create ~n ~skew =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if (not (Float.is_finite skew)) || skew < 0.0 then
+    invalid_arg "Zipf.create: skew must be finite and >= 0";
+  {
+    n;
+    skew;
+    h_x1 = h_integral ~skew 1.5 -. 1.0;
+    h_n = h_integral ~skew (float_of_int n +. 0.5);
+    s = 2.0 -. h_integral_inv ~skew (h_integral ~skew 2.5 -. h ~skew 2.0);
+  }
+
+let n t = t.n
+let skew t = t.skew
+
+let sample t rng =
+  if t.n = 1 then 0
+  else begin
+    let skew = t.skew in
+    let rec draw () =
+      let u = t.h_n +. (Rng.float rng *. (t.h_x1 -. t.h_n)) in
+      let x = h_integral_inv ~skew u in
+      let k = int_of_float (Float.round x) in
+      let k = if k < 1 then 1 else if k > t.n then t.n else k in
+      let kf = float_of_int k in
+      if
+        kf -. x <= t.s
+        || u >= h_integral ~skew (kf +. 0.5) -. h ~skew kf
+      then k - 1
+      else draw ()
+    in
+    draw ()
+  end
+
+module Flows = struct
+  type zipf = t
+
+  type t = {
+    rules : Rule.t array;
+    seed : int;
+    count : int;
+    zipf : zipf;
+    stream : Rng.t;
+  }
+
+  let create ~rules ~seed ~flows ~skew =
+    if Array.length rules = 0 then invalid_arg "Zipf.Flows.create: no rules";
+    if flows < 1 then invalid_arg "Zipf.Flows.create: flows must be >= 1";
+    {
+      rules;
+      seed;
+      count = flows;
+      zipf = create ~n:flows ~skew;
+      stream = Rng.create ~seed;
+    }
+
+  let flows t = t.count
+
+  (* The flow's packet is a pure function of (seed, rank): a splitmix
+     stream keyed by both picks the target rule and the packet inside
+     its match field.  Popular ranks land on uniformly random rules —
+     the skew lives in the access stream, not in which rules are hot,
+     so every run re-rolls which part of the table the elephants hit. *)
+  let packet_of t rank =
+    if rank < 0 || rank >= t.count then
+      invalid_arg "Zipf.Flows.packet_of: rank out of range";
+    let rng = Rng.create ~seed:(t.seed lxor ((rank + 1) * 0x2545F4914F6CDD1D)) in
+    let rule = t.rules.(Rng.int rng (Array.length t.rules)) in
+    Header.packet_in rng rule.Rule.field
+
+  let next t =
+    let rank = sample t.zipf t.stream in
+    (rank, packet_of t rank)
+end

@@ -1,0 +1,62 @@
+(** Seeded Zipf flow traffic (the cache-tier workload).
+
+    Flow popularity in real switch traces is heavy-tailed: a few elephant
+    flows carry most packets while a long tail of mice appears once or
+    twice.  The cache literature (FDRC; OVS megaflow studies) therefore
+    evaluates admission/eviction policies under Zipf-distributed flow
+    arrivals with a tunable skew.  This module provides
+
+    - a {e rank sampler}: Zipf([skew]) over [n] ranks, exact for any
+      [skew >= 0] (including the uniform limit [skew = 0] and the
+      classic [skew = 1]) via Hörmann's rejection-inversion method —
+      O(1) setup and O(1) expected time per sample, so "millions of
+      flows" costs nothing up front; and
+    - a {e flow universe}: a deterministic mapping from flow rank to a
+      concrete packet that hits a given rule table, so a flow stream can
+      drive a cache tier whose ground truth is the table itself.
+
+    Everything is a pure function of the seed: equal seeds give equal
+    streams, which is what lets the conformance oracle replay a run. *)
+
+type t
+(** Sampler for a fixed [(n, skew)] pair.  Immutable; the randomness
+    comes from the generator passed to {!sample}. *)
+
+val create : n:int -> skew:float -> t
+(** Ranks [0 .. n-1] with P(rank k) proportional to [1 / (k+1)^skew].
+    @raise Invalid_argument if [n < 1], or [skew] is negative or not
+    finite. *)
+
+val n : t -> int
+val skew : t -> float
+
+val sample : t -> Fr_prng.Rng.t -> int
+(** Draw a rank in [\[0, n)]; rank 0 is the most popular.  Expected O(1):
+    rejection-inversion accepts with probability bounded away from 0 for
+    every [skew >= 0]. *)
+
+(** A deterministic flow universe over a rule table.  Each flow rank maps
+    to one fixed packet that matches some rule of the table (flows that
+    would miss the whole table teach a cache nothing), and the stream
+    draws ranks Zipf-style.  The per-flow packet is derived from the
+    seed and the rank alone — flow 17 is the same packet in every run
+    and in every probe, without materialising the universe. *)
+module Flows : sig
+  type nonrec t
+
+  val create :
+    rules:Fr_tern.Rule.t array -> seed:int -> flows:int -> skew:float -> t
+  (** [flows] distinct flows over [rules].
+      @raise Invalid_argument if [rules] is empty, [flows < 1], or the
+      skew is invalid (see {!create}). *)
+
+  val flows : t -> int
+
+  val packet_of : t -> int -> Fr_tern.Header.packet
+  (** The fixed packet of a flow rank (pure; any rank in [\[0, flows)]).
+      @raise Invalid_argument if the rank is out of range. *)
+
+  val next : t -> int * Fr_tern.Header.packet
+  (** Draw the next flow from the Zipf stream: [(rank, packet_of rank)].
+      Advances the stream's own generator. *)
+end

@@ -16,6 +16,9 @@ dune runtest
 echo "== dune build @conform (differential smoke run) =="
 dune build @conform
 
+echo "== dune build @cache (cache-tier oracle smoke run) =="
+dune build @cache
+
 echo "== journal recovery drill (crash mid-flush, recover, flush clean) =="
 J=$(mktemp -d)
 CLI=_build/default/bin/fastrule_cli.exe
@@ -46,6 +49,11 @@ rm -rf "$J"
 
 echo "== failover conformance (every scheduler, divergences fail the gate) =="
 "$CLI" conform -k acl4 -n 60 -e 150 --failover 0 --shards 3 >/dev/null
+
+echo "== cache oracle under parallel drains (five schedulers, domains=4) =="
+out=$("$CLI" cache --oracle -k fw5 -n 250 --flows 15000 --skew 1.1 \
+  -a 1200 --slots 40 -s 2 -b 32 --domains 4)
+echo "$out" | grep -q 'all conformant' || { echo "cache oracle: divergence under domains=4"; exit 1; }
 
 echo "== parallel flush equivalence (same seed, 1 vs 4 domains, same journal bytes) =="
 J1=$(mktemp -d)

@@ -1,0 +1,290 @@
+open Fastrule
+module Id_set = Rule.Id_set
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ids set = List.sort Int.compare (Id_set.elements set)
+
+(* --- backing table ----------------------------------------------------- *)
+
+let test_backing_matches_semantic_lookup () =
+  let rules = Dataset.generate Dataset.ACL4 ~seed:3 ~n:300 in
+  let backing = Cache_backing.of_rules rules in
+  let agent = Agent.of_rules ~capacity:(2 * 300) rules in
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 400 do
+    (* Half targeted (inside some rule), half fully random. *)
+    let pkt =
+      if Rng.bool rng then
+        Header.packet_in rng (Rng.pick rng rules).Rule.field
+      else Header.random_packet rng
+    in
+    let a = Cache_backing.lookup backing pkt in
+    let b = Agent.semantic_lookup agent pkt in
+    let id = function None -> -1 | Some (r : Rule.t) -> r.Rule.id in
+    check_int "backing scan = semantic lookup" (id b) (id a)
+  done
+
+let test_backing_churn_keeps_lookup () =
+  let rules = Dataset.generate Dataset.FW4 ~seed:7 ~n:120 in
+  let backing = Cache_backing.of_rules (Array.sub rules 0 80) in
+  (* Insert the rest, remove some of the originals, re-check semantics
+     against a freshly built table of the same membership. *)
+  for i = 80 to 119 do
+    match Cache_backing.insert backing rules.(i) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "insert %d: %s" i e
+  done;
+  for i = 0 to 29 do
+    match Cache_backing.remove backing rules.(i).Rule.id with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "remove %d: %s" i e
+  done;
+  check_int "size" 90 (Cache_backing.size backing);
+  let fresh =
+    Cache_backing.of_rules (Array.of_list (Cache_backing.rules backing))
+  in
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 300 do
+    let pkt = Header.random_packet rng in
+    let id = function None -> -1 | Some (r : Rule.t) -> r.Rule.id in
+    check_int "churned = fresh"
+      (id (Cache_backing.lookup fresh pkt))
+      (id (Cache_backing.lookup backing pkt))
+  done
+
+(* A 3-deep chain by field width: a (exact) beats b (prefix) beats c
+   (wildcard); the minimal graph keeps c -> b -> a and drops c -> a. *)
+let chain_rules () =
+  let mk id s priority =
+    Rule.make ~id ~field:(Ternary.of_string s) ~action:(Rule.Forward id) ~priority
+  in
+  [| mk 0 "00000000" 3; mk 1 "0000****" 2; mk 2 "********" 1 |]
+
+let test_admission_closure () =
+  let backing = Cache_backing.of_rules (chain_rules ()) in
+  check "a alone" true (ids (Cache_backing.admission_closure backing 0) = [ 0 ]);
+  check "b pulls a" true (ids (Cache_backing.admission_closure backing 1) = [ 0; 1 ]);
+  check "c pulls the chain" true
+    (ids (Cache_backing.admission_closure backing 2) = [ 0; 1; 2 ])
+
+let test_eviction_closure () =
+  let backing = Cache_backing.of_rules (chain_rules ()) in
+  let all = Id_set.of_list [ 0; 1; 2 ] in
+  check "evicting a drags cached dependents" true
+    (ids (Cache_backing.eviction_closure backing 0 ~cached:all) = [ 0; 1; 2 ]);
+  check "cached filter applies" true
+    (ids (Cache_backing.eviction_closure backing 0 ~cached:(Id_set.of_list [ 0; 2 ]))
+    = [ 0; 2 ]);
+  check "leaf evicts alone" true
+    (ids (Cache_backing.eviction_closure backing 2 ~cached:all) = [ 2 ])
+
+let test_topo_ranks_order () =
+  let backing = Cache_backing.of_rules (chain_rules ()) in
+  let ranks = Cache_backing.topo_ranks backing in
+  let r id = Hashtbl.find ranks id in
+  (* Dependents (lower precedence) rank strictly before dependencies. *)
+  check "c before b" true (r 2 < r 1);
+  check "b before a" true (r 1 < r 0)
+
+(* --- policies ---------------------------------------------------------- *)
+
+let test_policy_parsing () =
+  check "lru" true (Cache_policy.kind_of_string "lru" = Some Cache_policy.Lru);
+  check "fdrc default" true
+    (Cache_policy.kind_of_string "fdrc"
+    = Some (Cache_policy.Fdrc { admit_after = 2 }));
+  check "fdrc:4" true
+    (Cache_policy.kind_of_string "fdrc:4"
+    = Some (Cache_policy.Fdrc { admit_after = 4 }));
+  check "junk" true (Cache_policy.kind_of_string "arc" = None);
+  check "roundtrip" true
+    (Cache_policy.kind_of_string
+       (Cache_policy.kind_to_string (Cache_policy.Fdrc { admit_after = 3 }))
+    = Some (Cache_policy.Fdrc { admit_after = 3 }))
+
+let singleton_groups id = Id_set.singleton id
+
+let test_lru_victims_coldest_first () =
+  let p = Cache_policy.create Cache_policy.Lru in
+  List.iter (fun (id, tick) -> Cache_policy.touch p ~id ~tick)
+    [ (1, 10); (2, 20); (3, 30); (4, 40) ];
+  match
+    Cache_policy.victims p ~candidates:[ 1; 2; 3; 4 ] ~group_of:singleton_groups
+      ~protect:Id_set.empty ~need:2 ~limit:50.0
+  with
+  | None -> Alcotest.fail "expected victims"
+  | Some vs -> check "oldest two" true (ids vs = [ 1; 2 ])
+
+let test_victims_respect_protect_and_groups () =
+  let p = Cache_policy.create Cache_policy.Lru in
+  List.iter (fun (id, tick) -> Cache_policy.touch p ~id ~tick)
+    [ (1, 10); (2, 15); (3, 99); (4, 20) ];
+  (* 1 is protected; evicting 2 drags its hot dependent 3 along, making
+     the group too hot — so the only usable group is {4}. *)
+  let group_of = function
+    | 2 -> Id_set.of_list [ 2; 3 ]
+    | id -> Id_set.singleton id
+  in
+  match
+    Cache_policy.victims p ~candidates:[ 1; 2; 4 ] ~group_of
+      ~protect:(Id_set.singleton 1) ~need:1 ~limit:50.0
+  with
+  | None -> Alcotest.fail "expected victims"
+  | Some vs -> check "hot group skipped" true (ids vs = [ 4 ])
+
+let test_victims_antithrash () =
+  (* Every candidate as hot as the admission's limit: refuse. *)
+  let p = Cache_policy.create (Cache_policy.Fdrc { admit_after = 2 }) in
+  List.iter (fun id ->
+      Cache_policy.note_miss p ~id ~tick:1;
+      Cache_policy.note_miss p ~id ~tick:2)
+    [ 1; 2; 3 ];
+  check "no cold victims" true
+    (Cache_policy.victims p ~candidates:[ 1; 2; 3 ] ~group_of:singleton_groups
+       ~protect:Id_set.empty ~need:1 ~limit:2.0
+    = None)
+
+let test_fdrc_admission_gate () =
+  let p = Cache_policy.create (Cache_policy.Fdrc { admit_after = 3 }) in
+  Cache_policy.note_miss p ~id:7 ~tick:1;
+  check "1 miss: hold" false (Cache_policy.should_admit p ~id:7);
+  Cache_policy.note_miss p ~id:7 ~tick:2;
+  check "2 misses: hold" false (Cache_policy.should_admit p ~id:7);
+  Cache_policy.note_miss p ~id:7 ~tick:3;
+  check "3 misses: admit" true (Cache_policy.should_admit p ~id:7);
+  check "lru admits instantly" true
+    (Cache_policy.should_admit (Cache_policy.create Cache_policy.Lru) ~id:9)
+
+(* --- the tier ---------------------------------------------------------- *)
+
+let small_spec =
+  {
+    Cache_driver.default_spec with
+    Cache_driver.n = 250;
+    seed = 42;
+    flows = 20_000;
+    skew = 1.1;
+    accesses = 1_200;
+    slots = 48;
+    shards = 2;
+    flush_every = 32;
+  }
+
+let test_oracle_all_schedulers () =
+  let results = Cache_driver.run_all ~probes:4 small_spec in
+  check_int "five schedulers" 5 (List.length results);
+  List.iter
+    (fun (r : Cache_driver.result) ->
+      let name = Firmware.algo_kind_name r.Cache_driver.algo in
+      (match r.Cache_driver.divergences with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "%s diverged at %d (%s): expected %s, got %s" name
+            d.Cache_driver.at d.Cache_driver.where d.Cache_driver.expected
+            d.Cache_driver.got);
+      check (name ^ ": traffic flowed") true (r.Cache_driver.hits > 0);
+      check (name ^ ": evictions exercised") true (r.Cache_driver.evicted > 0);
+      check (name ^ ": probes ran") true (r.Cache_driver.probes > 0);
+      check (name ^ ": bounded") true (r.Cache_driver.cached <= small_spec.Cache_driver.slots))
+    results
+
+let test_oracle_parallel_flush () =
+  (* Same conformance with multi-domain flushes (the --domains 4 leg). *)
+  let r = Cache_driver.run ~domains:4 ~probes:4 small_spec in
+  check_int "no divergences under domains=4" 0
+    (List.length r.Cache_driver.divergences);
+  check "evictions exercised" true (r.Cache_driver.evicted > 0)
+
+let test_mid_eviction_probes_fire () =
+  let rules = Dataset.generate Dataset.ACL4 ~seed:42 ~n:200 in
+  let backing = Cache_backing.of_rules rules in
+  let tier = Cache.create ~shards:2 ~flush_every:16 ~slots:24 ~backing () in
+  let flows = Zipf.Flows.create ~rules ~seed:1 ~flows:5_000 ~skew:1.2 in
+  let mid = ref 0 and settled = ref 0 and checked = ref 0 in
+  Cache.set_probe_hook tier (fun phase ->
+      (match phase with
+      | Cache.Mid_eviction -> incr mid
+      | Cache.Settled -> incr settled);
+      (* The invariant the whole design rests on: at every flush
+         boundary the cached target set is closed under dependencies. *)
+      let cached = Cache.cached_ids tier in
+      Id_set.iter
+        (fun id ->
+          incr checked;
+          if not (Id_set.subset (Cache_backing.admission_closure backing id) cached)
+          then Alcotest.failf "closure broken at %d" id)
+        cached);
+  for _ = 1 to 800 do
+    ignore (Cache.access tier (snd (Zipf.Flows.next flows)))
+  done;
+  Cache.maintain tier;
+  check "mid-eviction boundaries observed" true (!mid > 0);
+  check "settled boundaries observed" true (!settled > 0);
+  check "invariant actually checked" true (!checked > 0);
+  check "no degradation" true (Cache.degraded tier = None);
+  check "cache bounded" true (Cache.cached_count tier <= 24);
+  check "installed bounded" true (Cache.installed_count tier <= 24)
+
+let test_skew_beats_uniform () =
+  (* A small cache under heavy skew must hit far more often than under
+     uniform traffic — the workload justification for the tier. *)
+  let base = { small_spec with Cache_driver.accesses = 1_500; slots = 32 } in
+  let hot =
+    Cache_driver.run ~check:false ~probes:0 { base with Cache_driver.skew = 1.4 }
+  in
+  let flat =
+    Cache_driver.run ~check:false ~probes:0 { base with Cache_driver.skew = 0.0 }
+  in
+  check "skewed traffic caches well" true
+    (hot.Cache_driver.hit_rate > flat.Cache_driver.hit_rate +. 0.15)
+
+let test_fdrc_cuts_churn () =
+  (* Frequency-gated admission must admit less than always-admit LRU on
+     the same stream. *)
+  let base = { small_spec with Cache_driver.accesses = 1_500 } in
+  let lru = Cache_driver.run ~check:false ~probes:0 base in
+  let fdrc =
+    Cache_driver.run ~check:false ~probes:0
+      { base with Cache_driver.policy = Cache_policy.Fdrc { admit_after = 2 } }
+  in
+  check "fdrc admits less" true
+    (fdrc.Cache_driver.admitted < lru.Cache_driver.admitted);
+  check "fdrc still serves hits" true (fdrc.Cache_driver.hit_rate > 0.2)
+
+let test_fdrc_oracle () =
+  let r =
+    Cache_driver.run ~probes:4
+      { small_spec with Cache_driver.policy = Cache_policy.Fdrc { admit_after = 2 } }
+  in
+  check_int "fdrc conformant" 0 (List.length r.Cache_driver.divergences)
+
+let suite =
+  [
+    ( "cache-backing",
+      [
+        Alcotest.test_case "scan = semantic lookup" `Quick test_backing_matches_semantic_lookup;
+        Alcotest.test_case "churned table keeps semantics" `Quick test_backing_churn_keeps_lookup;
+        Alcotest.test_case "admission closures" `Quick test_admission_closure;
+        Alcotest.test_case "eviction closures" `Quick test_eviction_closure;
+        Alcotest.test_case "topo ranks order phases" `Quick test_topo_ranks_order;
+      ] );
+    ( "cache-policy",
+      [
+        Alcotest.test_case "kind parsing" `Quick test_policy_parsing;
+        Alcotest.test_case "lru evicts coldest" `Quick test_lru_victims_coldest_first;
+        Alcotest.test_case "protect + hot groups" `Quick test_victims_respect_protect_and_groups;
+        Alcotest.test_case "anti-thrash guard" `Quick test_victims_antithrash;
+        Alcotest.test_case "fdrc admission gate" `Quick test_fdrc_admission_gate;
+      ] );
+    ( "cache-tier",
+      [
+        Alcotest.test_case "oracle: all five schedulers" `Slow test_oracle_all_schedulers;
+        Alcotest.test_case "oracle: domains=4 flushes" `Quick test_oracle_parallel_flush;
+        Alcotest.test_case "mid-eviction closure invariant" `Quick test_mid_eviction_probes_fire;
+        Alcotest.test_case "skew beats uniform" `Quick test_skew_beats_uniform;
+        Alcotest.test_case "fdrc cuts churn" `Quick test_fdrc_cuts_churn;
+        Alcotest.test_case "fdrc conformant" `Quick test_fdrc_oracle;
+      ] );
+  ]

@@ -93,6 +93,43 @@ let prop_compile_acyclic_and_covering =
       let g = Dag_build.compile rules in
       Topo.is_acyclic g && Dag_build.closure_covers_overlaps g rules)
 
+(* The cache tier's admission safety rides on closure queries staying
+   sound over a *churned* graph, not just a freshly compiled one: after
+   every random interleaving of incremental inserts and contracted
+   deletes, the transitive closure must still cover every overlapping
+   live pair.  Deletion must contract (Graph.remove_node ~contract) —
+   plain removal loses the ordering that flowed through the deleted
+   node, which is exactly the unsoundness this property would expose. *)
+let prop_closure_covers_across_churn =
+  QCheck.Test.make ~name:"closure covers overlaps across insert/delete churn"
+    ~count:40
+    QCheck.(pair arb_rules (make ~print:string_of_int Gen.(int_range 0 10_000)))
+    (fun (rules, seed) ->
+      let rng = Rng.create ~seed in
+      let g = Graph.create () in
+      let live = Hashtbl.create 16 in
+      let live_rules () = Hashtbl.fold (fun _ r acc -> r :: acc) live [] in
+      let next = ref 0 in
+      let n = Array.length rules in
+      let ok = ref true in
+      for _ = 1 to 3 * n do
+        (if !next < n && (Hashtbl.length live = 0 || Rng.chance rng 0.6) then begin
+           let r = rules.(!next) in
+           incr next;
+           Dag_build.insert g ~existing:(live_rules ()) r;
+           Hashtbl.replace live r.Rule.id r
+         end
+         else if Hashtbl.length live > 0 then begin
+           let r = Rng.pick rng (Array.of_list (live_rules ())) in
+           Dag_build.remove ~contract:true g r.Rule.id;
+           Hashtbl.remove live r.Rule.id
+         end);
+        let arr = Array.of_list (live_rules ()) in
+        if not (Topo.is_acyclic g && Dag_build.closure_covers_overlaps g arr)
+        then ok := false
+      done;
+      !ok)
+
 (* --- fenwick min-tree --------------------------------------------------- *)
 
 let prop_min_tree_vs_naive =
@@ -318,7 +355,9 @@ let suite =
           prop_sampled_member_matches;
           prop_overlap_iff_shared_member;
         ] );
-    ("props-compiler", to_alcotest [ prop_compile_acyclic_and_covering ]);
+    ( "props-compiler",
+      to_alcotest
+        [ prop_compile_acyclic_and_covering; prop_closure_covers_across_churn ] );
     ("props-bitree", to_alcotest [ prop_min_tree_vs_naive ]);
     ( "props-schedulers",
       to_alcotest

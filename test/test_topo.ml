@@ -59,6 +59,25 @@ let test_longest_path () =
   Graph.add_edge g 0 1;
   check_int "longer" 5 (Topo.longest_path_nodes g)
 
+(* The cache tier asks for whole-chain closures; on a pathological 50k-deep
+   dependency chain the explicit-stack traversals must neither overflow
+   nor miss anything. *)
+let test_deep_chain_stack_safety () =
+  let n = 50_000 in
+  let g = Graph.create () in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  check_int "descendants of root" (n - 1)
+    (Rule.Id_set.cardinal (Topo.descendants g 0));
+  check_int "ancestors of leaf" (n - 1)
+    (Rule.Id_set.cardinal (Topo.ancestors g (n - 1)));
+  check "reachable end to end" true (Topo.reachable g 0 (n - 1));
+  check_int "longest path spans the chain" n (Topo.longest_path_nodes g);
+  match Topo.toposort g with
+  | None -> Alcotest.fail "chain must be acyclic"
+  | Some order -> check_int "toposort covers the chain" n (List.length order)
+
 let test_longest_path_dag_diamond () =
   (* Diamond: 1 -> {2,3} -> 4 gives a 3-node longest chain, not 4. *)
   let g = chain [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
@@ -76,5 +95,6 @@ let suite =
         Alcotest.test_case "descendants/ancestors" `Quick test_descendants_ancestors;
         Alcotest.test_case "longest path" `Quick test_longest_path;
         Alcotest.test_case "diamond longest path" `Quick test_longest_path_dag_diamond;
+        Alcotest.test_case "50k-deep chain stack safety" `Quick test_deep_chain_stack_safety;
       ] );
   ]

@@ -1,0 +1,128 @@
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let histogram z ~samples ~seed =
+  let rng = Rng.create ~seed in
+  let counts = Array.make (Zipf.n z) 0 in
+  for _ = 1 to samples do
+    let k = Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let test_bounds_and_determinism () =
+  let z = Zipf.create ~n:1000 ~skew:1.3 in
+  let draw seed =
+    let rng = Rng.create ~seed in
+    List.init 500 (fun _ -> Zipf.sample z rng)
+  in
+  let a = draw 7 and b = draw 7 and c = draw 8 in
+  check "same seed, same stream" true (a = b);
+  check "different seed, different stream" true (a <> c);
+  check "all in range" true (List.for_all (fun k -> k >= 0 && k < 1000) a)
+
+let test_head_mass_high_skew () =
+  (* At skew 1.5 over a million ranks, rank 0 alone carries
+     1/zeta(1.5) ~ 38% of the mass and the top ten ~70%. *)
+  let z = Zipf.create ~n:1_000_000 ~skew:1.5 in
+  let counts = Hashtbl.create 64 in
+  let rng = Rng.create ~seed:11 in
+  let samples = 20_000 in
+  for _ = 1 to samples do
+    let k = Zipf.sample z rng in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let freq k = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts k)) /. float_of_int samples in
+  check "rank 0 is heavy" true (freq 0 > 0.30);
+  let top10 = List.fold_left (fun acc k -> acc +. freq k) 0.0 (List.init 10 Fun.id) in
+  check "top-10 majority" true (top10 > 0.60);
+  check "rank 0 not everything" true (freq 0 < 0.50)
+
+let test_uniform_limit () =
+  (* skew = 0 must degenerate to the uniform distribution exactly: every
+     rank within 3x of expectation on a seeded draw, and the mean rank
+     near the middle. *)
+  let n = 100 in
+  let z = Zipf.create ~n ~skew:0.0 in
+  let samples = 20_000 in
+  let counts = histogram z ~samples ~seed:13 in
+  let expected = samples / n in
+  Array.iteri
+    (fun k c ->
+      if c < expected / 3 || c > expected * 3 then
+        Alcotest.failf "rank %d count %d far from uniform %d" k c expected)
+    counts;
+  let mean =
+    let s = ref 0 in
+    Array.iteri (fun k c -> s := !s + (k * c)) counts;
+    float_of_int !s /. float_of_int samples
+  in
+  check "uniform mean near middle" true (Float.abs (mean -. 49.5) < 3.0)
+
+let test_skew_orders_means () =
+  (* More skew, smaller mean rank. *)
+  let mean skew =
+    let z = Zipf.create ~n:10_000 ~skew in
+    let rng = Rng.create ~seed:17 in
+    let s = ref 0 in
+    for _ = 1 to 5_000 do
+      s := !s + Zipf.sample z rng
+    done;
+    float_of_int !s /. 5_000.0
+  in
+  let m0 = mean 0.0 and m08 = mean 0.8 and m15 = mean 1.5 in
+  check "skew 0.8 < uniform" true (m08 < m0 /. 2.0);
+  check "skew 1.5 < skew 0.8" true (m15 < m08 /. 2.0)
+
+let test_skew_one_no_singularity () =
+  (* The classic exponent: helper series must keep H finite at skew = 1. *)
+  let z = Zipf.create ~n:1000 ~skew:1.0 in
+  let counts = histogram z ~samples:5_000 ~seed:19 in
+  check "rank 0 heaviest" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts);
+  check_int "nothing lost" 5_000 (Array.fold_left ( + ) 0 counts)
+
+let test_invalid_args () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "n=0 rejected" true (raises (fun () -> Zipf.create ~n:0 ~skew:1.0));
+  check "negative skew rejected" true (raises (fun () -> Zipf.create ~n:10 ~skew:(-0.1)));
+  check "nan skew rejected" true (raises (fun () -> Zipf.create ~n:10 ~skew:Float.nan))
+
+let test_flows_deterministic () =
+  let rules = Dataset.generate Dataset.ACL4 ~seed:3 ~n:200 in
+  let mk () = Zipf.Flows.create ~rules ~seed:23 ~flows:1_000_000 ~skew:1.1 in
+  let f1 = mk () and f2 = mk () in
+  for _ = 1 to 200 do
+    let r1, p1 = Zipf.Flows.next f1 and r2, p2 = Zipf.Flows.next f2 in
+    check_int "same rank" r1 r2;
+    check "same packet" true (p1 = p2);
+    (* The per-flow packet is a pure function of the rank. *)
+    check "packet_of agrees" true (Zipf.Flows.packet_of f1 r1 = p1)
+  done
+
+let test_flows_hit_table () =
+  (* Every flow packet matches at least one rule of its table. *)
+  let rules = Dataset.generate Dataset.FW5 ~seed:5 ~n:150 in
+  let f = Zipf.Flows.create ~rules ~seed:29 ~flows:500 ~skew:0.9 in
+  for rank = 0 to 499 do
+    let pkt = Zipf.Flows.packet_of f rank in
+    check "flow lands on a rule" true
+      (Array.exists (fun r -> Rule.matches_packet r pkt) rules)
+  done
+
+let suite =
+  [
+    ( "zipf",
+      [
+        Alcotest.test_case "bounds + determinism" `Quick test_bounds_and_determinism;
+        Alcotest.test_case "head mass at high skew" `Quick test_head_mass_high_skew;
+        Alcotest.test_case "uniform limit at skew 0" `Quick test_uniform_limit;
+        Alcotest.test_case "skew orders mean ranks" `Quick test_skew_orders_means;
+        Alcotest.test_case "skew 1 has no singularity" `Quick test_skew_one_no_singularity;
+        Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+        Alcotest.test_case "flow universe deterministic" `Quick test_flows_deterministic;
+        Alcotest.test_case "flow packets hit the table" `Quick test_flows_hit_table;
+      ] );
+  ]
