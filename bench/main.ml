@@ -989,6 +989,95 @@ let cache () =
   Format.printf "@.wrote BENCH_cache.json (%d rows)@." (List.length results)
 
 (* ------------------------------------------------------------------ *)
+(* net: the network-wide rollout planner's cost surface.  Sweeps
+   topology size x per-switch batch budget: more switches mean longer
+   paths (more mods per flow), while a smaller batch stretches the same
+   mod set over more rounds — the makespan is the rollout's wall clock
+   through real per-switch services, and the per-round touched-switch
+   counts show how wide each round fans out.  Consistency is the test
+   suite's job (net oracle); here checking is off so the numbers are
+   pure rollout mechanics. *)
+
+let net () =
+  let shapes =
+    if !quick then [ Net_topo.Ring ] else [ Net_topo.Line; Net_topo.Ring; Net_topo.Tree ]
+  in
+  let node_counts = if !quick then [ 6; 10 ] else [ 6; 12; 24 ] in
+  let batches = if !quick then [ 2; 8 ] else [ 1; 4; 16 ] in
+  Format.printf "@.== net: rollout rounds x makespan ==@.";
+  let rows =
+    List.concat_map
+      (fun shape ->
+        List.concat_map
+          (fun nodes ->
+            List.map
+              (fun batch ->
+                let topo = Net_topo.make shape nodes in
+                let flows = nodes in
+                let sc =
+                  Net_scenario.make ~flows ~reroute:(flows / 3)
+                    ~withdraw:1 ~introduce:1 ~waypoints:2 ~seed topo
+                in
+                let plan =
+                  match Net_scenario.plan ~batch sc with
+                  | Ok p -> p
+                  | Error e -> failwith e
+                in
+                let fleet =
+                  Net.of_policy ~capacity:(4 * flows) topo sc.old_policy
+                in
+                let report = Net.execute fleet plan in
+                assert (report.Net.completed && report.Net.failed = 0);
+                Format.printf
+                  "%-5s %3d nodes  batch %2d: %2d rounds  %3d mods  \
+                   makespan %6.2f ms@."
+                  (Net_topo.shape_name topo) nodes batch
+                  (Net_plan.num_rounds plan)
+                  report.Net.applied report.Net.wall_ms;
+                let open Telemetry.Json in
+                Obj
+                  [
+                    ("shape", Str (Net_topo.shape_name topo));
+                    ("nodes", Int nodes);
+                    ("flows", Int flows);
+                    ("batch", Int batch);
+                    ("rounds", Int (Net_plan.num_rounds plan));
+                    ("total_mods", Int (Net_plan.total_mods plan));
+                    ("applied", Int report.Net.applied);
+                    ("makespan_ms", Float report.Net.wall_ms);
+                    ( "round_touched",
+                      List
+                        (Stdlib.List.map
+                           (fun (s : Net.round_stat) -> Int s.Net.r_switches)
+                           report.Net.per_round) );
+                    ( "round_mods",
+                      List
+                        (Stdlib.List.map
+                           (fun (s : Net.round_stat) -> Int s.Net.r_mods)
+                           report.Net.per_round) );
+                  ])
+              batches)
+          node_counts)
+      shapes
+  in
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("bench", Str "net");
+        ("quick", Bool !quick);
+        ("seed", Int seed);
+        ("rows", List rows);
+      ]
+  in
+  let oc = open_out "BENCH_net.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_net.json (%d rows)@."
+    (Stdlib.List.length rows)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1004,6 +1093,7 @@ let sections =
     ("conform", conform);
     ("resil", resil);
     ("cache", cache);
+    ("net", net);
   ]
 
 let () =

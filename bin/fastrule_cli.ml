@@ -222,9 +222,10 @@ let pp_latency_line service =
     (if Float.is_finite !thr then Printf.sprintf "%.3f" !thr
      else "inf (off/warming)")
 
-let ctrl_json path service ~scenario =
+let ctrl_json path service ~scenario ~seed =
   let oc = open_out path in
-  output_string oc (Telemetry.Json.to_string (Ctrl.to_json ~scenario service));
+  output_string oc
+    (Telemetry.Json.to_string (Ctrl.to_json ~scenario ~seed service));
   output_char oc '\n';
   close_out oc;
   Format.printf "@.wrote per-shard telemetry to %s@." path
@@ -280,7 +281,7 @@ let ctrl_cmd =
           pp_latency_line service;
           Ctrl.pp_stats Format.std_formatter service;
           (match json with
-          | Some path -> ctrl_json path service ~scenario:("recover-" ^ dir)
+          | Some path -> ctrl_json path service ~scenario:("recover-" ^ dir) ~seed
           | None -> ());
           exit
             (if r.Ctrl.warnings = [] && (allow_failures || flushed = []) then 0
@@ -370,7 +371,7 @@ let ctrl_cmd =
           Printf.sprintf "ctrl-%s-%dx%d" (Dataset.to_string kind) shards
             capacity
         in
-        ctrl_json path r.Churn.service ~scenario);
+        ctrl_json path r.Churn.service ~scenario ~seed);
     match crash_after with
     | Some _ ->
         Ctrl.simulate_crash ~mid_drain:crash_mid r.Churn.service;
@@ -1100,6 +1101,307 @@ let cache_cmd =
       $ algo_arg $ oracle_arg $ no_check_arg $ probes_arg $ domains_arg
       $ json_arg)
 
+(* --- net -------------------------------------------------------------- *)
+
+let shape_conv =
+  let parse s =
+    match Net_topo.shape_of_string s with
+    | Some sh -> Ok sh
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown shape %S (line, ring or tree)" s))
+  in
+  Arg.conv
+    (parse, fun ppf sh -> Format.pp_print_string ppf (Net_topo.shape_to_string sh))
+
+let net_cmd =
+  let run shape nodes flows reroute withdraw introduce waypoints seed batch
+      shards capacity algo oracle no_check samples domains journal json =
+    let bad fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "fastrule_cli: %s@." m;
+          exit 2)
+        fmt
+    in
+    if flows < 1 then bad "--flows must be >= 1 (got %d)" flows;
+    if batch < 1 then bad "--batch must be >= 1 (got %d)" batch;
+    if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
+    if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
+    if samples < 1 then bad "--samples must be >= 1 (got %d)" samples;
+    List.iter
+      (fun (name, v) -> if v < 0 then bad "--%s must be >= 0 (got %d)" name v)
+      [ ("reroute", reroute); ("withdraw", withdraw);
+        ("introduce", introduce); ("waypoints", waypoints) ];
+    (match domains with
+    | Some d when d < 1 -> bad "--domains must be >= 1 (got %d)" d
+    | _ -> ());
+    let topo =
+      try Net_topo.make shape nodes with Invalid_argument m -> bad "%s" m
+    in
+    let sc =
+      try
+        Net_scenario.make ~flows ~reroute ~withdraw ~introduce ~waypoints ~seed
+          topo
+      with Invalid_argument m -> bad "%s" m
+    in
+    let plan =
+      match Net_scenario.plan ~batch sc with
+      | Ok p -> p
+      | Error e -> bad "cannot plan rollout: %s" e
+    in
+    let domains_used =
+      match domains with Some d -> d | None -> Ctrl.default_domains ()
+    in
+    let params =
+      [
+        ("shape", Telemetry.Json.Str (Net_topo.shape_name topo));
+        ("nodes", Telemetry.Json.Int (Net_topo.nodes topo));
+        ("flows", Telemetry.Json.Int (List.length sc.old_policy));
+        ("new_flows", Telemetry.Json.Int (List.length sc.new_policy));
+        ("seed", Telemetry.Json.Int seed);
+        ("batch", Telemetry.Json.Int batch);
+        ("shards", Telemetry.Json.Int shards);
+        ("capacity", Telemetry.Json.Int capacity);
+        ("domains", Telemetry.Json.Int domains_used);
+        ("rounds", Telemetry.Json.Int (Net_plan.num_rounds plan));
+        ("total_mods", Telemetry.Json.Int (Net_plan.total_mods plan));
+      ]
+    in
+    let dump obj =
+      match json with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Telemetry.Json.to_string (Telemetry.Json.Obj obj));
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "wrote net results to %s@." path
+    in
+    if oracle then begin
+      let r = Oracle.run_net ~batch ~samples ~shards ~capacity ?domains sc in
+      Oracle.pp_net_report Format.std_formatter r;
+      dump
+        (params
+        @ [
+            ("mode", Telemetry.Json.Str "oracle");
+            ( "columns",
+              Telemetry.Json.List
+                (List.map
+                   (fun (c : Oracle.net_column) ->
+                     Telemetry.Json.Obj
+                       [
+                         ("scheduler", Telemetry.Json.Str c.net_scheduler);
+                         ("rounds", Telemetry.Json.Int c.net_rounds);
+                         ("applied", Telemetry.Json.Int c.net_applied);
+                         ("failed", Telemetry.Json.Int c.net_failed);
+                         ("probes", Telemetry.Json.Int c.net_probes);
+                       ])
+                   r.Oracle.net_columns) );
+            ( "divergences",
+              Telemetry.Json.List
+                (List.map
+                   (fun (d : Oracle.divergence) ->
+                     Telemetry.Json.Obj
+                       [
+                         ("event", Telemetry.Json.Int d.Oracle.event);
+                         ("scheduler", Telemetry.Json.Str d.Oracle.scheduler);
+                         ("detail", Telemetry.Json.Str d.Oracle.detail);
+                       ])
+                   r.Oracle.net_divergences) );
+            ("clean", Telemetry.Json.Bool (Oracle.net_clean r));
+            ("wall_ms", Telemetry.Json.Float r.Oracle.net_wall_ms);
+          ]);
+      exit (if Oracle.net_clean r then 0 else 1)
+    end
+    else begin
+      (* pure-model pre-check: the planner's output is certified before a
+         single flow-mod reaches a service *)
+      if not no_check then begin
+        match Net_check.check_plan ~samples ~seed plan with
+        | Ok () -> ()
+        | Error vs ->
+            List.iter (fun v -> Format.eprintf "  INCONSISTENT: %s@." v) vs;
+            bad "plan failed the transient-path check (%d violations)"
+              (List.length vs)
+      end;
+      let fleet =
+        Net.of_policy ~kind:algo ~shards ~capacity ?domains ?journal topo
+          sc.old_policy
+      in
+      let report = Net.execute fleet plan in
+      Format.printf "%a" Net_plan.pp plan;
+      Format.printf "%a@." Net.pp_report report;
+      let converged =
+        Net.stamps fleet = Net_plan.stamps_after plan
+        &&
+        let reference =
+          Net_check.Model.of_policy topo
+            ~version_of:(fun f ->
+              List.assoc f.Net_policy.flow_id (Net_plan.stamps_after plan))
+            sc.new_policy
+        in
+        List.for_all
+          (fun node ->
+            List.map (fun (r : Rule.t) -> r.id) (Net.rules fleet node)
+            = List.map
+                (fun (r : Rule.t) -> r.id)
+                (Net_check.Model.rules reference node))
+          (List.init (Net_topo.nodes topo) Fun.id)
+      in
+      Format.printf "net: %d rounds  %d mods  %d switches  %s@."
+        report.Net.rounds_run report.Net.applied (Net_topo.nodes topo)
+        (if converged then "converged on the new policy"
+         else "DID NOT converge");
+      dump
+        (params
+        @ [
+            ("mode", Telemetry.Json.Str "rollout");
+            ("algo", Telemetry.Json.Str (Net.kind_name fleet));
+            ("completed", Telemetry.Json.Bool report.Net.completed);
+            ("converged", Telemetry.Json.Bool converged);
+            ("applied", Telemetry.Json.Int report.Net.applied);
+            ("failed", Telemetry.Json.Int report.Net.failed);
+            ("wall_ms", Telemetry.Json.Float report.Net.wall_ms);
+            ( "per_round",
+              Telemetry.Json.List
+                (List.map
+                   (fun (s : Net.round_stat) ->
+                     Telemetry.Json.Obj
+                       [
+                         ("index", Telemetry.Json.Int s.Net.r_index);
+                         ( "kind",
+                           Telemetry.Json.Str (Net_plan.kind_to_string s.Net.r_kind)
+                         );
+                         ("switches", Telemetry.Json.Int s.Net.r_switches);
+                         ("mods", Telemetry.Json.Int s.Net.r_mods);
+                         ("wall_ms", Telemetry.Json.Float s.Net.r_wall_ms);
+                       ])
+                   report.Net.per_round) );
+          ]);
+      exit
+        (if report.Net.completed && report.Net.failed = 0 && converged then 0
+         else 1)
+    end
+  in
+  let shape_arg =
+    Arg.(
+      value
+      & opt shape_conv Net_topo.Ring
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:"Topology shape: $(b,line), $(b,ring) or $(b,tree).")
+  in
+  let nodes_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "nodes" ] ~docv:"N" ~doc:"Switches in the fabric.")
+  in
+  let flows_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "flows" ] ~docv:"COUNT" ~doc:"Flows in the old policy.")
+  in
+  let reroute_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "reroute" ] ~docv:"COUNT"
+          ~doc:"Flows the new policy moves to a different path.")
+  in
+  let withdraw_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "withdraw" ] ~docv:"COUNT"
+          ~doc:"Flows the new policy drops entirely.")
+  in
+  let introduce_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "introduce" ] ~docv:"COUNT"
+          ~doc:"Fresh flows the new policy adds.")
+  in
+  let waypoints_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "waypoints" ] ~docv:"COUNT"
+          ~doc:"Flows carrying a mandatory waypoint.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "b"; "batch" ] ~docv:"MODS"
+          ~doc:"Per-switch flow-mod budget per round.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "s"; "shards" ] ~docv:"N" ~doc:"TCAM shards per switch.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "capacity" ] ~docv:"SLOTS" ~doc:"TCAM slots per shard.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt algo_conv (Firmware.FR_O Store.Bit_backend)
+      & info [ "algo" ] ~docv:"SCHED"
+          ~doc:"Scheduler for every switch (ignored with --oracle).")
+  in
+  let oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:"Transient-path sweep: roll the same plan out under every \
+                scheduler, probing consistency and waypoints at every round \
+                boundary and mid-flush instant; exit 1 on any divergence.")
+  in
+  let no_check_arg =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:"Skip the pure-model plan certification (meaningless with \
+                --oracle).")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "samples" ] ~docv:"K"
+          ~doc:"Packets traced per stamped flow at each probe point.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Executors for the fleet fan-out and every switch service \
+                (default: FASTRULE_DOMAINS or 1).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:"Journal the rollout (one sub-journal per switch plus the \
+                rollout log); recover with the library's Net.recover.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Dump the run as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:"Network-wide consistent updates: plan an old $(b,->) new policy \
+             rollout as two-phase rounds over a switch fleet, execute it, \
+             and (with $(b,--oracle)) prove no packet ever sees a mixed \
+             path or skips a waypoint.")
+    Term.(
+      const run $ shape_arg $ nodes_arg $ flows_arg $ reroute_arg
+      $ withdraw_arg $ introduce_arg $ waypoints_arg $ seed_arg $ batch_arg
+      $ shards_arg $ capacity_arg $ algo_arg $ oracle_arg $ no_check_arg
+      $ samples_arg $ domains_arg $ journal_arg $ json_arg)
+
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in
   exit
@@ -1115,4 +1417,5 @@ let () =
             journal_cmd;
             conform_cmd;
             cache_cmd;
+            net_cmd;
           ]))

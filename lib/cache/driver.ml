@@ -41,6 +41,7 @@ type divergence = { at : int; where : string; expected : string; got : string }
 type result = {
   algo : Firmware.algo_kind;
   spec : spec;
+  domains : int;
   hits : int;
   misses : int;
   hit_rate : float;
@@ -148,6 +149,7 @@ let run ?(algo = Firmware.FR_O Fr_sched.Store.Bit_backend) ?domains
   {
     algo;
     spec;
+    domains = Ctrl.domains svc;
     hits;
     misses;
     hit_rate =
@@ -209,6 +211,7 @@ let result_json r =
       ("accesses", Int r.spec.accesses);
       ("slots", Int r.spec.slots);
       ("shards", Int r.spec.shards);
+      ("domains", Int r.domains);
       ("flush_every", Int r.spec.flush_every);
       ("policy", Str (Policy.kind_to_string r.spec.policy));
       ("hits", Int r.hits);

@@ -38,6 +38,7 @@ type divergence = {
 type result = {
   algo : Fr_switch.Firmware.algo_kind;
   spec : spec;
+  domains : int;  (** flush executors the tier's service actually used *)
   hits : int;
   misses : int;
   hit_rate : float;

@@ -787,3 +787,148 @@ let pp_report ppf r =
       List.iter (fun d -> Format.fprintf ppf "    %a@." pp_divergence d) shown;
       if List.length ds > 10 then
         Format.fprintf ppf "    ... and %d more@." (List.length ds - 10)
+
+(* ------------------------------------------------------------------ *)
+(* Network rollout differential mode.                                  *)
+
+module Net_fleet = Fr_net.Fleet
+module Net_plan = Fr_net.Plan
+module Net_check = Fr_net.Check
+module Net_scenario = Fr_net.Scenario
+
+type net_column = {
+  net_scheduler : string;
+  net_rounds : int;
+  net_applied : int;
+  net_failed : int;
+  net_probes : int;
+}
+
+type net_report = {
+  net_shape : string;
+  net_nodes : int;
+  net_flows : int;
+  net_rounds_planned : int;
+  net_columns : net_column list;
+  net_divergences : divergence list;
+  net_wall_ms : float;
+}
+
+let net_clean r = r.net_divergences = []
+
+let run_net ?(batch = 4) ?(samples = 2) ?(shards = 2) ?(capacity = 64) ?domains
+    (sc : Net_scenario.t) =
+  let plan =
+    match Net_scenario.plan ~batch sc with
+    | Ok p -> p
+    | Error e -> invalid_arg ("Oracle.run_net: " ^ e)
+  in
+  let kinds = Firmware.standard_algos Fr_sched.Store.Bit_backend in
+  let divergences = ref [] in
+  let diverge ~event ~scheduler detail =
+    divergences := { event; scheduler; detail } :: !divergences
+  in
+  let images = ref [] in
+  let (columns : net_column list), net_wall_ms =
+    Measure.time_ms (fun () ->
+        List.map
+          (fun kind ->
+            let name = Firmware.algo_kind_name kind in
+            let fleet =
+              Net_fleet.of_policy ~kind ~shards ~capacity ?domains sc.topo
+                sc.old_policy
+            in
+            (* One PRNG per scheduler lane, same seed for all lanes: the
+               probe order is deterministic, so every lane traces the
+               same packets and any disagreement is the scheduler's. *)
+            let rng = Rng.create ~seed:11 in
+            let probes = ref 0 in
+            let check f ~event ~where =
+              incr probes;
+              List.iter
+                (diverge ~event ~scheduler:name)
+                (Net_check.consistent ~samples ~rng plan
+                   ~stamps:(Net_fleet.stamp f) ~lookup:(Net_fleet.lookup f)
+                   ~where)
+            in
+            check fleet ~event:0 ~where:"initial";
+            let probe f ~round ~where = check f ~event:round ~where in
+            let report = Net_fleet.execute ~probe fleet plan in
+            if not report.Net_fleet.completed then
+              diverge ~event:(-1) ~scheduler:name "rollout did not complete";
+            if report.Net_fleet.failed > 0 then
+              diverge ~event:(-1) ~scheduler:name
+                (Printf.sprintf "%d flow-mods failed during the rollout"
+                   report.Net_fleet.failed);
+            check fleet ~event:(-1) ~where:"final";
+            (* Final state must equal a fleet built directly from the new
+               policy at the post-rollout versions. *)
+            let reference =
+              Net_fleet.of_policy ~kind ~shards ~capacity ?domains sc.topo
+                sc.new_policy
+                ~version_of:(fun fl ->
+                  List.assoc fl.Fr_net.Policy.flow_id
+                    (Net_plan.stamps_after plan))
+            in
+            let image =
+              List.init (Fr_net.Topo.nodes sc.topo) (fun node ->
+                  Net_fleet.rules fleet node)
+            in
+            let ref_image =
+              List.init (Fr_net.Topo.nodes sc.topo) (fun node ->
+                  Net_fleet.rules reference node)
+            in
+            if image <> ref_image then
+              diverge ~event:(-1) ~scheduler:name
+                "final tables differ from a fresh fleet on the new policy";
+            if Net_fleet.stamps fleet <> Net_plan.stamps_after plan then
+              diverge ~event:(-1) ~scheduler:name
+                "final stamps differ from the plan's";
+            images := (name, image) :: !images;
+            {
+              net_scheduler = name;
+              net_rounds = report.Net_fleet.rounds_run;
+              net_applied = report.Net_fleet.applied;
+              net_failed = report.Net_fleet.failed;
+              net_probes = !probes;
+            })
+          kinds)
+  in
+  (* Cross-scheduler: every lane must land on identical tables. *)
+  (match List.rev !images with
+  | [] | [ _ ] -> ()
+  | (ref_name, ref_image) :: rest ->
+      List.iter
+        (fun (name, image) ->
+          if image <> ref_image then
+            diverge ~event:(-1) ~scheduler:name
+              (Printf.sprintf "final tables differ from %s's" ref_name))
+        rest);
+  {
+    net_shape = Fr_net.Topo.shape_name sc.topo;
+    net_nodes = Fr_net.Topo.nodes sc.topo;
+    net_flows = List.length sc.old_policy;
+    net_rounds_planned = Net_plan.num_rounds plan;
+    net_columns = columns;
+    net_divergences = List.rev !divergences;
+    net_wall_ms;
+  }
+
+let pp_net_report ppf r =
+  Format.fprintf ppf
+    "net oracle: %s topology, %d nodes, %d flows, %d rounds planned@."
+    r.net_shape r.net_nodes r.net_flows r.net_rounds_planned;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-9s %d rounds, %4d applied, %d failed, %d probe points@."
+        c.net_scheduler c.net_rounds c.net_applied c.net_failed c.net_probes)
+    r.net_columns;
+  match r.net_divergences with
+  | [] -> Format.fprintf ppf "  divergences: none@."
+  | ds ->
+      Format.fprintf ppf "  divergences: %d@." (List.length ds);
+      let shown = List.filteri (fun i _ -> i < 10) ds in
+      List.iter (fun d -> Format.fprintf ppf "    %a@." pp_divergence d) shown;
+      if List.length ds > 10 then
+        Format.fprintf ppf "    ... and %d more@." (List.length ds - 10)

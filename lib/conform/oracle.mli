@@ -224,3 +224,70 @@ val run_failover :
     is out of range, or [slow_ms <= 0]. *)
 
 val pp_failover_report : Format.formatter -> failover_report -> unit
+
+(** {1 Network rollout differential mode}
+
+    The fleet-level conformance class: one seeded {!Fr_net.Scenario}
+    (topology + old → new policy diff) is planned once
+    ({!Fr_net.Plan.make}) and then rolled out, per scheduler kind,
+    through a full {!Fr_net.Fleet} — every topology node a complete
+    [Fr_ctrl.Service] running that scheduler.  The oracle hooks the
+    fleet's probe callback, so at {e every} reachable instant — the
+    initial state, after each switch's flush inside every round
+    (mid-flush probe points), after each individual ingress-stamp flip,
+    and at each round boundary — it traces seeded pure-region packets
+    hop by hop through the live tables ({!Fr_net.Check.consistent}) and
+    demands:
+
+    - {b per-packet consistency} — every trace equals exactly the path
+      its (flow, stamped version) configures: entirely the old policy's
+      path or entirely the new one's, never a mix;
+    - {b waypoint preservation} — a flow's configured waypoint is on
+      every trace, at every instant;
+    - {b delivery} — traces end at the configured egress, no drops,
+      no loops, no rule gaps;
+    - {b convergence} — the final tables and stamps equal a fresh fleet
+      built directly from the new policy, and all five schedulers land
+      on identical tables.
+
+    All lanes trace the same packets (same probe PRNG seed), so any
+    disagreement is attributable to the scheduler under test. *)
+
+type net_column = {
+  net_scheduler : string;
+  net_rounds : int;  (** rounds committed *)
+  net_applied : int;  (** flow-mods applied across the fleet *)
+  net_failed : int;
+  net_probes : int;  (** probe points checked for this lane *)
+}
+
+type net_report = {
+  net_shape : string;
+  net_nodes : int;
+  net_flows : int;  (** old-policy flows *)
+  net_rounds_planned : int;
+  net_columns : net_column list;
+  net_divergences : divergence list;
+      (** [event] is the round index; [-1] for initial/final checks *)
+  net_wall_ms : float;
+}
+
+val net_clean : net_report -> bool
+
+val run_net :
+  ?batch:int ->
+  ?samples:int ->
+  ?shards:int ->
+  ?capacity:int ->
+  ?domains:int ->
+  Fr_net.Scenario.t ->
+  net_report
+(** Defaults: [batch = 4] mods per switch per round, [samples = 2]
+    packets per stamped flow per probe point, 2 shards of 64 slots per
+    node.  [domains] feeds both the fleet-level node fan-out and every
+    node service — running the oracle under [domains = 1] and [= 4]
+    (plus the CI journal-byte diff) extends the parallel ≡ sequential
+    equivalence proof to the fleet.
+    @raise Invalid_argument if the scenario does not plan. *)
+
+val pp_net_report : Format.formatter -> net_report -> unit

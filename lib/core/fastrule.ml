@@ -122,3 +122,12 @@ module Trace = Fr_conform.Trace
 module Oracle = Fr_conform.Oracle
 module Shrink = Fr_conform.Shrink
 module Bundle = Fr_conform.Bundle
+
+(** {1 The fleet (network-wide consistent updates)} *)
+
+module Net_topo = Fr_net.Topo
+module Net_policy = Fr_net.Policy
+module Net_plan = Fr_net.Plan
+module Net_check = Fr_net.Check
+module Net_scenario = Fr_net.Scenario
+module Net = Fr_net.Fleet

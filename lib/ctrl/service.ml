@@ -900,7 +900,7 @@ let pp_stats ppf t =
         Telemetry.pp (Shard.telemetry s))
     t.shards
 
-let to_json ?scenario t =
+let to_json ?scenario ?seed t =
   let open Telemetry.Json in
   let per_shard =
     Array.to_list
@@ -916,12 +916,14 @@ let to_json ?scenario t =
          t.shards)
   in
   let header =
-    match scenario with Some s -> [ ("scenario", Str s) ] | None -> []
+    (match scenario with Some s -> [ ("scenario", Str s) ] | None -> [])
+    @ match seed with Some s -> [ ("seed", Int s) ] | None -> []
   in
   Obj
     (header
     @ [
         ("shards", Int (Array.length t.shards));
+        ("domains", Int t.domains);
         ("policy", Str (Partition.policy_to_string (Partition.policy t.partition)));
         ("journaled", Bool (t.journals <> None));
         ("rules", Int (rule_count t));

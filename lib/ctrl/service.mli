@@ -300,6 +300,10 @@ val recover :
 val pp_stats : Format.formatter -> t -> unit
 (** Per-shard plain-text telemetry dump. *)
 
-val to_json : ?scenario:string -> t -> Telemetry.Json.v
-(** [{scenario?, shards, policy, journaled, rules, per_shard: [...]}] —
-    each shard contributes {!Telemetry.to_json} plus its rule count. *)
+val to_json : ?scenario:string -> ?seed:int -> t -> Telemetry.Json.v
+(** [{scenario?, seed?, shards, domains, policy, journaled, rules,
+    per_shard: [...]}] — each shard contributes {!Telemetry.to_json}
+    plus its rule count.  [seed] and [domains] make the dump
+    self-reproducing: re-running the same scenario from the recorded
+    seed on the recorded domain count regenerates the same telemetry
+    (up to wall-clock samples). *)

@@ -1,0 +1,652 @@
+module Rule = Fr_tern.Rule
+module Header = Fr_tern.Header
+module Agent = Fr_switch.Agent
+module Firmware = Fr_switch.Firmware
+module Measure = Fr_switch.Measure
+module Service = Fr_ctrl.Service
+module Shard = Fr_ctrl.Shard
+module Journal = Fr_resil.Journal
+module Pool = Fr_exec.Pool
+
+type t = {
+  topo : Topo.t;
+  kind : Firmware.algo_kind;
+  domains : int;
+  services : Service.t array;
+  stamps : (int, int) Hashtbl.t;
+  journal : string option;
+  mutable log : out_channel option;
+  mutable crashed : bool;
+}
+
+let meta_file dir = Filename.concat dir "fleet.meta"
+let rollout_file dir = Filename.concat dir "rollout.log"
+let node_dir dir i = Filename.concat dir (Printf.sprintf "node-%d" i)
+
+(* ------------------------------------------------------------------ *)
+(* Line codecs for the fleet metadata and the rollout log.             *)
+
+let flow_to_line (f : Policy.flow) =
+  Printf.sprintf "%d %Ld %d %s %s" f.flow_id f.dst_value f.plen
+    (String.concat "," (List.map string_of_int f.path))
+    (match f.waypoint with None -> "-" | Some w -> string_of_int w)
+
+let flow_of_line line =
+  match String.split_on_char ' ' line with
+  | [ id; dst; plen; path; wp ] -> (
+      try
+        Some
+          {
+            Policy.flow_id = int_of_string id;
+            dst_value = Int64.of_string dst;
+            plen = int_of_string plen;
+            path = List.map int_of_string (String.split_on_char ',' path);
+            waypoint = (if wp = "-" then None else Some (int_of_string wp));
+          }
+      with _ -> None)
+  | _ -> None
+
+let write_meta dir t =
+  let oc = open_out (meta_file dir) in
+  Printf.fprintf oc "fleet 1\n";
+  Printf.fprintf oc "topo %s %d\n" (Topo.shape_name t.topo) (Topo.nodes t.topo);
+  List.iter (fun (u, v) -> Printf.fprintf oc "link %d %d\n" u v) (Topo.links t.topo);
+  Printf.fprintf oc "kind %s\n" (Firmware.algo_kind_name t.kind);
+  Hashtbl.fold (fun fid v acc -> (fid, v) :: acc) t.stamps []
+  |> List.sort compare
+  |> List.iter (fun (fid, v) -> Printf.fprintf oc "stamp %d %d\n" fid v);
+  close_out oc
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let read_meta dir =
+  let path = meta_file dir in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no fleet metadata at %s" path)
+  else
+    let lines = read_lines path in
+    let nodes = ref 0
+    and shape = ref "custom"
+    and links = ref []
+    and kind = ref None
+    and stamps = ref [] in
+    let bad = ref None in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "fleet"; _ ] -> ()
+        | [ "topo"; name; n ] ->
+            shape := name;
+            nodes := int_of_string n
+        | [ "link"; u; v ] ->
+            links := (int_of_string u, int_of_string v) :: !links
+        | [ "kind"; k ] -> kind := Firmware.algo_kind_of_string k
+        | [ "stamp"; fid; v ] ->
+            stamps := (int_of_string fid, int_of_string v) :: !stamps
+        | _ -> bad := Some line)
+      lines;
+    match !bad with
+    | Some line -> Error ("malformed fleet.meta line: " ^ line)
+    | None -> (
+        match !kind with
+        | None -> Error "fleet.meta: missing or unknown kind"
+        | Some kind ->
+            let topo =
+              match Topo.shape_of_string !shape with
+              | Some s -> Topo.make s !nodes
+              | None -> Topo.make_links ~nodes:!nodes (List.rev !links)
+            in
+            Ok (topo, kind, List.sort compare !stamps))
+
+type rollout_state = {
+  ro_batch : int;
+  ro_old : Policy.t;
+  ro_new : Policy.t;
+  ro_stamps : (int * int) list;
+  ro_committed : int list;  (** ascending *)
+  ro_done : bool;
+}
+
+let read_rollout dir =
+  let path = rollout_file dir in
+  if not (Sys.file_exists path) then Ok None
+  else
+    let lines = read_lines path in
+    let batch = ref 0
+    and old_p = ref []
+    and new_p = ref []
+    and stamps = ref []
+    and committed = ref []
+    and finished = ref false
+    and bad = ref None in
+    List.iter
+      (fun line ->
+        let flow_tail prefix =
+          String.sub line (String.length prefix)
+            (String.length line - String.length prefix)
+        in
+        if line = "plan" || line = "done" then begin
+          if line = "done" then finished := true
+        end
+        else if String.length line > 4 && String.sub line 0 4 = "old " then (
+          match flow_of_line (flow_tail "old ") with
+          | Some f -> old_p := f :: !old_p
+          | None -> bad := Some line)
+        else if String.length line > 4 && String.sub line 0 4 = "new " then (
+          match flow_of_line (flow_tail "new ") with
+          | Some f -> new_p := f :: !new_p
+          | None -> bad := Some line)
+        else
+          match String.split_on_char ' ' line with
+          | [ "rollout"; b ] -> (
+              match String.split_on_char '=' b with
+              | [ "batch"; n ] -> batch := int_of_string n
+              | _ -> bad := Some line)
+          | [ "stamp"; fid; v ] ->
+              stamps := (int_of_string fid, int_of_string v) :: !stamps
+          | [ "begin"; _ ] -> ()
+          | [ "commit"; k ] -> committed := int_of_string k :: !committed
+          | _ -> bad := Some line)
+      lines;
+    match !bad with
+    | Some line -> Error ("malformed rollout.log line: " ^ line)
+    | None ->
+        Ok
+          (Some
+             {
+               ro_batch = !batch;
+               ro_old = List.rev !old_p;
+               ro_new = List.rev !new_p;
+               ro_stamps = List.sort compare !stamps;
+               ro_committed = List.sort compare !committed;
+               ro_done = !finished;
+             })
+
+(* ------------------------------------------------------------------ *)
+(* Construction and accessors.                                         *)
+
+let ensure_alive t =
+  if t.crashed then invalid_arg "Fleet: fleet used after simulated crash"
+
+let of_policy ?(kind = Firmware.FR_O Fr_sched.Store.Bit_backend) ?(shards = 2)
+    ?(capacity = 64) ?domains ?journal ?(version_of = fun _ -> 0) topo policy =
+  (match Policy.check topo policy with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Fleet.of_policy: " ^ e));
+  let domains =
+    match domains with Some d -> d | None -> Service.default_domains ()
+  in
+  (match journal with
+  | None -> ()
+  | Some dir ->
+      Journal.ensure_dir dir;
+      if Sys.file_exists (meta_file dir) then
+        invalid_arg
+          "Fleet.of_policy: journal directory already holds a fleet — recover \
+           from it instead");
+  let n = Topo.nodes topo in
+  let per_node = Array.make n [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (node, r) -> per_node.(node) <- r :: per_node.(node))
+        (Policy.hop_rules topo f ~version:(version_of f)))
+    policy;
+  let services =
+    Array.init n (fun i ->
+        Service.of_rules ~kind
+          ?journal:(Option.map (fun d -> node_dir d i) journal)
+          ~domains ~shards ~capacity
+          (Array.of_list (List.rev per_node.(i))))
+  in
+  let stamps = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Policy.flow) -> Hashtbl.replace stamps f.flow_id (version_of f))
+    policy;
+  let t =
+    { topo; kind; domains; services; stamps; journal; log = None; crashed = false }
+  in
+  Option.iter (fun dir -> write_meta dir t) journal;
+  t
+
+let topo t = t.topo
+let kind_name t = Firmware.algo_kind_name t.kind
+let domains t = t.domains
+let journaled t = t.journal <> None
+
+let node t i =
+  if i < 0 || i >= Array.length t.services then
+    invalid_arg "Fleet.node: out of range";
+  t.services.(i)
+
+let stamps t =
+  Hashtbl.fold (fun fid v acc -> (fid, v) :: acc) t.stamps []
+  |> List.sort compare
+
+let stamp t fid = Hashtbl.find_opt t.stamps fid
+
+(* Cross-shard winner at one node — same total order as
+   [Agent.semantic_lookup] within a shard. *)
+let lookup t i pkt =
+  let svc = node t i in
+  let best = ref None in
+  for s = 0 to Service.shards svc - 1 do
+    match Agent.lookup (Shard.agent (Service.shard svc s)) pkt with
+    | None -> ()
+    | Some (r : Rule.t) -> (
+        match !best with
+        | Some (b : Rule.t)
+          when b.priority > r.priority
+               || (b.priority = r.priority && b.id < r.id) ->
+            ()
+        | _ -> best := Some r)
+  done;
+  !best
+
+let rules t i =
+  let svc = node t i in
+  let acc = ref [] in
+  for s = 0 to Service.shards svc - 1 do
+    acc := Agent.rules (Shard.agent (Service.shard svc s)) @ !acc
+  done;
+  List.sort (fun (a : Rule.t) b -> compare a.id b.id) !acc
+
+(* ------------------------------------------------------------------ *)
+(* Rollouts.                                                           *)
+
+type probe = t -> round:int -> where:string -> unit
+type crash_mode = Boundary | Mid_submit
+
+type round_stat = {
+  r_index : int;
+  r_kind : Plan.kind;
+  r_switches : int;
+  r_mods : int;
+  r_wall_ms : float;
+}
+
+type report = {
+  completed : bool;
+  rounds_run : int;
+  applied : int;
+  failed : int;
+  wall_ms : float;
+  per_round : round_stat list;
+}
+
+let log_line t fmt =
+  Printf.ksprintf
+    (fun s ->
+      match t.log with
+      | None -> ()
+      | Some oc ->
+          output_string oc (s ^ "\n");
+          flush oc)
+    fmt
+
+let close_log t =
+  match t.log with
+  | None -> ()
+  | Some oc ->
+      close_out oc;
+      t.log <- None
+
+let open_rollout t plan =
+  match t.journal with
+  | None -> ()
+  | Some dir ->
+      t.log <- Some (open_out (rollout_file dir));
+      log_line t "rollout batch=%d" (Plan.batch plan);
+      List.iter
+        (fun f -> log_line t "old %s" (flow_to_line f))
+        (Plan.old_policy plan);
+      List.iter
+        (fun f -> log_line t "new %s" (flow_to_line f))
+        (Plan.new_policy plan);
+      List.iter
+        (fun (fid, v) -> log_line t "stamp %d %d" fid v)
+        (Plan.stamps_before plan);
+      log_line t "plan"
+
+(* Has the crash-era journal already accounted for this mod?  Only
+   meaningful after every node flushed its requeued intent. *)
+let accounted t node (m : Agent.flow_mod) =
+  match m with
+  | Add r -> Service.find_rule t.services.(node) r.id <> None
+  | Remove { id } -> Service.find_rule t.services.(node) id = None
+  | Set_action _ -> false
+
+let apply_round ?probe ~idempotent t (r : Plan.round) =
+  let applied = ref 0 and failed = ref 0 in
+  let (), wall_ms =
+    Measure.time_ms (fun () ->
+        let batches =
+          if not idempotent then r.batches
+          else
+            List.filter_map
+              (fun (node, mods) ->
+                match
+                  List.filter (fun m -> not (accounted t node m)) mods
+                with
+                | [] -> None
+                | ms -> Some (node, ms))
+              r.batches
+        in
+        List.iter
+          (fun (node, mods) -> Service.submit_all t.services.(node) mods)
+          batches;
+        let flush_node n =
+          let rep = Service.flush t.services.(n) in
+          (Service.applied rep, List.length (Service.failures rep))
+        in
+        let touched = List.map fst batches in
+        (match probe with
+        | Some p ->
+            (* Sequential node order: the callback observes every
+               per-node flush boundary as a reachable instant. *)
+            List.iter
+              (fun n ->
+                let a, f = flush_node n in
+                applied := !applied + a;
+                failed := !failed + f;
+                p t ~round:r.index
+                  ~where:(Printf.sprintf "round %d after node %d" r.index n))
+              touched
+        | None ->
+            if t.domains > 1 && List.length touched > 1 then begin
+              let pool =
+                Pool.shared ~workers:(min (t.domains - 1) (List.length touched))
+              in
+              let joined =
+                Pool.run_all pool
+                  (Array.of_list
+                     (List.map (fun n () -> flush_node n) touched))
+              in
+              (* Deterministic join in node order; first failure wins. *)
+              Array.iter
+                (function
+                  | Ok (a, f) ->
+                      applied := !applied + a;
+                      failed := !failed + f
+                  | Error _ -> ())
+                joined;
+              Array.iter
+                (function Error e -> raise e | Ok _ -> ())
+                joined
+            end
+            else
+              List.iter
+                (fun n ->
+                  let a, f = flush_node n in
+                  applied := !applied + a;
+                  failed := !failed + f)
+                touched);
+        List.iter
+          (fun (fid, v) ->
+            (match v with
+            | Some v -> Hashtbl.replace t.stamps fid v
+            | None -> Hashtbl.remove t.stamps fid);
+            Option.iter
+              (fun p ->
+                p t ~round:r.index
+                  ~where:
+                    (Printf.sprintf "round %d after flip of flow %d" r.index
+                       fid))
+              probe)
+          r.stamp_changes)
+  in
+  {
+    r_index = r.index;
+    r_kind = r.kind;
+    r_switches = Plan.touched r;
+    r_mods = Plan.round_mods r;
+    r_wall_ms = wall_ms;
+  },
+  !applied,
+  !failed
+
+let crash t ~mid (r : Plan.round) =
+  if mid then
+    List.iter
+      (fun (node, mods) -> Service.submit_all t.services.(node) mods)
+      r.batches;
+  Array.iter (fun s -> Service.simulate_crash ~mid_drain:mid s) t.services;
+  close_log t;
+  t.crashed <- true
+
+let drive ?probe ~idempotent ~finalize t rounds =
+  let per_round = ref [] in
+  let applied = ref 0
+  and failed = ref 0
+  and rounds_run = ref 0
+  and completed = ref true in
+  let (), wall_ms =
+    Measure.time_ms (fun () ->
+        (try
+           List.iter
+             (fun (r : Plan.round) ->
+               if t.crashed then raise Exit;
+               log_line t "begin %d" r.index;
+               let stat, a, f = apply_round ?probe ~idempotent t r in
+               per_round := stat :: !per_round;
+               applied := !applied + a;
+               failed := !failed + f;
+               log_line t "commit %d" r.index;
+               incr rounds_run;
+               Option.iter
+                 (fun p ->
+                   p t ~round:r.index
+                     ~where:(Printf.sprintf "round %d committed" r.index))
+                 probe)
+             rounds
+         with Exit -> completed := false);
+        if !completed && finalize then begin
+          log_line t "done";
+          close_log t
+        end)
+  in
+  {
+    completed = !completed;
+    rounds_run = !rounds_run;
+    applied = !applied;
+    failed = !failed;
+    wall_ms;
+    per_round = List.rev !per_round;
+  }
+
+let execute ?probe ?stop_after_rounds ?(crash_mode = Boundary) t plan =
+  ensure_alive t;
+  if Topo.nodes (Plan.topo plan) <> Topo.nodes t.topo then
+    invalid_arg "Fleet.execute: plan topology does not match the fleet";
+  (match stop_after_rounds with
+  | Some _ when t.journal = None ->
+      invalid_arg "Fleet.execute: crash drills need a journaled fleet"
+  | _ -> ());
+  open_rollout t plan;
+  match stop_after_rounds with
+  | None -> drive ?probe ~idempotent:false ~finalize:true t (Plan.rounds plan)
+  | Some k ->
+      let before, rest =
+        List.partition (fun (r : Plan.round) -> r.index < k) (Plan.rounds plan)
+      in
+      let report =
+        drive ?probe ~idempotent:false ~finalize:(rest = []) t before
+      in
+      if rest = [] then report
+      else begin
+        crash t ~mid:(crash_mode = Mid_submit) (List.hd rest);
+        { report with completed = false }
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery.                                                           *)
+
+type recovery = {
+  fleet : t;
+  plan : Plan.t option;
+  next_round : int;
+  replayed_drains : int;
+  replayed_mods : int;
+  requeued : int;
+  warnings : string list;
+}
+
+let recover ?domains ~journal () =
+  let ( let* ) = Result.bind in
+  let* topo, kind, meta_stamps = read_meta journal in
+  let domains_v =
+    match domains with Some d -> d | None -> Service.default_domains ()
+  in
+  let n = Topo.nodes topo in
+  let services = Array.make n None in
+  let replayed_drains = ref 0
+  and replayed_mods = ref 0
+  and requeued = ref 0
+  and warnings = ref [] in
+  let rec recover_nodes i =
+    if i >= n then Ok ()
+    else
+      match Service.recover ?domains ~journal:(node_dir journal i) () with
+      | Error e -> Error (Printf.sprintf "node %d: %s" i e)
+      | Ok (r : Service.recovery) ->
+          services.(i) <- Some r.service;
+          replayed_drains := !replayed_drains + r.replayed_drains;
+          replayed_mods := !replayed_mods + r.replayed_mods;
+          requeued := !requeued + r.requeued;
+          warnings :=
+            !warnings
+            @ List.map (Printf.sprintf "node %d: %s" i) r.warnings;
+          recover_nodes (i + 1)
+  in
+  let* () = recover_nodes 0 in
+  let services = Array.map Option.get services in
+  let* ro = read_rollout journal in
+  let stamps = Hashtbl.create 16 in
+  let load_stamps pairs =
+    Hashtbl.reset stamps;
+    List.iter (fun (fid, v) -> Hashtbl.replace stamps fid v) pairs
+  in
+  load_stamps meta_stamps;
+  let* plan, next_round =
+    match ro with
+    | None -> Ok (None, 0)
+    | Some ro -> (
+        load_stamps ro.ro_stamps;
+        match
+          Plan.make ~batch:ro.ro_batch topo ~stamps:ro.ro_stamps
+            ~old_policy:ro.ro_old ~new_policy:ro.ro_new
+        with
+        | Error e -> Error ("cannot re-derive interrupted plan: " ^ e)
+        | Ok plan ->
+            if ro.ro_done then begin
+              load_stamps (Plan.stamps_after plan);
+              Ok (None, 0)
+            end
+            else begin
+              let next =
+                match List.rev ro.ro_committed with
+                | [] -> 0
+                | k :: _ -> k + 1
+              in
+              (* Re-apply the flips of every committed round. *)
+              List.iter
+                (fun (r : Plan.round) ->
+                  if r.index < next then
+                    List.iter
+                      (fun (fid, v) ->
+                        match v with
+                        | Some v -> Hashtbl.replace stamps fid v
+                        | None -> Hashtbl.remove stamps fid)
+                      r.stamp_changes)
+                (Plan.rounds plan);
+              Ok (Some plan, next)
+            end)
+  in
+  let fleet =
+    {
+      topo;
+      kind;
+      domains = domains_v;
+      services;
+      stamps;
+      journal = Some journal;
+      log = None;
+      crashed = false;
+    }
+  in
+  Ok
+    {
+      fleet;
+      plan;
+      next_round;
+      replayed_drains = !replayed_drains;
+      replayed_mods = !replayed_mods;
+      requeued = !requeued;
+      warnings = !warnings;
+    }
+
+let resume ?probe (rc : recovery) =
+  let t = rc.fleet in
+  ensure_alive t;
+  match rc.plan with
+  | None ->
+      {
+        completed = true;
+        rounds_run = 0;
+        applied = 0;
+        failed = 0;
+        wall_ms = 0.;
+        per_round = [];
+      }
+  | Some plan ->
+      (match t.journal with
+      | Some dir ->
+          t.log <-
+            Some
+              (open_out_gen
+                 [ Open_append; Open_creat; Open_wronly ]
+                 0o644 (rollout_file dir))
+      | None -> ());
+      (* Apply the crash-era journals' requeued intent first, so the
+         accounted-mod filter below sees the true installed state. *)
+      let pre_applied = ref 0 and pre_failed = ref 0 in
+      Array.iter
+        (fun svc ->
+          if Service.pending svc > 0 then begin
+            let rep = Service.flush svc in
+            pre_applied := !pre_applied + Service.applied rep;
+            pre_failed := !pre_failed + List.length (Service.failures rep)
+          end)
+        t.services;
+      let remaining =
+        List.filter
+          (fun (r : Plan.round) -> r.index >= rc.next_round)
+          (Plan.rounds plan)
+      in
+      let report = drive ?probe ~idempotent:true ~finalize:true t remaining in
+      {
+        report with
+        applied = report.applied + !pre_applied;
+        failed = report.failed + !pre_failed;
+      }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %d rounds, %d applied, %d failed, %.1f ms"
+    (if r.completed then "rollout" else "CRASHED rollout")
+    r.rounds_run r.applied r.failed r.wall_ms;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@.  round %d [%s] %d switches %d mods %.2f ms"
+        s.r_index
+        (Plan.kind_to_string s.r_kind)
+        s.r_switches s.r_mods s.r_wall_ms)
+    r.per_round

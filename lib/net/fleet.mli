@@ -1,0 +1,139 @@
+(** A fleet: one {!Fr_ctrl.Service} per topology node, plus the rollout
+    engine that drives a {!Plan} through them.
+
+    Each switch in the topology is a {e full} control-plane service —
+    its own shards, scheduler, TCAM models, journal and breaker
+    machinery — so a fleet rollout exercises exactly the single-switch
+    stack the rest of the repository proves correct, [n] times over.
+
+    {b Rollout execution.}  {!execute} drives the plan round by round:
+    submit every switch's batch, flush the touched services (fanned out
+    over {!Fr_exec.Pool.shared} when [domains > 1], joined
+    deterministically in node order — per-node journal bytes are
+    bit-identical to the sequential path, same story as
+    [Service.flush]), then apply the flip round's ingress-stamp changes
+    one flow at a time.  With a [probe] callback the flushes run
+    sequentially in node order and the callback fires after every
+    node's flush and every individual stamp flip — those are precisely
+    the reachable intermediate instants the conformance oracle checks.
+
+    {b Durability.}  A journaled fleet owns a directory with one
+    service journal per node plus a rollout log: the old/new policies,
+    pre-rollout stamps and batch size are recorded when {!execute}
+    starts (the plan itself is recomputed deterministically, never
+    stored), and each round is bracketed by begin/commit markers.
+    {!recover} rebuilds every node from its own journal, re-derives the
+    plan and the committed-round prefix, and {!resume} re-drives the
+    remainder idempotently — mods already accounted for (installed, or
+    removed, before the crash) are skipped, so a crash between any two
+    journal writes lands back on a consistent round boundary. *)
+
+type t
+
+val of_policy :
+  ?kind:Fr_switch.Firmware.algo_kind ->
+  ?shards:int ->
+  ?capacity:int ->
+  ?domains:int ->
+  ?journal:string ->
+  ?version_of:(Policy.flow -> int) ->
+  Topo.t ->
+  Policy.t ->
+  t
+(** A fleet with the policy pre-installed at each flow's [version_of]
+    version (default all 0) and the stamps set to match.  Per node:
+    [shards] (default 2) shards of [capacity] (default 64) TCAM slots.
+    [domains] (default {!Fr_ctrl.Service.default_domains}) feeds both
+    the fleet-level node fan-out and every node service.  [journal]
+    names a fresh directory (one sub-journal per node).
+    @raise Invalid_argument if the policy fails {!Policy.check} or the
+    journal directory already holds a fleet. *)
+
+val topo : t -> Topo.t
+val kind_name : t -> string
+val domains : t -> int
+val journaled : t -> bool
+
+val node : t -> int -> Fr_ctrl.Service.t
+(** The switch's service.  @raise Invalid_argument out of range. *)
+
+val stamps : t -> (int * int) list
+(** Current ingress stamps, flow-id ascending. *)
+
+val stamp : t -> int -> int option
+
+val lookup : t -> int -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** Cross-shard lookup winner at one node (highest priority, ties to
+    the lower id) — the fleet-level hop function. *)
+
+val rules : t -> int -> Fr_tern.Rule.t list
+(** A node's installed rules over all its shards, id-ascending. *)
+
+(** {1 Rollouts} *)
+
+type probe = t -> round:int -> where:string -> unit
+
+type crash_mode =
+  | Boundary  (** die cleanly between rounds *)
+  | Mid_submit
+      (** journal the next round's submissions, then die inside the
+          flush (per-node begin markers, no commits) *)
+
+type round_stat = {
+  r_index : int;
+  r_kind : Plan.kind;
+  r_switches : int;
+  r_mods : int;
+  r_wall_ms : float;
+}
+
+type report = {
+  completed : bool;  (** [false] only for crash-stopped runs *)
+  rounds_run : int;  (** rounds committed by this call *)
+  applied : int;
+  failed : int;
+  wall_ms : float;
+  per_round : round_stat list;
+}
+
+val execute :
+  ?probe:probe ->
+  ?stop_after_rounds:int ->
+  ?crash_mode:crash_mode ->
+  t ->
+  Plan.t ->
+  report
+(** Drive the plan to completion (or crash after [stop_after_rounds]
+    committed rounds — journaled fleets only; the fleet must not be
+    used afterwards, {!recover} from its directory instead).  Flip
+    rounds update {!stamps} as they run.
+    @raise Invalid_argument if the plan was built for a different
+    topology, a crash is requested without a journal, or the fleet has
+    already crashed. *)
+
+(** {1 Crash recovery} *)
+
+type recovery = {
+  fleet : t;
+  plan : Plan.t option;  (** the interrupted rollout, re-derived *)
+  next_round : int;  (** first round not committed before the crash *)
+  replayed_drains : int;
+  replayed_mods : int;
+  requeued : int;
+  warnings : string list;
+}
+
+val recover :
+  ?domains:int -> journal:string -> unit -> (recovery, string) result
+(** Rebuild a fleet from its journal directory alone: every node via
+    {!Fr_ctrl.Service.recover}, stamps from the rollout log's committed
+    flips over its recorded baseline.  [plan = None] when no rollout
+    was in flight. *)
+
+val resume : ?probe:probe -> recovery -> report
+(** Finish an interrupted rollout: flush each node's requeued intent,
+    then re-drive every uncommitted round, skipping mods the crash-era
+    journals already accounted for.  A no-op ([completed = true],
+    [rounds_run = 0]) when there is nothing to resume. *)
+
+val pp_report : Format.formatter -> report -> unit

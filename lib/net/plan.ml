@@ -1,0 +1,190 @@
+module Agent = Fr_switch.Agent
+
+type kind = Install | Flip | Uninstall
+
+let kind_to_string = function
+  | Install -> "install"
+  | Flip -> "flip"
+  | Uninstall -> "uninstall"
+
+type round = {
+  index : int;
+  kind : kind;
+  batches : (int * Agent.flow_mod list) list;
+  stamp_changes : (int * int option) list;
+}
+
+type t = {
+  topo : Topo.t;
+  old_policy : Policy.t;
+  new_policy : Policy.t;
+  batch : int;
+  stamps_before : (int * int) list;
+  stamps_after : (int * int) list;
+  rounds : round list;
+}
+
+let topo t = t.topo
+let old_policy t = t.old_policy
+let new_policy t = t.new_policy
+let batch t = t.batch
+let rounds t = t.rounds
+let num_rounds t = List.length t.rounds
+let stamps_before t = t.stamps_before
+let stamps_after t = t.stamps_after
+
+let touched r = List.length r.batches
+
+let round_mods r =
+  List.fold_left (fun acc (_, mods) -> acc + List.length mods) 0 r.batches
+
+let total_mods t = List.fold_left (fun acc r -> acc + round_mods r) 0 t.rounds
+
+let flow_equal (a : Policy.flow) (b : Policy.flow) =
+  a.plen = b.plen
+  && Policy.prefix_bits ~plen:a.plen a.dst_value
+     = Policy.prefix_bits ~plen:b.plen b.dst_value
+  && a.path = b.path
+  && a.waypoint = b.waypoint
+
+(* Greedy earliest-fit batching: walk the (node, mod) stream in flow-id /
+   path order and drop each mod into the first round where its node still
+   has head-room.  Mods of one phase never depend on each other (no
+   stamped packet can observe the phase in progress), so any placement is
+   sound; earliest-fit minimises the round count for the given batch. *)
+let pack_rounds ~batch mods =
+  let rounds : (int, Agent.flow_mod list) Hashtbl.t list ref = ref [] in
+  List.iter
+    (fun (node, m) ->
+      let rec place = function
+        | [] ->
+            let tbl = Hashtbl.create 8 in
+            Hashtbl.replace tbl node [ m ];
+            rounds := !rounds @ [ tbl ]
+        | tbl :: rest -> (
+            match Hashtbl.find_opt tbl node with
+            | Some ms when List.length ms >= batch -> place rest
+            | Some ms -> Hashtbl.replace tbl node (m :: ms)
+            | None -> Hashtbl.replace tbl node [ m ])
+      in
+      place !rounds)
+    mods;
+  List.map
+    (fun tbl ->
+      Hashtbl.fold (fun node ms acc -> (node, List.rev ms) :: acc) tbl []
+      |> List.sort compare)
+    !rounds
+
+let make ?(batch = 8) topo ~stamps ~old_policy ~new_policy =
+  let ( let* ) = Result.bind in
+  let* () = if batch < 1 then Error "batch must be positive" else Ok () in
+  let* () =
+    Result.map_error (fun e -> "old policy: " ^ e) (Policy.check topo old_policy)
+  in
+  let* () =
+    Result.map_error (fun e -> "new policy: " ^ e) (Policy.check topo new_policy)
+  in
+  let stamp_of id = List.assoc_opt id stamps in
+  let* () =
+    let missing =
+      List.find_opt
+        (fun (f : Policy.flow) ->
+          match stamp_of f.flow_id with Some (0 | 1) -> false | _ -> true)
+        old_policy
+    in
+    match missing with
+    | Some f ->
+        Error (Printf.sprintf "flow %d has no version stamp" f.flow_id)
+    | None -> Ok ()
+  in
+  let sorted p =
+    List.sort
+      (fun (a : Policy.flow) b -> compare a.flow_id b.flow_id)
+      p
+  in
+  let olds = sorted old_policy and news = sorted new_policy in
+  let adds = ref [] and removes = ref [] and flips = ref [] in
+  List.iter
+    (fun (nf : Policy.flow) ->
+      match Policy.find olds nf.flow_id with
+      | Some old_f when flow_equal old_f nf -> ()
+      | Some old_f ->
+          let v = Option.get (stamp_of nf.flow_id) in
+          let v' = 1 - v in
+          adds :=
+            !adds
+            @ List.map
+                (fun (node, r) -> (node, Agent.Add r))
+                (Policy.hop_rules topo nf ~version:v');
+          removes :=
+            !removes
+            @ List.map
+                (fun (node, (r : Fr_tern.Rule.t)) ->
+                  (node, Agent.Remove { id = r.id }))
+                (Policy.hop_rules topo old_f ~version:v);
+          flips := (nf.flow_id, Some v') :: !flips
+      | None ->
+          adds :=
+            !adds
+            @ List.map
+                (fun (node, r) -> (node, Agent.Add r))
+                (Policy.hop_rules topo nf ~version:0);
+          flips := (nf.flow_id, Some 0) :: !flips)
+    news;
+  List.iter
+    (fun (old_f : Policy.flow) ->
+      if Policy.find news old_f.flow_id = None then begin
+        let v = Option.get (stamp_of old_f.flow_id) in
+        removes :=
+          !removes
+          @ List.map
+              (fun (node, (r : Fr_tern.Rule.t)) ->
+                (node, Agent.Remove { id = r.id }))
+              (Policy.hop_rules topo old_f ~version:v);
+        flips := (old_f.flow_id, None) :: !flips
+      end)
+    olds;
+  let install = pack_rounds ~batch !adds in
+  let uninstall = pack_rounds ~batch !removes in
+  let flips = List.sort compare !flips in
+  let rounds =
+    List.map (fun b -> (Install, b, [])) install
+    @ (if flips = [] then [] else [ (Flip, [], flips) ])
+    @ List.map (fun b -> (Uninstall, b, [])) uninstall
+  in
+  let rounds =
+    List.mapi
+      (fun index (kind, batches, stamp_changes) ->
+        { index; kind; batches; stamp_changes })
+      rounds
+  in
+  let stamps_after =
+    List.filter_map
+      (fun (f : Policy.flow) ->
+        match List.assoc_opt f.flow_id flips with
+        | Some v -> Option.map (fun v -> (f.flow_id, v)) v
+        | None -> stamp_of f.flow_id |> Option.map (fun v -> (f.flow_id, v)))
+      news
+    |> List.sort compare
+  in
+  Ok
+    {
+      topo;
+      old_policy;
+      new_policy;
+      batch;
+      stamps_before = List.sort compare stamps;
+      stamps_after;
+      rounds;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf "plan: %d rounds, %d mods, batch %d@." (num_rounds t)
+    (total_mods t) t.batch;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  round %d [%s] %d switches, %d mods%s@." r.index
+        (kind_to_string r.kind) (touched r) (round_mods r)
+        (if r.stamp_changes = [] then ""
+         else Printf.sprintf ", %d flips" (List.length r.stamp_changes)))
+    t.rounds

@@ -1,0 +1,75 @@
+(** The network-wide consistent update planner.
+
+    Given a topology, the fleet's current per-flow version stamps and an
+    old → new policy pair, {!make} emits an ordered sequence of
+    per-switch {e rounds} implementing the classic two-phase protocol
+    (Reitblatt et al.; ordered-round refinements per Černý et al. and
+    Henzinger et al., see PAPERS.md):
+
+    + {b Install} rounds add the new version's rules on every hop of
+      each changed or introduced flow's new path.  No stamped packet can
+      match them yet, so any prefix of these rounds is consistent.
+    + One {b Flip} round moves the ingress stamps: changed flows to the
+      complement version, introduced flows to version 0, withdrawn flows
+      to "no stamp" (traffic stops).  Each flow's flip is atomic (one
+      ingress), so even mid-round instants are consistent — every packet
+      is stamped either the whole old or the whole new version.
+    + {b Uninstall} rounds remove the superseded version's rules from
+      the old paths.  No packet carries that stamp any more.
+
+    Rounds are batched: a round touches each switch with at most
+    [batch] flow-mods, and every mod is placed in the earliest round
+    whose switch still has room — so rounds × batch bounds the
+    per-switch TCAM-update burst while keeping the round count minimal
+    for the given batch. *)
+
+type kind = Install | Flip | Uninstall
+
+val kind_to_string : kind -> string
+
+type round = {
+  index : int;  (** position in the rollout, from 0 *)
+  kind : kind;
+  batches : (int * Fr_switch.Agent.flow_mod list) list;
+      (** per-switch mods, node-ascending; each list has <= batch mods *)
+  stamp_changes : (int * int option) list;
+      (** flip round only: flow id -> new stamp ([None] withdraws),
+          flow-id ascending.  Applied one flow at a time; every prefix
+          is a reachable (and consistent) instant. *)
+}
+
+type t
+
+val make :
+  ?batch:int ->
+  Topo.t ->
+  stamps:(int * int) list ->
+  old_policy:Policy.t ->
+  new_policy:Policy.t ->
+  (t, string) result
+(** Plan the rollout.  [stamps] must give a version (0 or 1) for exactly
+    the flows of [old_policy]; [batch] (default 8) must be positive.
+    Fails when either policy is structurally invalid (see
+    {!Policy.check}). *)
+
+val topo : t -> Topo.t
+val old_policy : t -> Policy.t
+val new_policy : t -> Policy.t
+val batch : t -> int
+val rounds : t -> round list
+val num_rounds : t -> int
+
+val stamps_before : t -> (int * int) list
+(** The input stamps, flow-id ascending. *)
+
+val stamps_after : t -> (int * int) list
+(** Per-flow versions once every round has been applied. *)
+
+val total_mods : t -> int
+
+val touched : round -> int
+(** Number of switches the round sends mods to. *)
+
+val round_mods : round -> int
+
+val pp : Format.formatter -> t -> unit

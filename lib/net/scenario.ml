@@ -1,0 +1,109 @@
+module Rng = Fr_prng.Rng
+
+type t = {
+  topo : Topo.t;
+  old_policy : Policy.t;
+  new_policy : Policy.t;
+  stamps : (int * int) list;
+}
+
+(* /16 roots at (i+1) << 16; every third flow is a /24 child nested in
+   its predecessor's root prefix — the nesting is what puts real edges
+   into the per-switch dependency graphs. *)
+let prefix_for i =
+  if i mod 3 = 2 then
+    (Int64.of_int ((i lsl 16) lor (((i mod 7) + 1) lsl 8)), 24)
+  else (Int64.of_int ((i + 1) lsl 16), 16)
+
+let pick_path rng topo =
+  let n = Topo.nodes topo in
+  let src = Rng.int_in rng 0 (n - 1) in
+  let dst = ref (Rng.int_in rng 0 (n - 1)) in
+  while !dst = src do
+    dst := Rng.int_in rng 0 (n - 1)
+  done;
+  Rng.pick_list rng (Topo.simple_paths topo ~src ~dst:!dst)
+
+let with_waypoint rng enabled path =
+  if enabled && List.length path >= 3 then
+    (* any interior node preserves "never bypassed" non-trivially *)
+    Some (List.nth path (1 + Rng.int rng (List.length path - 2)))
+  else None
+
+let make ?(flows = 6) ?(reroute = 2) ?(withdraw = 1) ?(introduce = 1)
+    ?(waypoints = 2) ~seed topo =
+  if flows < 1 then invalid_arg "Scenario.make: flows must be positive";
+  let rng = Rng.create ~seed in
+  let reroute = min reroute flows in
+  let withdraw = min withdraw (flows - reroute) in
+  let old_policy =
+    List.init flows (fun i ->
+        let dst_value, plen = prefix_for i in
+        let path = pick_path rng topo in
+        {
+          Policy.flow_id = i;
+          dst_value;
+          plen;
+          path;
+          waypoint = with_waypoint rng (i < waypoints) path;
+        })
+  in
+  let kept = List.filteri (fun i _ -> i < flows - withdraw) old_policy in
+  let new_policy =
+    List.map
+      (fun (f : Policy.flow) ->
+        if f.flow_id < reroute then begin
+          (* a fresh endpoint pair (almost) always gives a genuinely
+             different path, even on trees/lines where endpoint pairs
+             determine the path uniquely *)
+          let rec repick k =
+            let path = pick_path rng topo in
+            if path <> f.path || k = 0 then path else repick (k - 1)
+          in
+          let path = repick 8 in
+          {
+            f with
+            path;
+            waypoint = with_waypoint rng (f.flow_id < waypoints) path;
+          }
+        end
+        else f)
+      kept
+  in
+  let new_policy =
+    new_policy
+    @ List.init introduce (fun j ->
+          let i = flows + j in
+          let dst_value, plen = (Int64.of_int ((i + 1) lsl 16), 16) in
+          let path = pick_path rng topo in
+          {
+            Policy.flow_id = i;
+            dst_value;
+            plen;
+            path;
+            waypoint = with_waypoint rng (j = 0 && waypoints > 0) path;
+          })
+  in
+  let fail who = function
+    | Error e -> invalid_arg (Printf.sprintf "Scenario.make: %s: %s" who e)
+    | Ok () -> ()
+  in
+  fail "old policy" (Policy.check topo old_policy);
+  fail "new policy" (Policy.check topo new_policy);
+  {
+    topo;
+    old_policy;
+    new_policy;
+    stamps = List.map (fun (f : Policy.flow) -> (f.flow_id, 0)) old_policy;
+  }
+
+let plan ?batch t =
+  Plan.make ?batch t.topo ~stamps:t.stamps ~old_policy:t.old_policy
+    ~new_policy:t.new_policy
+
+let pp ppf t =
+  Format.fprintf ppf "%a: %d -> %d flows@." Topo.pp t.topo
+    (List.length t.old_policy)
+    (List.length t.new_policy);
+  List.iter (fun f -> Format.fprintf ppf "  old %a@." Policy.pp_flow f) t.old_policy;
+  List.iter (fun f -> Format.fprintf ppf "  new %a@." Policy.pp_flow f) t.new_policy

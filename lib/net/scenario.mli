@@ -1,0 +1,33 @@
+(** Seeded rollout scenarios: a topology plus an old → new policy diff.
+
+    One seed determines everything — the flow prefixes (a mix of /16
+    roots and /24 children nested inside them, so the per-switch
+    dependency graphs have real edges), the paths, the waypoints, and
+    which flows the new policy reroutes, withdraws or introduces.  The
+    CLI, the bench sweep and the conformance oracle all build their
+    fixtures here, so a failing seed reproduces everywhere. *)
+
+type t = {
+  topo : Topo.t;
+  old_policy : Policy.t;
+  new_policy : Policy.t;
+  stamps : (int * int) list;  (** every old flow at version 0 *)
+}
+
+val make :
+  ?flows:int ->
+  ?reroute:int ->
+  ?withdraw:int ->
+  ?introduce:int ->
+  ?waypoints:int ->
+  seed:int ->
+  Topo.t ->
+  t
+(** Defaults: 6 flows, 2 rerouted, 1 withdrawn, 1 introduced, 2 flows
+    carrying waypoints.  [reroute + withdraw] is clamped to [flows].
+    Both policies satisfy {!Policy.check} by construction. *)
+
+val plan : ?batch:int -> t -> (Plan.t, string) result
+(** Convenience: {!Plan.make} over the scenario's pieces. *)
+
+val pp : Format.formatter -> t -> unit

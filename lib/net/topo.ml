@@ -1,0 +1,109 @@
+type shape = Line | Ring | Tree
+
+let shape_to_string = function Line -> "line" | Ring -> "ring" | Tree -> "tree"
+
+let shape_of_string s =
+  match String.lowercase_ascii s with
+  | "line" -> Some Line
+  | "ring" -> Some Ring
+  | "tree" -> Some Tree
+  | _ -> None
+
+type t = {
+  name : string;
+  n : int;
+  adj : int array array;  (** sorted neighbour lists; port i+1 = adj.(u).(i) *)
+}
+
+let host_port = 0
+
+let of_links ~name ~nodes links =
+  if nodes < 2 then invalid_arg "Topo: need at least 2 nodes";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= nodes || v < 0 || v >= nodes then
+        invalid_arg (Printf.sprintf "Topo: link (%d,%d) out of range" u v);
+      if u = v then invalid_arg (Printf.sprintf "Topo: self-loop on %d" u);
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Topo: duplicate link (%d,%d)" u v);
+      Hashtbl.replace seen key ())
+    links;
+  let adj = Array.make nodes [] in
+  Hashtbl.iter
+    (fun (u, v) () ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    seen;
+  { name; n = nodes; adj = Array.map (fun l -> Array.of_list (List.sort compare l)) adj }
+
+let make_links ~nodes links = of_links ~name:"custom" ~nodes links
+
+let make shape n =
+  match shape with
+  | Line ->
+      of_links ~name:"line" ~nodes:n (List.init (n - 1) (fun i -> (i, i + 1)))
+  | Ring ->
+      if n < 3 then invalid_arg "Topo: a ring needs at least 3 nodes";
+      of_links ~name:"ring" ~nodes:n
+        ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+  | Tree ->
+      let links = ref [] in
+      for i = 0 to n - 1 do
+        if (2 * i) + 1 < n then links := (i, (2 * i) + 1) :: !links;
+        if (2 * i) + 2 < n then links := (i, (2 * i) + 2) :: !links
+      done;
+      of_links ~name:"tree" ~nodes:n !links
+
+let shape_name t = t.name
+let nodes t = t.n
+
+let links t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) t.adj.(u)
+  done;
+  List.sort compare !acc
+
+let neighbors t u =
+  if u < 0 || u >= t.n then invalid_arg "Topo.neighbors: node out of range";
+  Array.to_list t.adj.(u)
+
+let port_to t ~src ~dst =
+  if src < 0 || src >= t.n then None
+  else
+    let rec find i =
+      if i >= Array.length t.adj.(src) then None
+      else if t.adj.(src).(i) = dst then Some (i + 1)
+      else find (i + 1)
+    in
+    find 0
+
+let next_hop t ~node ~port =
+  if node < 0 || node >= t.n || port <= 0 then None
+  else if port - 1 < Array.length t.adj.(node) then Some t.adj.(node).(port - 1)
+  else None
+
+let simple_paths ?(limit = 16) t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Topo.simple_paths: node out of range";
+  let found = ref [] and count = ref 0 in
+  let on_path = Array.make t.n false in
+  let rec dfs u acc =
+    if !count < limit then
+      if u = dst then begin
+        found := List.rev (u :: acc) :: !found;
+        incr count
+      end
+      else begin
+        on_path.(u) <- true;
+        Array.iter (fun v -> if not on_path.(v) then dfs v (u :: acc)) t.adj.(u);
+        on_path.(u) <- false
+      end
+  in
+  dfs src [];
+  List.rev !found
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%d nodes, %d links)" t.name t.n (List.length (links t))

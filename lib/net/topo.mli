@@ -1,0 +1,61 @@
+(** Fleet topologies: switches, links and ports.
+
+    A topology is the static wiring the network-wide planner works over:
+    [n] switches (nodes [0 .. n-1]), an undirected link set, and a
+    per-node port numbering.  Port [0] of every node is its {e host}
+    port — a packet forwarded there leaves the fabric (delivery);
+    ports [1 ..] lead to the node's neighbours in ascending node order,
+    so the numbering (and therefore every rule the planner emits) is a
+    pure function of the link set.
+
+    Three seed shapes cover the classic consistency literature
+    (line / ring / balanced binary tree); arbitrary link sets can be
+    assembled with {!make_links} for tests. *)
+
+type shape = Line | Ring | Tree
+
+val shape_to_string : shape -> string
+(** ["line"], ["ring"] or ["tree"]. *)
+
+val shape_of_string : string -> shape option
+
+type t
+
+val make : shape -> int -> t
+(** [make shape n] builds the canonical [n]-node instance: a path
+    [0 - 1 - ... - n-1], that path closed into a cycle, or the balanced
+    binary tree where node [i]'s children are [2i+1] and [2i+2].
+    @raise Invalid_argument if [n < 2] (or [n < 3] for a ring). *)
+
+val make_links : nodes:int -> (int * int) list -> t
+(** An explicit link set (self-loops and duplicates rejected).
+    @raise Invalid_argument on out-of-range endpoints. *)
+
+val shape_name : t -> string
+(** The canonical shape name when built by {!make}, ["custom"] after
+    {!make_links}. *)
+
+val nodes : t -> int
+
+val links : t -> (int * int) list
+(** Each undirected link once, [(u, v)] with [u < v], sorted. *)
+
+val neighbors : t -> int -> int list
+(** Ascending. *)
+
+val host_port : int
+(** [0] — the delivery port every node has. *)
+
+val port_to : t -> src:int -> dst:int -> int option
+(** The port on [src] whose far end is [dst]; [None] when not linked. *)
+
+val next_hop : t -> node:int -> port:int -> int option
+(** Where a [Forward port] action sends the packet next; [None] for the
+    host port and for ports the node does not have. *)
+
+val simple_paths : ?limit:int -> t -> src:int -> dst:int -> int list list
+(** Every simple path from [src] to [dst] (each begins with [src] and
+    ends with [dst]), in a deterministic order, capped at [limit]
+    (default 16).  [src = dst] yields [[[src]]]. *)
+
+val pp : Format.formatter -> t -> unit

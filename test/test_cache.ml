@@ -260,6 +260,140 @@ let test_fdrc_oracle () =
   in
   check_int "fdrc conformant" 0 (List.length r.Cache_driver.divergences)
 
+(* A result dump names everything needed to reproduce itself: rebuild
+   the spec from the serialized fields alone, re-run, and demand the
+   same dump back (minus the one wall-clock key). *)
+let test_result_json_roundtrip () =
+  let strip = function
+    | Telemetry.Json.Obj fields ->
+        Telemetry.Json.Obj (List.remove_assoc "wall_ms" fields)
+    | v -> v
+  in
+  let get j key =
+    match j with
+    | Telemetry.Json.Obj fields -> (
+        match List.assoc_opt key fields with
+        | Some v -> v
+        | None -> Alcotest.failf "dump has no field %S" key)
+    | _ -> Alcotest.failf "dump is not an object"
+  in
+  let int j key =
+    match get j key with
+    | Telemetry.Json.Int i -> i
+    | _ -> Alcotest.failf "field %S is not an int" key
+  in
+  let str j key =
+    match get j key with
+    | Telemetry.Json.Str s -> s
+    | _ -> Alcotest.failf "field %S is not a string" key
+  in
+  let first =
+    Cache_driver.run ~domains:2 ~probes:2
+      { small_spec with Cache_driver.policy = Cache_policy.Fdrc { admit_after = 2 } }
+  in
+  let dump = Cache_driver.result_json first in
+  check_int "dump records the domains used" 2 (int dump "domains");
+  let spec =
+    {
+      Cache_driver.kind =
+        Option.get (Dataset.of_string (str dump "kind"));
+      n = int dump "n";
+      seed = int dump "seed";
+      flows = int dump "flows";
+      skew =
+        (match get dump "skew" with
+        | Telemetry.Json.Float f -> f
+        | _ -> Alcotest.failf "skew is not a float");
+      accesses = int dump "accesses";
+      slots = int dump "slots";
+      shards = int dump "shards";
+      flush_every = int dump "flush_every";
+      policy = Option.get (Cache_policy.kind_of_string (str dump "policy"));
+    }
+  in
+  let algo = Option.get (Firmware.algo_kind_of_string (str dump "algo")) in
+  let again =
+    Cache_driver.run ~algo ~domains:(int dump "domains") ~probes:2 spec
+  in
+  check "recorded params reproduce the result" true
+    (Telemetry.Json.to_string (strip dump)
+    = Telemetry.Json.to_string (strip (Cache_driver.result_json again)))
+
+(* Satellite property: whatever the traffic history, the eviction
+   groups and the pending admission look like, an fdrc victim set never
+   touches the admit closure (no rule the admission depends on — cached
+   ancestor or the admitted rule itself — is ever evicted), evicts whole
+   groups only, stays strictly colder than the admitted rule, and frees
+   what it promised. *)
+let prop_fdrc_victims_avoid_admit_closure =
+  QCheck.Test.make ~name:"fdrc victims never touch the admit closure"
+    ~count:200
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 1 3) (int_range 1 8)
+      |> set_print (fun (seed, k, need) ->
+             Printf.sprintf "seed=%d admit_after=%d need=%d" seed k need))
+    (fun (seed, admit_after, need) ->
+      let rng = Rng.create ~seed in
+      let m = 24 in
+      let policy = Cache_policy.create (Cache_policy.Fdrc { admit_after }) in
+      for tick = 1 to 300 do
+        let id = Rng.int rng m in
+        if Rng.bool rng then Cache_policy.touch policy ~id ~tick
+        else Cache_policy.note_miss policy ~id ~tick
+      done;
+      (* cached ids, partitioned into disjoint eviction groups *)
+      let cached =
+        List.filter (fun _ -> Rng.chance rng 0.7) (List.init m Fun.id)
+      in
+      QCheck.assume (cached <> []);
+      let arr = Array.of_list cached in
+      Rng.shuffle rng arr;
+      let groups = Hashtbl.create 16 in
+      let i = ref 0 in
+      while !i < Array.length arr do
+        let len = min (1 + Rng.int rng 3) (Array.length arr - !i) in
+        let block = Array.sub arr !i len in
+        let set =
+          Array.fold_left (fun s id -> Id_set.add id s) Id_set.empty block
+        in
+        Array.iter (fun id -> Hashtbl.replace groups id set) block;
+        i := !i + len
+      done;
+      let group_of id =
+        match Hashtbl.find_opt groups id with
+        | Some s -> s
+        | None -> Id_set.singleton id
+      in
+      (* the pending admission: a fresh rule plus a random subset of the
+         cached ids standing in for its ancestor closure *)
+      let protect =
+        List.fold_left
+          (fun s id -> if Rng.chance rng 0.25 then Id_set.add id s else s)
+          (Id_set.singleton (m + Rng.int rng 4))
+          cached
+      in
+      let limit = Cache_policy.score policy ~id:(Rng.int rng m) in
+      match
+        Cache_policy.victims policy ~candidates:cached ~group_of ~protect
+          ~need ~limit
+      with
+      | None -> true
+      | Some vs ->
+          if not (Id_set.is_empty (Id_set.inter vs protect)) then
+            QCheck.Test.fail_reportf "victims intersect the admit closure";
+          if Id_set.cardinal vs < need then
+            QCheck.Test.fail_reportf "freed %d < need %d"
+              (Id_set.cardinal vs) need;
+          Id_set.iter
+            (fun v ->
+              if not (Id_set.subset (group_of v) vs) then
+                QCheck.Test.fail_reportf "group of %d evicted piecemeal" v;
+              if Cache_policy.score policy ~id:v >= limit then
+                QCheck.Test.fail_reportf
+                  "victim %d at least as hot as the admitted rule" v)
+            vs;
+          true)
+
 let suite =
   [
     ( "cache-backing",
@@ -286,5 +420,10 @@ let suite =
         Alcotest.test_case "skew beats uniform" `Quick test_skew_beats_uniform;
         Alcotest.test_case "fdrc cuts churn" `Quick test_fdrc_cuts_churn;
         Alcotest.test_case "fdrc conformant" `Quick test_fdrc_oracle;
+        Alcotest.test_case "result json round-trip" `Quick
+          test_result_json_roundtrip;
       ] );
+    ( "cache-props",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_fdrc_victims_avoid_admit_closure ] );
   ]

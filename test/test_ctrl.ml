@@ -307,6 +307,65 @@ let prop_prefix_policy_union_equals_raw_replay =
     arb_ops
     (service_matches_reference ~shards:3 ~policy:(Partition.Dst_prefix 8))
 
+(* --- telemetry round-trip ---------------------------------------------- *)
+
+(* Drop the wall-clock-measured keys everywhere in a dump; what remains
+   (counters, modelled TCAM time, breaker state) is deterministic, so a
+   re-run from the dump's own recorded seed and domain count must
+   serialise identically. *)
+let rec strip_measured (j : Telemetry.Json.v) =
+  match j with
+  | Telemetry.Json.Obj fields ->
+      Telemetry.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if
+               List.mem k
+                 [
+                   "wall_ms"; "firmware_ms"; "firmware_ms_total";
+                   "latency_histogram";
+                 ]
+             then None
+             else Some (k, strip_measured v))
+           fields)
+  | Telemetry.Json.List l -> Telemetry.Json.List (List.map strip_measured l)
+  | v -> v
+
+let json_int j key =
+  match j with
+  | Telemetry.Json.Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some (Telemetry.Json.Int i) -> i
+      | _ -> Alcotest.failf "dump has no int field %S" key)
+  | _ -> Alcotest.failf "dump is not an object"
+
+let test_telemetry_roundtrip () =
+  let spec =
+    {
+      Churn.kind = Dataset.ACL4;
+      initial = 200;
+      ops = 300;
+      shards = 3;
+      capacity = 600;
+      batch = 32;
+      seed = 23;
+    }
+  in
+  let first = Churn.run ~domains:2 spec in
+  let dump =
+    Ctrl.to_json ~scenario:"roundtrip" ~seed:spec.Churn.seed
+      first.Churn.service
+  in
+  check_int "dump records the domains used" 2 (json_int dump "domains");
+  (* re-run from nothing but the dump's own recorded parameters *)
+  let seed = json_int dump "seed" in
+  let domains = json_int dump "domains" in
+  let again = Churn.run ~domains { spec with Churn.seed } in
+  let dump' = Ctrl.to_json ~scenario:"roundtrip" ~seed again.Churn.service in
+  check "recorded params reproduce the telemetry" true
+    (Telemetry.Json.to_string (strip_measured dump)
+    = Telemetry.Json.to_string (strip_measured dump'))
+
 let suite =
   [
     ( "ctrl",
@@ -321,6 +380,8 @@ let suite =
           test_apply_batch_equivalence;
         Alcotest.test_case "shard failure isolation" `Quick
           test_shard_failure_isolation;
+        Alcotest.test_case "telemetry round-trip" `Quick
+          test_telemetry_roundtrip;
       ] );
     ( "ctrl-props",
       List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,614 @@
+(* Fleet-level tests: topologies, the version-tagged policy encoding, the
+   two-phase planner, the brute-force transient checker, rollout
+   execution (incl. the parallel node fan-out), crash recovery, and the
+   network conformance oracle. *)
+
+open Fastrule
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rec rm_rf dir =
+  match Sys.is_directory dir with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat dir f)) (Sys.readdir dir);
+      (try Sys.rmdir dir with Sys_error _ -> ())
+  | false -> ( try Sys.remove dir with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Flat [(relative path, contents)] view of a directory tree, sorted —
+   byte-level journal comparison across fleets. *)
+let read_tree root =
+  let acc = ref [] in
+  let rec walk rel abs =
+    if Sys.is_directory abs then
+      Array.iter
+        (fun f ->
+          walk (if rel = "" then f else Filename.concat rel f)
+            (Filename.concat abs f))
+        (Sys.readdir abs)
+    else begin
+      let ic = open_in_bin abs in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      acc := (rel, body) :: !acc
+    end
+  in
+  walk "" root;
+  List.sort compare !acc
+
+(* --- topology ---------------------------------------------------------- *)
+
+let test_topo_shapes () =
+  let line = Net_topo.make Line 4 in
+  Alcotest.(check (list (pair int int)))
+    "line links"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (Net_topo.links line);
+  let ring = Net_topo.make Ring 4 in
+  Alcotest.(check (list (pair int int)))
+    "ring links"
+    [ (0, 1); (0, 3); (1, 2); (2, 3) ]
+    (Net_topo.links ring);
+  let tree = Net_topo.make Tree 7 in
+  Alcotest.(check (list int)) "root children" [ 1; 2 ] (Net_topo.neighbors tree 0);
+  Alcotest.(check (list int)) "node 1 adj" [ 0; 3; 4 ] (Net_topo.neighbors tree 1);
+  check_int "tree links" 6 (List.length (Net_topo.links tree))
+
+let test_topo_ports () =
+  let line = Net_topo.make Line 3 in
+  Alcotest.(check (option int)) "0->1" (Some 1) (Net_topo.port_to line ~src:0 ~dst:1);
+  Alcotest.(check (option int)) "1->0" (Some 1) (Net_topo.port_to line ~src:1 ~dst:0);
+  Alcotest.(check (option int)) "1->2" (Some 2) (Net_topo.port_to line ~src:1 ~dst:2);
+  Alcotest.(check (option int)) "0->2 unlinked" None (Net_topo.port_to line ~src:0 ~dst:2);
+  Alcotest.(check (option int))
+    "next_hop inverts port_to" (Some 2)
+    (Net_topo.next_hop line ~node:1 ~port:2);
+  Alcotest.(check (option int))
+    "host port exits" None
+    (Net_topo.next_hop line ~node:1 ~port:Net_topo.host_port)
+
+let test_simple_paths () =
+  let ring = Net_topo.make Ring 4 in
+  check_int "ring has two simple paths" 2
+    (List.length (Net_topo.simple_paths ring ~src:0 ~dst:2));
+  let line = Net_topo.make Line 5 in
+  Alcotest.(check (list (list int)))
+    "line path unique"
+    [ [ 0; 1; 2; 3; 4 ] ]
+    (Net_topo.simple_paths line ~src:0 ~dst:4);
+  check_int "limit caps enumeration" 1
+    (List.length (Net_topo.simple_paths ~limit:1 ring ~src:0 ~dst:2))
+
+(* --- policy ------------------------------------------------------------ *)
+
+let flow ?(plen = 16) ?waypoint ~id ~dst path =
+  {
+    Net_policy.flow_id = id;
+    dst_value = Int64.of_int dst;
+    plen;
+    path;
+    waypoint;
+  }
+
+let test_hop_rules () =
+  let line = Net_topo.make Line 4 in
+  let f = flow ~id:3 ~dst:(1 lsl 16) [ 0; 1; 2; 3 ] in
+  let hops = Net_policy.hop_rules line f ~version:1 in
+  check_int "one rule per hop" 4 (List.length hops);
+  List.iter
+    (fun (node, (r : Rule.t)) ->
+      check_int "rule id tags flow and version" 7 r.id;
+      check_int "priority is plen" 16 r.priority;
+      match r.action with
+      | Rule.Forward p when node = 3 ->
+          check_int "egress delivers" Net_topo.host_port p
+      | Rule.Forward p ->
+          Alcotest.(check (option int))
+            "interior forwards down the path" (Some (node + 1))
+            (Net_topo.next_hop line ~node ~port:p)
+      | _ -> Alcotest.fail "expected Forward")
+    hops;
+  (* version tag: a v1-stamped packet matches only the v1 rule *)
+  let rng = Rng.create ~seed:5 in
+  let pkt = Option.get (Net_policy.packet_for rng ~all:[ f ] f) in
+  let r1 = snd (List.hd hops) in
+  let r0 = snd (List.hd (Net_policy.hop_rules line f ~version:0)) in
+  check_bool "v1 rule matches v1 stamp" true
+    (Rule.matches_packet r1 (Net_policy.stamp_packet pkt ~version:1));
+  check_bool "v0 rule rejects v1 stamp" false
+    (Rule.matches_packet r0 (Net_policy.stamp_packet pkt ~version:1))
+
+let test_pure_region_and_winner () =
+  let parent = flow ~id:0 ~dst:(1 lsl 16) [ 0; 1 ] in
+  let child =
+    flow ~id:1 ~plen:24 ~dst:((1 lsl 16) lor (1 lsl 8)) [ 0; 1 ]
+  in
+  let all = [ parent; child ] in
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 50 do
+    let pkt = Option.get (Net_policy.packet_for rng ~all parent) in
+    (match Net_policy.winner all pkt with
+    | Some w -> check_int "parent wins its pure region" 0 w.Net_policy.flow_id
+    | None -> Alcotest.fail "no winner");
+    let pkt_c = Option.get (Net_policy.packet_for rng ~all child) in
+    match Net_policy.winner all pkt_c with
+    | Some w -> check_int "child wins its own prefix" 1 w.Net_policy.flow_id
+    | None -> Alcotest.fail "no winner"
+  done
+
+let test_policy_check_rejects () =
+  let line = Net_topo.make Line 4 in
+  let bad_hop = [ flow ~id:0 ~dst:(1 lsl 16) [ 0; 2 ] ] in
+  check_bool "unlinked hop rejected" true
+    (Result.is_error (Net_policy.check line bad_hop));
+  let bad_wp = [ flow ~id:0 ~dst:(1 lsl 16) ~waypoint:3 [ 0; 1 ] ] in
+  check_bool "waypoint off path rejected" true
+    (Result.is_error (Net_policy.check line bad_wp));
+  let dup =
+    [ flow ~id:0 ~dst:(1 lsl 16) [ 0; 1 ]; flow ~id:1 ~dst:(1 lsl 16) [ 2; 3 ] ]
+  in
+  check_bool "duplicate prefix rejected" true
+    (Result.is_error (Net_policy.check line dup));
+  check_bool "good policy accepted" true
+    (Result.is_ok
+       (Net_policy.check line [ flow ~id:0 ~dst:(1 lsl 16) [ 0; 1 ] ]))
+
+(* --- planner ----------------------------------------------------------- *)
+
+let scenario_plan ?(batch = 3) ~seed shape n =
+  let topo = Net_topo.make shape n in
+  let sc = Net_scenario.make ~seed topo in
+  match Net_scenario.plan ~batch sc with
+  | Ok p -> (sc, p)
+  | Error e -> Alcotest.failf "plan: %s" e
+
+let test_plan_phases () =
+  let _, plan = scenario_plan ~seed:42 Ring 5 in
+  let phases =
+    List.map (fun (r : Net_plan.round) -> r.kind) (Net_plan.rounds plan)
+  in
+  let rec ordered = function
+    | Net_plan.Install :: rest -> ordered rest
+    | Net_plan.Flip :: rest ->
+        List.for_all (fun k -> k = Net_plan.Uninstall) rest
+    | Net_plan.Uninstall :: _ -> false
+    | [] -> true
+  in
+  check_bool "install* flip uninstall* order" true (ordered phases);
+  check_int "exactly one flip round" 1
+    (List.length (List.filter (fun k -> k = Net_plan.Flip) phases))
+
+let test_plan_batch_bound () =
+  List.iter
+    (fun batch ->
+      let _, plan = scenario_plan ~batch ~seed:7 Tree 7 in
+      List.iter
+        (fun (r : Net_plan.round) ->
+          List.iter
+            (fun (_, mods) ->
+              check_bool "per-switch batch bound" true
+                (List.length mods <= batch))
+            r.batches)
+        (Net_plan.rounds plan))
+    [ 1; 2; 8 ];
+  (* total mods are batch-invariant *)
+  let _, p1 = scenario_plan ~batch:1 ~seed:7 Tree 7 in
+  let _, p8 = scenario_plan ~batch:8 ~seed:7 Tree 7 in
+  check_int "mods independent of batch" (Net_plan.total_mods p8)
+    (Net_plan.total_mods p1);
+  check_bool "smaller batch, at least as many rounds" true
+    (Net_plan.num_rounds p1 >= Net_plan.num_rounds p8)
+
+let test_plan_stamps () =
+  let sc, plan = scenario_plan ~seed:42 Ring 5 in
+  let before = Net_plan.stamps_before plan in
+  let after = Net_plan.stamps_after plan in
+  List.iter
+    (fun (f : Net_policy.flow) ->
+      check_bool "every new flow stamped after" true
+        (List.mem_assoc f.flow_id after))
+    sc.new_policy;
+  List.iter
+    (fun (fid, v) ->
+      match List.assoc_opt fid before with
+      | None -> check_int "introduced flows start at v0" 0 v
+      | Some _ -> ())
+    after
+
+(* --- brute-force checker ---------------------------------------------- *)
+
+let test_check_plan_fixtures () =
+  List.iter
+    (fun (shape, n, seed) ->
+      let _, plan = scenario_plan ~seed shape n in
+      match Net_check.check_plan plan with
+      | Ok () -> ()
+      | Error vs ->
+          Alcotest.failf "%s/%d seed %d: %s" (Net_topo.shape_to_string shape) n
+            seed (String.concat "; " vs))
+    [ (Net_topo.Line, 6, 1); (Net_topo.Ring, 5, 2); (Net_topo.Tree, 7, 3) ]
+
+(* The checker is not a rubber stamp: claiming the post-flip stamp while
+   only the old version is installed must surface violations. *)
+let test_check_catches_premature_flip () =
+  let sc, plan = scenario_plan ~seed:42 Ring 5 in
+  let changed =
+    List.filter
+      (fun (fid, v) -> List.assoc_opt fid (Net_plan.stamps_before plan) <> Some v)
+      (Net_plan.stamps_after plan)
+  in
+  check_bool "scenario changes something" true (changed <> []);
+  let model =
+    Net_check.Model.of_policy sc.topo
+      ~version_of:(fun f ->
+        List.assoc f.Net_policy.flow_id (Net_plan.stamps_before plan))
+      sc.old_policy
+  in
+  let stamps fid =
+    match List.assoc_opt fid (Net_plan.stamps_after plan) with
+    | Some v -> Some v
+    | None -> List.assoc_opt fid (Net_plan.stamps_before plan)
+  in
+  let rng = Rng.create ~seed:3 in
+  let violations =
+    Net_check.consistent ~rng plan ~stamps
+      ~lookup:(Net_check.Model.lookup model) ~where:"premature flip"
+  in
+  check_bool "premature flip caught" true (violations <> [])
+
+(* A path that detours around the configured waypoint is caught even
+   when delivery still succeeds. *)
+let test_check_catches_waypoint_bypass () =
+  let ring = Net_topo.make Ring 4 in
+  let f =
+    flow ~id:0 ~dst:(1 lsl 16) ~waypoint:1 [ 0; 1; 2 ]
+  in
+  let plan =
+    match
+      Net_plan.make ring ~stamps:[ (0, 0) ] ~old_policy:[ f ] ~new_policy:[ f ]
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  (* malicious tables: 0 -> 3 -> 2, skipping the waypoint at 1 *)
+  let model = Net_check.Model.create ring in
+  let rule ~node ~to_ =
+    let port =
+      if to_ = -1 then Net_topo.host_port
+      else Option.get (Net_topo.port_to ring ~src:node ~dst:to_)
+    in
+    Net_check.Model.apply model node
+      (Agent.Add (Net_policy.rule f ~version:0 ~port))
+  in
+  rule ~node:0 ~to_:3;
+  rule ~node:3 ~to_:2;
+  rule ~node:2 ~to_:(-1);
+  let rng = Rng.create ~seed:4 in
+  let violations =
+    Net_check.consistent ~rng plan
+      ~stamps:(fun _ -> Some 0)
+      ~lookup:(Net_check.Model.lookup model) ~where:"bypass"
+  in
+  check_bool "waypoint bypass caught" true (violations <> [])
+
+(* --- fleet ------------------------------------------------------------- *)
+
+let test_fleet_install_and_lookup () =
+  let sc, plan = scenario_plan ~seed:11 Line 5 in
+  let fleet = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+  (* live tables agree with the pure model before any rollout *)
+  let model =
+    Net_check.Model.of_policy sc.topo ~version_of:(fun _ -> 0) sc.old_policy
+  in
+  for node = 0 to Net_topo.nodes sc.topo - 1 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "node %d table" node)
+      (List.map (fun (r : Rule.t) -> r.id) (Net_check.Model.rules model node))
+      (List.map (fun (r : Rule.t) -> r.id) (Net.rules fleet node))
+  done;
+  let rng = Rng.create ~seed:2 in
+  let violations =
+    Net_check.consistent ~rng plan ~stamps:(Net.stamp fleet)
+      ~lookup:(Net.lookup fleet) ~where:"installed"
+  in
+  Alcotest.(check (list string)) "fresh fleet consistent" [] violations
+
+let test_execute_reaches_new_policy () =
+  let sc, plan = scenario_plan ~seed:13 Tree 7 in
+  let fleet = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+  let report = Net.execute fleet plan in
+  check_bool "completed" true report.Net.completed;
+  check_int "no casualties" 0 report.Net.failed;
+  check_int "rounds all committed" (Net_plan.num_rounds plan)
+    report.Net.rounds_run;
+  let reference =
+    Net.of_policy ~domains:1 sc.topo sc.new_policy ~version_of:(fun f ->
+        List.assoc f.Net_policy.flow_id (Net_plan.stamps_after plan))
+  in
+  Alcotest.(check (list (pair int int)))
+    "stamps converged"
+    (Net_plan.stamps_after plan)
+    (Net.stamps fleet);
+  for node = 0 to Net_topo.nodes sc.topo - 1 do
+    check_bool
+      (Printf.sprintf "node %d equals reference" node)
+      true
+      (Net.rules fleet node = Net.rules reference node)
+  done
+
+let test_domains_bit_identical_journals () =
+  let sc, plan = scenario_plan ~seed:17 Ring 5 in
+  let run domains =
+    let dir = Journal.fresh_dir ~prefix:"fr-test-netdom" in
+    let fleet = Net.of_policy ~domains ~journal:dir sc.topo sc.old_policy in
+    let report = Net.execute fleet plan in
+    check_bool "completed" true report.Net.completed;
+    (dir, read_tree dir, List.init 5 (Net.rules fleet))
+  in
+  let d1, tree1, rules1 = run 1 in
+  let d4, tree4, rules4 = run 4 in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf d1;
+      rm_rf d4)
+    (fun () ->
+      check_bool "installed tables identical" true (rules1 = rules4);
+      Alcotest.(check (list string))
+        "same journal files"
+        (List.map fst tree1)
+        (List.map fst tree4);
+      List.iter2
+        (fun (name, a) (_, b) ->
+          check_bool (Printf.sprintf "journal bytes: %s" name) true (a = b))
+        tree1 tree4)
+
+let crash_resume_equals_twin ~crash_mode ~stop_after ~seed shape n =
+  let topo = Net_topo.make shape n in
+  let sc = Net_scenario.make ~seed topo in
+  let plan =
+    match Net_scenario.plan ~batch:2 sc with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let dir = Journal.fresh_dir ~prefix:"fr-test-netcrash" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let fleet = Net.of_policy ~domains:1 ~journal:dir topo sc.old_policy in
+      let rep =
+        Net.execute ~stop_after_rounds:stop_after ~crash_mode fleet plan
+      in
+      let rc =
+        match Net.recover ~domains:1 ~journal:dir () with
+        | Ok rc -> rc
+        | Error e -> Alcotest.failf "recover: %s" e
+      in
+      Alcotest.(check (list string)) "no recovery warnings" [] rc.Net.warnings;
+      let rep2 = Net.resume rc in
+      check_bool "resume completes" true rep2.Net.completed;
+      if stop_after < Net_plan.num_rounds plan then
+        check_bool "crash actually happened" true (not rep.Net.completed);
+      let twin = Net.of_policy ~domains:1 topo sc.old_policy in
+      let twin_rep = Net.execute twin plan in
+      check_bool "twin completes" true twin_rep.Net.completed;
+      let f = rc.Net.fleet in
+      Alcotest.(check (list (pair int int)))
+        "stamps equal twin" (Net.stamps twin) (Net.stamps f);
+      for node = 0 to n - 1 do
+        check_bool
+          (Printf.sprintf "node %d equals twin" node)
+          true
+          (Net.rules f node = Net.rules twin node)
+      done)
+
+let test_crash_boundary () =
+  crash_resume_equals_twin ~crash_mode:Net.Boundary ~stop_after:1 ~seed:9
+    Net_topo.Tree 7
+
+let test_crash_mid_submit () =
+  crash_resume_equals_twin ~crash_mode:Net.Mid_submit ~stop_after:2 ~seed:9
+    Net_topo.Ring 6
+
+let test_recover_without_rollout () =
+  let topo = Net_topo.make Net_topo.Line 4 in
+  let sc = Net_scenario.make ~seed:21 topo in
+  let dir = Journal.fresh_dir ~prefix:"fr-test-netidle" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let fleet = Net.of_policy ~domains:1 ~journal:dir topo sc.old_policy in
+      let rc =
+        match Net.recover ~domains:1 ~journal:dir () with
+        | Ok rc -> rc
+        | Error e -> Alcotest.failf "recover: %s" e
+      in
+      check_bool "nothing to resume" true (rc.Net.plan = None);
+      Alcotest.(check (list (pair int int)))
+        "stamps restored" (Net.stamps fleet)
+        (Net.stamps rc.Net.fleet);
+      for node = 0 to 3 do
+        check_bool "tables restored" true
+          (Net.rules fleet node = Net.rules rc.Net.fleet node)
+      done)
+
+(* --- conformance oracle ------------------------------------------------ *)
+
+let test_run_net_fixtures () =
+  List.iter
+    (fun (shape, n, seed) ->
+      let topo = Net_topo.make shape n in
+      let sc = Net_scenario.make ~seed topo in
+      let r = Oracle.run_net ~domains:1 sc in
+      if not (Oracle.net_clean r) then
+        Alcotest.failf "%s seed %d: %s"
+          (Net_topo.shape_to_string shape)
+          seed
+          (String.concat "; "
+             (List.map
+                (fun (d : Oracle.divergence) -> d.detail)
+                r.Oracle.net_divergences));
+      check_int "five schedulers" 5 (List.length r.Oracle.net_columns);
+      List.iter
+        (fun (c : Oracle.net_column) ->
+          check_bool "probe points cover rounds" true
+            (c.net_probes > r.Oracle.net_rounds_planned))
+        r.Oracle.net_columns)
+    [ (Net_topo.Line, 6, 1); (Net_topo.Ring, 5, 2); (Net_topo.Tree, 7, 3) ]
+
+(* --- properties -------------------------------------------------------- *)
+
+let arb_scenario =
+  let gen =
+    QCheck.Gen.(
+      let* shape = oneofl [ Net_topo.Line; Net_topo.Ring; Net_topo.Tree ] in
+      let* nodes = int_range 3 8 in
+      let* seed = int_range 0 100_000 in
+      let* flows = int_range 3 9 in
+      let* reroute = int_range 0 flows in
+      let* withdraw = int_range 0 2 in
+      let* introduce = int_range 0 2 in
+      let* waypoints = int_range 0 3 in
+      let* batch = int_range 1 5 in
+      return (shape, nodes, seed, flows, reroute, withdraw, introduce, waypoints, batch))
+  in
+  QCheck.make
+    ~print:(fun (shape, nodes, seed, flows, reroute, withdraw, introduce, wps, batch) ->
+      Printf.sprintf
+        "%s/%d seed=%d flows=%d reroute=%d withdraw=%d introduce=%d wps=%d \
+         batch=%d"
+        (Net_topo.shape_to_string shape)
+        nodes seed flows reroute withdraw introduce wps batch)
+    gen
+
+let build_scenario (shape, nodes, seed, flows, reroute, withdraw, introduce, waypoints, _) =
+  let topo = Net_topo.make shape nodes in
+  Net_scenario.make ~flows ~reroute ~withdraw ~introduce ~waypoints ~seed topo
+
+(* The headline qcheck property: any random small topology and policy
+   diff plans into a rollout whose every reachable instant the
+   brute-force enumerator certifies consistent. *)
+let prop_random_topology_consistent =
+  QCheck.Test.make ~name:"planner output consistent on random topologies"
+    ~count:120 arb_scenario (fun params ->
+      let (_, _, seed, _, _, _, _, _, batch) = params in
+      let sc = build_scenario params in
+      match Net_scenario.plan ~batch sc with
+      | Error e -> QCheck.Test.fail_reportf "does not plan: %s" e
+      | Ok plan -> (
+          match Net_check.check_plan ~seed plan with
+          | Ok () -> true
+          | Error vs ->
+              QCheck.Test.fail_reportf "inconsistent instant: %s"
+                (String.concat "; " vs)))
+
+(* Fleet-level crash twin: crash at a random round boundary (or inside
+   the next round's submit), recover from the journals alone, re-drive
+   the rest, and land exactly on a never-crashed twin. *)
+let prop_crash_recover_twin =
+  QCheck.Test.make ~name:"crashed rollout recovers to the twin" ~count:12
+    arb_scenario (fun params ->
+      let (_, _, _, _, _, _, _, _, batch) = params in
+      let sc = build_scenario params in
+      match Net_scenario.plan ~batch sc with
+      | Error e -> QCheck.Test.fail_reportf "does not plan: %s" e
+      | Ok plan ->
+          let rounds = Net_plan.num_rounds plan in
+          QCheck.assume (rounds > 0);
+          let (_, _, seed, _, _, _, _, _, _) = params in
+          let rng = Rng.create ~seed in
+          let stop_after = Rng.int_in rng 0 (rounds - 1) in
+          let crash_mode =
+            if Rng.bool rng then Net.Boundary else Net.Mid_submit
+          in
+          let dir = Journal.fresh_dir ~prefix:"fr-prop-netcrash" in
+          Fun.protect
+            ~finally:(fun () -> rm_rf dir)
+            (fun () ->
+              let fleet =
+                Net.of_policy ~domains:1 ~journal:dir sc.topo sc.old_policy
+              in
+              let _ =
+                Net.execute ~stop_after_rounds:stop_after ~crash_mode fleet
+                  plan
+              in
+              match Net.recover ~domains:1 ~journal:dir () with
+              | Error e -> QCheck.Test.fail_reportf "recover: %s" e
+              | Ok rc ->
+                  if rc.Net.warnings <> [] then
+                    QCheck.Test.fail_reportf "warnings: %s"
+                      (String.concat "; " rc.Net.warnings);
+                  let rep = Net.resume rc in
+                  if not rep.Net.completed then
+                    QCheck.Test.fail_reportf "resume did not complete";
+                  let twin =
+                    Net.of_policy ~domains:1 sc.topo sc.old_policy
+                  in
+                  let _ = Net.execute twin plan in
+                  let f = rc.Net.fleet in
+                  if Net.stamps f <> Net.stamps twin then
+                    QCheck.Test.fail_reportf "stamps differ from twin";
+                  let nodes = Net_topo.nodes sc.topo in
+                  let rec nodes_equal i =
+                    i >= nodes
+                    || (Net.rules f i = Net.rules twin i && nodes_equal (i + 1))
+                  in
+                  if not (nodes_equal 0) then
+                    QCheck.Test.fail_reportf "tables differ from twin";
+                  true))
+
+let to_alcotest tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "net-topo",
+      [
+        Alcotest.test_case "shapes" `Quick test_topo_shapes;
+        Alcotest.test_case "ports" `Quick test_topo_ports;
+        Alcotest.test_case "simple paths" `Quick test_simple_paths;
+      ] );
+    ( "net-policy",
+      [
+        Alcotest.test_case "hop rules" `Quick test_hop_rules;
+        Alcotest.test_case "pure region and winner" `Quick
+          test_pure_region_and_winner;
+        Alcotest.test_case "check rejects" `Quick test_policy_check_rejects;
+      ] );
+    ( "net-plan",
+      [
+        Alcotest.test_case "phase order" `Quick test_plan_phases;
+        Alcotest.test_case "batch bound" `Quick test_plan_batch_bound;
+        Alcotest.test_case "stamps" `Quick test_plan_stamps;
+      ] );
+    ( "net-check",
+      [
+        Alcotest.test_case "fixtures consistent" `Quick
+          test_check_plan_fixtures;
+        Alcotest.test_case "premature flip caught" `Quick
+          test_check_catches_premature_flip;
+        Alcotest.test_case "waypoint bypass caught" `Quick
+          test_check_catches_waypoint_bypass;
+      ] );
+    ( "net-fleet",
+      [
+        Alcotest.test_case "install and lookup" `Quick
+          test_fleet_install_and_lookup;
+        Alcotest.test_case "execute reaches new policy" `Quick
+          test_execute_reaches_new_policy;
+        Alcotest.test_case "domains bit-identical journals" `Quick
+          test_domains_bit_identical_journals;
+        Alcotest.test_case "crash at boundary, resume = twin" `Quick
+          test_crash_boundary;
+        Alcotest.test_case "crash mid-submit, resume = twin" `Quick
+          test_crash_mid_submit;
+        Alcotest.test_case "recover without rollout" `Quick
+          test_recover_without_rollout;
+      ] );
+    ( "net-oracle",
+      [ Alcotest.test_case "line/ring/tree clean" `Quick test_run_net_fixtures ]
+    );
+    ( "net-props",
+      to_alcotest [ prop_random_topology_consistent; prop_crash_recover_twin ]
+    );
+  ]
