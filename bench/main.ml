@@ -1078,6 +1078,116 @@ let net () =
     (Stdlib.List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* degrade: churn cost on dead-row hardware.  Sweeps dead-fraction x
+   scheduler: a seeded stuck bank condemns a fraction of every shard's
+   rows before the stream starts, the firmware discovers the holes
+   through write failures and packs around them, and the sweep prices
+   the overhead — discovery retries, extra moves, flush wall — against
+   the healthy frac-0 baseline.  Correctness is the test suite's job
+   (degraded oracle); here the numbers are pure mechanics. *)
+
+let degrade () =
+  let fracs = if !quick then [ 0.0; 0.10 ] else [ 0.0; 0.05; 0.10; 0.20 ] in
+  let shards = 3 in
+  let n = if !quick then 240 else 900 in
+  let ops = if !quick then 400 else 2_000 in
+  let capacity = if !quick then 160 else 600 in
+  let batch = 64 in
+  Format.printf "@.== degrade: churn cost on dead-row hardware ==@.";
+  Format.printf "%d shards x %d slots, %d preloaded, %d ops in windows of %d@.@."
+    shards capacity n ops batch;
+  let resil =
+    { Ctrl.default_resil with Ctrl.failover = true; retry_budget = 8 }
+  in
+  let stuck_bank ~frac s =
+    let rows = max 1 (int_of_float (frac *. float_of_int capacity)) in
+    let rng = Rng.create ~seed:(seed lxor 0xdead lxor (s * 0x9e37)) in
+    let tbl = Hashtbl.create rows in
+    while Hashtbl.length tbl < rows do
+      Hashtbl.replace tbl (Rng.int rng capacity) ()
+    done;
+    Hashtbl.fold (fun a () acc -> a :: acc) tbl []
+  in
+  let rows =
+    List.concat_map
+      (fun frac ->
+        List.map
+          (fun algo ->
+            let configure =
+              if frac = 0.0 then None
+              else
+                Some
+                  (fun svc ->
+                    for s = 0 to shards - 1 do
+                      Ctrl.set_fault svc ~shard:s
+                        (Some
+                           (Fault.create ~stuck:(stuck_bank ~frac s)
+                              ~seed:(seed lxor (0x5a17 + s))
+                              ()))
+                    done)
+            in
+            let spec =
+              { Churn.kind = Dataset.ACL4; initial = n; ops; shards; capacity;
+                batch; seed }
+            in
+            let r = Churn.run ~algo ~resil ?configure spec in
+            let svc = r.Churn.service in
+            let sum f =
+              let acc = ref 0 in
+              for s = 0 to Ctrl.shards svc - 1 do
+                acc := !acc + f (Shard.telemetry (Ctrl.shard svc s))
+              done;
+              !acc
+            in
+            let dead = Ctrl.dead_rows svc in
+            let w = r.Churn.flush_wall_ms in
+            Format.printf
+              "%-8s dead %2d%%: applied %4d  transient-failed %3d  retries \
+               %3d  shed %d  dead-rows %3d  tcam-ops %5d  flush p99 %.2f ms@."
+              (Firmware.algo_kind_name algo)
+              (int_of_float (frac *. 100.))
+              r.Churn.applied r.Churn.failed r.Churn.retries r.Churn.shed dead
+              (sum Telemetry.tcam_ops) w.Measure.p99;
+            let open Telemetry.Json in
+            Obj
+              [
+                ("algo", Str (Firmware.algo_kind_name algo));
+                ("dead_frac", Float frac);
+                ("applied", Int r.Churn.applied);
+                ("transient_failed", Int r.Churn.failed);
+                ("retries", Int r.Churn.retries);
+                ("shed", Int r.Churn.shed);
+                ("dead_rows", Int dead);
+                ("degraded_diverted", Int (sum Telemetry.degraded_diverted));
+                ("tcam_ops", Int (sum Telemetry.tcam_ops));
+                ("flushes", Int r.Churn.flushes);
+                ("flush_wall_p50_ms", Float w.Measure.p50);
+                ("flush_wall_p99_ms", Float w.Measure.p99);
+              ])
+          (Firmware.standard_algos backend))
+      fracs
+  in
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("bench", Str "degrade");
+        ("quick", Bool !quick);
+        ("seed", Int seed);
+        ("kind", Str (Dataset.to_string Dataset.ACL4));
+        ("shards", Int shards);
+        ("capacity", Int capacity);
+        ("ops", Int ops);
+        ("rows", List rows);
+      ]
+  in
+  let oc = open_out "BENCH_degrade.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_degrade.json (%d rows)@." (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1094,6 +1204,7 @@ let sections =
     ("resil", resil);
     ("cache", cache);
     ("net", net);
+    ("degrade", degrade);
   ]
 
 let () =

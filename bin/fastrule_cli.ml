@@ -233,10 +233,12 @@ let ctrl_json path service ~scenario ~seed =
 let ctrl_cmd =
   let run kind n seed shards capacity ops batch policy refresh_every json
       journal do_recover faults crash_after crash_mid allow_failures failover
-      slow_call slow_factor chaos_n domains =
+      slow_call slow_factor chaos_n domains dead_frac =
     let bad fmt = Format.kasprintf (fun m -> Format.eprintf "fastrule_cli: %s@." m; exit 1) fmt in
     if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
     if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
+    if dead_frac < 0.0 || dead_frac >= 1.0 then
+      bad "--dead-frac must be in [0, 1) (got %g)" dead_frac;
     if batch < 1 then bad "--batch must be >= 1 (got %d)" batch;
     if refresh_every < 1 then bad "--refresh-every must be >= 1 (got %d)" refresh_every;
     if domains < 1 then bad "--domains must be >= 1 (got %d)" domains;
@@ -322,14 +324,56 @@ let ctrl_cmd =
     let spec =
       { Churn.kind; initial = n; ops; shards; capacity; batch; seed }
     in
+    (* Seeded stuck banks for the degraded-hardware chaos drill: every
+       shard loses a random [dead_frac] of its rows to stuck-at-write
+       faults before the stream starts. *)
+    let dead_banks =
+      if dead_frac = 0.0 then []
+      else begin
+        if faults <> [] then
+          bad "--dead-frac and --fault cannot be combined (both own the \
+               shard fault plans)";
+        let rows = max 1 (int_of_float (dead_frac *. float_of_int capacity)) in
+        List.init shards (fun s ->
+            let rng = Rng.create ~seed:(seed lxor 0xdead lxor (s * 0x9e37)) in
+            let tbl = Hashtbl.create rows in
+            while Hashtbl.length tbl < rows do
+              Hashtbl.replace tbl (Rng.int rng capacity) ()
+            done;
+            (s, Hashtbl.fold (fun a () acc -> a :: acc) tbl []))
+      end
+    in
+    let resil =
+      (* discovery costs one failed write per dead row first touched; give
+         the retry budget room to absorb it within the same flush *)
+      if dead_frac > 0.0 then
+        { resil with Ctrl.retry_budget = max resil.Ctrl.retry_budget 8 }
+      else resil
+    in
     let configure =
-      match faults with
-      | [] -> None
-      | fs ->
+      match (dead_banks, faults) with
+      | [], [] -> None
+      | banks, [] when banks <> [] ->
+          Some
+            (fun service ->
+              List.iter
+                (fun (s, stuck) ->
+                  Ctrl.set_fault service ~shard:s
+                    (Some (Fault.create ~stuck ~seed:(seed lxor (0x5a17 + s)) ())))
+                banks)
+      | _, fs ->
           List.iter
-            (fun (s, _) ->
+            (fun (s, fspec) ->
               if s < 0 || s >= shards then
-                bad "--fault shard %d out of range (0..%d)" s (shards - 1))
+                bad "--fault shard %d out of range (0..%d)" s (shards - 1);
+              List.iter
+                (fun a ->
+                  if a < 0 || a >= capacity then
+                    bad
+                      "--fault %d:stuck=%d is outside the shard's table \
+                       (capacity %d, addresses 0..%d)"
+                      s a capacity (capacity - 1))
+                fspec.Fault.stuck)
             fs;
           Some
             (fun service ->
@@ -360,6 +404,24 @@ let ctrl_cmd =
                      diverted %d@."
         r.Churn.diverted r.Churn.rebalanced r.Churn.restarts
         (Ctrl.diverted_count r.Churn.service);
+    if dead_frac > 0.0 then begin
+      let seeded =
+        List.fold_left (fun acc (_, b) -> acc + List.length b) 0 dead_banks
+      in
+      let degraded_diverted = ref 0 in
+      for s = 0 to Ctrl.shards r.Churn.service - 1 do
+        degraded_diverted :=
+          !degraded_diverted
+          + Telemetry.degraded_diverted
+              (Shard.telemetry (Ctrl.shard r.Churn.service s))
+      done;
+      Format.printf
+        "degraded: %d stuck rows seeded, %d dead discovered, \
+         degraded-diverted %d, shed %d@."
+        seeded
+        (Ctrl.dead_rows r.Churn.service)
+        !degraded_diverted r.Churn.shed
+    end;
     Format.printf "flush wall (ms): %a@.@." Measure.pp_summary
       r.Churn.flush_wall_ms;
     pp_latency_line r.Churn.service;
@@ -382,7 +444,14 @@ let ctrl_cmd =
           (Ctrl.pending r.Churn.service)
           (Option.value journal ~default:"DIR");
         exit 42
-    | None -> exit (if allow_failures || r.Churn.failed = 0 then 0 else 1)
+    | None ->
+        (* Under --dead-frac, per-attempt write failures are the expected
+           discovery cost (the retry pass re-drives them); the drill's
+           pass/fail signal is shedding. *)
+        let healthy =
+          if dead_frac > 0.0 then r.Churn.shed = 0 else r.Churn.failed = 0
+        in
+        exit (if allow_failures || healthy then 0 else 1)
   in
   let shards_arg =
     Arg.(
@@ -523,6 +592,16 @@ let ctrl_cmd =
                 for every N; default: the runtime's recommended domain \
                 count).  1 = strictly sequential.")
   in
+  let dead_frac_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dead-frac" ] ~docv:"F"
+          ~doc:"Degraded-hardware chaos drill: before the stream starts, \
+                condemn a seeded random fraction F of every shard's rows \
+                (stuck-at-write: writes fail, erases still work).  The \
+                firmware must discover the holes, pack around them, and \
+                finish with nothing shed.  Incompatible with --fault.")
+  in
   Cmd.v
     (Cmd.info "ctrl"
        ~doc:"Drive the sharded control-plane service with a seeded churn \
@@ -533,7 +612,7 @@ let ctrl_cmd =
       $ ops_arg $ batch_arg $ policy_arg $ refresh_arg $ json_arg
       $ journal_arg $ recover_arg $ fault_arg $ crash_after_arg $ crash_mid_arg
       $ allow_failures_arg $ failover_arg $ slow_call_arg $ slow_factor_arg
-      $ chaos_arg $ domains_arg)
+      $ chaos_arg $ domains_arg $ dead_frac_arg)
 
 (* --- journal --------------------------------------------------------- *)
 
@@ -630,7 +709,7 @@ let break_conv =
 let conform_cmd =
   let run kind n seed events pool capacity probes fault fault_max break_ record
       save replay shrink out crash_at crash_mid crash_batch failover_shard
-      fo_shards domains capture =
+      fo_shards degraded_frac domains capture =
     let bad fmt =
       Format.kasprintf
         (fun m ->
@@ -663,6 +742,17 @@ let conform_cmd =
               in
               Oracle.pp_failover_report Format.std_formatter r;
               exit (if Oracle.failover_clean r then 0 else 1)
+            end
+            else if info.Bundle.mode = "degraded" then begin
+              (* the stuck bank re-derives from the trace seed, so the
+                 default dead fraction reproduces the captured run *)
+              let r =
+                Oracle.run_degraded ~probes ~batch:info.Bundle.batch
+                  ~shards:(max 2 info.Bundle.shards)
+                  ~fault_shard:info.Bundle.fault_shard ?domains ?capture trace
+              in
+              Oracle.pp_degraded_report Format.std_formatter r;
+              exit (if Oracle.degraded_clean r then 0 else 1)
             end
             else begin
               let r =
@@ -708,6 +798,30 @@ let conform_cmd =
         in
         Oracle.pp_failover_report Format.std_formatter r;
         exit (if Oracle.failover_clean r then 0 else 1)
+    | None -> ());
+    (match degraded_frac with
+    | Some frac ->
+        if fo_shards < 2 then bad "--shards must be >= 2 (got %d)" fo_shards;
+        if frac <= 0.0 || frac >= 1.0 then
+          bad "--degraded must be in (0, 1) (got %g)" frac;
+        let r =
+          Oracle.run_degraded ~probes ~batch:crash_batch ~shards:fo_shards
+            ~dead_frac:frac ?domains ?capture trace
+        in
+        Oracle.pp_degraded_report Format.std_formatter r;
+        let vacuous =
+          List.filter
+            (fun c -> c.Oracle.dg_dead_max = 0)
+            r.Oracle.degraded_columns
+        in
+        List.iter
+          (fun c ->
+            Format.printf
+              "WARNING: %s never wrote into the stuck bank — vacuous \
+               certification (densify the trace or raise --degraded)@."
+              c.Oracle.degraded_scheduler)
+          vacuous;
+        exit (if Oracle.degraded_clean r && vacuous = [] then 0 else 1)
     | None -> ());
     let config =
       {
@@ -866,7 +980,20 @@ let conform_cmd =
     Arg.(
       value & opt int 3
       & info [ "shards" ] ~docv:"N"
-          ~doc:"Shard count in failover mode (>= 2).")
+          ~doc:"Shard count in failover/degraded mode (>= 2).")
+  in
+  let degraded_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "degraded" ] ~docv:"FRAC"
+          ~doc:"Degraded-hardware differential mode: seed a stuck-at-write \
+                bank covering FRAC of shard 0's rows, drive the trace \
+                through every scheduler on a failover-enabled service \
+                (lookups checked against the semantic scan at every flush), \
+                heal the hardware, probe-drill, and check the converged \
+                state against a never-faulted twin (exit 1 on divergence or \
+                an untouched bank).")
   in
   let domains_arg =
     Arg.(
@@ -897,7 +1024,7 @@ let conform_cmd =
       $ capacity_arg $ probes_arg $ fault_arg $ fault_max_arg $ break_arg
       $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg
       $ crash_at_arg $ crash_mid_arg $ crash_batch_arg $ failover_shard_arg
-      $ fo_shards_arg $ domains_arg $ capture_arg)
+      $ fo_shards_arg $ degraded_arg $ domains_arg $ capture_arg)
 
 (* --- cache ------------------------------------------------------------ *)
 

@@ -225,6 +225,78 @@ val run_failover :
 
 val pp_failover_report : Format.formatter -> failover_report -> unit
 
+(** {1 Degraded-hardware differential mode}
+
+    The partial-degradation counterpart of {!run_failover}: per scheduler
+    kind, the trace is driven through a multi-shard failover-enabled
+    {!Fr_ctrl.Service} with a {e seeded stuck bank} — [dead_frac] of one
+    shard's rows reject every write — flushed every [batch] events.  The
+    firmware discovers the holes through write failures (each condemns
+    its row in the {!Fr_tcam.Deadmap}), the supervisor's retry budget
+    absorbs the discovery so the breaker never opens, the schedulers
+    step over the dead rows, and the service diverts only the overflow
+    once the shard's effective capacity is exhausted.  Checks:
+
+    - at every flush boundary the hardware lookup equals the semantic
+      scan (dependency order survives hole-stepping);
+    - no submit is shed — a 10%-dead shard still serves;
+    - after the heal, the probe drill revives every row and the run
+      converges (no diverted ids, no pending work, no dead rows, all
+      breakers closed);
+    - the final union table and post-heal probe lookups equal a
+      never-faulted twin's. *)
+
+type degraded_column = {
+  degraded_scheduler : string;
+  dg_applied : int;
+  dg_failed : int;
+      (** transient per-drain failures — the discovery cost, not a gate *)
+  dg_shed : int;
+  dg_diverted : int;
+  dg_degraded_diverted : int;
+      (** diverts caused by shrunken capacity, not a quarantine *)
+  dg_dead_max : int;
+      (** most rows simultaneously condemned; [0] means the workload never
+          wrote into the stuck bank — certification entry points assert
+          [> 0] on traces chosen to guarantee contact *)
+  dg_recovered : int;  (** rows revived by the probe drill *)
+  dg_heal_flushes : int;
+}
+
+type degraded_report = {
+  degraded_trace : Trace.t;
+  dg_shards : int;
+  dg_fault_shard : int;
+  dg_dead_frac : float;
+  dg_seeded_dead : int;  (** rows in the seeded stuck bank *)
+  degraded_columns : degraded_column list;
+  degraded_divergences : divergence list;
+  degraded_wall_ms : float;
+}
+
+val degraded_clean : degraded_report -> bool
+
+val run_degraded :
+  ?probes:int ->
+  ?batch:int ->
+  ?shards:int ->
+  ?fault_shard:int ->
+  ?dead_frac:float ->
+  ?domains:int ->
+  ?capture:string ->
+  Trace.t ->
+  degraded_report
+(** Defaults: 8 probes, flush every 4 events, 3 shards, the stuck bank on
+    shard 0 covering 10% of its rows.  [domains] drives both the faulted
+    service and its twin, so discovery, hole-stepping, overflow diverts
+    and the probe-drill heal all run under the parallel drain path too.
+    With [capture], diverging kinds leave a bundle at
+    [capture/degraded-<kind>].
+    @raise Invalid_argument if [batch <= 0], [shards < 2], [fault_shard]
+    is out of range, or [dead_frac] is outside (0, 1). *)
+
+val pp_degraded_report : Format.formatter -> degraded_report -> unit
+
 (** {1 Network rollout differential mode}
 
     The fleet-level conformance class: one seeded {!Fr_net.Scenario}

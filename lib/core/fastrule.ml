@@ -53,6 +53,7 @@ module Latency = Fr_tcam.Latency
 module Hw_emu = Fr_tcam.Hw_emu
 module Defrag = Fr_tcam.Defrag
 module Fault = Fr_tcam.Fault
+module Deadmap = Fr_tcam.Deadmap
 
 (** {1 Schedulers (§III–§V)} *)
 

@@ -67,15 +67,27 @@ let route_rule t (rule : Rule.t) =
       | None -> route_id t rule.Rule.id)
 
 (* Rendezvous (highest-random-weight) pick over the healthy shards: each
-   (id, shard) pair gets an independent mixed weight and the id goes to
+   (key, shard) pair gets an independent mixed weight and the id goes to
    the admissible shard with the largest one.  Deterministic across runs,
    and when a shard heals only the ids that were diverted move — the
-   weights of the others never changed. *)
-let rendezvous t ~healthy id =
+   weights of the others never changed.
+
+   Under the prefix policy the weight is keyed by the rule's routing
+   window (when [rule] is given and fully specified), not by its id:
+   every rule of the same destination block then diverts to the {e same}
+   fallback shard, so the colocation the policy bought — dependency
+   chains staying local — survives the divert. *)
+let rendezvous ?rule t ~healthy id =
+  let key =
+    match (t.policy, rule) with
+    | Dst_prefix k, Some r -> (
+        match dst_prefix_value r ~k with Some v -> v | None -> id)
+    | (Hash_id | Dst_prefix _), _ -> id
+  in
   let best = ref None in
   for s = 0 to t.shards - 1 do
     if healthy s then begin
-      let w = mix (id + ((s + 1) * 0x9e3779b9)) in
+      let w = mix (key + ((s + 1) * 0x9e3779b9)) in
       match !best with
       | Some (bw, _) when bw >= w -> ()
       | _ -> best := Some (w, s)

@@ -51,12 +51,20 @@ val route_rule : t -> Fr_tern.Rule.t -> int
 (** Route an [Add] by the configured policy.  Always in
     [0 .. shards - 1]. *)
 
-val rendezvous : t -> healthy:(int -> bool) -> int -> int option
+val rendezvous :
+  ?rule:Fr_tern.Rule.t -> t -> healthy:(int -> bool) -> int -> int option
 (** Rendezvous-hash pick for failover: the shard among those [healthy]
-    answers [true] for with the highest per-(id, shard) mixed weight, or
+    answers [true] for with the highest per-(key, shard) mixed weight, or
     [None] when no shard is healthy.  Deterministic, and minimally
     disruptive — changing the healthy set only re-routes ids whose
-    winning shard joined or left it. *)
+    winning shard joined or left it.
+
+    The weight key is the rule id, except under {!Dst_prefix} when
+    [rule] is supplied and its window bits are fully specified: then the
+    window value is the key, so all rules of one destination block
+    divert to the same fallback shard and their dependency chains stay
+    colocated (the point of the policy).  Omitting [rule] — the only
+    option for id-only ops — preserves the pure id-keyed pick. *)
 
 (** The dynamic failover overlay: rule ids temporarily living away from
     their static home while that home's breaker is open.  A plain mutable

@@ -248,6 +248,26 @@ let id_of = function
 let diverted_count t = Partition.Overlay.count t.overlay
 let epoch_of t id = Option.value (Hashtbl.find_opt t.epochs id) ~default:0
 
+let dead_rows t =
+  Array.fold_left (fun acc s -> acc + Shard.dead_rows s) 0 t.shards
+
+(* Effective headroom of shard [i] under partial degradation: hardware
+   slots its dead map has not condemned, minus rules installed and mods
+   queued.  An approximation (queued Removes will free room), erring
+   toward diverting early — a spurious divert is safe, a doomed Add is
+   not. *)
+let effective_room t i =
+  let a = Shard.agent t.shards.(i) in
+  Agent.capacity a - Shard.dead_rows t.shards.(i) - Agent.rule_count a
+  - Shard.queue_depth t.shards.(i)
+
+(* Degraded-full: silicon losses have shrunk the shard below its load.
+   Only meaningful when rows are actually dead — a healthy full shard
+   still takes the Add and rejects it itself (capacity errors are
+   normal-plane noise, not divert-worthy). *)
+let degraded_full t i =
+  Shard.dead_rows t.shards.(i) > 0 && effective_room t i <= 0
+
 let route t fm =
   match fm with
   | Agent.Add r -> (
@@ -256,22 +276,34 @@ let route t fm =
       | Some s -> s (* duplicate: let the owning shard reject it *)
       | None ->
           let home = Partition.route_rule t.partition r in
+          let quarantined = not (Breaker.admits t.breakers.(home)) in
           let s =
-            if t.resil.failover && not (Breaker.admits t.breakers.(home)) then
-              (* The static home is quarantined: divert this *new* id to
-                 the rendezvous pick among the healthy shards.  Ids that
-                 already live on the sick shard keep their sticky route
-                 (the [Some s] branch above). *)
+            if t.resil.failover && (quarantined || degraded_full t home) then
+              (* The static home is quarantined, or degraded silicon has
+                 shrunk it below its load: divert this *new* id — only
+                 the overflow, in the degraded case; the home keeps
+                 serving what it already holds — to the rendezvous pick
+                 among the shards that are admitted and have room.  Ids
+                 that already live on the sick shard keep their sticky
+                 route (the [Some s] branch above).  The pick is keyed by
+                 the rule's routing window under the prefix policy so a
+                 diverted destination block stays colocated. *)
               match
-                Partition.rendezvous t.partition
-                  ~healthy:(fun i -> Breaker.admits t.breakers.(i))
+                Partition.rendezvous ~rule:r t.partition
+                  ~healthy:(fun i ->
+                    i <> home
+                    && Breaker.admits t.breakers.(i)
+                    && not (degraded_full t i))
                   id
               with
               | Some alt ->
                   Partition.Overlay.divert t.overlay ~id ~shard:alt;
                   Telemetry.record_diverted (Shard.telemetry t.shards.(alt));
+                  if not quarantined then
+                    Telemetry.record_degraded_divert
+                      (Shard.telemetry t.shards.(alt));
                   alt
-              | None -> home (* nobody is healthy; let it queue or shed *)
+              | None -> home (* nobody has room; let it queue or shed *)
             else home
           in
           Hashtbl.replace t.routes id s;
@@ -544,6 +576,9 @@ let rebalance t =
                  if
                    home <> s
                    && Breaker.state t.breakers.(home) = Breaker.Closed
+                   && effective_room t home > 0
+                      (* a degraded home gets its ids back only once the
+                         probe drill (or defrag churn) has restored room *)
                    && Breaker.admits t.breakers.(s)
                    && (not (Shard.has_pending_id t.shards.(s) id))
                    && not (Shard.has_pending_id t.shards.(home) id)
@@ -674,6 +709,20 @@ let flush t =
             let i = r.Shard.shard in
             results.(i) <- merge_results results.(i).Shard.failed results.(i) r)
           (rebalance t);
+        (* Probe drill + dead-row gauges: every shard still carrying dead
+           rows re-tests them (rows found healed re-enter the writable
+           pool, so the next rebalance can drain diverted ids home).
+           Ordered epilogue, after the join barrier — deterministic and
+           identical for any domain count. *)
+        Array.iter
+          (fun sh ->
+            if Shard.dead_rows sh > 0 then begin
+              let probed, recovered = Shard.probe_dead sh in
+              Telemetry.record_heal_probe (Shard.telemetry sh) ~probed
+                ~recovered
+            end;
+            Telemetry.set_dead_rows (Shard.telemetry sh) (Shard.dead_rows sh))
+          t.shards;
         (results, List.rev !quarantined))
   in
   rebuild_routes t;

@@ -169,6 +169,20 @@ val diverted_count : t -> int
     rebalance pass drains them home in [rebalance_batch]-bounded
     batches). *)
 
+val dead_rows : t -> int
+(** Total rows condemned by the shards' dead maps
+    ({!Fr_ctrl.Shard.dead_rows} summed).  Under [failover], a shard with
+    dead rows is only {e partially} degraded: it keeps serving its
+    installed rules and its remaining writable capacity, and the service
+    diverts just the overflow — a new Add whose home's effective
+    capacity (capacity − dead rows) is exhausted goes to the rendezvous
+    pick among the shards with room (keyed by the rule's {!Partition}
+    prefix window so destination blocks stay colocated).  Each flush
+    ends with a probe drill: shards still carrying dead rows re-test
+    them against the hardware, revived rows re-enter the writable pool,
+    and the next rebalance pass drains diverted ids home through the
+    usual epoch fence. *)
+
 val shard_of_rule : t -> int -> int option
 (** Where a rule id lives (installed) or will live (pending add); [None]
     for ids the service is not tracking. *)

@@ -53,14 +53,21 @@ let set_fault t f = Agent.set_fault t.agent f
 (* A whole-shard restart: the agent process dies and comes back holding
    [rules] (what the journal checkpoint says it should hold).  Volatile
    state — queue, pending ops — is lost; the hardware fault plan survives
-   because the fault is in the switch, not the agent process. *)
+   because the fault is in the switch, not the agent process — and so
+   does the dead map (the dead rows are in the silicon too), so the fresh
+   placement packs around the known holes instead of rediscovering them
+   write failure by write failure. *)
 let reset t rules =
   let fault = Agent.fault t.agent in
+  let deadmap = Tcam.deadmap (Agent.tcam t.agent) in
   t.agent <-
-    Agent.of_rules ?kind:t.kind ?latency:t.latency ?verify:t.verify
+    Agent.of_rules ?kind:t.kind ?latency:t.latency ?verify:t.verify ~deadmap
       ~capacity:t.capacity rules;
   Agent.set_fault t.agent fault;
   Coalesce.clear t.queue
+
+let dead_rows t = Agent.dead_rows t.agent
+let probe_dead t = Agent.probe_dead t.agent
 
 let installed t fm =
   let rule_id =

@@ -58,8 +58,20 @@ val reset : t -> Fr_tern.Rule.t array -> unit
 (** A whole-shard restart fault: replace the agent with a fresh one
     holding [rules] and drop the coalescing queue — everything volatile
     dies, exactly what an agent-process crash loses.  The hardware fault
-    plan carries over (the fault lives in the switch, not the process).
-    {!Service.restart_shard} follows this with a journal re-adoption. *)
+    plan carries over (the fault lives in the switch, not the process),
+    and so does the discovered {!Fr_tcam.Deadmap} — the dead rows are in
+    the silicon too, so the rebuilt agent packs its placement around
+    them.  {!Service.restart_shard} follows this with a journal
+    re-adoption. *)
+
+val dead_rows : t -> int
+(** Rows this shard's dead map currently condemns
+    ({!Fr_switch.Agent.dead_rows}) — the amount by which its effective
+    capacity shrinks under partial degradation. *)
+
+val probe_dead : t -> int * int
+(** Heal drill over this shard's dead rows
+    ({!Fr_switch.Agent.probe_dead}); returns [(probed, recovered)]. *)
 
 val submit : ?epoch:int -> t -> Fr_switch.Agent.flow_mod -> Coalesce.outcome
 (** Fold one flow-mod into the queue (no hardware contact).  [epoch] is

@@ -99,6 +99,13 @@ type t = {
   mutable slow_threshold_ms : float;
       (* per-op bound the last drain was judged against (infinity: slow
          policy off or still warming up) *)
+  (* degraded hardware (dead rows) *)
+  mutable dead_rows : int;  (* gauge: rows the dead map condemns now *)
+  mutable degraded_diverted : int;
+      (* diverts caused by a degraded home's shrunken capacity (also
+         counted in [diverted]) *)
+  mutable heal_probes : int;  (* dead rows re-tested by the probe drill *)
+  mutable rows_recovered : int;  (* probes that revived a row *)
   (* cache tier (Fr_cache) *)
   mutable cache_hits : int;
   mutable cache_misses : int;
@@ -145,6 +152,10 @@ let create () =
     restarts = 0;
     slow_drains = 0;
     slow_threshold_ms = infinity;
+    dead_rows = 0;
+    degraded_diverted = 0;
+    heal_probes = 0;
+    rows_recovered = 0;
     cache_hits = 0;
     cache_misses = 0;
     cache_admitted = 0;
@@ -176,6 +187,12 @@ let record_rebalanced t = t.rebalanced <- t.rebalanced + 1
 let record_restart t = t.restarts <- t.restarts + 1
 let record_slow_drain t = t.slow_drains <- t.slow_drains + 1
 let set_slow_threshold t ms = t.slow_threshold_ms <- ms
+let set_dead_rows t n = t.dead_rows <- n
+let record_degraded_divert t = t.degraded_diverted <- t.degraded_diverted + 1
+
+let record_heal_probe t ~probed ~recovered =
+  t.heal_probes <- t.heal_probes + probed;
+  t.rows_recovered <- t.rows_recovered + recovered
 let set_breaker_state t s = t.breaker_state <- s
 let record_coalesced t n = t.coalesced <- t.coalesced + n
 let record_cache_hit t = t.cache_hits <- t.cache_hits + 1
@@ -234,6 +251,10 @@ let rebalanced t = t.rebalanced
 let restarts t = t.restarts
 let slow_drains t = t.slow_drains
 let slow_threshold_ms t = t.slow_threshold_ms
+let dead_rows t = t.dead_rows
+let degraded_diverted t = t.degraded_diverted
+let heal_probes t = t.heal_probes
+let rows_recovered t = t.rows_recovered
 let firmware_ms t = Measure.Series.summary t.fw_series
 let hardware_ms t = Measure.Series.summary t.hw_series
 let wall_ms t = Measure.Series.summary t.wall_series
@@ -325,6 +346,10 @@ let pp ppf t =
       t.rebalanced t.restarts t.slow_drains;
   if Float.is_finite t.slow_threshold_ms then
     Format.fprintf ppf "slow-call threshold (ms/op): %.3f@." t.slow_threshold_ms;
+  if t.dead_rows > 0 || t.heal_probes > 0 || t.degraded_diverted > 0 then
+    Format.fprintf ppf
+      "dead-rows %d  degraded-diverted %d  heal-probes %d  recovered %d@."
+      t.dead_rows t.degraded_diverted t.heal_probes t.rows_recovered;
   if t.cache_hits > 0 || t.cache_misses > 0 then begin
     Format.fprintf ppf
       "cache: hits %d  misses %d (%.1f%% hit)  admitted %d  evicted %d  \
@@ -376,6 +401,10 @@ let to_json t =
       ("restarts", Json.Int t.restarts);
       ("slow_drains", Json.Int t.slow_drains);
       ("slow_threshold_ms", Json.Float t.slow_threshold_ms);
+      ("dead_rows", Json.Int t.dead_rows);
+      ("degraded_diverted", Json.Int t.degraded_diverted);
+      ("heal_probes", Json.Int t.heal_probes);
+      ("rows_recovered", Json.Int t.rows_recovered);
       ("cache_hits", Json.Int t.cache_hits);
       ("cache_misses", Json.Int t.cache_misses);
       ("cache_hit_rate", Json.Float (cache_hit_rate t));

@@ -87,6 +87,19 @@ val set_slow_threshold : t -> float -> unit
     against — a gauge, not a counter; [infinity] while the policy is off
     or the adaptive threshold is still warming up. *)
 
+val set_dead_rows : t -> int -> unit
+(** Gauge: rows this shard's {!Fr_tcam.Deadmap} condemns right now —
+    refreshed by the service at the end of every flush. *)
+
+val record_degraded_divert : t -> unit
+(** A new rule id landed on this shard because its static home's
+    effective capacity (capacity minus dead rows) was exhausted — the
+    partial-degradation divert, also counted in {!diverted}. *)
+
+val record_heal_probe : t -> probed:int -> recovered:int -> unit
+(** One probe-drill pass over this shard's dead rows: [probed] rows were
+    re-tested, [recovered] of them revived. *)
+
 (** {1 Recording (called by the cache tier, [Fr_cache.Tier])}
 
     A tier keeps its own [Telemetry.t] for traffic-level accounting —
@@ -141,6 +154,13 @@ val slow_drains : t -> int
 
 val slow_threshold_ms : t -> float
 (** Last value passed to {!set_slow_threshold}; [infinity] initially. *)
+
+val dead_rows : t -> int
+(** Last value passed to {!set_dead_rows}; [0] initially. *)
+
+val degraded_diverted : t -> int
+val heal_probes : t -> int
+val rows_recovered : t -> int
 
 val breaker_state : t -> string
 (** Current breaker state name ("closed" when no supervisor runs). *)

@@ -41,19 +41,6 @@ let first_at_or_above st p =
   in
   go 0
 
-let nearest_free_at_or_above st a0 =
-  let n = Tcam.size st.tcam in
-  let rec go a =
-    if a >= n then None else if Tcam.is_free st.tcam a then Some a else go (a + 1)
-  in
-  go a0
-
-let nearest_free_below st a0 =
-  let rec go a =
-    if a < 0 then None else if Tcam.is_free st.tcam a then Some a else go (a - 1)
-  in
-  go a0
-
 (* The firmware's per-movement work: re-locate the displaced entry by a
    fresh table scan (§VI.A: "it needs to locate the suitable place in
    every update, and assign a new priority for all entries that need to be
@@ -62,35 +49,70 @@ let nearest_free_below st a0 =
 let relocate_entry st id =
   ignore (first_at_or_above st (prio_exn st id))
 
-(* Shift every (used) slot of [pos, u) one step up into the free slot [u],
-   vacating [pos] for the new entry.  Application order: topmost first. *)
-let shift_up_ops st ~pos ~u ~rule_id =
-  let rec build a acc =
-    if a < pos then acc
+(* Shifting generalised over dead rows.  The window [pos, U] (resp.
+   [D, pos - 1]) grows until its writable (non-dead) slots can hold every
+   entry inside it plus the new one; entries are then repacked onto the
+   writable slots in the same relative order, stepping over dead free
+   slots and carrying the occupants of dead used rows along (entries can
+   always be moved {e out} of a dead row — only writes {e into} one
+   fail).  The walk stops at the first writable free slot where the
+   writable surplus reaches one, so on healthy hardware the window is
+   exactly [pos, nearest-free] and the ops degenerate to the classic
+   shift-everything-by-one.  Minimality of the window means every entry
+   in it moves strictly toward the free end, so applying the moves
+   farthest-first keeps each write target free and no entry ever passes
+   another — DAG order holds at every intermediate state. *)
+let grow_window st ~from ~step =
+  let n = Tcam.size st.tcam in
+  let rec walk a surplus =
+    if a < 0 || a >= n then None
     else
+      let dead = Tcam.is_dead st.tcam a in
       match Tcam.read st.tcam a with
-      | Tcam.Used id ->
-          relocate_entry st id;
-          build (a - 1) (Op.insert ~rule_id:id ~addr:(a + 1) :: acc)
-      | Tcam.Free -> assert false
+      | Tcam.Free when not dead ->
+          if surplus >= 0 then Some a else walk (a + step) (surplus + 1)
+      | Tcam.Free -> walk (a + step) surplus
+      | Tcam.Used _ -> walk (a + step) (if dead then surplus - 1 else surplus)
   in
-  let moves = List.rev (build (u - 1) []) in
-  moves @ [ Op.insert ~rule_id ~addr:pos ]
+  walk from 0
 
-(* Mirror: shift (d, pos) one step down into free slot [d], vacating
-   [pos - 1]. *)
+(* Entry ids and writable addresses of [lo, hi], both in ascending
+   address order.  In a minimal window there is exactly one more
+   writable slot than there are entries. *)
+let window_contents st ~lo ~hi =
+  let entries = ref [] and writable = ref [] in
+  for a = hi downto lo do
+    if not (Tcam.is_dead st.tcam a) then writable := a :: !writable;
+    match Tcam.read st.tcam a with
+    | Tcam.Used id -> entries := id :: !entries
+    | Tcam.Free -> ()
+  done;
+  (Array.of_list !entries, Array.of_list !writable)
+
+(* Repack [pos, u]: the new entry lands on the lowest writable slot,
+   every entry steps up to the next writable one.  Application order:
+   topmost first, the new entry last. *)
+let shift_up_ops st ~pos ~u ~rule_id =
+  let entries, writable = window_contents st ~lo:pos ~hi:u in
+  let ops = ref [ Op.insert ~rule_id ~addr:writable.(0) ] in
+  for i = 0 to Array.length entries - 1 do
+    relocate_entry st entries.(i);
+    ops := Op.insert ~rule_id:entries.(i) ~addr:writable.(i + 1) :: !ops
+  done;
+  !ops
+
+(* Mirror: repack [d, pos - 1]; the new entry lands on the highest
+   writable slot, every entry steps down.  Application order:
+   bottom-most first, the new entry last. *)
 let shift_down_ops st ~pos ~d ~rule_id =
-  let rec build a acc =
-    if a >= pos then acc
-    else
-      match Tcam.read st.tcam a with
-      | Tcam.Used id ->
-          relocate_entry st id;
-          build (a + 1) (Op.insert ~rule_id:id ~addr:(a - 1) :: acc)
-      | Tcam.Free -> assert false
-  in
-  let moves = List.rev (build (d + 1) []) in
-  moves @ [ Op.insert ~rule_id ~addr:(pos - 1) ]
+  let entries, writable = window_contents st ~lo:d ~hi:(pos - 1) in
+  let k = Array.length entries in
+  let moves = ref [] in
+  for i = k - 1 downto 0 do
+    relocate_entry st entries.(i);
+    moves := Op.insert ~rule_id:entries.(i) ~addr:writable.(i) :: !moves
+  done;
+  !moves @ [ Op.insert ~rule_id ~addr:writable.(k) ]
 
 (* Make room in the rank space: every entry with rank >= p moves up one. *)
 let bump_ranks st p =
@@ -136,17 +158,35 @@ let schedule_insert st ~rule_id ~deps ~dependents =
                   | None -> 0)
             in
             let ops =
-              if pos < Tcam.size st.tcam && Tcam.is_free st.tcam pos then
-                Some [ Op.insert ~rule_id ~addr:pos ]
+              if
+                pos < Tcam.size st.tcam
+                && Tcam.is_free st.tcam pos
+                && not (Tcam.is_dead st.tcam pos)
+              then Some [ Op.insert ~rule_id ~addr:pos ]
               else
-                let up = nearest_free_at_or_above st pos in
-                let down = if pos = 0 then None else nearest_free_below st (pos - 1) in
+                let up = grow_window st ~from:pos ~step:1 in
+                let down =
+                  if pos = 0 then None
+                  else grow_window st ~from:(pos - 1) ~step:(-1)
+                in
                 match (up, down) with
                 | None, None -> None
                 | Some u, None -> Some (shift_up_ops st ~pos ~u ~rule_id)
                 | None, Some d -> Some (shift_down_ops st ~pos ~d ~rule_id)
                 | Some u, Some d ->
-                    if u - pos <= pos - 1 - d then
+                    (* Fewest movements wins, ties go up (with no dead
+                       rows both counts equal the spans the classic
+                       comparison used). *)
+                    let moves lo hi =
+                      let c = ref 0 in
+                      for a = lo to hi do
+                        match Tcam.read st.tcam a with
+                        | Tcam.Used _ -> incr c
+                        | Tcam.Free -> ()
+                      done;
+                      !c
+                    in
+                    if moves pos u <= moves d (pos - 1) then
                       Some (shift_up_ops st ~pos ~u ~rule_id)
                     else Some (shift_down_ops st ~pos ~d ~rule_id)
             in

@@ -18,17 +18,22 @@ let init graph tcam =
   let window = Array.make n (-1) in
   let cost = Array.make n (-1) in
   let choice = Array.make n (-1) in
-  let frees = Array.make (Tcam.free_count tcam) 0 in
+  let frees = Array.make (max 1 (Tcam.free_count tcam)) 0 in
   let nf = ref 0 in
   for a = 0 to n - 1 do
-    match Tcam.read tcam a with
-    | Tcam.Free ->
-        cost.(a) <- 0;
-        frees.(!nf) <- a;
-        incr nf
-    | Tcam.Used id -> window.(a) <- Dir.bound Dir.Up graph tcam id
+    (* Dead rows can never receive a write: they are neither usable free
+       slots nor freeable used ones, so their cost pins at unreachable
+       and chains route around them. *)
+    if Tcam.is_dead tcam a then cost.(a) <- unreachable
+    else
+      match Tcam.read tcam a with
+      | Tcam.Free ->
+          cost.(a) <- 0;
+          frees.(!nf) <- a;
+          incr nf
+      | Tcam.Used id -> window.(a) <- Dir.bound Dir.Up graph tcam id
   done;
-  { tcam; window; cost; choice; frees }
+  { tcam; window; cost; choice; frees = Array.sub frees 0 !nf }
 
 (* Lowest free address in (lo, hi], if any — binary search over [frees]. *)
 let first_free_in dp ~lo ~hi =

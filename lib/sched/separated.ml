@@ -155,9 +155,15 @@ let schedule_insert st ~rule_id ~deps ~dependents =
               (* Straddling window: land on a middle edge, zero movements,
                  on the side holding fewer entries (§V.1). *)
               let bottom_ok =
-                r.Layout.bottom_next >= lo + 1 && r.Layout.bottom_next <= hi
+                r.Layout.bottom_next >= lo + 1
+                && r.Layout.bottom_next <= hi
+                && not (Tcam.is_dead st.tcam r.Layout.bottom_next)
               in
-              let top_ok = r.Layout.top_next >= lo + 1 && r.Layout.top_next <= hi in
+              let top_ok =
+                r.Layout.top_next >= lo + 1
+                && r.Layout.top_next <= hi
+                && not (Tcam.is_dead st.tcam r.Layout.top_next)
+              in
               let side =
                 if bottom_ok && top_ok then
                   if r.Layout.top_count > r.Layout.bottom_count then `Bottom
@@ -205,7 +211,11 @@ let balance_fill_bottom st ~hole =
         (match Tcam.read st.tcam !a with
         | Tcam.Free -> ()
         | Tcam.Used id ->
+            (* A dead source slot must not become the next hole to fill:
+               migration stops before it. *)
             let movable =
+              (not (Tcam.is_dead st.tcam !a))
+              &&
               match Dir.next_hop Dir.Down st.graph st.tcam id with
               | None -> true
               | Some dep_max -> dep_max < cur
@@ -222,8 +232,8 @@ let balance_fill_bottom st ~hole =
             if a >= r.Layout.bottom_next then None
             else
               match Tcam.read st.tcam a with
-              | Tcam.Used id -> Some (a, id)
-              | Tcam.Free -> lowest_used (a + 1)
+              | Tcam.Used id when not (Tcam.is_dead st.tcam a) -> Some (a, id)
+              | Tcam.Used _ | Tcam.Free -> lowest_used (a + 1)
           in
           lowest_used (cur + 1)
     in
@@ -245,6 +255,8 @@ let balance_fill_top st ~hole =
         | Tcam.Free -> ()
         | Tcam.Used id ->
             let movable =
+              (not (Tcam.is_dead st.tcam !a))
+              &&
               match Dir.next_hop Dir.Up st.graph st.tcam id with
               | None -> true
               | Some dep_min -> dep_min > cur
@@ -259,8 +271,8 @@ let balance_fill_top st ~hole =
             if a <= r.Layout.top_next then None
             else
               match Tcam.read st.tcam a with
-              | Tcam.Used id -> Some (a, id)
-              | Tcam.Free -> highest_used (a - 1)
+              | Tcam.Used id when not (Tcam.is_dead st.tcam a) -> Some (a, id)
+              | Tcam.Used _ | Tcam.Free -> highest_used (a - 1)
           in
           highest_used (cur - 1)
     in
@@ -284,7 +296,13 @@ let schedule_delete st ~rule_id =
       Graph.iter_deps st.graph rule_id (fun x -> affected := x :: !affected);
       st.pending_ids <- !affected;
       let in_bottom = addr < r.Layout.bottom_next in
-      (match st.delete_mode with
+      (* A dead hole cannot be refilled (writes into it fail), so balance
+         deletes degrade to dirty ones there: erase in place — the
+         valid bit still clears — and leave the hole where it is. *)
+      let mode =
+        if Tcam.is_dead st.tcam addr then Dirty else st.delete_mode
+      in
+      (match mode with
       | Dirty ->
           st.pending_post <-
             (fun () ->

@@ -40,7 +40,15 @@ let size t = Tcam.size t.tcam
 let to_internal t a = match t.dir with Dir.Up -> size t - 1 - a | Dir.Down -> a
 let of_internal = to_internal
 
-let compute t addr = Metric.compute t.dir t.graph t.tcam ~addr
+(* Dead rows are unusable as chain landing slots: their metric is a
+   sentinel larger than any real chain length, so [min_in] can both
+   avoid them and recognise an all-dead window.  Far below [max_int] so
+   arithmetic around it cannot overflow. *)
+let dead_metric = max_int / 4
+
+let compute t addr =
+  if Tcam.is_dead t.tcam addr then dead_metric
+  else Metric.compute t.dir t.graph t.tcam ~addr
 
 let stored_get t addr =
   match t.repr with
@@ -49,7 +57,8 @@ let stored_get t addr =
   | Bit mt -> Min_tree.get mt (to_internal t addr)
   | Seg st -> Segment_tree.get st (to_internal t addr)
 
-let get = stored_get
+let get t addr =
+  if Tcam.is_dead t.tcam addr then dead_metric else stored_get t addr
 
 let stored_set t addr v =
   match t.repr with
@@ -98,7 +107,7 @@ let scan_min value_at t ~lo ~hi =
     Some (!best_a, !best_v)
   end
 
-let min_in t ~lo ~hi =
+let raw_min_in t ~lo ~hi =
   match t.repr with
   | Demand -> scan_min compute t ~lo ~hi
   | Arr m -> scan_min (fun _ a -> m.(a)) t ~lo ~hi
@@ -122,6 +131,22 @@ let min_in t ~lo ~hi =
         | None -> None
         | Some (ia, v) -> Some (of_internal t ia, v)
       end
+
+(* Stored backends can hold a stale (pre-discovery) value for a row that
+   has since been declared dead: a failed op never refreshes its target.
+   Each query lazily repairs the stale cells it trips over — every
+   round-trip permanently raises one dead address to the sentinel, so
+   the loop terminates.  (On-demand computes fresh values, so a dead
+   winner already carries the sentinel and falls out on the first
+   test.) *)
+let rec min_in t ~lo ~hi =
+  match raw_min_in t ~lo ~hi with
+  | None -> None
+  | Some (_, v) when v >= dead_metric -> None
+  | Some (a, _) when Tcam.is_dead t.tcam a ->
+      stored_set t a dead_metric;
+      min_in t ~lo ~hi
+  | Some _ as best -> best
 
 let refresh t ~addrs ~ids =
   match t.repr with

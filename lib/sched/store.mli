@@ -43,12 +43,20 @@ val create : backend:backend -> dir:Dir.t -> Fr_dag.Graph.t -> Fr_tcam.Tcam.t ->
 val dir : t -> Dir.t
 val backend : t -> backend
 
+val dead_metric : int
+(** Sentinel metric carried by rows the {!Fr_tcam.Deadmap} marks dead —
+    larger than any real chain length, so dead rows lose every
+    [min_in] comparison and an all-dead window is recognisable. *)
+
 val get : t -> int -> int
-(** Metric at an address (computed on the fly for [On_demand]). *)
+(** Metric at an address (computed on the fly for [On_demand];
+    {!dead_metric} for dead rows). *)
 
 val min_in : t -> lo:int -> hi:int -> (int * int) option
 (** [(address, metric)] minimising the metric over the inclusive range,
-    ties broken toward the free-space pool; [None] when [lo > hi].
+    ties broken toward the free-space pool; [None] when [lo > hi] or
+    when every address in range is dead (the returned address is never
+    a dead row — stale pre-discovery values are lazily repaired).
     Endpoints are clamped to the TCAM. *)
 
 val refresh : t -> addrs:int list -> ids:int list -> unit

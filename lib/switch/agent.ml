@@ -68,7 +68,7 @@ let create ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
   }
 
 let of_rules ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
-    ?(verify = false) ~capacity rules =
+    ?(verify = false) ?deadmap ~capacity rules =
   let seen = Hashtbl.create (Array.length rules) in
   Array.iter
     (fun (r : Rule.t) ->
@@ -79,7 +79,7 @@ let of_rules ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
   let graph = Build.compile_fast rules in
   let order = Fr_workload.Dataset.precedence_order rules in
   let layout = Firmware.layout_of kind in
-  let tcam = Layout.place layout ~tcam_size:capacity ~order in
+  let tcam = Layout.place ?deadmap layout ~tcam_size:capacity ~order in
   let make = Option.value scheduler ~default:(default_scheduler kind) in
   let t =
     {
@@ -111,15 +111,29 @@ let of_rules ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
 let existing t = Hashtbl.fold (fun _ r acc -> r :: acc) t.store []
 let set_fault t f = t.fault <- f
 
-(* Apply op-by-op, asking the fault plan before each write; the applied
+(* Apply op-by-op, asking the fault plan before each op; the applied
    prefix stays — a verified sequence keeps the dependency invariant after
-   every single op, so stopping mid-sequence leaves a consistent table. *)
+   every single op, so stopping mid-sequence leaves a consistent table.
+   Writes and erases take different fault paths (stuck rows reject new
+   content but their valid bit still clears), and every failed write is
+   reported to the dead map — this is how the firmware discovers dead
+   rows in the first place. *)
 let apply_faulted t fault ops =
   let rec go applied = function
     | [] -> (List.rev applied, Ok ())
     | op :: rest ->
         let addr = Op.addr op in
-        if Fr_tcam.Fault.should_fail fault ~addr then
+        let failed =
+          match op with
+          | Op.Insert _ ->
+              if Fr_tcam.Fault.should_fail fault ~addr then begin
+                ignore (Tcam.note_write_failure t.tcam ~addr);
+                true
+              end
+              else false
+          | Op.Delete _ -> Fr_tcam.Fault.should_fail_erase fault ~addr
+        in
+        if failed then
           ( List.rev applied,
             Error
               (Format.asprintf "fault: injected write failure on %a" Op.pp op)
@@ -164,7 +178,7 @@ let commit t ops =
       (match outcome with Ok () -> t.mods <- t.mods + 1 | Error _ -> ());
       outcome
 
-let apply t fm =
+let rec apply t fm =
   match fm with
   | Add rule ->
       if Hashtbl.mem t.store rule.Rule.id then
@@ -202,6 +216,19 @@ let apply t fm =
       end
   | Set_action { id; action } -> (
       match (Hashtbl.find_opt t.store id, Tcam.addr_of t.tcam id) with
+      | Some rule, Some addr when Tcam.is_dead t.tcam addr -> (
+          (* The entry sits on a row that rejects writes: an in-place
+             rewrite would fail forever.  Relocate through the scheduler's
+             own Remove + Add path so every region/rank invariant is
+             maintained; the transient absence is invisible at flow-mod
+             boundaries.  If the re-Add fails after the Remove landed the
+             rule is lost — the caller sees the error and can re-issue. *)
+          match apply t (Remove { id }) with
+          | Error _ as e -> e
+          | Ok () -> (
+              match apply t (Add { rule with Rule.action }) with
+              | Ok () -> Ok ()
+              | Error e -> Error ("relocate: " ^ e)))
       | Some rule, Some addr -> (
           (* One in-place hardware write; the dependency graph is
              action-agnostic so no reordering can be needed. *)
@@ -439,6 +466,29 @@ let verify_ms_total t = t.verify_ms
 let verified_ops t = t.verified_ops
 let mods_applied t = t.mods
 let fault t = t.fault
+let dead_rows t = Tcam.dead_count t.tcam
+
+(* Heal drill: re-test every row the dead map condemns.  A probe is a
+   scratch write-and-erase, so a row is recovered exactly when writes to
+   it no longer fail — the fault plan's stuck set answers that without
+   burning a spontaneous-failure draw (probes are retried on a bus
+   glitch).  No plan installed means the hardware is healthy and every
+   mark was spurious. *)
+let probe_dead t =
+  let dead = Tcam.deadmap t.tcam in
+  let addrs = Fr_tcam.Deadmap.dead_list dead in
+  let recovered = ref 0 in
+  List.iter
+    (fun addr ->
+      let still_stuck =
+        match t.fault with
+        | Some f -> Fr_tcam.Fault.is_stuck f ~addr
+        | None -> false
+      in
+      if (not still_stuck) && Fr_tcam.Deadmap.note_success dead ~addr then
+        incr recovered)
+    addrs;
+  (List.length addrs, !recovered)
 
 (* Recovery post-condition: the store, the TCAM image and the dependency
    graph must tell one coherent story before a rebuilt agent is put back

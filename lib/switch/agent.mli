@@ -11,7 +11,10 @@
     - [Set_action]: rewrite the entry in place — one hardware write, zero
       movements.  This is sound because the dependency graph orders
       {e every} overlapping pair regardless of actions, so an action
-      change can never require reordering;
+      change can never require reordering.  If the entry sits on a row
+      the dead map has condemned (in-place rewrite would fail forever),
+      the agent relocates it through the scheduler's own Remove + Add
+      path instead, keeping every scheduler invariant;
     - [Remove id]: schedule the deletion and remove the node {e with
       contraction}, preserving the transitive shadowing order that flowed
       through the removed rule (two rules that both overlapped it may
@@ -51,12 +54,17 @@ val of_rules :
   ?scheduler:(graph:Fr_dag.Graph.t -> tcam:Fr_tcam.Tcam.t -> Fr_sched.Algo.t) ->
   ?latency:Fr_tcam.Latency.t ->
   ?verify:bool ->
+  ?deadmap:Fr_tcam.Deadmap.t ->
   capacity:int ->
   Fr_tern.Rule.t array ->
   t
 (** Bulk-load an initial policy (compiled in one pass, placed according to
-    the scheduler's layout).
-    @raise Invalid_argument if the rules do not fit or ids collide. *)
+    the scheduler's layout).  [deadmap] is adopted by the fresh TCAM and
+    placement packs around its dead rows — the restart path for a switch
+    whose hardware already has known-bad banks ({!Fr_ctrl.Shard.reset}
+    carries the map across rebuilds so rediscovery is not needed).
+    @raise Invalid_argument if the rules do not fit (on the writable rows)
+    or ids collide. *)
 
 val apply : t -> flow_mod -> (unit, string) result
 (** Process one flow-mod end to end.  On [Error] the table is unchanged —
@@ -97,6 +105,19 @@ val set_fault : t -> Fr_tcam.Fault.t option -> unit
     stateful baselines (Naive's pending renumber) are not fault-safe. *)
 
 val fault : t -> Fr_tcam.Fault.t option
+
+val dead_rows : t -> int
+(** Rows the TCAM's {!Fr_tcam.Deadmap} currently marks dead.  Rows are
+    condemned by failed writes (see {!apply}: a ["fault: ..."] error on an
+    insert op also strikes its target address) and revived by successful
+    writes or {!probe_dead}. *)
+
+val probe_dead : t -> int * int
+(** Re-test every dead row against the installed fault plan (a probe is a
+    scratch write-and-erase on a row holding no entry, so it is safe on
+    live hardware).  Rows that no longer reject writes are revived in the
+    dead map; with no fault plan installed every dead mark is spurious
+    and is cleared.  Returns [(probed, recovered)]. *)
 
 val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
 (** What the hardware answers: highest-address match.  Increments the

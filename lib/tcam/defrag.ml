@@ -1,23 +1,44 @@
-(* Canonical position of the i-th entry (by current address order) out of
-   [n] under each layout — the same placement rule as Layout.place. *)
-let target_position layout ~tcam_size ~n i =
+(* Ascending array of the writable (non-dead) addresses.  On healthy
+   hardware [writable.(j) = j] and everything below degenerates to the
+   plain canonical placement. *)
+let writable_addrs tcam =
+  let dead = Tcam.deadmap tcam in
+  let n = Tcam.size tcam in
+  let out = Array.make (max 1 (n - Deadmap.count dead)) 0 in
+  let j = ref 0 in
+  for a = 0 to n - 1 do
+    if not (Deadmap.is_dead dead a) then begin
+      out.(!j) <- a;
+      incr j
+    end
+  done;
+  Array.sub out 0 !j
+
+(* Canonical-modulo-holes position of the i-th entry (by current address
+   order) out of [n]: the classic per-layout rule applied to the
+   sequence of writable addresses instead of raw addresses, so packing
+   steps over dead rows.  Targets are strictly increasing in [i], which
+   is what makes [plan]'s two-phase ordering safe. *)
+let target_position layout ~writable ~n i =
   match layout with
-  | Layout.Original -> i
+  | Layout.Original -> writable.(i)
   | Layout.Interleaved k ->
-      if k < 1 then invalid_arg "Defrag: K must be >= 1" else i + (i / k)
+      if k < 1 then invalid_arg "Defrag: K must be >= 1"
+      else writable.(i + (i / k))
   | Layout.Separated ->
       let bottom = n / 2 in
-      if i < bottom then i else tcam_size - (n - i)
+      if i < bottom then writable.(i)
+      else writable.(Array.length writable - (n - i))
 
 let placements tcam layout =
   let n = Tcam.used_count tcam in
-  let tcam_size = Tcam.size tcam in
-  if Layout.capacity_needed layout ~n > tcam_size then
+  let writable = writable_addrs tcam in
+  if Layout.capacity_needed layout ~n > Array.length writable then
     invalid_arg "Defrag: entries do not fit under the target layout";
   let out = ref [] in
   let i = ref 0 in
   Tcam.iter_used tcam (fun ~addr ~rule_id ->
-      let target = target_position layout ~tcam_size ~n !i in
+      let target = target_position layout ~writable ~n !i in
       incr i;
       if target <> addr then out := (rule_id, addr, target) :: !out);
   List.rev !out

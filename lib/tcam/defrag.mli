@@ -13,12 +13,22 @@
     graph — and that is safe to apply left to right: up-moves are emitted
     top-down first, then down-moves bottom-up, so no op ever lands on an
     occupied slot and no entry ever passes another.  Cost: at most one
-    write per out-of-place entry. *)
+    write per out-of-place entry.
+
+    When the TCAM's {!Deadmap} is non-empty, the plan repacks into
+    {e canonical-modulo-holes} positions: the per-layout placement rule
+    runs over the sequence of writable addresses, so packing steps over
+    dead rows (and moves any entry currently stranded on one back onto
+    healthy silicon).  Targets remain strictly increasing in entry
+    order, so the two-phase ordering and the one-write-per-entry bound
+    are unchanged. *)
 
 val plan : Tcam.t -> layout:Layout.t -> Op.t list
 (** The (application-order) sequence repacking the TCAM's current entries
-    into [layout]'s canonical positions for their count.
-    @raise Invalid_argument if the entries do not fit under [layout]. *)
+    into [layout]'s canonical (modulo dead rows) positions for their
+    count.
+    @raise Invalid_argument if the entries do not fit under [layout]
+    restricted to writable rows. *)
 
 val moves_needed : Tcam.t -> layout:Layout.t -> int
 (** [List.length (plan ...)] without building the list: the number of

@@ -27,19 +27,28 @@ let create ?(fail_prob = 0.0) ?(stuck = []) ?max_failures ?(slow_ms = 0.0)
 
 let slow_ms t = t.slow_ms
 
-let should_fail t ~addr =
-  if Hashtbl.mem t.stuck addr then begin
-    t.injected <- t.injected + 1;
-    true
-  end
-  else if
-    t.fail_prob > 0.0 && t.remaining <> 0 && Rng.chance t.rng t.fail_prob
+let spontaneous t =
+  if t.fail_prob > 0.0 && t.remaining <> 0 && Rng.chance t.rng t.fail_prob
   then begin
     t.injected <- t.injected + 1;
     if t.remaining > 0 then t.remaining <- t.remaining - 1;
     true
   end
   else false
+
+let should_fail t ~addr =
+  if Hashtbl.mem t.stuck addr then begin
+    t.injected <- t.injected + 1;
+    true
+  end
+  else spontaneous t
+
+(* Stuck-at-write rows still invalidate (the valid bit clears even when
+   the content cells are broken), so erases only suffer the spontaneous
+   fault tier.  [addr] is kept for interface symmetry. *)
+let should_fail_erase t ~addr:_ = spontaneous t
+
+let is_stuck t ~addr = Hashtbl.mem t.stuck addr
 
 type spec = {
   fail_prob : float;
@@ -63,6 +72,7 @@ let spec_to_string { fail_prob; stuck; max_failures; slow_ms } =
 (* "p=0.5,stuck=3+9,max=4,slow=2.5" — every key optional, order free. *)
 let spec_of_string s =
   let parts = String.split_on_char ',' s |> List.filter (fun p -> p <> "") in
+  let seen = Hashtbl.create 4 in
   let rec go acc = function
     | [] -> Ok acc
     | part :: rest -> (
@@ -71,7 +81,11 @@ let spec_of_string s =
         | Some i -> (
             let key = String.sub part 0 i in
             let value = String.sub part (i + 1) (String.length part - i - 1) in
-            match key with
+            if Hashtbl.mem seen key then
+              Error (Printf.sprintf "fault spec: duplicate key %S" key)
+            else begin
+              Hashtbl.replace seen key ();
+              match key with
             | "p" -> (
                 match float_of_string_opt value with
                 | Some p when p >= 0.0 && p <= 1.0 ->
@@ -95,7 +109,8 @@ let spec_of_string s =
                 match float_of_string_opt value with
                 | Some ms when ms >= 0.0 -> go { acc with slow_ms = ms } rest
                 | _ -> Error (Printf.sprintf "fault spec: bad slow %S" value))
-            | k -> Error (Printf.sprintf "fault spec: unknown key %S" k)))
+            | k -> Error (Printf.sprintf "fault spec: unknown key %S" k)
+            end))
   in
   go { fail_prob = 0.0; stuck = []; max_failures = None; slow_ms = 0.0 } parts
 

@@ -3,7 +3,8 @@
 
     A plan decides, per attempted hardware write/erase, whether the
     operation is made to fail: either the target address is {e stuck}
-    (every access fails, modelling a broken TCAM row) or the write fails
+    (every write fails, modelling a broken TCAM row — erases still
+    succeed, see {!should_fail_erase}) or the operation fails
     spontaneously with probability [fail_prob] (modelling flaky SDK
     calls / bus errors).  Decisions are drawn from a dedicated seeded
     {!Fr_prng.Rng.t}, so a faulty run replays exactly.
@@ -52,11 +53,23 @@ val spec_of_string : string -> (spec, string) result
 (** Parse the {!spec_to_string} form; every key is optional and order is
     free ([p] in [\[0,1\]], [stuck] a [+]-separated address list, [max]
     a non-negative failure budget, [slow] a non-negative latency in
-    ms). *)
+    ms).  Repeating a key is rejected rather than silently taking the
+    last occurrence. *)
 
 val should_fail : t -> addr:int -> bool
-(** One decision for one attempted operation at [addr].  Advances the
+(** One decision for one attempted {e write} at [addr].  Advances the
     plan's PRNG; counts the failure when it answers [true]. *)
+
+val should_fail_erase : t -> addr:int -> bool
+(** One decision for one attempted {e erase} at [addr].  Stuck rows
+    model stuck-at-write cells whose valid bit still clears, so erases
+    only suffer the spontaneous [fail_prob] tier (drawn from the same
+    PRNG stream as writes). *)
+
+val is_stuck : t -> addr:int -> bool
+(** Whether [addr] is in the plan's stuck set — the probe-drill query:
+    it draws nothing from the PRNG and counts nothing, it just answers
+    whether a write there would still be doomed. *)
 
 val slow_ms : t -> float
 (** Extra modelled latency billed per hardware operation (0 when the

@@ -35,11 +35,11 @@ let logical t = t.logical
 let hw_size t = t.hw_table_size
 let set_fault t f = t.fault <- f
 
-let faulted t ~addr =
+let faulted t ~decide ~addr =
   match t.fault with
   | None -> false
   | Some f ->
-      if Fault.should_fail f ~addr then begin
+      if decide f ~addr then begin
         (* The SDK call was issued and errored: it costs a call and its
            latency but leaves both tables untouched. *)
         t.dropped <- t.dropped + 1;
@@ -58,7 +58,10 @@ let add_entry t ~rule_id ~addr =
   t.calls <- t.calls + 1;
   t.clock_ms <- t.clock_ms +. t.latency.Latency.write_ms;
   bill_slow t;
-  if not (faulted t ~addr) then begin
+  if faulted t ~decide:Fault.should_fail ~addr then
+    (* Write-failure feedback: the firmware learns which rows are bad. *)
+    ignore (Tcam.note_write_failure t.logical ~addr)
+  else begin
     Tcam.write t.logical ~rule_id ~addr;
     let slot = addr mod t.hw_table_size in
     let live = List.filter (fun a -> a <> addr) t.hw_slots.(slot) in
@@ -70,7 +73,8 @@ let delete_entry t ~addr =
   t.calls <- t.calls + 1;
   t.clock_ms <- t.clock_ms +. t.latency.Latency.erase_ms;
   bill_slow t;
-  if not (faulted t ~addr) then begin
+  (* Erases use the valid-bit path: stuck rows still invalidate. *)
+  if not (faulted t ~decide:Fault.should_fail_erase ~addr) then begin
     Tcam.erase t.logical ~addr;
     let slot = addr mod t.hw_table_size in
     t.hw_slots.(slot) <- List.filter (fun a -> a <> addr) t.hw_slots.(slot)

@@ -14,22 +14,45 @@ let capacity_needed layout ~n =
       if k < 1 then invalid_arg "Layout.capacity_needed: K must be >= 1";
       n + ((n + k - 1) / k)
 
-let place layout ~tcam_size ~order =
+let place ?deadmap layout ~tcam_size ~order =
   let n = Array.length order in
-  if capacity_needed layout ~n > tcam_size then
-    invalid_arg "Layout.place: entries do not fit in the TCAM";
   let tcam = Tcam.create ~size:tcam_size in
+  (match deadmap with
+  | Some d -> Tcam.adopt_deadmap tcam d
+  | None -> ());
+  (* Canonical positions index the sequence of writable addresses, so a
+     switch re-adopting rules onto partially dead hardware packs around
+     the holes it already knows about (identity on healthy hardware). *)
+  let writable =
+    let dead = Tcam.deadmap tcam in
+    let out = Array.make (max 1 (tcam_size - Deadmap.count dead)) 0 in
+    let j = ref 0 in
+    for a = 0 to tcam_size - 1 do
+      if not (Deadmap.is_dead dead a) then begin
+        out.(!j) <- a;
+        incr j
+      end
+    done;
+    Array.sub out 0 !j
+  in
+  let w = Array.length writable in
+  if capacity_needed layout ~n > w then
+    invalid_arg "Layout.place: entries do not fit in the TCAM";
   (match layout with
   | Original ->
-      Array.iteri (fun i id -> Tcam.write tcam ~rule_id:id ~addr:i) order
+      Array.iteri (fun i id -> Tcam.write tcam ~rule_id:id ~addr:writable.(i)) order
   | Interleaved k ->
       if k < 1 then invalid_arg "Layout.place: K must be >= 1";
-      Array.iteri (fun i id -> Tcam.write tcam ~rule_id:id ~addr:(i + (i / k))) order
+      Array.iteri
+        (fun i id -> Tcam.write tcam ~rule_id:id ~addr:writable.(i + (i / k)))
+        order
   | Separated ->
       let bottom = n / 2 in
       Array.iteri
         (fun i id ->
-          let addr = if i < bottom then i else tcam_size - (n - i) in
+          let addr =
+            if i < bottom then writable.(i) else writable.(w - (n - i))
+          in
           Tcam.write tcam ~rule_id:id ~addr)
         order);
   Tcam.reset_counters tcam;

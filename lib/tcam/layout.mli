@@ -28,14 +28,20 @@ val capacity_needed : t -> n:int -> int
 (** Minimum TCAM size able to hold [n] entries under the layout (the
     interleaved layout needs room for its gaps). *)
 
-val place : t -> tcam_size:int -> order:int array -> Tcam.t
+val place : ?deadmap:Deadmap.t -> t -> tcam_size:int -> order:int array -> Tcam.t
 (** [place layout ~tcam_size ~order] writes [order.(0)] lowest ... to a
     fresh TCAM according to the layout:
     - [Original]: addresses [0 .. n-1];
     - [Interleaved k]: address [i + i/k] (a gap after every [k] entries);
     - [Separated]: the lower half of [order] packed at the bottom
       ([0 ..]), the upper half packed against the top, free space between.
-    @raise Invalid_argument if the entries do not fit. *)
+
+    When [deadmap] is given, the fresh TCAM adopts it and the canonical
+    positions above index the sequence of {e writable} addresses instead
+    of raw addresses, so placement packs around known-dead rows — the
+    restart path for a switch re-adopting rules onto degraded hardware.
+    @raise Invalid_argument if the entries do not fit on the writable
+    rows. *)
 
 type separated_regions = {
   mutable bottom_next : int;

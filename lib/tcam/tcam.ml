@@ -6,11 +6,20 @@ type t = {
   mutable used : int;
   mutable ops : int;
   mutable moves : int;
+  mutable dead : Deadmap.t;  (* discovered broken rows; empty on healthy hw *)
 }
 
 let create ~size =
   if size <= 0 then invalid_arg "Tcam.create: size must be positive";
-  { slots = Array.make size Free; index = Hashtbl.create size; used = 0; ops = 0; moves = 0 }
+  let dead = Deadmap.create ~size () in
+  {
+    slots = Array.make size Free;
+    index = Hashtbl.create size;
+    used = 0;
+    ops = 0;
+    moves = 0;
+    dead;
+  }
 
 let size t = Array.length t.slots
 let used_count t = t.used
@@ -44,7 +53,11 @@ let write t ~rule_id ~addr =
   if t.slots.(addr) = Free then t.used <- t.used + 1;
   t.slots.(addr) <- Used rule_id;
   Hashtbl.replace t.index rule_id addr;
-  t.ops <- t.ops + 1
+  t.ops <- t.ops + 1;
+  (* A write that reached the hardware proves the row works: clear any
+     strikes (and revive the row if a spurious mark had condemned it). *)
+  if not (Deadmap.is_empty t.dead) then
+    ignore (Deadmap.note_success t.dead ~addr)
 
 let erase t ~addr =
   check_addr t addr;
@@ -119,6 +132,28 @@ let check_dag_order t g =
                            v av)));
   match !bad with None -> Ok () | Some msg -> Error msg
 
+let deadmap t = t.dead
+let is_dead t addr = Deadmap.is_dead t.dead addr
+let dead_count t = Deadmap.count t.dead
+
+let note_write_failure t ~addr =
+  check_addr t addr;
+  Deadmap.note_failure t.dead ~addr
+
+let adopt_deadmap t dead =
+  if Deadmap.size dead <> size t then
+    invalid_arg "Tcam.adopt_deadmap: size mismatch";
+  t.dead <- dead
+
+let writable_free_in t ~lo ~hi =
+  let lo = max lo 0 and hi = min hi (size t - 1) in
+  let rec go a =
+    if a > hi then None
+    else if t.slots.(a) = Free && not (Deadmap.is_dead t.dead a) then Some a
+    else go (a + 1)
+  in
+  go lo
+
 let copy t =
   {
     slots = Array.copy t.slots;
@@ -126,6 +161,7 @@ let copy t =
     used = t.used;
     ops = t.ops;
     moves = t.moves;
+    dead = Deadmap.copy t.dead;
   }
 
 let pp ppf t =

@@ -12,7 +12,9 @@ type slot = Free | Used of int  (** rule id *)
 type t
 
 val create : size:int -> t
-(** All slots free. *)
+(** All slots free, with a fresh empty {!Deadmap} attached (use
+    {!adopt_deadmap} when a restarting switch should keep what it
+    learnt about its hardware). *)
 
 val size : t -> int
 val used_count : t -> int
@@ -71,5 +73,30 @@ val check_dag_order : t -> Fr_dag.Graph.t -> (unit, string) result
 (** For every edge [u -> v] with both entries present: [addr u < addr v].
     The central correctness invariant (DESIGN.md §6.1). *)
 
+val deadmap : t -> Deadmap.t
+(** The attached dead-row map.  {!write} reports successes to it
+    automatically; failures never reach the [Tcam], so the fault-aware
+    drivers ([Hw_emu], [Fr_switch.Agent]) report them via
+    {!note_write_failure}. *)
+
+val is_dead : t -> int -> bool
+(** [Deadmap.is_dead (deadmap t)] — the query every scheduler's
+    candidate-slot search asks. *)
+
+val dead_count : t -> int
+
+val note_write_failure : t -> addr:int -> bool
+(** Record a failed hardware write at [addr]; returns [true] when the
+    row was newly declared dead (see {!Deadmap.note_failure}). *)
+
+val adopt_deadmap : t -> Deadmap.t -> unit
+(** Replace the attached map (restart paths carry hardware knowledge
+    across re-adoption).  @raise Invalid_argument on size mismatch. *)
+
+val writable_free_in : t -> lo:int -> hi:int -> int option
+(** Lowest free, non-dead address in [\[lo, hi\]] (clamped), if any. *)
+
 val copy : t -> t
+(** Deep copy, including an independent copy of the dead map. *)
+
 val pp : Format.formatter -> t -> unit

@@ -72,6 +72,19 @@ N4=$(mktemp -d)/fleet
 diff -r "$N1" "$N4" || { echo "fleet rollout: journals diverged between --domains 1 and 4"; exit 1; }
 rm -rf "$(dirname "$N1")" "$(dirname "$N4")"
 
+echo "== degraded-tcam drill (10% dead rows, discovery, zero shed) =="
+out=$("$CLI" ctrl -k acl4 -s 3 -n 300 -c 200 -u 1200 -b 32 \
+  --failover --dead-frac 0.10 --seed 7)
+echo "$out" | grep -q 'degraded:' || { echo "degraded drill: no summary line"; exit 1; }
+echo "$out" | grep -Eq 'dead discovered, degraded-diverted [0-9]+, shed 0' || { echo "degraded drill: submits were shed"; exit 1; }
+echo "$out" | grep -Eq '[1-9][0-9]* dead discovered' || { echo "degraded drill: stuck bank never discovered"; exit 1; }
+
+echo "== degraded conformance (every scheduler, domains 1 and 4) =="
+"$CLI" conform -k acl4 -n 90 --pool 150 -c 60 -e 300 --seed 31 \
+  --degraded 0.10 >/dev/null
+"$CLI" conform -k acl4 -n 90 --pool 150 -c 60 -e 300 --seed 31 \
+  --degraded 0.10 --domains 4 >/dev/null
+
 echo "== parallel flush equivalence (same seed, 1 vs 4 domains, same journal bytes) =="
 J1=$(mktemp -d)
 J4=$(mktemp -d)

@@ -14,6 +14,6 @@ let () =
    @ Test_experiment.suite @ Test_firmware.suite @ Test_agent.suite
    @ Test_queue_sim.suite @ Test_paper_examples.suite @ Test_ctrl.suite
    @ Test_resil.suite @ Test_failover.suite @ Test_exec.suite
-   @ Test_conform.suite
+   @ Test_conform.suite @ Test_deadmap.suite @ Test_degraded.suite
    @ Test_zipf.suite @ Test_cache.suite @ Test_net.suite
    @ Test_props.suite)

@@ -134,6 +134,70 @@ let test_after_churn_gaps_reopen () =
   check "dag order still holds" true
     (Tcam.check_dag_order tcam (Firmware.graph run) = Ok ())
 
+let test_full_occupancy () =
+  (* every slot used: Original and Separated are already canonical (their
+     placement is the identity at n = size), and a layout that needs gaps
+     must refuse rather than emit a colliding plan *)
+  let tcam = Tcam.create ~size:16 in
+  for a = 0 to 15 do
+    Tcam.write tcam ~rule_id:(100 + a) ~addr:a
+  done;
+  List.iter
+    (fun layout ->
+      check "full table is canonical" true (Defrag.is_canonical tcam ~layout);
+      check "empty plan" true (Defrag.plan tcam ~layout = []))
+    [ Layout.Original; Layout.Separated ];
+  Alcotest.check_raises "interleaved cannot host a full table"
+    (Invalid_argument "Defrag: entries do not fit under the target layout")
+    (fun () -> ignore (Defrag.plan tcam ~layout:(Layout.Interleaved 4)))
+
+let test_holes_at_region_boundaries () =
+  (* dead rows hugging the array edges and the Separated half boundary —
+     the placement must step over all of them, including entries that
+     currently sit ON a dead row (stuck-at-write rows still erase, so
+     moving out is always possible) *)
+  let rng = Rng.create ~seed:46 in
+  let dead = [ 0; 11; 12; 23 ] in
+  List.iter
+    (fun layout ->
+      for _ = 1 to 10 do
+        let tcam = scattered_tcam rng ~size:24 ~k:9 in
+        List.iter
+          (fun a -> ignore (Tcam.note_write_failure tcam ~addr:a))
+          dead;
+        let before = order_of tcam in
+        let graph = Graph.create () in
+        List.iteri
+          (fun i id ->
+            Graph.add_node graph id;
+            if i > 0 then Graph.add_edge graph (List.nth before (i - 1)) id)
+          before;
+        let ops = Defrag.plan tcam ~layout in
+        check "one write per entry, holes included" true
+          (List.length ops <= 9);
+        check "verified" true (Check.sequence graph tcam ops = Ok ());
+        Tcam.apply_sequence tcam ops;
+        check "canonical modulo holes" true (Defrag.is_canonical tcam ~layout);
+        Alcotest.(check (list int)) "order preserved" before (order_of tcam);
+        List.iter
+          (fun a -> check "dead row vacated" true (Tcam.is_free tcam a))
+          dead;
+        check "idempotent" true (Defrag.plan tcam ~layout = [])
+      done)
+    layouts
+
+let test_holes_shrink_capacity () =
+  (* 10 entries, 12 rows, 3 dead: the writable space is too small and the
+     planner must say so instead of silently stacking entries *)
+  let tcam = Tcam.create ~size:12 in
+  for a = 0 to 9 do
+    Tcam.write tcam ~rule_id:(100 + a) ~addr:a
+  done;
+  List.iter (fun a -> ignore (Tcam.note_write_failure tcam ~addr:a)) [ 2; 5; 9 ];
+  Alcotest.check_raises "dead rows shrink the writable space"
+    (Invalid_argument "Defrag: entries do not fit under the target layout")
+    (fun () -> ignore (Defrag.plan tcam ~layout:Layout.Original))
+
 let suite =
   [
     ( "defrag",
@@ -146,5 +210,10 @@ let suite =
         Alcotest.test_case "moves bounded" `Quick test_moves_bounded;
         Alcotest.test_case "does not fit" `Quick test_does_not_fit;
         Alcotest.test_case "reopens gaps after churn" `Quick test_after_churn_gaps_reopen;
+        Alcotest.test_case "full occupancy" `Quick test_full_occupancy;
+        Alcotest.test_case "holes at region boundaries" `Quick
+          test_holes_at_region_boundaries;
+        Alcotest.test_case "holes shrink capacity" `Quick
+          test_holes_shrink_capacity;
       ] );
   ]

@@ -1,0 +1,107 @@
+(* Tests for the degraded-hardware conformance oracle: a seeded 10%-dead
+   stuck bank on one shard, every scheduler driven through discovery /
+   hole-stepping / overflow diverts / the probe-drill heal, certified
+   against a never-faulted twin — sequentially and under the parallel
+   drain path. *)
+
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_degraded_oracle_clean () =
+  let trace =
+    Trace.generate ~kind:Dataset.ACL4 ~seed:31 ~initial:30 ~pool:60
+      ~capacity:240 ~events:80 ()
+  in
+  let r = Oracle.run_degraded ~probes:6 ~batch:4 ~shards:3 ~fault_shard:0 trace in
+  if not (Oracle.degraded_clean r) then
+    Alcotest.failf "degraded oracle diverged:@.%a" Oracle.pp_degraded_report r;
+  check "stuck bank is non-empty" true (r.Oracle.dg_seeded_dead > 0);
+  List.iter
+    (fun c ->
+      let name = c.Oracle.degraded_scheduler in
+      check (name ^ ": discovery condemned rows") true (c.Oracle.dg_dead_max > 0);
+      check_int (name ^ ": nothing shed") 0 c.Oracle.dg_shed;
+      check (name ^ ": the heal revived the bank") true
+        (c.Oracle.dg_recovered > 0);
+      check (name ^ ": converged in bounded flushes") true
+        (c.Oracle.dg_heal_flushes > 0))
+    r.Oracle.degraded_columns
+
+let test_degraded_validation () =
+  let trace =
+    Trace.generate ~kind:Dataset.ACL4 ~seed:33 ~initial:10 ~pool:20
+      ~capacity:120 ~events:10 ()
+  in
+  let rejects f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check "batch must be positive" true
+    (rejects (fun () -> Oracle.run_degraded ~batch:0 trace));
+  check "needs a shard to divert to" true
+    (rejects (fun () -> Oracle.run_degraded ~shards:1 trace));
+  check "fault shard must exist" true
+    (rejects (fun () -> Oracle.run_degraded ~shards:3 ~fault_shard:3 trace));
+  check "dead_frac below 1" true
+    (rejects (fun () -> Oracle.run_degraded ~dead_frac:1.0 trace));
+  check "dead_frac above 0" true
+    (rejects (fun () -> Oracle.run_degraded ~dead_frac:0.0 trace))
+
+(* The drill must be deterministic across drain parallelism: the probe
+   epilogue runs after the join barrier, so one domain and four must
+   produce identical columns. *)
+let test_degraded_domains_agree () =
+  let trace =
+    Trace.generate ~kind:Dataset.ACL4 ~seed:32 ~initial:24 ~pool:48
+      ~capacity:200 ~events:60 ()
+  in
+  let fingerprint r =
+    List.map
+      (fun c ->
+        ( c.Oracle.degraded_scheduler,
+          c.Oracle.dg_applied,
+          c.Oracle.dg_shed,
+          c.Oracle.dg_dead_max,
+          c.Oracle.dg_recovered,
+          c.Oracle.dg_heal_flushes ))
+      r.Oracle.degraded_columns
+  in
+  let r1 = Oracle.run_degraded ~probes:4 ~domains:1 trace in
+  let r4 = Oracle.run_degraded ~probes:4 ~domains:4 trace in
+  check "sequential run clean" true (Oracle.degraded_clean r1);
+  check "parallel run clean" true (Oracle.degraded_clean r4);
+  check "columns agree across domain counts" true
+    (fingerprint r1 = fingerprint r4)
+
+(* Random seeds and dead fractions: the certification is not tuned to one
+   lucky bank. *)
+let prop_degraded_random_banks =
+  QCheck.Test.make ~name:"degraded oracle stays clean over random banks"
+    ~count:4
+    (QCheck.make
+       ~print:(fun (seed, pct) -> Printf.sprintf "seed=%d dead=%d%%" seed pct)
+       QCheck.Gen.(pair (int_bound 1000) (int_range 5 15)))
+    (fun (seed, pct) ->
+      let trace =
+        Trace.generate ~kind:Dataset.ACL4 ~seed ~initial:20 ~pool:40
+          ~capacity:160 ~events:40 ()
+      in
+      let r =
+        Oracle.run_degraded ~probes:4 ~dead_frac:(float_of_int pct /. 100.0)
+          trace
+      in
+      Oracle.degraded_clean r)
+
+let suite =
+  [
+    ( "degraded",
+      [
+        Alcotest.test_case "oracle clean at 10% dead" `Quick
+          test_degraded_oracle_clean;
+        Alcotest.test_case "parameter validation" `Quick test_degraded_validation;
+        Alcotest.test_case "domains 1 and 4 agree" `Quick
+          test_degraded_domains_agree;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest [ prop_degraded_random_banks ] );
+  ]
