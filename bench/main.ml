@@ -1041,6 +1041,8 @@ let net () =
                     ("nodes", Int nodes);
                     ("flows", Int flows);
                     ("batch", Int batch);
+                    ("seed", Int seed);
+                    ("domains", Int (Net.domains fleet));
                     ("rounds", Int (Net_plan.num_rounds plan));
                     ("total_mods", Int (Net_plan.total_mods plan));
                     ("applied", Int report.Net.applied);

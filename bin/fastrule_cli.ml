@@ -628,28 +628,30 @@ let journal_stat_cmd =
     else if b >= 1_024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1_024.)
     else Printf.sprintf "%d B" b
   in
-  let run dir =
+  (* One service journal: header line plus per-shard stats.  Returns
+     whether anything failed; [indent] nests it under a fleet tree. *)
+  let stat_service ?(indent = "") dir =
     match Journal.read_meta ~dir with
     | Error e ->
-        Format.eprintf "fastrule_cli: %s@." e;
-        exit 1
+        Format.printf "%sjournal %s: ERROR %s@." indent dir e;
+        true
     | Ok meta ->
         Format.printf
-          "journal %s: %d shard(s), capacity %d, policy %s, scheduler %s%s@."
-          dir meta.Journal.shards meta.Journal.capacity meta.Journal.policy
-          meta.Journal.kind
+          "%sjournal %s: %d shard(s), capacity %d, policy %s, scheduler %s%s@."
+          indent dir meta.Journal.shards meta.Journal.capacity
+          meta.Journal.policy meta.Journal.kind
           (if meta.Journal.verify then ", verify on" else "");
         let failed = ref false in
         for s = 0 to meta.Journal.shards - 1 do
           match Journal.stat ~dir ~shard:s with
           | Error e ->
               failed := true;
-              Format.printf "  shard %d: ERROR %s@." s e
+              Format.printf "%s  shard %d: ERROR %s@." indent s e
           | Ok st ->
               Format.printf
-                "  shard %d: WAL %s (age %.1f s), %d drain(s) total, %d \
+                "%s  shard %d: WAL %s (age %.1f s), %d drain(s) total, %d \
                  committed since checkpoint, %d pending mod(s)%s@."
-                s
+                indent s
                 (human_bytes st.Journal.wal_bytes)
                 st.Journal.wal_age_s st.Journal.total_drains
                 st.Journal.committed_drains st.Journal.pending_mods
@@ -657,16 +659,59 @@ let journal_stat_cmd =
                  else "");
               List.iter
                 (fun (upto, file, bytes) ->
-                  Format.printf "    checkpoint upto seq %d: %s (%s)@." upto
-                    file (human_bytes bytes))
+                  Format.printf "%s    checkpoint upto seq %d: %s (%s)@."
+                    indent upto file (human_bytes bytes))
                 st.Journal.checkpoints
         done;
-        exit (if !failed then 1 else 0)
+        !failed
+  in
+  let run dir =
+    if Net.is_fleet_journal dir then begin
+      (* fleet rollout tree: the rollout log's round ledger up top, then
+         every node's service journal aggregated underneath *)
+      match Net.rollout_stat ~journal:dir () with
+      | Error e ->
+          Format.eprintf "fastrule_cli: %s@." e;
+          exit 1
+      | Ok rs ->
+          Format.printf "fleet journal %s: %d node(s), %d flow(s) stamped@."
+            dir rs.Net.rs_nodes rs.Net.rs_stamped;
+          (if rs.Net.rs_state = "idle" then
+             Format.printf "  rollout: none recorded@."
+           else
+             Format.printf
+               "  rollout: %s (batch %d, %d -> %d flows); rounds %d begun / \
+                %d committed, rollback %d begun / %d committed@."
+               rs.Net.rs_state rs.Net.rs_batch rs.Net.rs_old_flows
+               rs.Net.rs_new_flows rs.Net.rs_begun rs.Net.rs_committed
+               rs.Net.rs_rb_begun rs.Net.rs_rb_committed);
+          Format.printf "  last consistent boundary: %s@."
+            rs.Net.rs_last_boundary;
+          let failed = ref false in
+          for node = 0 to rs.Net.rs_nodes - 1 do
+            let node_dir =
+              Filename.concat dir (Printf.sprintf "node-%d" node)
+            in
+            Format.printf "  node %d:@." node;
+            if stat_service ~indent:"    " node_dir then failed := true
+          done;
+          exit (if !failed then 1 else 0)
+    end
+    else begin
+      match Journal.read_meta ~dir with
+      | Error e ->
+          Format.eprintf "fastrule_cli: %s@." e;
+          exit 1
+      | Ok _ -> exit (if stat_service dir then 1 else 0)
+    end
   in
   Cmd.v
     (Cmd.info "stat"
        ~doc:"Per-shard journal health: WAL and checkpoint sizes, ages, \
-             drain and pending-mod counts.")
+             drain and pending-mod counts.  A fleet rollout tree \
+             ($(b,fleet.meta)) additionally reports the rollout ledger — \
+             rounds begun/committed (forward and rollback) and the last \
+             consistent boundary — then every node's journal.")
     Term.(const run $ journal_dir_arg)
 
 let journal_cmd =
@@ -709,7 +754,7 @@ let break_conv =
 let conform_cmd =
   let run kind n seed events pool capacity probes fault fault_max break_ record
       save replay shrink out crash_at crash_mid crash_batch failover_shard
-      fo_shards degraded_frac domains capture =
+      fo_shards degraded_frac strict domains capture =
     let bad fmt =
       Format.kasprintf
         (fun m ->
@@ -817,11 +862,14 @@ let conform_cmd =
         List.iter
           (fun c ->
             Format.printf
-              "WARNING: %s never wrote into the stuck bank — vacuous \
+              "%s: %s never wrote into the stuck bank — vacuous \
                certification (densify the trace or raise --degraded)@."
+              (if strict then "FAIL" else "WARNING")
               c.Oracle.degraded_scheduler)
           vacuous;
-        exit (if Oracle.degraded_clean r && vacuous = [] then 0 else 1)
+        exit
+          (if Oracle.degraded_clean r && ((not strict) || vacuous = []) then 0
+           else 1)
     | None -> ());
     let config =
       {
@@ -995,6 +1043,16 @@ let conform_cmd =
                 state against a never-faulted twin (exit 1 on divergence or \
                 an untouched bank).")
   in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"With --degraded: treat a vacuous certification (a scheduler \
+                that never wrote into the stuck bank) as a hard failure \
+                instead of a warning.  CI passes this so a trace that stops \
+                exercising the dead rows fails loudly rather than silently \
+                certifying nothing.")
+  in
   let domains_arg =
     Arg.(
       value
@@ -1024,7 +1082,7 @@ let conform_cmd =
       $ capacity_arg $ probes_arg $ fault_arg $ fault_max_arg $ break_arg
       $ record_arg $ save_arg $ replay_arg $ shrink_arg $ out_arg
       $ crash_at_arg $ crash_mid_arg $ crash_batch_arg $ failover_shard_arg
-      $ fo_shards_arg $ degraded_arg $ domains_arg $ capture_arg)
+      $ fo_shards_arg $ degraded_arg $ strict_arg $ domains_arg $ capture_arg)
 
 (* --- cache ------------------------------------------------------------ *)
 
@@ -1242,7 +1300,8 @@ let shape_conv =
 
 let net_cmd =
   let run shape nodes flows reroute withdraw introduce waypoints seed batch
-      shards capacity algo oracle no_check samples domains journal json =
+      shards capacity algo oracle chaos cases fault_specs abort_at hold
+      deadline no_check samples domains journal json =
     let bad fmt =
       Format.kasprintf
         (fun m ->
@@ -1255,13 +1314,81 @@ let net_cmd =
     if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
     if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
     if samples < 1 then bad "--samples must be >= 1 (got %d)" samples;
+    if cases < 1 then bad "--cases must be >= 1 (got %d)" cases;
+    if deadline <= 0. then bad "--deadline must be > 0 (got %g)" deadline;
     List.iter
       (fun (name, v) -> if v < 0 then bad "--%s must be >= 0 (got %d)" name v)
       [ ("reroute", reroute); ("withdraw", withdraw);
         ("introduce", introduce); ("waypoints", waypoints) ];
+    (match abort_at with
+    | Some k when k < 0 -> bad "--abort-at must be >= 0 (got %d)" k
+    | _ -> ());
     (match domains with
     | Some d when d < 1 -> bad "--domains must be >= 1 (got %d)" d
     | _ -> ());
+    let faults =
+      Net_scenario.schedule_of_faults
+        (List.map
+           (fun s ->
+             match Net_scenario.fault_of_string s with
+             | Ok f -> f
+             | Error e -> bad "--node-fault: %s" e)
+           fault_specs)
+    in
+    if chaos then begin
+      (* seeded fleet-loss certification: random scenarios under random
+         per-switch fault schedules, all five schedulers per case *)
+      let r =
+        Oracle.run_net_chaos ~cases ~samples ~shards ~capacity ?domains ~seed
+          ()
+      in
+      Oracle.pp_chaos_report Format.std_formatter r;
+      (match json with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Telemetry.Json.to_string
+               (Telemetry.Json.Obj
+                  [
+                    ("mode", Telemetry.Json.Str "chaos");
+                    ("seed", Telemetry.Json.Int seed);
+                    ("cases", Telemetry.Json.Int cases);
+                    ("shards", Telemetry.Json.Int shards);
+                    ("capacity", Telemetry.Json.Int capacity);
+                    ( "domains",
+                      Telemetry.Json.Int
+                        (match domains with
+                        | Some d -> d
+                        | None -> Ctrl.default_domains ()) );
+                    ( "outcomes",
+                      Telemetry.Json.Obj
+                        (List.map
+                           (fun (k, n) -> (k, Telemetry.Json.Int n))
+                           r.Oracle.chaos_outcomes) );
+                    ( "fingerprint",
+                      Telemetry.Json.Str (Oracle.chaos_fingerprint r) );
+                    ( "divergences",
+                      Telemetry.Json.List
+                        (List.map
+                           (fun (d : Oracle.divergence) ->
+                             Telemetry.Json.Obj
+                               [
+                                 ("event", Telemetry.Json.Int d.Oracle.event);
+                                 ( "scheduler",
+                                   Telemetry.Json.Str d.Oracle.scheduler );
+                                 ( "detail",
+                                   Telemetry.Json.Str d.Oracle.detail );
+                               ])
+                           r.Oracle.chaos_divergences) );
+                    ("clean", Telemetry.Json.Bool (Oracle.chaos_clean r));
+                    ("wall_ms", Telemetry.Json.Float r.Oracle.chaos_wall_ms);
+                  ]));
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "wrote chaos results to %s@." path);
+      exit (if Oracle.chaos_clean r then 0 else 1)
+    end;
     let topo =
       try Net_topo.make shape nodes with Invalid_argument m -> bad "%s" m
     in
@@ -1355,17 +1482,50 @@ let net_cmd =
         Net.of_policy ~kind:algo ~shards ~capacity ?domains ?journal topo
           sc.old_policy
       in
-      let report = Net.execute fleet plan in
+      let supervision =
+        if faults = [] && hold = None then None
+        else
+          Some
+            {
+              Net.default_supervision with
+              deadline_ms = deadline;
+              hold =
+                (match hold with Some `Abort -> Net.Abort | _ -> Net.Wait);
+              hold_budget =
+                (match hold with Some `Abort -> 4 | _ -> 16);
+              sup_seed = seed;
+            }
+      in
+      let report =
+        try
+          Net.execute
+            ?faults:(if faults = [] then None else Some faults)
+            ?supervision ?abort_after_rounds:abort_at fleet plan
+        with Invalid_argument m -> bad "%s" m
+      in
       Format.printf "%a" Net_plan.pp plan;
       Format.printf "%a@." Net.pp_report report;
+      (* compact every node's WAL into a rules checkpoint: the snapshot
+         an aborted rollout leaves must be byte-identical to the
+         pre-rollout one (the CI abort drill diffs them) *)
+      if journal <> None then Net.checkpoint fleet;
+      (* convergence target depends on the verdict: a completed rollout
+         must land on the new policy, an aborted one byte-identically
+         back on the old *)
+      let expected_policy, expected_stamps, target =
+        match report.Net.outcome with
+        | Net.Aborted _ ->
+            (sc.old_policy, Net_plan.stamps_before plan, "pre-rollout policy")
+        | _ -> (sc.new_policy, Net_plan.stamps_after plan, "new policy")
+      in
       let converged =
-        Net.stamps fleet = Net_plan.stamps_after plan
+        Net.stamps fleet = expected_stamps
         &&
         let reference =
           Net_check.Model.of_policy topo
             ~version_of:(fun f ->
-              List.assoc f.Net_policy.flow_id (Net_plan.stamps_after plan))
-            sc.new_policy
+              List.assoc f.Net_policy.flow_id expected_stamps)
+            expected_policy
         in
         List.for_all
           (fun node ->
@@ -1375,9 +1535,17 @@ let net_cmd =
                 (Net_check.Model.rules reference node))
           (List.init (Net_topo.nodes topo) Fun.id)
       in
+      let outcome_str =
+        match report.Net.outcome with
+        | Net.Completed -> "completed"
+        | Net.Crashed -> "crashed"
+        | Net.Held k -> Printf.sprintf "held@%d" k
+        | Net.Aborted { at_round; rolled_back } ->
+            Printf.sprintf "aborted@%d-%d" at_round rolled_back
+      in
       Format.printf "net: %d rounds  %d mods  %d switches  %s@."
         report.Net.rounds_run report.Net.applied (Net_topo.nodes topo)
-        (if converged then "converged on the new policy"
+        (if converged then "converged on the " ^ target
          else "DID NOT converge");
       dump
         (params
@@ -1385,9 +1553,17 @@ let net_cmd =
             ("mode", Telemetry.Json.Str "rollout");
             ("algo", Telemetry.Json.Str (Net.kind_name fleet));
             ("completed", Telemetry.Json.Bool report.Net.completed);
+            ("outcome", Telemetry.Json.Str outcome_str);
             ("converged", Telemetry.Json.Bool converged);
             ("applied", Telemetry.Json.Int report.Net.applied);
             ("failed", Telemetry.Json.Int report.Net.failed);
+            ("retried", Telemetry.Json.Int report.Net.retried);
+            ("quarantines", Telemetry.Json.Int report.Net.quarantines);
+            ("recovered", Telemetry.Json.Int report.Net.recovered);
+            ("backoff_ms", Telemetry.Json.Float report.Net.backoff_ms);
+            ( "faults",
+              Telemetry.Json.List
+                (List.map (fun s -> Telemetry.Json.Str s) fault_specs) );
             ("wall_ms", Telemetry.Json.Float report.Net.wall_ms);
             ( "per_round",
               Telemetry.Json.List
@@ -1405,9 +1581,15 @@ let net_cmd =
                        ])
                    report.Net.per_round) );
           ]);
-      exit
-        (if report.Net.completed && report.Net.failed = 0 && converged then 0
-         else 1)
+      let ok =
+        converged
+        &&
+        match report.Net.outcome with
+        | Net.Completed -> report.Net.failed = 0
+        | Net.Aborted _ -> true
+        | Net.Crashed | Net.Held _ -> false
+      in
+      exit (if ok then 0 else 1)
     end
   in
   let shape_arg =
@@ -1482,6 +1664,56 @@ let net_cmd =
                 scheduler, probing consistency and waypoints at every round \
                 boundary and mid-flush instant; exit 1 on any divergence.")
   in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:"Switch-loss certification: run $(b,--cases) seeded random \
+                rollouts, each under a random per-switch fault schedule \
+                (crashes, slow acks, stuck TCAM banks) with supervision \
+                and compensating rollback engaged, across every scheduler; \
+                exit 1 on any divergence.")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"N"
+          ~doc:"Fault schedules to certify with $(b,--chaos).")
+  in
+  let node_fault_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "node-fault" ] ~docv:"SPEC"
+          ~doc:"Inject a per-switch fault (repeatable): \
+                $(b,NODE:crash\\@ROUND)[$(b,+mid)], \
+                $(b,NODE:slow\\@ROUND=MS)[$(b,x)$(i,HEAL)] or \
+                $(b,NODE:stuck\\@ROUND=SHARD:A+B).  Crash faults need \
+                $(b,--journal).")
+  in
+  let abort_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "abort-at" ] ~docv:"ROUND"
+          ~doc:"Abort the rollout at this committed round boundary and roll \
+                back to the pre-rollout policy.")
+  in
+  let hold_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("wait", `Wait); ("abort", `Abort) ])) None
+      & info [ "hold" ] ~docv:"POLICY"
+          ~doc:"What to do when a round cannot complete: $(b,wait) parks the \
+                rollout (resumable from the journal), $(b,abort) rolls back. \
+                Implies supervision even without $(b,--node-fault).")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:"Per-switch modelled deadline for one flush attempt under \
+                supervision.")
+  in
   let no_check_arg =
     Arg.(
       value & flag
@@ -1526,8 +1758,9 @@ let net_cmd =
     Term.(
       const run $ shape_arg $ nodes_arg $ flows_arg $ reroute_arg
       $ withdraw_arg $ introduce_arg $ waypoints_arg $ seed_arg $ batch_arg
-      $ shards_arg $ capacity_arg $ algo_arg $ oracle_arg $ no_check_arg
-      $ samples_arg $ domains_arg $ journal_arg $ json_arg)
+      $ shards_arg $ capacity_arg $ algo_arg $ oracle_arg $ chaos_arg
+      $ cases_arg $ node_fault_arg $ abort_at_arg $ hold_arg $ deadline_arg
+      $ no_check_arg $ samples_arg $ domains_arg $ journal_arg $ json_arg)
 
 let () =
   let doc = "FastRule (ICDCS'18) reproduction toolkit" in

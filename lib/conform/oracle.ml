@@ -1189,6 +1189,332 @@ let run_net ?(batch = 4) ?(samples = 2) ?(shards = 2) ?(capacity = 64) ?domains
     net_wall_ms;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Network chaos certification mode.                                   *)
+
+let rec rm_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_tree (Filename.concat path f)) (Sys.readdir path);
+      (try Sys.rmdir path with Sys_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let outcome_name (o : Net_fleet.outcome) =
+  match o with
+  | Net_fleet.Completed -> "completed"
+  | Net_fleet.Crashed -> "crashed"
+  | Net_fleet.Held k -> Printf.sprintf "held@%d" k
+  | Net_fleet.Aborted { at_round; rolled_back } ->
+      Printf.sprintf "aborted@%d-%d" at_round rolled_back
+
+type chaos_case = {
+  case_index : int;
+  case_seed : int;
+  case_shape : string;
+  case_nodes : int;
+  case_flows : int;
+  case_rounds : int;
+  case_faults : string list;
+  case_hold : string;
+  case_abort_at : int option;
+  case_outcome : string;
+  case_retried : int;
+  case_quarantines : int;
+  case_recovered : int;
+  case_probes : int;
+}
+
+type chaos_report = {
+  chaos_seed : int;
+  chaos_cases : chaos_case list;
+  chaos_outcomes : (string * int) list;
+  chaos_divergences : divergence list;
+  chaos_wall_ms : float;
+}
+
+let chaos_clean r = r.chaos_divergences = []
+
+let chaos_fingerprint r =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %s %d %d %d [%s] %s %s %s %d %d %d %d\n"
+           c.case_index c.case_seed c.case_shape c.case_nodes c.case_flows
+           c.case_rounds
+           (String.concat "," c.case_faults)
+           c.case_hold
+           (match c.case_abort_at with
+           | None -> "-"
+           | Some k -> string_of_int k)
+           c.case_outcome c.case_retried c.case_quarantines c.case_recovered
+           c.case_probes))
+    r.chaos_cases;
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "div %d %s %s\n" d.event d.scheduler d.detail))
+    r.chaos_divergences;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* The chaos supervision profile.  The deadline sits far above any
+   healthy round (a batch-4 round is tens of modelled ms at
+   0.6 ms/op) and far below every injected ack penalty (200+ ms), so
+   timeouts fire exactly on scheduled slow faults regardless of which
+   scheduler's movement count is under it. *)
+let chaos_supervision ~hold ~hold_budget ~sup_seed =
+  {
+    Net_fleet.default_supervision with
+    deadline_ms = 50.0;
+    retries = 1;
+    breaker_threshold = 2;
+    breaker_slow_threshold = 2;
+    breaker_cooldown = 1;
+    hold;
+    hold_budget;
+    sup_seed;
+  }
+
+let run_net_chaos ?(cases = 100) ?(samples = 2) ?(shards = 2) ?(capacity = 64)
+    ?domains ~seed () =
+  if cases < 1 then invalid_arg "Oracle.run_net_chaos: cases must be positive";
+  let kinds = Firmware.standard_algos Fr_sched.Store.Bit_backend in
+  let divergences = ref [] in
+  let diverge ~event ~scheduler detail =
+    divergences := { event; scheduler; detail } :: !divergences
+  in
+  let run_case i =
+    let case_seed = seed + (7919 * i) in
+    let rng = Rng.create ~seed:case_seed in
+    let shape =
+      match Rng.int rng 3 with
+      | 0 -> Fr_net.Topo.Line
+      | 1 -> Fr_net.Topo.Ring
+      | _ -> Fr_net.Topo.Tree
+    in
+    let nodes = 3 + Rng.int rng 4 in
+    let topo = Fr_net.Topo.make shape nodes in
+    let flows = 4 + Rng.int rng 3 in
+    let sc = Net_scenario.make ~flows ~seed:case_seed topo in
+    let plan =
+      match Net_scenario.plan ~batch:4 sc with
+      | Ok p -> p
+      | Error e ->
+          invalid_arg (Printf.sprintf "Oracle.run_net_chaos: seed %d: %s"
+             case_seed e)
+    in
+    let rounds = Net_plan.num_rounds plan in
+    let faults =
+      Net_scenario.chaos_faults ~shards ~capacity ~seed:case_seed ~rounds
+        ~nodes ()
+    in
+    let hold, hold_budget =
+      if i mod 2 = 0 then (Net_fleet.Wait, 16) else (Net_fleet.Abort, 2)
+    in
+    let abort_at =
+      (* every fourth case also pulls the operator abort lever at a
+         random committed boundary, so the rollback path is probed even
+         when no fault escalates *)
+      if i mod 4 = 3 && rounds > 1 then Some (1 + Rng.int rng (rounds - 1))
+      else None
+    in
+    let supervision =
+      chaos_supervision ~hold ~hold_budget ~sup_seed:case_seed
+    in
+    let images = ref [] and outcomes = ref [] in
+    let reference_stats = ref None in
+    List.iter
+      (fun kind ->
+        let name = Firmware.algo_kind_name kind in
+        let dir = Journal.fresh_dir ~prefix:"fr-conform-chaos" in
+        let fleet =
+          Net_fleet.of_policy ~kind ~shards ~capacity ?domains ~journal:dir
+            sc.topo sc.old_policy
+        in
+        let prng = Rng.create ~seed:11 in
+        let probes = ref 0 in
+        let check f ~event ~where =
+          incr probes;
+          List.iter
+            (fun d ->
+              diverge ~event ~scheduler:name
+                (Printf.sprintf "case %d (seed %d): %s" i case_seed d))
+            (Net_check.consistent ~samples ~rng:prng plan
+               ~stamps:(Net_fleet.stamp f) ~lookup:(Net_fleet.lookup f)
+               ~where)
+        in
+        check fleet ~event:0 ~where:"initial";
+        let probe f ~round ~where = check f ~event:round ~where in
+        let report =
+          Net_fleet.execute ~probe ~faults ~supervision
+            ?abort_after_rounds:abort_at fleet plan
+        in
+        check fleet ~event:(-1) ~where:"final";
+        let expected_policy, expected_stamps, against =
+          match report.Net_fleet.outcome with
+          | Net_fleet.Completed ->
+              (sc.new_policy, Net_plan.stamps_after plan, "new policy")
+          | Net_fleet.Aborted _ ->
+              (* abort contract: the fleet is byte-identical to a twin
+                 on which the rollout never started *)
+              (sc.old_policy, Net_plan.stamps_before plan, "pre-rollout")
+          | Net_fleet.Held k ->
+              diverge ~event:k ~scheduler:name
+                (Printf.sprintf
+                   "case %d (seed %d): rollout wedged (held at round %d)" i
+                   case_seed k);
+              (sc.old_policy, Net_fleet.stamps fleet, "held")
+          | Net_fleet.Crashed ->
+              diverge ~event:(-1) ~scheduler:name
+                (Printf.sprintf "case %d (seed %d): unexpected crash outcome"
+                   i case_seed);
+              (sc.old_policy, Net_fleet.stamps fleet, "crashed")
+        in
+        (match report.Net_fleet.outcome with
+        | Net_fleet.Completed | Net_fleet.Aborted _ ->
+            let reference =
+              Net_fleet.of_policy ~kind ~shards ~capacity ?domains sc.topo
+                expected_policy
+                ~version_of:(fun fl ->
+                  match
+                    List.assoc_opt fl.Fr_net.Policy.flow_id expected_stamps
+                  with
+                  | Some v -> v
+                  | None -> 0)
+            in
+            let image =
+              List.init nodes (fun node -> Net_fleet.rules fleet node)
+            in
+            let ref_image =
+              List.init nodes (fun node -> Net_fleet.rules reference node)
+            in
+            if image <> ref_image then
+              diverge ~event:(-1) ~scheduler:name
+                (Printf.sprintf
+                   "case %d (seed %d): final tables differ from the %s twin"
+                   i case_seed against);
+            if Net_fleet.stamps fleet <> expected_stamps then
+              diverge ~event:(-1) ~scheduler:name
+                (Printf.sprintf
+                   "case %d (seed %d): final stamps differ from the %s twin"
+                   i case_seed against);
+            images := (name, image) :: !images
+        | _ -> ());
+        outcomes := (name, outcome_name report.Net_fleet.outcome) :: !outcomes;
+        if !reference_stats = None then
+          reference_stats :=
+            Some
+              ( outcome_name report.Net_fleet.outcome,
+                report.Net_fleet.retried,
+                report.Net_fleet.quarantines,
+                report.Net_fleet.recovered,
+                !probes );
+        rm_tree dir)
+      kinds;
+    (* Cross-lane: every scheduler must reach the same verdict, and the
+       lanes that settled must hold identical tables. *)
+    (match List.rev !outcomes with
+    | [] -> ()
+    | (ref_name, ref_outcome) :: rest ->
+        List.iter
+          (fun (name, o) ->
+            if o <> ref_outcome then
+              diverge ~event:(-1) ~scheduler:name
+                (Printf.sprintf
+                   "case %d (seed %d): outcome %s but %s saw %s" i case_seed
+                   o ref_name ref_outcome))
+          rest);
+    (match List.rev !images with
+    | [] | [ _ ] -> ()
+    | (ref_name, ref_image) :: rest ->
+        List.iter
+          (fun (name, image) ->
+            if image <> ref_image then
+              diverge ~event:(-1) ~scheduler:name
+                (Printf.sprintf
+                   "case %d (seed %d): final tables differ from %s's" i
+                   case_seed ref_name))
+          rest);
+    let case_outcome, case_retried, case_quarantines, case_recovered,
+        case_probes =
+      Option.value !reference_stats ~default:("none", 0, 0, 0, 0)
+    in
+    {
+      case_index = i;
+      case_seed;
+      case_shape = Fr_net.Topo.shape_name topo;
+      case_nodes = nodes;
+      case_flows = flows;
+      case_rounds = rounds;
+      case_faults =
+        List.concat_map
+          (fun (node, fs) ->
+            List.map (fun f -> Net_scenario.fault_to_string (node, f)) fs)
+          faults;
+      case_hold = (match hold with Net_fleet.Wait -> "wait" | _ -> "abort");
+      case_abort_at = abort_at;
+      case_outcome;
+      case_retried;
+      case_quarantines;
+      case_recovered;
+      case_probes;
+    }
+  in
+  let chaos_cases, chaos_wall_ms =
+    Measure.time_ms (fun () -> List.init cases run_case)
+  in
+  let outcomes =
+    List.fold_left
+      (fun acc c ->
+        let key =
+          match String.index_opt c.case_outcome '@' with
+          | Some k -> String.sub c.case_outcome 0 k
+          | None -> c.case_outcome
+        in
+        match List.assoc_opt key acc with
+        | Some n -> (key, n + 1) :: List.remove_assoc key acc
+        | None -> (key, 1) :: acc)
+      [] chaos_cases
+    |> List.sort compare
+  in
+  {
+    chaos_seed = seed;
+    chaos_cases;
+    chaos_outcomes = outcomes;
+    chaos_divergences = List.rev !divergences;
+    chaos_wall_ms;
+  }
+
+let pp_chaos_report ppf r =
+  Format.fprintf ppf "net chaos: %d cases from seed %d, %.0f ms@."
+    (List.length r.chaos_cases)
+    r.chaos_seed r.chaos_wall_ms;
+  Format.fprintf ppf "  outcomes:%s@."
+    (String.concat ""
+       (List.map
+          (fun (k, n) -> Printf.sprintf " %s=%d" k n)
+          r.chaos_outcomes));
+  let retried =
+    List.fold_left (fun a c -> a + c.case_retried) 0 r.chaos_cases
+  and quarantines =
+    List.fold_left (fun a c -> a + c.case_quarantines) 0 r.chaos_cases
+  and recovered =
+    List.fold_left (fun a c -> a + c.case_recovered) 0 r.chaos_cases
+  and probes = List.fold_left (fun a c -> a + c.case_probes) 0 r.chaos_cases in
+  Format.fprintf ppf
+    "  %d retries, %d quarantines, %d node recoveries, %d probe points/lane@."
+    retried quarantines recovered probes;
+  Format.fprintf ppf "  fingerprint: %s@." (chaos_fingerprint r);
+  match r.chaos_divergences with
+  | [] -> Format.fprintf ppf "  divergences: none@."
+  | ds ->
+      Format.fprintf ppf "  divergences: %d@." (List.length ds);
+      let shown = List.filteri (fun i _ -> i < 10) ds in
+      List.iter (fun d -> Format.fprintf ppf "    %a@." pp_divergence d) shown;
+      if List.length ds > 10 then
+        Format.fprintf ppf "    ... and %d more@." (List.length ds - 10)
+
 let pp_net_report ppf r =
   Format.fprintf ppf
     "net oracle: %s topology, %d nodes, %d flows, %d rounds planned@."

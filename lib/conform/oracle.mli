@@ -363,3 +363,83 @@ val run_net :
     @raise Invalid_argument if the scenario does not plan. *)
 
 val pp_net_report : Format.formatter -> net_report -> unit
+
+(** {1 Network chaos certification mode}
+
+    The switch-loss counterpart of {!run_net}: a seeded stream of random
+    rollout scenarios, each executed under a random per-switch fault
+    schedule ({!Fr_net.Scenario.chaos_faults} — control-agent crashes at
+    round boundaries and mid-flush, slow acks, stuck TCAM banks) with
+    per-node supervision engaged.  Even cases run [hold = Wait] with a
+    generous pass budget; odd cases run [hold = Abort] with a tight one,
+    so fault escalation triggers real compensating rollbacks; every
+    fourth case additionally pulls the operator abort lever at a random
+    committed boundary.  Per case and per scheduler lane the oracle
+    demands:
+
+    - {b consistency at every instant} — {!Fr_net.Check.consistent}
+      against the {e original} plan at the initial state, after every
+      node flush, every retry, every mid-flush node crash, every
+      individual stamp flip (forward and rolled-back), and every round
+      boundary;
+    - {b abort atomicity} — an [Aborted] rollout's fleet (tables and
+      stamps) equals a twin on which the rollout never started, a
+      [Completed] one equals the new-policy twin, and a [Held] verdict
+      (a wedged rollout) is itself a divergence;
+    - {b verdict agreement} — all five schedulers reach the same
+      outcome and identical settled tables.
+
+    Everything derives from [seed], and supervision runs on modelled
+    time, so the whole report (see {!chaos_fingerprint}) is
+    deterministic and domain-count-invariant. *)
+
+type chaos_case = {
+  case_index : int;
+  case_seed : int;
+  case_shape : string;
+  case_nodes : int;
+  case_flows : int;
+  case_rounds : int;  (** forward rounds planned *)
+  case_faults : string list;  (** {!Fr_net.Scenario.fault_to_string} forms *)
+  case_hold : string;  (** ["wait"] or ["abort"] *)
+  case_abort_at : int option;  (** operator abort boundary, if pulled *)
+  case_outcome : string;  (** e.g. ["completed"], ["aborted@2-3"] *)
+  case_retried : int;
+  case_quarantines : int;
+  case_recovered : int;
+  case_probes : int;  (** probe points checked per lane *)
+}
+
+type chaos_report = {
+  chaos_seed : int;
+  chaos_cases : chaos_case list;
+  chaos_outcomes : (string * int) list;
+      (** outcome kind -> case count, sorted *)
+  chaos_divergences : divergence list;
+  chaos_wall_ms : float;
+}
+
+val chaos_clean : chaos_report -> bool
+
+val chaos_fingerprint : chaos_report -> string
+(** Digest of every wall-clock-free field of the report — equal across
+    [domains] settings for equal seeds, which is what the CI chaos job
+    asserts. *)
+
+val run_net_chaos :
+  ?cases:int ->
+  ?samples:int ->
+  ?shards:int ->
+  ?capacity:int ->
+  ?domains:int ->
+  seed:int ->
+  unit ->
+  chaos_report
+(** Defaults: 100 cases, [samples = 2] packets per stamped flow per
+    probe point, 2 shards of 64 slots per node.  Each case builds a
+    journaled fleet per scheduler lane in a fresh temp directory
+    (removed afterwards) — crash faults re-adopt nodes from those
+    journals mid-rollout.
+    @raise Invalid_argument if [cases < 1]. *)
+
+val pp_chaos_report : Format.formatter -> chaos_report -> unit

@@ -17,16 +17,38 @@
     node's flush and every individual stamp flip — those are precisely
     the reachable intermediate instants the conformance oracle checks.
 
+    {b Supervision.}  With [faults] and/or [supervision], {!execute}
+    runs the {!Fr_resil} breaker/backoff machinery one level up: each
+    switch gets a per-round modelled deadline, jittered retries and a
+    circuit breaker; a node whose control agent crashes is re-adopted
+    from its own journal mid-rollout.  All supervision decisions run on
+    {e modelled} time (summed drain [hardware_ms] plus the fault
+    schedule's ack penalties), never the wall clock, so a supervised
+    rollout is deterministic and domain-count-invariant.  When a round
+    cannot complete within the [hold_budget], the {!hold} policy either
+    parks the rollout (resumable) or aborts it with a compensating
+    rollback.
+
+    {b Rollback.}  An aborted rollout drives {!Plan.inverse} over the
+    executed prefix: re-install what was uninstalled, re-flip flipped
+    ingresses back per-flow-atomically, uninstall what was installed —
+    every instant of the rollback is consistent w.r.t. the original
+    plan, and the fleet lands byte-identically on the pre-rollout
+    policy.  The rollback is journaled ([abort_begin] / [rbegin] /
+    [rcommit] / [abort_done]), so a controller crash {e during} the
+    rollback also recovers.
+
     {b Durability.}  A journaled fleet owns a directory with one
     service journal per node plus a rollout log: the old/new policies,
     pre-rollout stamps and batch size are recorded when {!execute}
     starts (the plan itself is recomputed deterministically, never
     stored), and each round is bracketed by begin/commit markers.
     {!recover} rebuilds every node from its own journal, re-derives the
-    plan and the committed-round prefix, and {!resume} re-drives the
-    remainder idempotently — mods already accounted for (installed, or
-    removed, before the crash) are skipped, so a crash between any two
-    journal writes lands back on a consistent round boundary. *)
+    plan (or the in-flight inverse plan) and the committed-round
+    prefix, and {!resume} re-drives the remainder idempotently — mods
+    already accounted for (installed, or removed, before the crash) are
+    skipped, so a crash between any two journal writes lands back on a
+    consistent round boundary. *)
 
 type t
 
@@ -69,6 +91,10 @@ val lookup : t -> int -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
 val rules : t -> int -> Fr_tern.Rule.t list
 (** A node's installed rules over all its shards, id-ascending. *)
 
+val checkpoint : t -> unit
+(** Checkpoint every node's service journal (compact WALs into rule
+    snapshots).  Journaled fleets only (a no-op otherwise). *)
+
 (** {1 Rollouts} *)
 
 type probe = t -> round:int -> where:string -> unit
@@ -79,6 +105,42 @@ type crash_mode =
       (** journal the next round's submissions, then die inside the
           flush (per-node begin markers, no commits) *)
 
+type hold =
+  | Wait
+      (** park the rollout at the failing round's begin marker; the
+          journal stays resumable via {!recover}/{!resume} *)
+  | Abort  (** compensating rollback to the pre-rollout policy *)
+
+type supervision = {
+  deadline_ms : float;
+      (** per-node modelled deadline for one flush attempt (summed
+          drain [hardware_ms] plus any active ack penalty); [infinity]
+          disables timeouts *)
+  retries : int;  (** extra attempts per node per supervision pass *)
+  backoff_base_ms : float;
+  backoff_factor : float;
+  backoff_max_ms : float;
+  backoff_jitter : float;
+  breaker_threshold : int;  (** consecutive hard failures to quarantine *)
+  breaker_slow_threshold : int;  (** consecutive timeouts to quarantine *)
+  breaker_cooldown : int;  (** skipped passes before a half-open probe *)
+  hold : hold;  (** what to do when [hold_budget] passes are exhausted *)
+  hold_budget : int;  (** supervision passes per round before [hold] *)
+  sup_seed : int;  (** seeds the per-node backoff jitter streams *)
+}
+
+val default_supervision : supervision
+(** No deadline, 2 retries, 1→64 ms backoff (factor 2, jitter 0.2),
+    breaker 2/2 with cooldown 1, [Wait] after 16 passes, seed 97. *)
+
+type outcome =
+  | Completed
+  | Crashed  (** whole-controller crash drill ([stop_after_rounds]) *)
+  | Held of int  (** parked at this round under [hold = Wait] *)
+  | Aborted of { at_round : int; rolled_back : int }
+      (** aborted at [at_round]; [rolled_back] compensating rounds
+          committed — the fleet is back on the pre-rollout policy *)
+
 type round_stat = {
   r_index : int;
   r_kind : Plan.kind;
@@ -88,35 +150,60 @@ type round_stat = {
 }
 
 type report = {
-  completed : bool;  (** [false] only for crash-stopped runs *)
-  rounds_run : int;  (** rounds committed by this call *)
+  completed : bool;  (** [outcome = Completed] *)
+  outcome : outcome;
+  rounds_run : int;  (** forward rounds committed by this call *)
   applied : int;
-  failed : int;
+  failed : int;  (** unresolved mod failures (later successes clear) *)
+  retried : int;  (** supervised per-node retry attempts *)
+  quarantines : int;  (** breaker openings across nodes *)
+  recovered : int;  (** node re-adoptions from their journals *)
+  backoff_ms : float;  (** summed modelled backoff delay *)
   wall_ms : float;
   per_round : round_stat list;
+      (** forward then (after an abort) compensating rounds *)
 }
 
 val execute :
   ?probe:probe ->
   ?stop_after_rounds:int ->
+  ?stop_in_rollback:int ->
   ?crash_mode:crash_mode ->
+  ?faults:Scenario.fault_schedule ->
+  ?supervision:supervision ->
+  ?abort_after_rounds:int ->
   t ->
   Plan.t ->
   report
-(** Drive the plan to completion (or crash after [stop_after_rounds]
-    committed rounds — journaled fleets only; the fleet must not be
-    used afterwards, {!recover} from its directory instead).  Flip
-    rounds update {!stamps} as they run.
+(** Drive the plan to completion — or crash after [stop_after_rounds]
+    committed rounds, or abort (operator-initiated) at the
+    [abort_after_rounds] boundary and roll back.  Flip rounds update
+    {!stamps} as they run.
+
+    [faults] injects the schedule's per-switch crash / slow / stuck
+    faults at their rounds; providing [faults] or [supervision] engages
+    the supervised (sequential, modelled-time) round loop.  Crash
+    faults and crash drills need a journaled fleet; after a
+    whole-controller crash drill ([stop_after_rounds] /
+    [stop_in_rollback], which stops the controller after that many
+    {e compensating} rounds of an abort's rollback) the fleet must not
+    be used — {!recover} from its directory instead.  At every other
+    exit, including [Held] and [Aborted], crashed {e nodes} have been
+    re-adopted and the fleet remains usable.
     @raise Invalid_argument if the plan was built for a different
-    topology, a crash is requested without a journal, or the fleet has
-    already crashed. *)
+    topology, a crash is requested without a journal, both
+    [stop_after_rounds] and [abort_after_rounds] are given, or the
+    fleet has already crashed. *)
 
 (** {1 Crash recovery} *)
 
 type recovery = {
   fleet : t;
-  plan : Plan.t option;  (** the interrupted rollout, re-derived *)
+  plan : Plan.t option;
+      (** the interrupted rollout re-derived — the {e inverse} plan
+          when the crash hit mid-rollback ([aborting]) *)
   next_round : int;  (** first round not committed before the crash *)
+  aborting : bool;  (** the interrupted work is a compensating rollback *)
   replayed_drains : int;
   replayed_mods : int;
   requeued : int;
@@ -127,13 +214,43 @@ val recover :
   ?domains:int -> journal:string -> unit -> (recovery, string) result
 (** Rebuild a fleet from its journal directory alone: every node via
     {!Fr_ctrl.Service.recover}, stamps from the rollout log's committed
-    flips over its recorded baseline.  [plan = None] when no rollout
-    was in flight. *)
+    (forward, then compensating) flips over its recorded baseline.
+    [plan = None] when no rollout was in flight — including after a
+    completed rollback ([abort_done]), which lands on the pre-rollout
+    policy and stamps. *)
 
 val resume : ?probe:probe -> recovery -> report
-(** Finish an interrupted rollout: flush each node's requeued intent,
-    then re-drive every uncommitted round, skipping mods the crash-era
-    journals already accounted for.  A no-op ([completed = true],
-    [rounds_run = 0]) when there is nothing to resume. *)
+(** Finish an interrupted rollout (or rollback, when [aborting]): flush
+    each node's requeued intent, then re-drive every uncommitted round,
+    skipping mods the crash-era journals already accounted for.  A
+    no-op ([completed = true], [rounds_run = 0]) when there is nothing
+    to resume. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Offline journal inspection} *)
+
+type rollout_stat = {
+  rs_nodes : int;  (** topology nodes (per-node service journals) *)
+  rs_stamped : int;  (** flows stamped in the recorded baseline *)
+  rs_state : string;
+      (** ["idle"], ["in-flight"], ["rolling-back"], ["completed"] or
+          ["rolled-back"] *)
+  rs_batch : int;  (** [0] when idle *)
+  rs_old_flows : int;
+  rs_new_flows : int;
+  rs_begun : int;  (** forward rounds with a begin marker *)
+  rs_committed : int;
+  rs_rb_begun : int;  (** compensating rounds with an rbegin marker *)
+  rs_rb_committed : int;
+  rs_last_boundary : string;
+      (** human description of the last consistent boundary the journal
+          proves — where {!recover}/{!resume} would pick up *)
+}
+
+val is_fleet_journal : string -> bool
+(** Does the directory hold fleet metadata ([fleet.meta])? *)
+
+val rollout_stat : journal:string -> unit -> (rollout_stat, string) result
+(** Read-only summary of a fleet journal tree's rollout log.  Nothing is
+    recovered or modified. *)

@@ -178,6 +178,115 @@ let make ?(batch = 8) topo ~stamps ~old_policy ~new_policy =
       rounds;
     }
 
+(* -- compensating rollback synthesis ------------------------------- *)
+
+let stamps_at t ~upto =
+  let stamps = Hashtbl.create 16 in
+  List.iter (fun (fid, v) -> Hashtbl.replace stamps fid v) t.stamps_before;
+  List.iter
+    (fun r ->
+      if r.index < upto then
+        List.iter
+          (fun (fid, v) ->
+            match v with
+            | Some v -> Hashtbl.replace stamps fid v
+            | None -> Hashtbl.remove stamps fid)
+          r.stamp_changes)
+    t.rounds;
+  Hashtbl.fold (fun fid v acc -> (fid, v) :: acc) stamps []
+  |> List.sort compare
+
+let inverse ?(upto = max_int) t =
+  let executed = List.filter (fun r -> r.index < upto) t.rounds in
+  (* Every rule the executed Uninstall rounds removed is an old-policy
+     rule at its pre-rollout version; Remove mods only carry ids, so the
+     full rules are recomputed from the old policy — byte-identical to
+     what the fleet held before the rollout. *)
+  let old_rules = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Policy.flow) ->
+      let v = List.assoc f.flow_id t.stamps_before in
+      List.iter
+        (fun (node, (r : Fr_tern.Rule.t)) ->
+          Hashtbl.replace old_rules (node, r.id) r)
+        (Policy.hop_rules t.topo f ~version:v))
+    t.old_policy;
+  let reinstalls = ref [] and uninstalls = ref [] and flipped = ref None in
+  List.iter
+    (fun r ->
+      (match r.kind with
+      | Install ->
+          List.iter
+            (fun (node, mods) ->
+              List.iter
+                (function
+                  | Agent.Add (rl : Fr_tern.Rule.t) ->
+                      uninstalls :=
+                        (node, Agent.Remove { id = rl.id }) :: !uninstalls
+                  | _ -> ())
+                mods)
+            r.batches
+      | Uninstall ->
+          List.iter
+            (fun (node, mods) ->
+              List.iter
+                (function
+                  | Agent.Remove { id } -> (
+                      match Hashtbl.find_opt old_rules (node, id) with
+                      | Some rl ->
+                          reinstalls := (node, Agent.Add rl) :: !reinstalls
+                      | None ->
+                          invalid_arg
+                            (Printf.sprintf
+                               "Plan.inverse: removed rule %d at node %d is \
+                                not an old-policy rule"
+                               id node))
+                  | _ -> ())
+                mods)
+            r.batches
+      | Flip -> ());
+      if r.kind = Flip then flipped := Some r.stamp_changes)
+    executed;
+  (* Compensation order mirrors the two-phase protocol: restore the old
+     version's rules first (no packet is stamped with them yet), then
+     flip every flipped ingress back per-flow-atomically, then strip the
+     new version's installed state (no packet carries it any more).
+     Every prefix instant stays consistent w.r.t. the original plan. *)
+  let before = List.sort compare t.stamps_before in
+  let flip_back =
+    match !flipped with
+    | None -> []
+    | Some changes ->
+        List.map
+          (fun (fid, _) -> (fid, List.assoc_opt fid before))
+          changes
+        |> List.sort compare
+  in
+  let rounds =
+    List.map
+      (fun b -> (Install, b, []))
+      (pack_rounds ~batch:t.batch (List.rev !reinstalls))
+    @ (if flip_back = [] then [] else [ (Flip, [], flip_back) ])
+    @ List.map
+        (fun b -> (Uninstall, b, []))
+        (pack_rounds ~batch:t.batch (List.rev !uninstalls))
+  in
+  let rounds =
+    List.mapi
+      (fun index (kind, batches, stamp_changes) ->
+        { index; kind; batches; stamp_changes })
+      rounds
+  in
+  {
+    topo = t.topo;
+    old_policy = t.new_policy;
+    new_policy = t.old_policy;
+    batch = t.batch;
+    stamps_before = stamps_at t ~upto;
+    stamps_after = before;
+    rounds;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "plan: %d rounds, %d mods, batch %d@." (num_rounds t)
     (total_mods t) t.batch;

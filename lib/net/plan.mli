@@ -67,6 +67,26 @@ val stamps_after : t -> (int * int) list
 
 val total_mods : t -> int
 
+val inverse : ?upto:int -> t -> t
+(** The compensating rollback for the prefix of rounds with
+    [index < upto] (default: every round): re-install the old-version
+    rules that prefix uninstalled (recomputed from the old policy, so
+    they are byte-identical to the pre-rollout state), re-flip every
+    flipped ingress back to its {!stamps_before} version (introduced
+    flows back to "no stamp"), then remove the new-version rules the
+    prefix installed — in that order, so every instant of the rollback
+    is itself consistent w.r.t. the original plan's expectations.
+    Driving the result lands the fleet exactly on the pre-rollout
+    policy: the inverse's {!stamps_after} is the original's
+    {!stamps_before}.
+
+    The inverse is an {e executable} plan (rounds, batches, flips), not
+    a re-plannable one — its old/new policy fields are the original's
+    swapped for bookkeeping only.  When the prefix ends in a partially
+    applied round, include that round in [upto] and execute the inverse
+    idempotently: compensation mods for never-applied work are already
+    accounted for and skip. *)
+
 val touched : round -> int
 (** Number of switches the round sends mods to. *)
 

@@ -79,11 +79,34 @@ echo "$out" | grep -q 'degraded:' || { echo "degraded drill: no summary line"; e
 echo "$out" | grep -Eq 'dead discovered, degraded-diverted [0-9]+, shed 0' || { echo "degraded drill: submits were shed"; exit 1; }
 echo "$out" | grep -Eq '[1-9][0-9]* dead discovered' || { echo "degraded drill: stuck bank never discovered"; exit 1; }
 
-echo "== degraded conformance (every scheduler, domains 1 and 4) =="
+echo "== degraded conformance (every scheduler, domains 1 and 4, strict) =="
 "$CLI" conform -k acl4 -n 90 --pool 150 -c 60 -e 300 --seed 31 \
-  --degraded 0.10 >/dev/null
+  --degraded 0.10 --strict >/dev/null
 "$CLI" conform -k acl4 -n 90 --pool 150 -c 60 -e 300 --seed 31 \
-  --degraded 0.10 --domains 4 >/dev/null
+  --degraded 0.10 --strict --domains 4 >/dev/null
+
+echo "== net chaos certification (random switch faults, domains 1 = 4 fingerprint) =="
+C1=$(mktemp); C4=$(mktemp)
+"$CLI" net --chaos --cases 25 --seed 2026 --json "$C1" >/dev/null
+FASTRULE_DOMAINS=4 "$CLI" net --chaos --cases 25 --seed 2026 --json "$C4" >/dev/null
+f1=$(sed 's/.*"fingerprint":"\([^"]*\)".*/\1/' "$C1")
+f4=$(sed 's/.*"fingerprint":"\([^"]*\)".*/\1/' "$C4")
+[ -n "$f1" ] && [ "$f1" = "$f4" ] || { echo "net chaos: fingerprints diverged between domains 1 and 4"; exit 1; }
+rm -f "$C1" "$C4"
+
+echo "== abort drill (rollback checkpoint = pre-rollout checkpoint, same bytes) =="
+A0=$(mktemp -d)/fleet
+A1=$(mktemp -d)/fleet
+"$CLI" net --shape ring --nodes 5 --seed 7 --batch 2 \
+  --journal "$A0" --abort-at 0 >/dev/null
+"$CLI" net --shape ring --nodes 5 --seed 7 --batch 2 \
+  --journal "$A1" --abort-at 2 >/dev/null
+"$CLI" journal stat --journal "$A1" | grep -q 'rolled-back' \
+  || { echo "abort drill: journal does not record the rollback"; exit 1; }
+cat "$A0"/node-*/shard-*-ckpt-*.rules | sort > "$A0.pre"
+cat "$A1"/node-*/shard-*-ckpt-*.rules | sort > "$A1.post"
+cmp "$A0.pre" "$A1.post" || { echo "abort drill: post-rollback checkpoint differs from pre-rollout"; exit 1; }
+rm -rf "$(dirname "$A0")" "$(dirname "$A1")" "$A0.pre" "$A1.post"
 
 echo "== parallel flush equivalence (same seed, 1 vs 4 domains, same journal bytes) =="
 J1=$(mktemp -d)

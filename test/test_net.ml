@@ -433,6 +433,178 @@ let test_recover_without_rollout () =
           (Net.rules fleet node = Net.rules rc.Net.fleet node)
       done)
 
+(* --- fault schedules, supervision and rollback ------------------------- *)
+
+let test_fault_codec_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Net_scenario.fault_to_string f in
+      match Net_scenario.fault_of_string s with
+      | Ok f' ->
+          check_bool (Printf.sprintf "%s round-trips" s) true (f = f');
+          Alcotest.(check string)
+            "string form is canonical" s
+            (Net_scenario.fault_to_string f')
+      | Error e -> Alcotest.failf "%s does not parse back: %s" s e)
+    [
+      (2, Net_scenario.Crash_at { round = 3; mid_flush = true });
+      (0, Net_scenario.Crash_at { round = 0; mid_flush = false });
+      (0, Net_scenario.Slow_from { round = 1; slow_ms = 250.; heal_after = 3 });
+      (5, Net_scenario.Slow_from { round = 0; slow_ms = 0.5; heal_after = 1 });
+      (1, Net_scenario.Stuck_bank { round = 0; shard = 1; rows = [ 5; 12 ] });
+      (3, Net_scenario.Stuck_bank { round = 2; shard = 0; rows = [ 0 ] });
+    ];
+  List.iter
+    (fun s ->
+      match Net_scenario.fault_of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "0:crash"; "crash@1"; "0:warp@1"; "0:slow@2"; "0:stuck@1=2:" ]
+
+let strict_supervision =
+  {
+    Net.default_supervision with
+    Net.deadline_ms = 50.0;
+    retries = 2;
+    breaker_cooldown = 1;
+  }
+
+let test_supervised_slow_node_retries () =
+  let sc, plan = scenario_plan ~seed:19 Ring 5 in
+  let fleet = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+  let faults =
+    Net_scenario.schedule_of_faults
+      [ (1, Net_scenario.Slow_from { round = 0; slow_ms = 200.; heal_after = 1 }) ]
+  in
+  let report = Net.execute ~faults ~supervision:strict_supervision fleet plan in
+  check_bool "completed despite the slow node" true report.Net.completed;
+  check_int "no unresolved failures" 0 report.Net.failed;
+  check_bool "the timeout was retried" true (report.Net.retried > 0);
+  let twin = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+  let _ = Net.execute twin plan in
+  Alcotest.(check (list (pair int int)))
+    "stamps equal twin" (Net.stamps twin) (Net.stamps fleet);
+  for node = 0 to 4 do
+    check_bool
+      (Printf.sprintf "node %d equals twin" node)
+      true
+      (Net.rules fleet node = Net.rules twin node)
+  done
+
+let test_node_crash_readopted_mid_rollout () =
+  let sc, plan = scenario_plan ~batch:2 ~seed:23 Tree 7 in
+  let dir = Journal.fresh_dir ~prefix:"fr-test-netfault" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let fleet = Net.of_policy ~domains:1 ~journal:dir sc.topo sc.old_policy in
+      let faults =
+        Net_scenario.schedule_of_faults
+          [ (2, Net_scenario.Crash_at { round = 1; mid_flush = true }) ]
+      in
+      let report =
+        Net.execute ~faults ~supervision:strict_supervision fleet plan
+      in
+      check_bool "completed despite the node crash" true report.Net.completed;
+      check_int "no unresolved failures" 0 report.Net.failed;
+      check_bool "the node was re-adopted" true (report.Net.recovered >= 1);
+      let twin = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+      let _ = Net.execute twin plan in
+      Alcotest.(check (list (pair int int)))
+        "stamps equal twin" (Net.stamps twin) (Net.stamps fleet);
+      for node = 0 to 6 do
+        check_bool
+          (Printf.sprintf "node %d equals twin" node)
+          true
+          (Net.rules fleet node = Net.rules twin node)
+      done)
+
+let test_abort_rolls_back_to_pre_rollout () =
+  let sc, plan = scenario_plan ~batch:2 ~seed:7 Ring 5 in
+  check_bool "fixture has rounds to abort between"
+    true
+    (Net_plan.num_rounds plan >= 3);
+  let dir = Journal.fresh_dir ~prefix:"fr-test-netabort" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let fleet = Net.of_policy ~domains:1 ~journal:dir sc.topo sc.old_policy in
+      let report = Net.execute ~abort_after_rounds:1 fleet plan in
+      (match report.Net.outcome with
+      | Net.Aborted { at_round; rolled_back } ->
+          check_int "aborted at the requested boundary" 1 at_round;
+          check_bool "compensating rounds ran" true (rolled_back > 0)
+      | _ -> Alcotest.fail "expected an Aborted outcome");
+      check_bool "not reported completed" true (not report.Net.completed);
+      (* the fleet must be byte-identical to one that never started *)
+      let twin = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+      Alcotest.(check (list (pair int int)))
+        "stamps back to pre-rollout"
+        (Net_plan.stamps_before plan)
+        (Net.stamps fleet);
+      for node = 0 to 4 do
+        check_bool
+          (Printf.sprintf "node %d equals never-started twin" node)
+          true
+          (Net.rules fleet node = Net.rules twin node)
+      done;
+      (* the journal agrees: completed rollback, boundary = pre-rollout *)
+      check_bool "fleet journal detected" true (Net.is_fleet_journal dir);
+      match Net.rollout_stat ~journal:dir () with
+      | Error e -> Alcotest.failf "rollout_stat: %s" e
+      | Ok st ->
+          Alcotest.(check string) "state" "rolled-back" st.Net.rs_state;
+          check_int "forward rounds committed before the abort" 1
+            st.Net.rs_committed;
+          check_bool "all compensating rounds committed" true
+            (st.Net.rs_rb_committed = st.Net.rs_rb_begun
+            && st.Net.rs_rb_committed > 0))
+
+let test_crash_during_rollback_recovers () =
+  let sc, plan = scenario_plan ~batch:2 ~seed:7 Ring 5 in
+  let dir = Journal.fresh_dir ~prefix:"fr-test-netrbcrash" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let fleet = Net.of_policy ~domains:1 ~journal:dir sc.topo sc.old_policy in
+      let report =
+        Net.execute ~abort_after_rounds:2 ~stop_in_rollback:1 fleet plan
+      in
+      check_bool "controller died mid-rollback" true
+        (report.Net.outcome = Net.Crashed);
+      (* recover sees the in-flight compensating plan and finishes it *)
+      let rc =
+        match Net.recover ~domains:1 ~journal:dir () with
+        | Ok rc -> rc
+        | Error e -> Alcotest.failf "recover: %s" e
+      in
+      check_bool "recovery is a rollback" true rc.Net.aborting;
+      check_bool "inverse plan re-derived" true (rc.Net.plan <> None);
+      check_int "one compensating round already committed" 1 rc.Net.next_round;
+      let rep2 = Net.resume rc in
+      check_bool "rollback resumes to completion" true rep2.Net.completed;
+      let twin = Net.of_policy ~domains:1 sc.topo sc.old_policy in
+      let f = rc.Net.fleet in
+      Alcotest.(check (list (pair int int)))
+        "stamps back to pre-rollout"
+        (Net_plan.stamps_before plan)
+        (Net.stamps f);
+      for node = 0 to 4 do
+        check_bool
+          (Printf.sprintf "node %d equals never-started twin" node)
+          true
+          (Net.rules f node = Net.rules twin node)
+      done;
+      (* a second recover finds nothing in flight *)
+      match Net.recover ~domains:1 ~journal:dir () with
+      | Error e -> Alcotest.failf "second recover: %s" e
+      | Ok rc2 ->
+          check_bool "nothing left to resume" true (rc2.Net.plan = None);
+          Alcotest.(check (list (pair int int)))
+            "recovered stamps are pre-rollout"
+            (Net_plan.stamps_before plan)
+            (Net.stamps rc2.Net.fleet))
+
 (* --- conformance oracle ------------------------------------------------ *)
 
 let test_run_net_fixtures () =
@@ -456,6 +628,107 @@ let test_run_net_fixtures () =
             (c.net_probes > r.Oracle.net_rounds_planned))
         r.Oracle.net_columns)
     [ (Net_topo.Line, 6, 1); (Net_topo.Ring, 5, 2); (Net_topo.Tree, 7, 3) ]
+
+let test_run_net_chaos_small () =
+  let r = Oracle.run_net_chaos ~cases:10 ~domains:1 ~seed:42 () in
+  if not (Oracle.chaos_clean r) then
+    Alcotest.failf "chaos divergences: %s"
+      (String.concat "; "
+         (List.map
+            (fun (d : Oracle.divergence) -> d.detail)
+            r.Oracle.chaos_divergences));
+  check_int "every case ran" 10 (List.length r.Oracle.chaos_cases);
+  check_bool "cases probe the rollout" true
+    (List.for_all
+       (fun (c : Oracle.chaos_case) -> c.case_probes > 0)
+       r.Oracle.chaos_cases)
+
+let test_chaos_fingerprint_domains_invariant () =
+  let r1 = Oracle.run_net_chaos ~cases:8 ~domains:1 ~seed:42 () in
+  let r2 = Oracle.run_net_chaos ~cases:8 ~domains:2 ~seed:42 () in
+  check_bool "domains 1 clean" true (Oracle.chaos_clean r1);
+  check_bool "domains 2 clean" true (Oracle.chaos_clean r2);
+  Alcotest.(check string)
+    "verdict fingerprint is domain-count-invariant"
+    (Oracle.chaos_fingerprint r1)
+    (Oracle.chaos_fingerprint r2)
+
+(* --- bench row round-trip ---------------------------------------------- *)
+
+(* One BENCH_net.json row, built exactly as [bench net] builds it.  The
+   row records its own seed and effective domain count, so the row
+   alone re-runs the cell; everything but the measured makespan must
+   serialise byte-for-byte identically. *)
+let bench_net_row ~shape ~nodes ~batch ~seed ~domains =
+  let topo = Net_topo.make shape nodes in
+  let flows = nodes in
+  let sc =
+    Net_scenario.make ~flows ~reroute:(flows / 3) ~withdraw:1 ~introduce:1
+      ~waypoints:2 ~seed topo
+  in
+  let plan =
+    match Net_scenario.plan ~batch sc with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let fleet =
+    Net.of_policy ~capacity:(4 * flows) ~domains topo sc.old_policy
+  in
+  let report = Net.execute fleet plan in
+  check_bool "bench cell completes" true report.Net.completed;
+  let open Telemetry.Json in
+  Obj
+    [
+      ("shape", Str (Net_topo.shape_name topo));
+      ("nodes", Int nodes);
+      ("flows", Int flows);
+      ("batch", Int batch);
+      ("seed", Int seed);
+      ("domains", Int (Net.domains fleet));
+      ("rounds", Int (Net_plan.num_rounds plan));
+      ("total_mods", Int (Net_plan.total_mods plan));
+      ("applied", Int report.Net.applied);
+      ("makespan_ms", Float report.Net.wall_ms);
+      ( "round_touched",
+        List
+          (Stdlib.List.map
+             (fun (s : Net.round_stat) -> Int s.Net.r_switches)
+             report.Net.per_round) );
+      ( "round_mods",
+        List
+          (Stdlib.List.map
+             (fun (s : Net.round_stat) -> Int s.Net.r_mods)
+             report.Net.per_round) );
+    ]
+
+let row_field row key =
+  match row with
+  | Telemetry.Json.Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some (Telemetry.Json.Int i) -> i
+      | _ -> Alcotest.failf "row has no int field %S" key)
+  | _ -> Alcotest.failf "row is not an object"
+
+let strip_wall row =
+  match row with
+  | Telemetry.Json.Obj fields ->
+      Telemetry.Json.Obj
+        (List.filter (fun (k, _) -> k <> "makespan_ms") fields)
+  | v -> v
+
+let test_bench_net_row_roundtrip () =
+  let row = bench_net_row ~shape:Net_topo.Ring ~nodes:5 ~batch:4 ~seed:29 ~domains:2 in
+  check_int "row records the effective domains" 2 (row_field row "domains");
+  (* re-run the cell from nothing but the row's own recorded fields *)
+  let again =
+    bench_net_row ~shape:Net_topo.Ring ~nodes:(row_field row "nodes")
+      ~batch:(row_field row "batch") ~seed:(row_field row "seed")
+      ~domains:(row_field row "domains")
+  in
+  Alcotest.(check string)
+    "recorded seed+domains reproduce the row byte-for-byte"
+    (Telemetry.Json.to_string (strip_wall row))
+    (Telemetry.Json.to_string (strip_wall again))
 
 (* --- properties -------------------------------------------------------- *)
 
@@ -558,6 +831,75 @@ let prop_crash_recover_twin =
                     QCheck.Test.fail_reportf "tables differ from twin";
                   true))
 
+(* Compensating-rollback algebra at the pure-model level: execute any
+   fully-committed prefix of a plan, then its inverse, and the tables
+   and stamps land exactly back on the pre-rollout state.  Model.apply
+   raises on duplicate installs / missing removes, so the equality is
+   strict — the inverse must be exact, not merely idempotent. *)
+let prop_inverse_plan_restores_model =
+  QCheck.Test.make ~name:"prefix + inverse plan = identity (pure model)"
+    ~count:80 arb_scenario (fun params ->
+      let (_, _, seed, _, _, _, _, _, batch) = params in
+      let sc = build_scenario params in
+      match Net_scenario.plan ~batch sc with
+      | Error e -> QCheck.Test.fail_reportf "does not plan: %s" e
+      | Ok plan ->
+          let rounds = Net_plan.rounds plan in
+          let n = List.length rounds in
+          QCheck.assume (n > 0);
+          let rng = Rng.create ~seed in
+          let upto = Rng.int_in rng 0 n in
+          let stamps0 = Net_plan.stamps_before plan in
+          let version_of (f : Net_policy.flow) =
+            match List.assoc_opt f.Net_policy.flow_id stamps0 with
+            | Some v -> v
+            | None -> 0
+          in
+          let model =
+            Net_check.Model.of_policy sc.topo ~version_of sc.old_policy
+          in
+          let stamps = Hashtbl.create 16 in
+          List.iter (fun (f, v) -> Hashtbl.replace stamps f (Some v)) stamps0;
+          let apply_round (r : Net_plan.round) =
+            List.iter
+              (fun (node, mods) ->
+                List.iter (Net_check.Model.apply model node) mods)
+              r.Net_plan.batches;
+            List.iter
+              (fun (f, v) -> Hashtbl.replace stamps f v)
+              r.Net_plan.stamp_changes
+          in
+          List.iter
+            (fun (r : Net_plan.round) ->
+              if r.Net_plan.index < upto then apply_round r)
+            rounds;
+          List.iter apply_round
+            (Net_plan.rounds (Net_plan.inverse ~upto plan));
+          let reference =
+            Net_check.Model.of_policy sc.topo ~version_of sc.old_policy
+          in
+          let nodes = Net_topo.nodes sc.topo in
+          let rec tables_equal i =
+            i >= nodes
+            || (Net_check.Model.rules model i
+                = Net_check.Model.rules reference i
+               && tables_equal (i + 1))
+          in
+          if not (tables_equal 0) then
+            QCheck.Test.fail_reportf "tables differ after rollback (upto=%d)"
+              upto;
+          let final =
+            Hashtbl.fold
+              (fun f v acc ->
+                match v with Some v -> (f, v) :: acc | None -> acc)
+              stamps []
+            |> List.sort compare
+          in
+          if final <> stamps0 then
+            QCheck.Test.fail_reportf "stamps differ after rollback (upto=%d)"
+              upto;
+          true)
+
 let to_alcotest tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -605,10 +947,37 @@ let suite =
         Alcotest.test_case "recover without rollout" `Quick
           test_recover_without_rollout;
       ] );
+    ( "net-supervision",
+      [
+        Alcotest.test_case "fault codec round-trips" `Quick
+          test_fault_codec_roundtrip;
+        Alcotest.test_case "slow node retried to completion" `Quick
+          test_supervised_slow_node_retries;
+        Alcotest.test_case "crashed node re-adopted mid-rollout" `Quick
+          test_node_crash_readopted_mid_rollout;
+        Alcotest.test_case "abort rolls back to pre-rollout" `Quick
+          test_abort_rolls_back_to_pre_rollout;
+        Alcotest.test_case "crash during rollback recovers" `Quick
+          test_crash_during_rollback_recovers;
+      ] );
     ( "net-oracle",
-      [ Alcotest.test_case "line/ring/tree clean" `Quick test_run_net_fixtures ]
-    );
+      [
+        Alcotest.test_case "line/ring/tree clean" `Quick test_run_net_fixtures;
+        Alcotest.test_case "chaos: 10 seeded schedules clean" `Quick
+          test_run_net_chaos_small;
+        Alcotest.test_case "chaos: fingerprint domains-invariant" `Quick
+          test_chaos_fingerprint_domains_invariant;
+      ] );
+    ( "net-bench",
+      [
+        Alcotest.test_case "BENCH_net row round-trips" `Quick
+          test_bench_net_row_roundtrip;
+      ] );
     ( "net-props",
-      to_alcotest [ prop_random_topology_consistent; prop_crash_recover_twin ]
-    );
+      to_alcotest
+        [
+          prop_random_topology_consistent;
+          prop_crash_recover_twin;
+          prop_inverse_plan_restores_model;
+        ] );
   ]
