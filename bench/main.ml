@@ -4,7 +4,7 @@
    core data-structure operations.
 
    Usage:  main.exe [--quick] [table2] [fig7] [fig8] [fig9] [ablation]
-           [micro] [ctrl] [conform] [resil] [cache]
+           [micro] [ctrl] [conform] [resil] [cache] [net] [degrade] [plane]
 
    With no section argument every section runs.  --quick restricts the
    sweeps to sizes <= 4000 (a couple of minutes); the full run covers the
@@ -1190,6 +1190,67 @@ let degrade () =
   Format.printf "@.wrote BENCH_degrade.json (%d rows)@." (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* plane: lookup latency while the table is being rewritten under it.
+   Sweeps update rate x Zipf skew x scheduler: the readers sample
+   shard 0's published snapshots throughout the storm, so the
+   quantiles price what a data-plane packet pays for a concurrent
+   cascade — nothing, if publication really is one pointer swap.
+   Correctness is the test suite's and @plane's job (snapshot oracle,
+   backend agreement); here the numbers are pure lookup mechanics.
+   The lookup-side quantiles are wall-clock dependent; result_json
+   quarantines them under Plane.volatile_keys so the storm side stays
+   reproducible from the seed. *)
+
+let plane () =
+  let op_counts = if !quick then [ 800 ] else [ 1_000; 4_000 ] in
+  let skews = if !quick then [ 0.0; 1.1 ] else [ 0.0; 0.8; 1.2 ] in
+  let n = if !quick then 300 else 1_000 in
+  let flows = if !quick then 8_000 else 50_000 in
+  Format.printf "@.== plane: lookup p50/p99/p999 under update storms ==@.";
+  let rows =
+    List.concat_map
+      (fun ops ->
+        List.concat_map
+          (fun skew ->
+            List.map
+              (fun algo ->
+                let spec =
+                  {
+                    Plane.default_spec with
+                    Plane.n;
+                    seed;
+                    flows;
+                    skew;
+                    ops;
+                    min_lookups = (if !quick then 600 else 2_000);
+                  }
+                in
+                let r = Plane.run ~algo spec in
+                assert (r.Plane.disagree = 0);
+                Format.printf "%a" Plane.pp_result r;
+                Plane.result_json r)
+              (Firmware.standard_algos backend))
+          skews)
+      op_counts
+  in
+  let open Telemetry.Json in
+  let doc =
+    Obj
+      [
+        ("bench", Str "plane");
+        ("quick", Bool !quick);
+        ("seed", Int seed);
+        ("kind", Str (Dataset.to_string Plane.default_spec.Plane.kind));
+        ("rows", List rows);
+      ]
+  in
+  let oc = open_out "BENCH_plane.json" in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote BENCH_plane.json (%d rows)@." (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1207,6 +1268,7 @@ let sections =
     ("cache", cache);
     ("net", net);
     ("degrade", degrade);
+    ("plane", plane);
   ]
 
 let () =

@@ -1286,6 +1286,233 @@ let cache_cmd =
       $ algo_arg $ oracle_arg $ no_check_arg $ probes_arg $ domains_arg
       $ json_arg)
 
+(* --- plane ------------------------------------------------------------ *)
+
+let plane_cmd =
+  let run kind n seed flows skew ops shards capacity batch readers min_lookups
+      rebuild_every algo sweep no_oracle events probes max_p99_ms domains json =
+    let bad fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "fastrule_cli: %s@." m;
+          exit 2)
+        fmt
+    in
+    if n < 1 then bad "-n must be >= 1 (got %d)" n;
+    if flows < 1 then bad "--flows must be >= 1 (got %d)" flows;
+    if skew < 0.0 || not (Float.is_finite skew) then
+      bad "--skew must be finite and >= 0 (got %g)" skew;
+    if ops < 1 then bad "--ops must be >= 1 (got %d)" ops;
+    if shards < 1 then bad "--shards must be >= 1 (got %d)" shards;
+    if capacity < 1 then bad "--capacity must be >= 1 (got %d)" capacity;
+    if batch < 1 then bad "--batch must be >= 1 (got %d)" batch;
+    if readers < 1 then bad "--readers must be >= 1 (got %d)" readers;
+    if min_lookups < 1 then bad "--min-lookups must be >= 1 (got %d)" min_lookups;
+    if rebuild_every < 1 then
+      bad "--rebuild-every must be >= 1 (got %d)" rebuild_every;
+    if events < 0 then bad "--events must be >= 0 (got %d)" events;
+    if probes < 1 then bad "--probes must be >= 1 (got %d)" probes;
+    (match domains with
+    | Some d when d < 1 -> bad "--domains must be >= 1 (got %d)" d
+    | _ -> ());
+    let spec =
+      {
+        Plane.kind;
+        n;
+        seed;
+        flows;
+        skew;
+        ops;
+        shards;
+        capacity;
+        batch;
+        readers;
+        min_lookups;
+        rebuild_every;
+      }
+    in
+    let results =
+      if sweep then Plane.run_all ?domains spec
+      else [ Plane.run ~algo ?domains spec ]
+    in
+    List.iter (fun r -> Plane.pp_result Format.std_formatter r) results;
+    let disagreements =
+      List.fold_left (fun acc (r : Plane.result) -> acc + r.Plane.disagree) 0
+        results
+    in
+    if disagreements > 0 then
+      Format.printf
+        "plane: %d TCAM-vs-software lookup disagreements (BUG)@." disagreements;
+    let p99_breach =
+      if max_p99_ms <= 0.0 then None
+      else
+        List.find_map
+          (fun (r : Plane.result) ->
+            let worst =
+              Float.max r.Plane.tcam_lat.Plane.p99 r.Plane.soft_lat.Plane.p99
+            in
+            if worst > max_p99_ms *. 1e6 then
+              Some (Firmware.algo_kind_name r.Plane.algo, worst)
+            else None)
+          results
+    in
+    (match p99_breach with
+    | Some (name, worst) ->
+        Format.printf "plane: p99 gate breached on %s (%.0f ns > %.0f ms)@."
+          name worst max_p99_ms
+    | None -> ());
+    (* The mid-cascade proof: every snapshot a scheduler publishes while
+       a flow-mod cascades must answer like the semantic table before or
+       after the mod — all five schedulers, exit 1 on divergence. *)
+    let oracle_dirty =
+      if no_oracle || events = 0 then false
+      else begin
+        let initial = min n 400 in
+        let trace =
+          Trace.generate ~kind ~seed ~initial ~pool:(2 * initial)
+            ~capacity:(4 * initial) ~events ()
+        in
+        let report =
+          Oracle.run ~config:{ Oracle.default_config with probes } trace
+        in
+        Oracle.pp_report Format.std_formatter report;
+        if report.Oracle.snapshots_checked = 0 then begin
+          Format.printf "plane oracle: no snapshots captured (BUG)@.";
+          true
+        end
+        else not (Oracle.clean report)
+      end
+    in
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Telemetry.Json.to_string
+             (Telemetry.Json.List (List.map Plane.result_json results)));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "wrote plane results to %s@." path);
+    let dirty = disagreements > 0 || p99_breach <> None || oracle_dirty in
+    Format.printf "plane: %d storm leg%s, %s@." (List.length results)
+      (if List.length results = 1 then "" else "s")
+      (if dirty then "DIVERGED" else "all conformant");
+    exit (if dirty then 1 else 0)
+  in
+  let flows_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "flows" ] ~docv:"COUNT"
+          ~doc:"Flow-universe size for the LGEN readers.")
+  in
+  let skew_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "skew" ] ~docv:"S"
+          ~doc:"Zipf exponent of the flow popularity (0 = uniform).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 4_000
+      & info [ "u"; "ops" ] ~docv:"COUNT"
+          ~doc:"Update-storm flow-mods flushed while the readers measure.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "s"; "shards" ] ~docv:"N"
+          ~doc:"Service shards; the readers target shard 0's snapshots.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 1_500
+      & info [ "c"; "capacity" ] ~docv:"SLOTS" ~doc:"TCAM slots per shard.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "b"; "batch" ] ~docv:"OPS" ~doc:"Storm ops per flush window.")
+  in
+  let readers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "readers" ] ~docv:"N" ~doc:"LGEN reader domains.")
+  in
+  let min_lookups_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "min-lookups" ] ~docv:"N"
+          ~doc:"Per-reader sample floor (keeps short storms measurable).")
+  in
+  let rebuild_every_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "rebuild-every" ] ~docv:"LOOKUPS"
+          ~doc:"Software-backend recompile period, in lookups.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt algo_conv (Firmware.FR_O Store.Bit_backend)
+      & info [ "algo" ] ~docv:"SCHED"
+          ~doc:"Scheduler driving the storm (ignored with --sweep).")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Run the storm once per scheduler (five legs, same spec).")
+  in
+  let no_oracle_arg =
+    Arg.(
+      value & flag
+      & info [ "no-oracle" ]
+          ~doc:"Skip the mid-cascade snapshot-consistency oracle.")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "e"; "events" ] ~docv:"COUNT"
+          ~doc:"Oracle trace length (0 also skips the oracle).")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "probes" ] ~docv:"K" ~doc:"Oracle probe packets per event.")
+  in
+  let max_p99_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-p99-ms" ] ~docv:"MS"
+          ~doc:"Sanity gate: exit 1 if any leg's lookup p99 exceeds this \
+                many milliseconds (0 = off).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Flush executors for the storm (default: FASTRULE_DOMAINS \
+                or 1).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Dump the per-leg results as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "plane"
+       ~doc:"Lookup-under-update data plane: wait-free snapshot lookups \
+             with p50/p99/p999 measured while update storms flush, a \
+             TupleChain-style software backend raced against the TCAM \
+             emulation, and a mid-cascade snapshot-consistency oracle.")
+    Term.(
+      const run $ kind_arg $ n_arg $ seed_arg $ flows_arg $ skew_arg $ ops_arg
+      $ shards_arg $ capacity_arg $ batch_arg $ readers_arg $ min_lookups_arg
+      $ rebuild_every_arg $ algo_arg $ sweep_arg $ no_oracle_arg $ events_arg
+      $ probes_arg $ max_p99_arg $ domains_arg $ json_arg)
+
 (* --- net -------------------------------------------------------------- *)
 
 let shape_conv =
@@ -1777,5 +2004,6 @@ let () =
             journal_cmd;
             conform_cmd;
             cache_cmd;
+            plane_cmd;
             net_cmd;
           ]))

@@ -71,6 +71,7 @@ type report = {
   probes_run : int;
   divergences : divergence list;
   checked_ops : int;
+  snapshots_checked : int;
   verify_ms : float;
   wall_ms : float;
 }
@@ -129,6 +130,24 @@ let store_image agent =
 
 let winner_id = function None -> -1 | Some (r : Rule.t) -> r.Rule.id
 
+(* Semantic winner over an explicit rule list — Agent.semantic_lookup's
+   total order (priority, then lower id) detached from the live store, so
+   it can answer for the *pre*-event rule set after the event applied. *)
+let semantic_winner rules pkt =
+  List.fold_left
+    (fun best (r : Rule.t) ->
+      if not (Rule.matches_packet r pkt) then best
+      else
+        match best with
+        | None -> Some r
+        | Some (b : Rule.t) ->
+            if
+              r.Rule.priority > b.Rule.priority
+              || (r.Rule.priority = b.Rule.priority && r.Rule.id < b.Rule.id)
+            then Some r
+            else best)
+    None rules
+
 let run ?(config = default_config) (trace : Trace.t) =
   let pool = Trace.rules trace in
   let n_events = List.length trace.Trace.events in
@@ -182,29 +201,46 @@ let run ?(config = default_config) (trace : Trace.t) =
   let _event_stream = Rng.split root in
   let probe_rng = Rng.split root in
   let probes_run = ref 0 in
+  let snapshots_checked = ref 0 in
   let body () =
     List.iteri
       (fun idx ev ->
         cur := idx;
         let fm = Trace.flow_mod pool ev in
-        (* 1. drive the event through every (live) lane *)
+        (* 1. drive the event through every (live) lane, capturing every
+           snapshot the lane publishes mid-cascade (one image per
+           committed hardware op / payload bind) together with the
+           pre-event rule set, for the snapshot-consistency step below *)
+        let snap_work = ref [] in
         List.iter
           (fun lane ->
             match lane.dead with
             | Some _ -> Buffer.add_char lane.history 'x'
             | None -> (
+                let pre_rules = Agent.rules lane.agent in
+                let captured = ref [] in
+                Agent.set_publish_observer lane.agent
+                  (Some (fun img -> captured := img :: !captured));
+                let finish_capture () =
+                  Agent.set_publish_observer lane.agent None;
+                  snap_work := (lane, pre_rules, List.rev !captured) :: !snap_work
+                in
                 match classify (Agent.apply lane.agent fm) with
                 | Applied ->
+                    finish_capture ();
                     lane.n_applied <- lane.n_applied + 1;
                     Buffer.add_char lane.history '1'
                 | Rejected _ ->
+                    finish_capture ();
                     lane.n_rejected <- lane.n_rejected + 1;
                     Buffer.add_char lane.history '0'
                 | Verify_failed e ->
+                    finish_capture ();
                     lane.n_verify_failed <- lane.n_verify_failed + 1;
                     Buffer.add_char lane.history '0';
                     diverge ~event:idx ~scheduler:lane.name e
                 | Faulted _ ->
+                    finish_capture ();
                     lane.n_faulted <- lane.n_faulted + 1;
                     (* A faulted sequence can still change the store: a
                        Remove whose erase landed before the fault completes
@@ -219,6 +255,7 @@ let run ?(config = default_config) (trace : Trace.t) =
                     in
                     Buffer.add_char lane.history (if changed then '1' else '0')
                 | exception e ->
+                    Agent.set_publish_observer lane.agent None;
                     lane.dead <- Some (Printexc.to_string e);
                     Buffer.add_char lane.history 'x';
                     diverge ~event:idx ~scheduler:lane.name
@@ -239,24 +276,99 @@ let run ?(config = default_config) (trace : Trace.t) =
           lanes;
         (* 3. semantic lookup equivalence: TCAM winner vs linear scan.
            The probe stream advances regardless of lane health, so equal
-           traces probe equal packets. *)
-        for _ = 1 to config.probes do
-          let r = pool.(Rng.int probe_rng (Array.length pool)) in
-          let pkt = Header.packet_in probe_rng r.Rule.field in
-          incr probes_run;
+           traces probe equal packets.  The packets are drawn once per
+           event and shared with the snapshot step below. *)
+        let pkts =
+          Array.init config.probes (fun _ ->
+              let r = pool.(Rng.int probe_rng (Array.length pool)) in
+              Header.packet_in probe_rng r.Rule.field)
+        in
+        Array.iter
+          (fun pkt ->
+            incr probes_run;
+            List.iter
+              (fun lane ->
+                if lane.dead = None then
+                  let hw = winner_id (Agent.lookup lane.agent pkt) in
+                  let sem = winner_id (Agent.semantic_lookup lane.agent pkt) in
+                  if hw <> sem then
+                    diverge ~event:idx ~scheduler:lane.name
+                      (Printf.sprintf
+                         "lookup divergence: TCAM matched rule %d, linear scan \
+                          says %d"
+                         hw sem))
+              lanes)
+          pkts;
+        (* 3b. snapshot consistency: every image published mid-cascade
+           must answer the probe packets exactly as the semantic table
+           either before or after the flow-mod — as a whole vector, so a
+           half-applied mix of the two states can never hide.  A
+           [Set_action] whose entry sits on a dead row legitimately
+           relocates through Remove + Add (see Agent), so the transient
+           rule-absent state is an accepted third vector for that event
+           kind only. *)
+        if config.probes > 0 then
           List.iter
-            (fun lane ->
-              if lane.dead = None then
-                let hw = winner_id (Agent.lookup lane.agent pkt) in
-                let sem = winner_id (Agent.semantic_lookup lane.agent pkt) in
-                if hw <> sem then
-                  diverge ~event:idx ~scheduler:lane.name
-                    (Printf.sprintf
-                       "lookup divergence: TCAM matched rule %d, linear scan \
-                        says %d"
-                       hw sem))
-            lanes
-        done;
+            (fun (lane, pre_rules, images) ->
+              if lane.dead = None && images <> [] then begin
+                let vec rules =
+                  Array.map (fun pkt -> winner_id (semantic_winner rules pkt)) pkts
+                in
+                let pre_v = vec pre_rules in
+                let post_v = vec (Agent.rules lane.agent) in
+                let relocate_v =
+                  match fm with
+                  | Agent.Set_action { id; _ } ->
+                      Some
+                        (vec
+                           (List.filter
+                              (fun (r : Rule.t) -> r.Rule.id <> id)
+                              pre_rules))
+                  | Agent.Add _ | Agent.Remove _ -> None
+                in
+                List.iter
+                  (fun img ->
+                    incr snapshots_checked;
+                    let got =
+                      Array.map
+                        (fun pkt ->
+                          winner_id (Fr_tcam.Image.lookup img pkt))
+                        pkts
+                    in
+                    if
+                      got <> pre_v && got <> post_v
+                      && (match relocate_v with
+                         | Some v -> got <> v
+                         | None -> true)
+                    then begin
+                      (* got <> pre_v, so a differing probe exists; prefer
+                         one that matches neither state (a true stray)
+                         over one that merely exposes a mix. *)
+                      let first_bad = ref (-1) in
+                      Array.iteri
+                        (fun i g ->
+                          if !first_bad < 0 && g <> pre_v.(i) && g <> post_v.(i)
+                          then first_bad := i)
+                        got;
+                      if !first_bad < 0 then
+                        Array.iteri
+                          (fun i g ->
+                            if !first_bad < 0 && g <> pre_v.(i) then
+                              first_bad := i)
+                          got;
+                      if !first_bad < 0 then first_bad := 0;
+                      diverge ~event:idx ~scheduler:lane.name
+                        (Printf.sprintf
+                           "snapshot divergence at epoch %d: image matched \
+                            rule %d on probe %d, semantic table says %d \
+                            (pre) / %d (post)"
+                           (Fr_tcam.Image.epoch img)
+                           got.(!first_bad) !first_bad pre_v.(!first_bad)
+                           post_v.(!first_bad))
+                    end)
+                  images
+              end)
+            !snap_work;
         (* 4. lanes with identical accept histories must hold identical
            stores *)
         let groups : (string, (string * (int * Rule.action) list) list) Hashtbl.t
@@ -343,6 +455,7 @@ let run ?(config = default_config) (trace : Trace.t) =
     probes_run = !probes_run;
     divergences = List.rev !divergences;
     checked_ops;
+    snapshots_checked = !snapshots_checked;
     verify_ms;
     wall_ms = setup_ms +. body_ms;
   }
@@ -1048,8 +1161,9 @@ let pp_report ppf r =
         | Some e -> Printf.sprintf ", CRASHED (%s)" e
         | None -> ""))
     r.columns;
-  Format.fprintf ppf "  %d probes/agent; %d ops checked in %.2f ms%s@."
-    r.probes_run r.checked_ops r.verify_ms
+  Format.fprintf ppf
+    "  %d probes/agent; %d snapshots checked; %d ops checked in %.2f ms%s@."
+    r.probes_run r.snapshots_checked r.checked_ops r.verify_ms
     (if r.verify_ms > 0. then
        Printf.sprintf " (%.0f checked-ops/s)"
          (float_of_int r.checked_ops /. (r.verify_ms /. 1000.))

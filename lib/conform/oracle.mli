@@ -82,6 +82,9 @@ type report = {
   probes_run : int;  (** total packets probed (per agent) *)
   divergences : divergence list;
   checked_ops : int;  (** ops through {!Fr_sched.Check.sequence}, summed *)
+  snapshots_checked : int;
+      (** published mid-cascade images held to the pre-or-post law, summed
+          over lanes and events *)
   verify_ms : float;  (** wall-clock inside the check, summed *)
   wall_ms : float;
 }
@@ -92,7 +95,19 @@ val clean : report -> bool
 val run : ?config:config -> Trace.t -> report
 (** Replay the trace through all five schedulers and cross-examine.
     Deterministic: equal traces and configs yield equal reports (up to
-    the wall-clock fields). *)
+    the wall-clock fields).
+
+    Besides the classic checks (dependency invariant after every event,
+    TCAM-vs-linear lookup equivalence, store agreement by accept history,
+    emission determinism), the oracle captures {e every} snapshot image an
+    agent publishes while a flow-mod cascades ({!Fr_switch.Agent.set_publish_observer})
+    and holds each to the pre-or-post law: over the event's probe packets,
+    the image's answer vector must equal the semantic table's before the
+    flow-mod or after it — never a mix of the two, never a third state.
+    (The one sanctioned exception: a [Set_action] on a dead row relocates
+    via Remove + Add, whose mid-flight snapshots legitimately miss the
+    rule.)  This is the proof that wait-free readers of the published
+    image can never observe a half-applied cascade. *)
 
 val pp_report : Format.formatter -> report -> unit
 

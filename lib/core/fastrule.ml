@@ -48,6 +48,7 @@ module Segment_tree = Fr_bitree.Segment_tree
 
 module Op = Fr_tcam.Op
 module Tcam = Fr_tcam.Tcam
+module Image = Fr_tcam.Image
 module Layout = Fr_tcam.Layout
 module Latency = Fr_tcam.Latency
 module Hw_emu = Fr_tcam.Hw_emu
@@ -116,6 +117,12 @@ module Cache_backing = Fr_cache.Backing
 module Cache_policy = Fr_cache.Policy
 module Cache = Fr_cache.Tier
 module Cache_driver = Fr_cache.Driver
+
+(** {1 The data plane (wait-free snapshot lookups under update storms)} *)
+
+module Plane_hist = Fr_plane.Hist
+module Plane_backend = Fr_plane.Backend
+module Plane = Fr_plane.Storm
 
 (** {1 Conformance (differential oracle, fault injection)} *)
 

@@ -227,6 +227,8 @@ let shard t i =
     invalid_arg (Printf.sprintf "Service.shard: no shard %d" i);
   t.shards.(i)
 
+let published t ~shard:i = Shard.published (shard t i)
+let lookup_published t ~shard:i packet = Shard.lookup_published (shard t i) packet
 let partition t = t.partition
 let set_fault t ~shard:i f = Shard.set_fault (shard t i) f
 let shard_of_rule t id = Hashtbl.find_opt t.routes id

@@ -153,6 +153,18 @@ val domains : t -> int
 val shard : t -> int -> Shard.t
 (** @raise Invalid_argument if the index is out of range. *)
 
+val published : t -> shard:int -> Fr_tcam.Image.t
+(** One shard's current snapshot image — the data-plane read face.  A
+    reader domain may call this (and {!lookup_published}) while {!flush}
+    drains the very same shard on a pool domain: publication is an atomic
+    pointer swap per committed hardware op, so the reader always sees a
+    committed-prefix table and never blocks the writer.
+    @raise Invalid_argument if the index is out of range. *)
+
+val lookup_published :
+  t -> shard:int -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** Wait-free snapshot lookup on one shard ({!Fr_ctrl.Shard.lookup_published}). *)
+
 val partition : t -> Partition.t
 
 val set_fault : t -> shard:int -> Fr_tcam.Fault.t option -> unit

@@ -46,6 +46,8 @@ let of_rules ?kind ?latency ?verify ?(refresh_every = 1) ~capacity ~id rules =
 
 let id t = t.id
 let agent t = t.agent
+let published t = Agent.published t.agent
+let lookup_published t packet = Agent.lookup_published t.agent packet
 let telemetry t = t.telemetry
 let queue_depth t = Coalesce.depth t.queue
 let set_fault t f = Agent.set_fault t.agent f

@@ -44,6 +44,18 @@ val of_rules :
 
 val id : t -> int
 val agent : t -> Fr_switch.Agent.t
+
+val published : t -> Fr_tcam.Image.t
+(** This shard's current snapshot image ({!Fr_switch.Agent.published}).
+    Wait-free; safe from any domain while the shard drains on another.
+    Call it per lookup rather than caching the agent: a {!reset} swaps
+    the agent underneath, and going through the shard always reads the
+    live one. *)
+
+val lookup_published : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** Snapshot lookup on {!published} — no hit accounting (readers tally
+    locally and merge via {!Fr_switch.Agent.account_hits}). *)
+
 val telemetry : t -> Telemetry.t
 val queue_depth : t -> int
 

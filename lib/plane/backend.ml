@@ -1,0 +1,69 @@
+module Rule = Fr_tern.Rule
+module Ternary = Fr_tern.Ternary
+module Header = Fr_tern.Header
+module Image = Fr_tcam.Image
+
+type tuple = {
+  mask : int64 array;
+  (* masked packet bits -> (address, rule); one winner per exact value
+     because two rules with equal value and mask have identical fields,
+     and the TCAM answers the higher address. *)
+  entries : (int64 array, int * Rule.t) Hashtbl.t;
+  mutable max_addr : int;
+}
+
+type t = { tuples : tuple array; image : Image.t; entry_count : int }
+
+let of_image img =
+  let by_mask : (int64 array, tuple) Hashtbl.t = Hashtbl.create 16 in
+  let entries = Image.entries img in
+  Array.iter
+    (fun (addr, (r : Rule.t)) ->
+      (* Canonical ternaries keep value bits 0 outside the mask, so the
+         stored value chunks are exactly the masked-bits hash key. *)
+      let value, mask = Ternary.unsafe_chunks r.Rule.field in
+      let tu =
+        match Hashtbl.find_opt by_mask mask with
+        | Some tu -> tu
+        | None ->
+            let tu = { mask; entries = Hashtbl.create 16; max_addr = -1 } in
+            Hashtbl.add by_mask mask tu;
+            tu
+      in
+      (match Hashtbl.find_opt tu.entries value with
+      | Some (a, _) when a >= addr -> ()
+      | Some _ | None -> Hashtbl.replace tu.entries value (addr, r));
+      if addr > tu.max_addr then tu.max_addr <- addr)
+    entries;
+  let tuples =
+    Hashtbl.fold (fun _ tu acc -> tu :: acc) by_mask [] |> Array.of_list
+  in
+  Array.sort (fun a b -> Int.compare b.max_addr a.max_addr) tuples;
+  { tuples; image = img; entry_count = Array.length entries }
+
+let image t = t.image
+let tuple_count t = Array.length t.tuples
+let entry_count t = t.entry_count
+
+let lookup t packet =
+  let bits = Header.packet_bits packet in
+  let chunks = Array.length bits in
+  let key = Array.make chunks 0L in
+  let best = ref None in
+  let best_addr = ref (-1) in
+  (try
+     Array.iter
+       (fun tu ->
+         (* Descending max_addr: nothing past this point can win. *)
+         if tu.max_addr <= !best_addr then raise Exit;
+         for i = 0 to chunks - 1 do
+           key.(i) <- Int64.logand bits.(i) tu.mask.(i)
+         done;
+         match Hashtbl.find_opt tu.entries key with
+         | Some (addr, r) when addr > !best_addr ->
+             best_addr := addr;
+             best := Some r
+         | Some _ | None -> ())
+       t.tuples
+   with Exit -> ());
+  !best

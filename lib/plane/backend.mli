@@ -1,0 +1,33 @@
+(** TupleChain-style software lookup backend over a snapshot image.
+
+    The second lookup engine the data plane races against the TCAM
+    emulation (PAPERS.md: TupleChain; the tuple-space idea goes back to
+    Srinivasan–Suri–Varghese).  Rules are grouped by their exact ternary
+    mask — inside one {e tuple} every rule cares about the same bits, so
+    matching degenerates to hashing the masked packet bits.  Tuples are
+    probed in descending order of their highest TCAM address with an
+    early exit once no remaining tuple can beat the best candidate, which
+    preserves the hardware's highest-address-wins answer exactly.
+
+    A backend is compiled from one immutable {!Fr_tcam.Image.t} and holds
+    on to it: {!lookup} answers for {e that} snapshot, which is what makes
+    cross-validation always well-defined mid-storm — compare against
+    [Image.lookup (image backend)], never against the moving table. *)
+
+type t
+
+val of_image : Fr_tcam.Image.t -> t
+(** Compile the tuple space.  O(entries) expected time. *)
+
+val image : t -> Fr_tcam.Image.t
+(** The snapshot this backend answers for. *)
+
+val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** Semantically identical to [Fr_tcam.Image.lookup (image t)]: the
+    entry with the highest address among those matching. *)
+
+val tuple_count : t -> int
+(** Distinct masks — the number of hash probes a worst-case lookup
+    makes. *)
+
+val entry_count : t -> int

@@ -1,0 +1,62 @@
+(* 8 sub-buckets per power of two: relative bucket width 2^(1/8) - 1,
+   about 9%.  64 powers of two cover any int64 nanosecond reading. *)
+let sub = 8
+let buckets = 64 * sub
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum_ns : float;
+  mutable max_ns : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; total = 0; sum_ns = 0.0; max_ns = 0 }
+
+let bucket_of ns =
+  if ns <= 1 then 0
+  else
+    let b = int_of_float (Float.log2 (float_of_int ns) *. float_of_int sub) in
+    if b >= buckets then buckets - 1 else b
+
+let record t ns =
+  let ns = if ns < 0 then 0 else ns in
+  let b = bucket_of ns in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1;
+  t.sum_ns <- t.sum_ns +. float_of_int ns;
+  if ns > t.max_ns then t.max_ns <- ns
+
+let count t = t.total
+let max_ns t = t.max_ns
+let mean_ns t = if t.total = 0 then 0.0 else t.sum_ns /. float_of_int t.total
+
+let value_of b = Float.pow 2.0 ((float_of_int b +. 0.5) /. float_of_int sub)
+
+let quantile t p =
+  if t.total = 0 then 0.0
+  else begin
+    let target = p *. float_of_int t.total in
+    let cum = ref 0 in
+    let answer = ref (value_of (buckets - 1)) in
+    (try
+       for b = 0 to buckets - 1 do
+         cum := !cum + t.counts.(b);
+         if float_of_int !cum >= target && t.counts.(b) > 0 then begin
+           answer := value_of b;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !answer
+  end
+
+let p50 t = quantile t 0.50
+let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
+
+let merge ~into src =
+  Array.iteri (fun b n -> into.counts.(b) <- into.counts.(b) + n) src.counts;
+  into.total <- into.total + src.total;
+  into.sum_ns <- into.sum_ns +. src.sum_ns;
+  if src.max_ns > into.max_ns then into.max_ns <- src.max_ns

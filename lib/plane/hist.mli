@@ -1,0 +1,31 @@
+(** Log-bucketed latency histogram (nanoseconds).
+
+    Fixed geometric buckets — [2^(1/8)] ratio, so every quantile is exact
+    to within ~9% relative error while [record] is O(1), allocation-free
+    and cheap enough to sit inside a per-lookup timing loop.  Each LGEN
+    reader domain owns a private histogram and the driver {!merge}s them
+    after the readers join, so no synchronisation is ever needed. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one latency sample in nanoseconds (negative samples clamp
+    to 0 — a clock that steps backwards is not worth crashing over). *)
+
+val count : t -> int
+val max_ns : t -> int
+val mean_ns : t -> float
+
+val quantile : t -> float -> float
+(** [quantile t p] for [p] in [\[0, 1\]]: the geometric midpoint of the
+    bucket holding the [p]-th fraction of samples, in ns.  [0.0] when
+    empty. *)
+
+val p50 : t -> float
+val p99 : t -> float
+val p999 : t -> float
+
+val merge : into:t -> t -> unit
+(** Add every bucket of the second histogram into [into]. *)

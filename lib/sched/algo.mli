@@ -16,7 +16,16 @@
     Sequences are returned in {e application order}: the op that lands in
     free space comes first, the op that writes the requested entry last, so
     a left-to-right application never clobbers a live entry.  (The paper
-    prints chains in the opposite, discovery order.) *)
+    prints chains in the opposite, discovery order.)
+
+    Application order is also the {e publication contract} for the
+    concurrent read path: {!Fr_tcam.Tcam.apply_sequence} publishes a
+    fresh immutable {!Fr_tcam.Image.t} after every op, so each
+    intermediate state a scheduler emits becomes visible to wait-free
+    readers.  Because every intermediate state of a correctly ordered
+    sequence is lookup-safe, a snapshot grabbed mid-cascade always equals
+    the semantic table either before or after the flow-mod — never a
+    mix ({!Fr_conform.Oracle} proves this per scheduler). *)
 
 type t = {
   name : string;

@@ -3,6 +3,24 @@ module Op = Fr_tcam.Op
 
 let sequence graph tcam ops =
   let sim = Tcam.copy tcam in
+  (* Each simulated op is a publication point on the real table: besides
+     the dependency invariant, the persistent image the op would publish
+     must agree with the slot array, so readers of the snapshot see
+     exactly this committed-prefix state. *)
+  let publication i describe k =
+    match Tcam.check_dag_order sim graph with
+    | Error msg ->
+        Error
+          (Printf.sprintf "op %d %s breaks dependency order: %s" i (describe ())
+             msg)
+    | Ok () -> (
+        match Tcam.image_consistent sim with
+        | Error msg ->
+            Error
+              (Printf.sprintf "op %d %s desyncs the published image: %s" i
+                 (describe ()) msg)
+        | Ok () -> k ())
+  in
   let rec go i = function
     | [] -> Ok ()
     | op :: rest -> (
@@ -17,22 +35,12 @@ let sequence graph tcam ops =
             | Tcam.Used _ | Tcam.Free -> Ok ())
             |> function
             | Error _ as e -> e
-            | Ok () -> (
+            | Ok () ->
                 Tcam.write sim ~rule_id ~addr;
-                match Tcam.check_dag_order sim graph with
-                | Ok () -> go (i + 1) rest
-                | Error msg ->
-                    Error
-                      (Printf.sprintf "op %d %s breaks dependency order: %s" i
-                         (describe ()) msg)))
-        | Op.Delete { addr } -> (
+                publication i describe (fun () -> go (i + 1) rest))
+        | Op.Delete { addr } ->
             Tcam.erase sim ~addr;
-            match Tcam.check_dag_order sim graph with
-            | Ok () -> go (i + 1) rest
-            | Error msg ->
-                Error
-                  (Printf.sprintf "op %d %s breaks dependency order: %s" i
-                     (describe ()) msg)))
+            publication i describe (fun () -> go (i + 1) rest))
   in
   go 0 ops
 

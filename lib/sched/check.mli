@@ -6,7 +6,13 @@
     (left to right) never overwrites a live entry with a different one,
     and that the dependency-order invariant holds {e after every single
     op} — i.e. lookups stay correct mid-update, which is the property that
-    lets firmware apply sequences without locking the data path. *)
+    lets firmware apply sequences without locking the data path.
+
+    Every op is also a {e publication point}: the real table re-derives
+    and publishes its persistent {!Fr_tcam.Image.t} per committed op, so
+    the simulation additionally checks {!Fr_tcam.Tcam.image_consistent}
+    after each step — the snapshot a concurrent reader would grab at that
+    instant must mirror the slot array exactly. *)
 
 val sequence :
   Fr_dag.Graph.t -> Fr_tcam.Tcam.t -> Fr_tcam.Op.t list -> (unit, string) result

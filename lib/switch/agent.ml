@@ -37,7 +37,22 @@ type t = {
   counters : (int, int) Hashtbl.t;  (* rule id -> packets matched *)
   mutable packets : int;
   mutable misses : int;
+  mutable retired_hits : int;  (* snapshot hits whose rule has been removed *)
+  published : Fr_tcam.Image.t Atomic.t;  (* the wait-free read face *)
+  mutable publish_observer : (Fr_tcam.Image.t -> unit) option;
 }
+
+(* Every committed hardware op (and payload bind/unbind) republishes: one
+   atomic store here, one atomic load on the reader side.  The observer
+   rides along for the conformance oracle, which wants every mid-cascade
+   instant, not just the latest. *)
+let install_publisher t =
+  Atomic.set t.published (Tcam.image t.tcam);
+  Tcam.set_publisher t.tcam
+    (Some
+       (fun img ->
+         Atomic.set t.published img;
+         match t.publish_observer with Some f -> f img | None -> ()))
 
 let default_kind = Firmware.FR_O Fr_sched.Store.Bit_backend
 
@@ -48,24 +63,31 @@ let create ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
   let tcam = Tcam.create ~size:capacity in
   let graph = Graph.create () in
   let make = Option.value scheduler ~default:(default_scheduler kind) in
-  {
-    store = Hashtbl.create 64;
-    index = Overlap_index.create ();
-    graph;
-    tcam;
-    algo = make ~graph ~tcam;
-    latency;
-    verify;
-    fault = None;
-    fw_ms = 0.0;
-    tcam_ms = 0.0;
-    verify_ms = 0.0;
-    verified_ops = 0;
-    mods = 0;
-    counters = Hashtbl.create 64;
-    packets = 0;
-    misses = 0;
-  }
+  let t =
+    {
+      store = Hashtbl.create 64;
+      index = Overlap_index.create ();
+      graph;
+      tcam;
+      algo = make ~graph ~tcam;
+      latency;
+      verify;
+      fault = None;
+      fw_ms = 0.0;
+      tcam_ms = 0.0;
+      verify_ms = 0.0;
+      verified_ops = 0;
+      mods = 0;
+      counters = Hashtbl.create 64;
+      packets = 0;
+      misses = 0;
+      retired_hits = 0;
+      published = Atomic.make Fr_tcam.Image.empty;
+      publish_observer = None;
+    }
+  in
+  install_publisher t;
+  t
 
 let of_rules ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
     ?(verify = false) ?deadmap ~capacity rules =
@@ -99,13 +121,18 @@ let of_rules ?(kind = default_kind) ?scheduler ?(latency = Latency.default)
       counters = Hashtbl.create 64;
       packets = 0;
       misses = 0;
+      retired_hits = 0;
+      published = Atomic.make Fr_tcam.Image.empty;
+      publish_observer = None;
     }
   in
   Array.iter
     (fun (r : Rule.t) ->
       Hashtbl.replace t.store r.Rule.id r;
-      Overlap_index.add t.index r)
+      Overlap_index.add t.index r;
+      Tcam.bind_rule t.tcam r)
     rules;
+  install_publisher t;
   t
 
 let existing t = Hashtbl.fold (fun _ r acc -> r :: acc) t.store []
@@ -205,9 +232,15 @@ let rec apply t fm =
             Graph.remove_node t.graph rule.Rule.id;
             e
         | Ok ops -> (
+            (* Bind the payload before the sequence commits: the op that
+               writes the new entry publishes a snapshot that must already
+               resolve this id. *)
+            Tcam.bind_rule t.tcam rule;
             match commit t ops with
             | Error _ as e ->
                 Graph.remove_node t.graph rule.Rule.id;
+                if not (Tcam.mem t.tcam rule.Rule.id) then
+                  Tcam.unbind_rule t.tcam ~id:rule.Rule.id;
                 e
             | Ok () ->
                 Hashtbl.replace t.store rule.Rule.id rule;
@@ -239,6 +272,11 @@ let rec apply t fm =
               let updated = { rule with Rule.action } in
               Hashtbl.replace t.store id updated;
               Overlap_index.add t.index updated;
+              (* Rebind after the write commits: the snapshot carrying the
+                 new payload is the post-state, the one before it the
+                 pre-state — matching is action-agnostic so both answer
+                 lookups identically. *)
+              Tcam.bind_rule t.tcam updated;
               Ok ())
       | _ -> Error (Printf.sprintf "rule %d is not installed" id))
   | Remove { id } -> (
@@ -256,7 +294,11 @@ let rec apply t fm =
           | Some r -> Overlap_index.remove t.index r
           | None -> ());
           Hashtbl.remove t.store id;
-          Hashtbl.remove t.counters id
+          Hashtbl.remove t.counters id;
+          (* Unbind only after the entry has left the slots: snapshots
+             taken during the trailing balance moves still resolve every
+             id they can match. *)
+          Tcam.unbind_rule t.tcam ~id
         in
         match result with
         | Error _ as e -> e
@@ -305,6 +347,7 @@ let add_run t ~refresh_every (adds : (int * Rule.t) list)
           List.iter (fun u -> Graph.add_edge t.graph u rule.Rule.id) dependents;
           Hashtbl.replace t.store rule.Rule.id rule;
           Overlap_index.add t.index rule;
+          Tcam.bind_rule t.tcam rule;
           Some (pos, rule, deps, dependents)
         end)
       adds
@@ -312,7 +355,9 @@ let add_run t ~refresh_every (adds : (int * Rule.t) list)
   let rollback (rule : Rule.t) =
     Graph.remove_node t.graph rule.Rule.id;
     Overlap_index.remove t.index rule;
-    Hashtbl.remove t.store rule.Rule.id
+    Hashtbl.remove t.store rule.Rule.id;
+    if not (Tcam.mem t.tcam rule.Rule.id) then
+      Tcam.unbind_rule t.tcam ~id:rule.Rule.id
   in
   let rec schedule = function
     | [] -> ()
@@ -416,6 +461,36 @@ let lookup t packet =
 let packet_count t id = Option.value (Hashtbl.find_opt t.counters id) ~default:0
 let total_packets t = t.packets
 let miss_count t = t.misses
+let retired_hits t = t.retired_hits
+
+let published t = Atomic.get t.published
+
+let lookup_published t packet =
+  Fr_tcam.Image.lookup (Atomic.get t.published) packet
+
+let set_publish_observer t f = t.publish_observer <- f
+
+(* Reader domains tally hits against whatever snapshots they held; the
+   merge happens on the agent's own domain after they join.  A tallied
+   rule may have been removed since the snapshot that served it — those
+   packets were genuinely forwarded by that rule, so they are kept as
+   [retired_hits] rather than silently dropped (the counter fix: packets
+   served from an image still account to the winning rule). *)
+let account_hits t ~misses tallies =
+  List.iter
+    (fun (id, n) ->
+      if n < 0 then invalid_arg "Agent.account_hits: negative tally";
+      if n > 0 then begin
+        t.packets <- t.packets + n;
+        if Hashtbl.mem t.store id then
+          Hashtbl.replace t.counters id
+            (n + Option.value (Hashtbl.find_opt t.counters id) ~default:0)
+        else t.retired_hits <- t.retired_hits + n
+      end)
+    tallies;
+  if misses < 0 then invalid_arg "Agent.account_hits: negative misses";
+  t.packets <- t.packets + misses;
+  t.misses <- t.misses + misses
 
 (* Highest priority wins; equal priorities resolve to the smaller id — the
    same total order the compiler's "beats" uses. *)
@@ -510,8 +585,11 @@ let verify_consistent t =
     | id :: _ -> Error (Printf.sprintf "rule %d is stored but not in the TCAM" id)
     | [] -> (
         match Tcam.check_dag_order t.tcam t.graph with
-        | Ok () -> Ok ()
-        | Error e -> Error ("dependency order: " ^ e))
+        | Error e -> Error ("dependency order: " ^ e)
+        | Ok () -> (
+            match Tcam.image_consistent t.tcam with
+            | Ok () -> Ok ()
+            | Error e -> Error ("published image: " ^ e)))
 
 let restore ?kind ?latency ?verify ~capacity path =
   match Fr_workload.Rules_io.load path with

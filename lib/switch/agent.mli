@@ -123,6 +123,38 @@ val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
 (** What the hardware answers: highest-address match.  Increments the
     matched rule's packet counter (OpenFlow flow stats). *)
 
+val published : t -> Fr_tcam.Image.t
+(** The wait-free read face: the latest snapshot image, republished by
+    every committed hardware op and payload (re)bind.  One atomic load;
+    the returned image is immutable and stays valid however long the
+    caller holds it.  Safe to call from any domain while this agent's
+    domain is mid-flush. *)
+
+val lookup_published : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** [Image.lookup (published t)] — the lookup a reader domain performs
+    during an update storm.  Wait-free and unsynchronised, so it does
+    {e no} hit accounting; readers keep local tallies and merge them with
+    {!account_hits} after joining. *)
+
+val account_hits : t -> misses:int -> (int * int) list -> unit
+(** Merge reader-side tallies [(rule id, packets)] plus a miss count into
+    the agent's flow-stats counters (call on the agent's own domain, after
+    the readers joined).  Packets for rules still installed land on their
+    counters exactly as live {!lookup}s would; packets whose winning rule
+    has since been removed are kept in {!retired_hits} — served from a
+    snapshot is still served.  @raise Invalid_argument on negative
+    counts. *)
+
+val retired_hits : t -> int
+(** Snapshot-served packets whose winning rule was removed before the
+    tallies merged ({!account_hits}); they still count in
+    {!total_packets}. *)
+
+val set_publish_observer : t -> (Fr_tcam.Image.t -> unit) option -> unit
+(** Observe every publication (after the published pointer moves).  The
+    conformance oracle uses this to capture each mid-cascade instant;
+    leave it [None] on hot paths. *)
+
 val packet_count : t -> int -> int
 (** Packets accounted to a rule by {!lookup} since installation (0 for
     unknown rules; counters vanish with the rule on [Remove] and survive

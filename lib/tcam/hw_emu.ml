@@ -32,6 +32,7 @@ let create ?(hw_table_size = default_hw_table_size) ?(latency = Latency.default)
   }
 
 let logical t = t.logical
+let image t = Tcam.image t.logical
 let hw_size t = t.hw_table_size
 let set_fault t f = t.fault <- f
 

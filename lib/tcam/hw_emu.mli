@@ -31,6 +31,12 @@ val create : ?hw_table_size:int -> ?latency:Latency.t -> logical_size:int -> uni
 val logical : t -> Tcam.t
 (** The shadow table holding ground truth. *)
 
+val image : t -> Image.t
+(** The query face: the logical table's current published snapshot
+    ({!Tcam.image}).  Every SDK mutation that reaches the shadow table
+    re-derives it, so readers racing [add_entry]/[delete_entry] always
+    see a committed-prefix state. *)
+
 val hw_size : t -> int
 
 val add_entry : t -> rule_id:int -> addr:int -> unit

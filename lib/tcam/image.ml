@@ -1,0 +1,86 @@
+module Imap = Map.Make (Int)
+module Rule = Fr_tern.Rule
+
+type t = {
+  slots : int Imap.t;  (* addr -> rule id *)
+  addrs : int Imap.t;  (* rule id -> addr *)
+  rules : Rule.t Imap.t;  (* rule id -> payload *)
+  epoch : int;
+}
+
+let empty = { slots = Imap.empty; addrs = Imap.empty; rules = Imap.empty; epoch = 0 }
+let epoch t = t.epoch
+let entry_count t = Imap.cardinal t.slots
+
+let write t ~rule_id ~addr =
+  (* Mirror Tcam.write's one-call move: vacate the id's previous slot. *)
+  let slots =
+    match Imap.find_opt rule_id t.addrs with
+    | Some old when old <> addr -> Imap.remove old t.slots
+    | Some _ | None -> t.slots
+  in
+  (* Displacing a different id is refused by Tcam.write before the image
+     ever sees it, but keep the index coherent if driven directly. *)
+  let addrs =
+    match Imap.find_opt addr slots with
+    | Some id when id <> rule_id -> Imap.remove id t.addrs
+    | Some _ | None -> t.addrs
+  in
+  {
+    t with
+    slots = Imap.add addr rule_id slots;
+    addrs = Imap.add rule_id addr addrs;
+    epoch = t.epoch + 1;
+  }
+
+let erase t ~addr =
+  match Imap.find_opt addr t.slots with
+  | None -> { t with epoch = t.epoch + 1 }
+  | Some id ->
+      {
+        t with
+        slots = Imap.remove addr t.slots;
+        addrs = Imap.remove id t.addrs;
+        epoch = t.epoch + 1;
+      }
+
+let bind t (r : Rule.t) =
+  { t with rules = Imap.add r.Rule.id r t.rules; epoch = t.epoch + 1 }
+
+let unbind t ~id = { t with rules = Imap.remove id t.rules; epoch = t.epoch + 1 }
+let addr_of t id = Imap.find_opt id t.addrs
+let rule t id = Imap.find_opt id t.rules
+let mem t id = Imap.mem id t.addrs
+
+let lookup t packet =
+  let bits = Fr_tern.Header.packet_bits packet in
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> None
+    | Seq.Cons ((_addr, id), rest) -> (
+        match Imap.find_opt id t.rules with
+        | Some r when Fr_tern.Ternary.matches_value r.Rule.field bits -> Some r
+        | Some _ | None -> go rest)
+  in
+  go (Imap.to_rev_seq t.slots)
+
+let lookup_id t packet =
+  match lookup t packet with Some r -> Some r.Rule.id | None -> None
+
+let fold t ~init ~f =
+  Imap.fold (fun addr rule_id acc -> f acc ~addr ~rule_id) t.slots init
+
+let iter t f = Imap.iter (fun addr rule_id -> f ~addr ~rule_id) t.slots
+
+let entries t =
+  Imap.fold
+    (fun addr id acc ->
+      match Imap.find_opt id t.rules with
+      | Some r -> (addr, r) :: acc
+      | None -> acc)
+    t.slots []
+  |> List.rev |> Array.of_list
+
+let pp ppf t =
+  Format.fprintf ppf "epoch %d, %d entries@." t.epoch (entry_count t);
+  Imap.iter (fun addr id -> Format.fprintf ppf "0x%x: %d@." addr id) t.slots

@@ -1,0 +1,70 @@
+(** Immutable snapshot of the TCAM: the query face of the mutation/query
+    split (ROADMAP item #1).
+
+    An [Image.t] is a persistent value — address map, id index and rule
+    payloads are balanced-tree maps, so deriving the next image from the
+    previous one after a single hardware op is O(log n) and shares almost
+    the whole structure with its predecessor.  Publishing a snapshot is
+    therefore a pointer swap, never a copy: a {!Tcam.t} republishes after
+    every committed op, readers grab the current image with one atomic
+    load and keep using it for as long as they like.  Readers are
+    wait-free (they never block a writer, a writer never blocks them) and
+    always see a table some committed prefix of the update sequence
+    produced — never a half-applied move.
+
+    The image carries rule {e payloads} as well as placements, so
+    [lookup] is self-contained: a reader domain needs no access to the
+    agent's mutable rule store.  Payloads are bound before an insertion
+    sequence commits and unbound after a removal commits, so every id a
+    slot names resolves. *)
+
+type t
+
+val empty : t
+(** No entries, no payloads, epoch 0. *)
+
+val epoch : t -> int
+(** Strictly increases with every derived image ([write], [erase],
+    [bind], [unbind]); readers can use it to detect publication. *)
+
+val entry_count : t -> int
+(** Occupied slots. *)
+
+val write : t -> rule_id:int -> addr:int -> t
+(** The image after a hardware write: [rule_id] now lives at [addr]; if
+    it lived elsewhere, that slot is free (a movement, mirroring
+    {!Tcam.write}'s one-call move semantics). *)
+
+val erase : t -> addr:int -> t
+(** The image after a hardware erase (erasing a free slot only bumps the
+    epoch). *)
+
+val bind : t -> Fr_tern.Rule.t -> t
+(** Attach (or replace) the payload for a rule id. *)
+
+val unbind : t -> id:int -> t
+(** Detach a payload (after the entry has left the slots). *)
+
+val addr_of : t -> int -> int option
+val rule : t -> int -> Fr_tern.Rule.t option
+val mem : t -> int -> bool
+
+val lookup : t -> Fr_tern.Header.packet -> Fr_tern.Rule.t option
+(** Highest-address matching entry, exactly as the TCAM hardware answers
+    (descending address scan).  Slots whose payload is not bound are
+    skipped — with the agent's bind-before-insert / unbind-after-remove
+    protocol this never happens, but a detached image stays total. *)
+
+val lookup_id : t -> Fr_tern.Header.packet -> int option
+(** [lookup] returning the winning rule id. *)
+
+val fold : t -> init:'a -> f:('a -> addr:int -> rule_id:int -> 'a) -> 'a
+(** Ascending address order over occupied slots. *)
+
+val iter : t -> (addr:int -> rule_id:int -> unit) -> unit
+
+val entries : t -> (int * Fr_tern.Rule.t) array
+(** Occupied slots with bound payloads, ascending address — the input a
+    software lookup backend compiles. *)
+
+val pp : Format.formatter -> t -> unit

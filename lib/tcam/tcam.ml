@@ -7,6 +7,8 @@ type t = {
   mutable ops : int;
   mutable moves : int;
   mutable dead : Deadmap.t;  (* discovered broken rows; empty on healthy hw *)
+  mutable image : Image.t;  (* persistent snapshot, re-derived per op *)
+  mutable publisher : (Image.t -> unit) option;
 }
 
 let create ~size =
@@ -19,7 +21,16 @@ let create ~size =
     ops = 0;
     moves = 0;
     dead;
+    image = Image.empty;
+    publisher = None;
   }
+
+let image t = t.image
+let set_publisher t f = t.publisher <- f
+
+let publish t img =
+  t.image <- img;
+  match t.publisher with Some f -> f img | None -> ()
 
 let size t = Array.length t.slots
 let used_count t = t.used
@@ -57,7 +68,8 @@ let write t ~rule_id ~addr =
   (* A write that reached the hardware proves the row works: clear any
      strikes (and revive the row if a spurious mark had condemned it). *)
   if not (Deadmap.is_empty t.dead) then
-    ignore (Deadmap.note_success t.dead ~addr)
+    ignore (Deadmap.note_success t.dead ~addr);
+  publish t (Image.write t.image ~rule_id ~addr)
 
 let erase t ~addr =
   check_addr t addr;
@@ -67,7 +79,11 @@ let erase t ~addr =
       t.used <- t.used - 1
   | Free -> ());
   t.slots.(addr) <- Free;
-  t.ops <- t.ops + 1
+  t.ops <- t.ops + 1;
+  publish t (Image.erase t.image ~addr)
+
+let bind_rule t r = publish t (Image.bind t.image r)
+let unbind_rule t ~id = publish t (Image.unbind t.image ~id)
 
 let apply_sequence t ops =
   List.iter
@@ -154,6 +170,9 @@ let writable_free_in t ~lo ~hi =
   in
   go lo
 
+(* The persistent image is shared (it is immutable), but the copy never
+   publishes: Check.sequence simulates candidate sequences on a copy and
+   those phantom states must not reach readers. *)
 let copy t =
   {
     slots = Array.copy t.slots;
@@ -162,7 +181,31 @@ let copy t =
     ops = t.ops;
     moves = t.moves;
     dead = Deadmap.copy t.dead;
+    image = t.image;
+    publisher = None;
   }
+
+let image_consistent t =
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun addr slot ->
+      match slot with
+      | Free -> ()
+      | Used id -> (
+          match Image.addr_of t.image id with
+          | Some a when a = addr -> ()
+          | Some a ->
+              fail
+                (Printf.sprintf "entry %d at 0x%x but image says 0x%x" id addr a)
+          | None ->
+              fail (Printf.sprintf "entry %d at 0x%x missing from image" id addr)))
+    t.slots;
+  if Image.entry_count t.image <> t.used then
+    fail
+      (Printf.sprintf "image holds %d entries but TCAM holds %d"
+         (Image.entry_count t.image) t.used);
+  match !err with None -> Ok () | Some msg -> Error msg
 
 let pp ppf t =
   for a = size t - 1 downto 0 do

@@ -96,7 +96,35 @@ val adopt_deadmap : t -> Deadmap.t -> unit
 val writable_free_in : t -> lo:int -> hi:int -> int option
 (** Lowest free, non-dead address in [\[lo, hi\]] (clamped), if any. *)
 
+val image : t -> Image.t
+(** The current published snapshot.  Re-derived (persistently, O(log n))
+    by every {!write} / {!erase} / {!bind_rule} / {!unbind_rule}, so it
+    always reflects exactly the committed ops — a reader holding it sees
+    a consistent table even while a cascade is mid-flight. *)
+
+val set_publisher : t -> (Image.t -> unit) option -> unit
+(** Install the publication hook: called with the fresh image after every
+    op that changes it.  {!Fr_switch.Agent} points this at an [Atomic.t]
+    so concurrent readers pick up each committed step with one atomic
+    load ({i the} epoch/RCU pointer swap). *)
+
+val bind_rule : t -> Fr_tern.Rule.t -> unit
+(** Attach a rule payload to the image (and publish).  Bound {e before}
+    the insertion sequence commits so every mid-cascade snapshot can
+    resolve the id it is about to see. *)
+
+val unbind_rule : t -> id:int -> unit
+(** Detach a payload (and publish), after a removal commits. *)
+
+val image_consistent : t -> (unit, string) result
+(** Cross-check the mutable slot array against the persistent image:
+    same entries at the same addresses, nothing extra on either side.
+    {!Fr_sched.Check.sequence} runs this after every simulated op, so a
+    verified sequence proves each publication point is coherent. *)
+
 val copy : t -> t
-(** Deep copy, including an independent copy of the dead map. *)
+(** Deep copy, including an independent copy of the dead map.  The
+    persistent image is shared (it is immutable) but the copy's publisher
+    is [None]: simulation copies must never publish phantom states. *)
 
 val pp : Format.formatter -> t -> unit

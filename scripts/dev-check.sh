@@ -22,6 +22,9 @@ dune build @cache
 echo "== dune build @net (fleet transient-path oracle smoke run) =="
 dune build @net
 
+echo "== dune build @plane (lookup-under-update smoke run) =="
+dune build @plane
+
 echo "== journal recovery drill (crash mid-flush, recover, flush clean) =="
 J=$(mktemp -d)
 CLI=_build/default/bin/fastrule_cli.exe
@@ -107,6 +110,20 @@ cat "$A0"/node-*/shard-*-ckpt-*.rules | sort > "$A0.pre"
 cat "$A1"/node-*/shard-*-ckpt-*.rules | sort > "$A1.post"
 cmp "$A0.pre" "$A1.post" || { echo "abort drill: post-rollback checkpoint differs from pre-rollout"; exit 1; }
 rm -rf "$(dirname "$A0")" "$(dirname "$A1")" "$A0.pre" "$A1.post"
+
+echo "== lookup-under-update storm (p99 gate + snapshot oracle, domains 1 and 4) =="
+FASTRULE_DOMAINS=1 "$CLI" plane -k acl4 -n 300 --seed 13 --ops 1200 \
+  --flows 10000 --min-lookups 1000 --sweep --events 100 \
+  --max-p99-ms 500 >/dev/null
+FASTRULE_DOMAINS=4 "$CLI" plane -k acl4 -n 300 --seed 13 --ops 1200 \
+  --flows 10000 --min-lookups 1000 --readers 2 --sweep --events 100 \
+  --max-p99-ms 500 >/dev/null
+
+echo "== tcam-vs-software lookup agreement (every packet cross-validated) =="
+out=$("$CLI" plane -k fw5 -n 250 --seed 17 --ops 900 --flows 8000 \
+  --min-lookups 800 --rebuild-every 64 --no-oracle)
+echo "$out" | grep -q 'disagree 0' || { echo "plane: software backend disagreed with the TCAM emulation"; exit 1; }
+echo "$out" | grep -q 'all conformant' || { echo "plane: storm leg not conformant"; exit 1; }
 
 echo "== parallel flush equivalence (same seed, 1 vs 4 domains, same journal bytes) =="
 J1=$(mktemp -d)

@@ -291,6 +291,41 @@ let prop_differential =
       in
       Oracle.clean (Oracle.run ~config:{ Oracle.default_config with Oracle.probes = 4 } t))
 
+(* Satellite property: at every mid-cascade instant of every random
+   trace, the published image answers like the semantic table before or
+   after the op — never a mix — for all five schedulers.  The oracle
+   must actually have captured snapshots (a silent no-op observer would
+   pass vacuously). *)
+let prop_snapshot_consistency =
+  QCheck.Test.make ~name:"published snapshots are pre-or-post semantic"
+    ~count:12
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 0 10_000)
+            (oneofl [ Dataset.ACL4; Dataset.FW4; Dataset.FW5; Dataset.ROUTE ])
+            (int_range 110 400))
+        ~print:(fun (seed, kind, cap) ->
+          Printf.sprintf "seed=%d kind=%s capacity=%d" seed
+            (Dataset.to_string kind) cap))
+    (fun (seed, kind, capacity) ->
+      let t =
+        Trace.generate ~kind ~seed ~initial:100 ~pool:200 ~capacity ~events:40
+          ()
+      in
+      let r =
+        Oracle.run ~config:{ Oracle.default_config with Oracle.probes = 4 } t
+      in
+      Oracle.clean r && r.Oracle.snapshots_checked > 0)
+
+let test_snapshot_counter_reported () =
+  let r =
+    Oracle.run ~config:{ Oracle.default_config with Oracle.probes = 4 }
+      (small_trace ())
+  in
+  check "clean" true (Oracle.clean r);
+  check "snapshots were checked" true (r.Oracle.snapshots_checked > 0)
+
 let suite =
   [
     ( "conform-trace",
@@ -309,6 +344,8 @@ let suite =
         Alcotest.test_case "catches sabotage" `Quick test_oracle_catches_sabotage;
         Alcotest.test_case "fault runs stay clean" `Quick
           test_oracle_fault_runs_clean;
+        Alcotest.test_case "snapshot counter reported" `Quick
+          test_snapshot_counter_reported;
       ] );
     ( "conform-shrink",
       [
@@ -326,5 +363,8 @@ let suite =
           test_ctrl_shard_fault_isolation;
       ] );
     ( "conform-props",
-      [ QCheck_alcotest.to_alcotest prop_differential ] );
+      [
+        QCheck_alcotest.to_alcotest prop_differential;
+        QCheck_alcotest.to_alcotest prop_snapshot_consistency;
+      ] );
   ]

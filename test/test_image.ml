@@ -1,0 +1,206 @@
+(* The published-image layer: immutable snapshots, epoch publication,
+   bind/unbind payload protocol, and wait-free readers racing a writer. *)
+
+open Fastrule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk id prio plen base =
+  Rule.make ~id
+    ~field:
+      (Header.pack
+         {
+           Header.wildcard with
+           Header.dst_ip = Ternary.prefix_of_int64 ~width:32 ~plen base;
+         })
+    ~action:(Rule.Forward id) ~priority:prio
+
+let test_empty () =
+  let img = Image.empty in
+  check_int "epoch 0" 0 (Image.epoch img);
+  check_int "no entries" 0 (Image.entry_count img);
+  check "no addr" true (Image.addr_of img 1 = None);
+  check "lookup misses" true
+    (Image.lookup img (Header.random_packet (Rng.create ~seed:1)) = None)
+
+let test_persistence () =
+  (* Deriving a new image must leave every older snapshot untouched. *)
+  let r1 = mk 1 8 8 0x0A000000L in
+  let v0 = Image.empty in
+  let v1 = Image.write (Image.bind v0 r1) ~rule_id:1 ~addr:3 in
+  let v2 = Image.erase v1 ~addr:3 in
+  check_int "v0 empty" 0 (Image.entry_count v0);
+  check_int "v1 holds 1" 1 (Image.entry_count v1);
+  check "v1 addr" true (Image.addr_of v1 1 = Some 3);
+  check_int "v2 empty again" 0 (Image.entry_count v2);
+  check "v1 unchanged by erase" true (Image.addr_of v1 1 = Some 3);
+  check "epochs strictly grow" true
+    (Image.epoch v0 < Image.epoch v1 && Image.epoch v1 < Image.epoch v2)
+
+let test_move_vacates () =
+  let v =
+    Image.write (Image.write Image.empty ~rule_id:7 ~addr:2) ~rule_id:7 ~addr:5
+  in
+  check_int "still one entry" 1 (Image.entry_count v);
+  check "new slot" true (Image.addr_of v 7 = Some 5);
+  check "old slot vacated" true
+    (Image.fold v ~init:true ~f:(fun acc ~addr ~rule_id:_ -> acc && addr <> 2))
+
+let test_unbound_skipped () =
+  (* A slot whose payload is not bound must not answer lookups. *)
+  let r = mk 4 24 24 0x0A000100L in
+  let rng = Rng.create ~seed:9 in
+  let pkt = Header.packet_in rng r.Rule.field in
+  let unbound = Image.write Image.empty ~rule_id:4 ~addr:1 in
+  check "unbound miss" true (Image.lookup unbound pkt = None);
+  let bound = Image.bind unbound r in
+  check "bound hit" true
+    (match Image.lookup bound pkt with Some x -> x.Rule.id = 4 | None -> false);
+  check "unbind hides again" true
+    (Image.lookup (Image.unbind bound ~id:4) pkt = None)
+
+let test_tcam_publishes () =
+  (* Every committed Tcam mutation publishes a fresh image that answers
+     exactly like the mutable slot array. *)
+  let rules = Dataset.generate Dataset.ACL4 ~seed:17 ~n:40 in
+  let agent = Agent.of_rules ~capacity:100 rules in
+  let tcam = Agent.tcam agent in
+  check "image consistent" true (Result.is_ok (Tcam.image_consistent tcam));
+  let img = Tcam.image tcam in
+  check_int "image mirrors tcam" (Tcam.used_count tcam) (Image.entry_count img);
+  let rng = Rng.create ~seed:18 in
+  let agree = ref true in
+  List.iter
+    (fun (r : Rule.t) ->
+      let pkt = Header.packet_in rng r.Rule.field in
+      let live = Agent.lookup agent pkt in
+      let snap = Image.lookup img pkt in
+      let same =
+        match (live, snap) with
+        | None, None -> true
+        | Some a, Some b -> a.Rule.id = b.Rule.id
+        | _ -> false
+      in
+      if not same then agree := false)
+    (Agent.rules agent);
+  check "snapshot = live lookup" true !agree
+
+let test_epoch_per_op () =
+  let t = Tcam.create ~size:16 in
+  let e0 = Image.epoch (Tcam.image t) in
+  Tcam.write t ~rule_id:1 ~addr:0;
+  let e1 = Image.epoch (Tcam.image t) in
+  Tcam.write t ~rule_id:2 ~addr:1;
+  let e2 = Image.epoch (Tcam.image t) in
+  Tcam.erase t ~addr:0;
+  let e3 = Image.epoch (Tcam.image t) in
+  check "each op publishes" true (e0 < e1 && e1 < e2 && e2 < e3)
+
+let test_copy_does_not_publish () =
+  (* Simulation copies (Check.sequence) share the image but must never
+     call the parent's publisher. *)
+  let t = Tcam.create ~size:8 in
+  let fired = ref 0 in
+  Tcam.set_publisher t (Some (fun _ -> incr fired));
+  Tcam.write t ~rule_id:1 ~addr:0;
+  check_int "parent publishes" 1 !fired;
+  let sim = Tcam.copy t in
+  Tcam.write sim ~rule_id:2 ~addr:1;
+  check_int "copy is silent" 1 !fired;
+  check "parent image unaffected" true (Image.addr_of (Tcam.image t) 2 = None)
+
+let test_publish_allocation_bound () =
+  (* Publication is a pointer swap over a persistent map: the per-op
+     allocation is O(log n) words, far below copying the table.  Gate it
+     at a small fraction of the 4096-entry table size so a regression to
+     O(n) snapshotting fails loudly. *)
+  let n = 4096 in
+  let t = Tcam.create ~size:(2 * n) in
+  for i = 0 to n - 1 do
+    Tcam.write t ~rule_id:i ~addr:(2 * i)
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to 99 do
+    Tcam.write t ~rule_id:i ~addr:((2 * i) + 1)
+  done;
+  let per_op = (Gc.minor_words () -. before) /. 100.0 in
+  check ("per-op words bounded, got " ^ string_of_float per_op) true
+    (per_op < float_of_int (n / 4))
+
+let test_readers_race_writer () =
+  (* Four wait-free reader domains hammer the published pointer while the
+     writer churns slots.  Each reader checks it only ever observes fully
+     bound, monotonically-published snapshots. *)
+  let rules = Array.init 64 (fun i -> mk i (8 + (i mod 16)) 24 (Int64.of_int (i * 256))) in
+  let t = Tcam.create ~size:128 in
+  let published = Atomic.make (Tcam.image t) in
+  Tcam.set_publisher t (Some (fun img -> Atomic.set published img));
+  let stop = Atomic.make false in
+  let reader () =
+    let rng = Rng.create ~seed:(Domain.self () :> int) in
+    let last_epoch = ref (-1) in
+    let bad = ref 0 in
+    let reads = ref 0 in
+    while (not (Atomic.get stop)) || !reads < 200 do
+      incr reads;
+      let img = Atomic.get published in
+      let e = Image.epoch img in
+      if e < !last_epoch then incr bad;
+      last_epoch := e;
+      (* Every slot in a published snapshot must resolve its payload:
+         binds happen before writes, unbinds after erases. *)
+      Image.iter img (fun ~addr:_ ~rule_id ->
+          if Image.rule img rule_id = None then incr bad);
+      let pkt = Header.packet_in rng rules.(Rng.int rng 64).Rule.field in
+      (match Image.lookup img pkt with
+      | Some r -> if Image.addr_of img r.Rule.id = None then incr bad
+      | None -> ());
+      if !reads land 63 = 0 then Domain.cpu_relax ()
+    done;
+    !bad
+  in
+  let readers = List.init 4 (fun _ -> Domain.spawn reader) in
+  for round = 0 to 5 do
+    (* Bounce every rule between two disjoint address banks so a move's
+       target slot is always free, then retire a third of them. *)
+    let bank = if round land 1 = 0 then 0 else 64 in
+    Array.iteri
+      (fun i r ->
+        Tcam.bind_rule t r;
+        Tcam.write t ~rule_id:i ~addr:(bank + i))
+      rules;
+    Array.iteri
+      (fun i _ ->
+        if i mod 3 = round mod 3 then begin
+          match Tcam.addr_of t i with
+          | Some a ->
+              Tcam.erase t ~addr:a;
+              Tcam.unbind_rule t ~id:i
+          | None -> ()
+        end)
+      rules
+  done;
+  Atomic.set stop true;
+  let bad = List.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  check_int "no torn or stale snapshot observed" 0 bad;
+  check "writer image still consistent" true
+    (Result.is_ok (Tcam.image_consistent t))
+
+let suite =
+  [
+    ( "image",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "persistence" `Quick test_persistence;
+        Alcotest.test_case "move vacates old slot" `Quick test_move_vacates;
+        Alcotest.test_case "unbound payloads skipped" `Quick test_unbound_skipped;
+        Alcotest.test_case "tcam publishes per op" `Quick test_tcam_publishes;
+        Alcotest.test_case "epoch per op" `Quick test_epoch_per_op;
+        Alcotest.test_case "copy does not publish" `Quick test_copy_does_not_publish;
+        Alcotest.test_case "publish allocation bound" `Quick
+          test_publish_allocation_bound;
+        Alcotest.test_case "4 readers race a writer" `Quick
+          test_readers_race_writer;
+      ] );
+  ]
